@@ -1,0 +1,121 @@
+//! Property-based tests: the miter solver against brute-force enumeration,
+//! and end-to-end soundness of the check pipeline.
+
+use crate::sat::{SatBuilder, SatOutcome};
+use crate::{check_substitution, CheckOutcome, Substitution};
+use powder_library::lib2;
+use powder_logic::TruthTable;
+use powder_netlist::{GateId, GateKind, Netlist};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a random single-output circuit as a SatCircuit; returns the
+/// brute-force SAT answer alongside.
+fn random_sat_case(inputs: usize, ops: &[(u8, u8, u8)]) -> (crate::SatCircuit, bool) {
+    let mut b = SatBuilder::default();
+    let mut nodes: Vec<(u32, TruthTable)> = Vec::new();
+    let mut funcs: Vec<TruthTable> = Vec::new();
+    for i in 0..inputs {
+        let id = b.pi(i);
+        let f = TruthTable::var(i, inputs);
+        nodes.push((id, f.clone()));
+        funcs.push(f);
+    }
+    for (op, x, y) in ops {
+        let a = nodes[*x as usize % nodes.len()].clone();
+        let c = nodes[*y as usize % nodes.len()].clone();
+        let (id, f) = match op % 5 {
+            0 => (b.xor2(a.0, c.0), a.1 ^ c.1),
+            1 => (b.or2(a.0, c.0), a.1 | c.1),
+            2 => (b.and2(a.0, c.0), a.1 & c.1),
+            3 => (b.not(a.0), !a.1),
+            _ => {
+                let aoi = !((TruthTable::var(0, 3) & TruthTable::var(1, 3))
+                    | TruthTable::var(2, 3));
+                let d = nodes[(*x as usize + *y as usize) % nodes.len()].clone();
+                (
+                    b.gate(aoi.clone(), vec![a.0, c.0, d.0]),
+                    aoi.compose(&[a.1, c.1, d.1]),
+                )
+            }
+        };
+        nodes.push((id, f));
+    }
+    let (out, f) = nodes.last().expect("nonempty").clone();
+    (b.finish(inputs, out), !f.is_zero())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The solver's verdict equals brute force, and SAT witnesses actually
+    /// satisfy the circuit.
+    #[test]
+    fn solver_matches_brute_force(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
+        inputs in 1usize..6,
+    ) {
+        let (circuit, satisfiable) = random_sat_case(inputs, &ops);
+        match crate::solve_miter(&circuit, 100_000) {
+            SatOutcome::Sat(_witness) => prop_assert!(satisfiable),
+            SatOutcome::Unsat => prop_assert!(!satisfiable),
+            SatOutcome::Aborted => prop_assert!(false, "tiny circuits must not abort"),
+        }
+    }
+
+    /// For random netlists, check_substitution's verdict agrees with
+    /// exhaustive equivalence checking of the rewired clone.
+    #[test]
+    fn check_agrees_with_exhaustive_equivalence(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 3..14),
+        inputs in 2usize..5,
+        pick in any::<u16>(),
+    ) {
+        let lib = Arc::new(lib2());
+        let names = ["and2", "or2", "nand2", "xor2", "inv1"];
+        let cells: Vec<_> = names.iter().map(|n| lib.find_by_name(n).unwrap()).collect();
+        let mut nl = Netlist::new("p", lib);
+        let mut sigs: Vec<GateId> =
+            (0..inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
+        for (k, (op, a, c)) in ops.iter().enumerate() {
+            let cell = cells[*op as usize % cells.len()];
+            let lib = nl.library().clone();
+            let fanins: Vec<GateId> = (0..lib.cell_ref(cell).inputs())
+                .map(|j| sigs[(if j == 0 { *a } else { *c }) as usize % sigs.len()])
+                .collect();
+            sigs.push(nl.add_cell(format!("g{k}"), cell, &fanins));
+        }
+        nl.add_output("f", *sigs.last().expect("nonempty"));
+        prop_assume!(nl.validate().is_ok());
+
+        // Pick an arbitrary (possibly non-permissible) IS2 rewiring.
+        let cell_gates: Vec<GateId> = nl
+            .iter_live()
+            .filter(|&g| matches!(nl.kind(g), GateKind::Cell(_)))
+            .collect();
+        prop_assume!(!cell_gates.is_empty());
+        let sink = cell_gates[pick as usize % cell_gates.len()];
+        let sources: Vec<GateId> = nl
+            .iter_live()
+            .filter(|&g| !matches!(nl.kind(g), GateKind::Output))
+            .filter(|&g| !nl.reaches(sink, g) && g != nl.fanins(sink)[0])
+            .collect();
+        prop_assume!(!sources.is_empty());
+        let b = sources[(pick >> 4) as usize % sources.len()];
+        let sub = Substitution::Is2 { sink, pin: 0, b, invert: (pick & 1) == 1 };
+        prop_assume!(sub.is_structurally_valid(&nl));
+
+        // Exhaustive ground truth on a rewired clone.
+        let mut rewired = nl.clone();
+        crate::tests_support::apply_is2(&mut rewired, &sub);
+        let equivalent = crate::tests_support::exhaustive_equivalent(&nl, &rewired);
+
+        match check_substitution(&nl, &sub, 100_000) {
+            CheckOutcome::Permissible => prop_assert!(equivalent, "false positive on {sub:?}"),
+            CheckOutcome::NotPermissible(w) => {
+                prop_assert!(!equivalent, "false negative on {sub:?} (witness {w:?})");
+            }
+            CheckOutcome::Aborted => prop_assert!(false, "tiny cones must not abort"),
+        }
+    }
+}

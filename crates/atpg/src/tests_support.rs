@@ -1,0 +1,65 @@
+//! Small helpers shared by this crate's tests (kept out of the public API).
+
+use crate::Substitution;
+use powder_netlist::{GateId, GateKind, Netlist};
+use std::collections::HashMap;
+
+/// Applies an IS2 substitution the minimal way (no sweeping; tests only
+/// care about function).
+pub(crate) fn apply_is2(nl: &mut Netlist, sub: &Substitution) {
+    let Substitution::Is2 {
+        sink,
+        pin,
+        b,
+        invert,
+    } = *sub
+    else {
+        panic!("helper only supports IS2");
+    };
+    let src = if invert {
+        let inv = nl.library().inverter();
+        nl.add_cell("tst_inv", inv, &[b])
+    } else {
+        b
+    };
+    nl.replace_fanin(sink, pin, src);
+}
+
+/// Exhaustive equivalence of two same-interface netlists.
+pub(crate) fn exhaustive_equivalent(a: &Netlist, b: &Netlist) -> bool {
+    let n = a.inputs().len();
+    assert!(n <= 16, "exhaustive check limited to 16 inputs");
+    for m in 0..(1u64 << n) {
+        let va = eval_outputs(a, m);
+        let vb = eval_outputs(b, m);
+        if va != vb {
+            return false;
+        }
+    }
+    true
+}
+
+fn eval_outputs(nl: &Netlist, minterm: u64) -> Vec<bool> {
+    let mut val: HashMap<GateId, bool> = HashMap::new();
+    for (i, &pi) in nl.inputs().iter().enumerate() {
+        val.insert(pi, (minterm >> i) & 1 == 1);
+    }
+    for g in nl.topo_order() {
+        let v = match nl.kind(g) {
+            GateKind::Input => val[&g],
+            GateKind::Const(k) => k,
+            GateKind::Output => val[&nl.fanins(g)[0]],
+            GateKind::Cell(c) => {
+                let mut m = 0u64;
+                for (i, f) in nl.fanins(g).iter().enumerate() {
+                    if val[f] {
+                        m |= 1 << i;
+                    }
+                }
+                nl.library().cell_ref(c).function.eval(m)
+            }
+        };
+        val.insert(g, v);
+    }
+    nl.outputs().iter().map(|o| val[o]).collect()
+}

@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks of the POWDER machinery: simulation,
+//! observability, candidate generation, ATPG checking, power estimation,
+//! and technology mapping. These track the engineering cost of each phase
+//! of Fig. 5; they are not paper experiments (those live in the `table1`,
+//! `table2` and `figure6` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powder::{optimize, OptimizeConfig};
+use powder_atpg::{check_substitution, generate_candidates, CandidateConfig};
+use powder_bench::library;
+use powder_power::{PowerConfig, PowerEstimator};
+use powder_sim::{simulate, stem_observability_all, CellCovers, Patterns};
+use powder_synth::{map_netlist, MapMode};
+
+fn bench_simulation(c: &mut Criterion) {
+    let lib = library();
+    let nl = powder_benchmarks::build("duke2", lib).unwrap();
+    let covers = CellCovers::new(nl.library());
+    let pats = Patterns::random(nl.inputs().len(), 16, 1);
+    c.bench_function("simulate_duke2_1024pat", |b| {
+        b.iter(|| simulate(&nl, &covers, &pats))
+    });
+    let vals = simulate(&nl, &covers, &pats);
+    c.bench_function("observability_duke2", |b| {
+        b.iter(|| stem_observability_all(&nl, &covers, &vals))
+    });
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    let lib = library();
+    let nl = powder_benchmarks::build("rd84", lib).unwrap();
+    let covers = CellCovers::new(nl.library());
+    let pats = Patterns::random(nl.inputs().len(), 16, 1);
+    let vals = simulate(&nl, &covers, &pats);
+    let cfg = CandidateConfig::default();
+    c.bench_function("candidates_rd84", |b| {
+        b.iter(|| generate_candidates(&nl, &covers, &vals, &cfg))
+    });
+    let cands = generate_candidates(&nl, &covers, &vals, &cfg);
+    if let Some(sub) = cands.first() {
+        c.bench_function("atpg_check_rd84", |b| {
+            b.iter(|| check_substitution(&nl, sub, 3_000))
+        });
+    }
+}
+
+fn bench_power(c: &mut Criterion) {
+    let lib = library();
+    let nl = powder_benchmarks::build("cps", lib).unwrap();
+    c.bench_function("power_estimate_cps", |b| {
+        b.iter(|| PowerEstimator::new(&nl, &PowerConfig::default()))
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let lib = library();
+    let nl = powder_benchmarks::build("f51m", lib).unwrap();
+    c.bench_function("remap_f51m_power", |b| {
+        b.iter(|| map_netlist(&nl, MapMode::Power).unwrap())
+    });
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let lib = library();
+    let nl = powder_benchmarks::build("bw", lib).unwrap();
+    let cfg = OptimizeConfig {
+        max_rounds: 2,
+        ..OptimizeConfig::default()
+    };
+    c.bench_function("powder_bw_2rounds", |b| {
+        b.iter(|| {
+            let mut work = nl.clone();
+            optimize(&mut work, &cfg)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulation, bench_candidates, bench_power, bench_mapping, bench_optimize
+);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Ablation study of POWDER's design choices (DESIGN.md §2):
+//!
+//! * which substitution classes are enabled (the paper's Table 2 shows the
+//!   classes contribute very differently);
+//! * the pre-selection width `K` of `select_power_red_subst`;
+//! * the random-pattern volume driving candidate generation;
+//! * the `repeat` parameter of Fig. 5 (substitutions per candidate round).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p powder-bench --bin ablation --release [-- --circuits=a,b,c]
+//! ```
+
+use powder::{optimize, CandidateConfig, OptimizeConfig};
+use powder_bench::library;
+
+fn run(name: &str, cfg: &OptimizeConfig) -> (f64, usize, f64) {
+    let lib = library();
+    let mut nl = powder_benchmarks::build(name, lib).expect("known circuit");
+    let report = optimize(&mut nl, cfg);
+    (
+        report.power_reduction_percent(),
+        report.applied.len(),
+        report.cpu_seconds,
+    )
+}
+
+fn show(label: &str, circuits: &[String], cfg: &OptimizeConfig) {
+    print!("{label:<28}");
+    let mut total_red = 0.0;
+    for name in circuits {
+        let (red, subs, secs) = run(name, cfg);
+        total_red += red;
+        print!(" | {red:>5.1}% {subs:>3}s {secs:>5.1}t");
+    }
+    println!(" | avg {:.1}%", total_red / circuits.len() as f64);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let circuits: Vec<String> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--circuits="))
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| {
+            ["bw", "rd84", "duke2", "t481"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        });
+    let base = OptimizeConfig {
+        sim_words: 16,
+        ..OptimizeConfig::default()
+    };
+    println!("# Ablation — columns per circuit: reduction% / substitutions / seconds");
+    print!("{:<28}", "config");
+    for c in &circuits {
+        print!(" | {c:^18}");
+    }
+    println!(" |");
+
+    println!("\n## substitution classes");
+    show("all classes (default)", &circuits, &base);
+    show(
+        "2-signal only (OS2+IS2)",
+        &circuits,
+        &OptimizeConfig {
+            candidates: CandidateConfig {
+                enable_os3: false,
+                enable_is3: false,
+                ..CandidateConfig::default()
+            },
+            ..base.clone()
+        },
+    );
+    show(
+        "3-signal only (OS3+IS3)",
+        &circuits,
+        &OptimizeConfig {
+            candidates: CandidateConfig {
+                enable_os2: false,
+                enable_is2: false,
+                ..CandidateConfig::default()
+            },
+            ..base.clone()
+        },
+    );
+    show(
+        "no inverted variants",
+        &circuits,
+        &OptimizeConfig {
+            candidates: CandidateConfig {
+                enable_inverted: false,
+                ..CandidateConfig::default()
+            },
+            ..base.clone()
+        },
+    );
+
+    println!("\n## pre-selection width K (paper §3.5 heuristic)");
+    for k in [1usize, 4, 8, 16] {
+        show(
+            &format!("preselect K = {k}"),
+            &circuits,
+            &OptimizeConfig {
+                preselect: k,
+                ..base.clone()
+            },
+        );
+    }
+
+    println!("\n## random-pattern volume (candidate filter strength)");
+    for words in [2usize, 8, 16, 32] {
+        show(
+            &format!("{} patterns", words * 64),
+            &circuits,
+            &OptimizeConfig {
+                sim_words: words,
+                ..base.clone()
+            },
+        );
+    }
+
+    println!("\n## repeat (substitutions per candidate generation round)");
+    for repeat in [1usize, 10, 30] {
+        show(
+            &format!("repeat = {repeat}"),
+            &circuits,
+            &OptimizeConfig {
+                repeat,
+                ..base.clone()
+            },
+        );
+    }
+}

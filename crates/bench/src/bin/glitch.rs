@@ -1,0 +1,71 @@
+//! Glitch-power extension experiment (beyond the paper; DESIGN.md lists it
+//! as an optional extension of the zero-delay model).
+//!
+//! For each circuit: measure functional vs total (hazard-inclusive) power
+//! by unit-delay event simulation *before and after* POWDER, answering two
+//! questions the paper leaves open:
+//!
+//! 1. how large is the glitch share on these circuits (paper cites ~20 %);
+//! 2. does zero-delay optimization still help once glitches are counted?
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p powder-bench --bin glitch --release [-- --circuits=a,b,c]
+//! ```
+
+use powder::{optimize, OptimizeConfig};
+use powder_bench::library;
+use powder_power::glitch::glitch_power;
+use powder_power::PowerConfig;
+use powder_sim::{CellCovers, Patterns};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let circuits: Vec<String> = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--circuits="))
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| {
+            ["rd84", "bw", "f51m", "9sym", "duke2", "t481"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        });
+    let lib = library();
+    let cfg = PowerConfig::default();
+
+    println!("# Glitch extension — unit-delay event simulation, 2048 vectors");
+    println!(
+        "{:<8} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8} | {:>9}",
+        "circuit", "func", "total", "glitch%", "func'", "total'", "glitch%'", "Δtotal%"
+    );
+    for name in &circuits {
+        let Ok(nl) = powder_benchmarks::build(name, lib.clone()) else {
+            eprintln!("unknown circuit {name}");
+            continue;
+        };
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::random(nl.inputs().len(), 32, 0x6117C4);
+        let before = glitch_power(&nl, &covers, &pats, &cfg);
+
+        let mut optimized = nl.clone();
+        let _ = optimize(&mut optimized, &OptimizeConfig::default());
+        let covers2 = CellCovers::new(optimized.library());
+        let after = glitch_power(&optimized, &covers2, &pats, &cfg);
+
+        let delta_total = 100.0 * (before.total_power - after.total_power) / before.total_power;
+        println!(
+            "{:<8} | {:>10.2} {:>10.2} {:>7.1}% | {:>10.2} {:>10.2} {:>7.1}% | {:>8.1}%",
+            name,
+            before.functional_power,
+            before.total_power,
+            100.0 * before.glitch_fraction(),
+            after.functional_power,
+            after.total_power,
+            100.0 * after.glitch_fraction(),
+            delta_total
+        );
+    }
+    println!("\n# positive Δtotal%: the zero-delay optimization also reduces hazard-inclusive power");
+}

@@ -1,0 +1,141 @@
+//! Regenerates the paper's **Table 1**: per-circuit initial power/area/
+//! delay after low-power synthesis, POWDER without delay constraints
+//! (power, reduction %, area), and POWDER with the initial delay as
+//! constraint (power, reduction %, area, delay, CPU seconds).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p powder-bench --bin table1 --release [-- --quick | --circuits=a,b,c]
+//! ```
+
+use powder::SubClass;
+use powder_bench::{circuit_selection, run_table1_row};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let circuits = circuit_selection(&args);
+    let mut class_power = [0.0f64; 4];
+    let mut class_area = [0.0f64; 4];
+    let mut class_count = [0usize; 4];
+
+    println!("# Table 1 reproduction — POWDER on the benchmark suite");
+    println!("# (equivalence column: random-pattern check of both optimized netlists)");
+    println!(
+        "{:<9} | {:>8} {:>9} {:>6} | {:>8} {:>6} {:>9} | {:>8} {:>6} {:>9} {:>6} {:>7} | {:>3}",
+        "circuit", "power", "area", "delay", "power", "red.%", "area", "power", "red.%", "area",
+        "delay", "CPU(s)", "eq"
+    );
+    println!("{}", "-".repeat(130));
+
+    let mut sums = [0.0f64; 8]; // ip, ia, id, up, ua, cp, ca, cd
+
+    for name in &circuits {
+        match run_table1_row(name) {
+            Ok(row) => {
+                let u = &row.unconstrained;
+                let c = &row.constrained;
+                println!(
+                    "{:<9} | {:>8.3} {:>9.0} {:>6.1} | {:>8.3} {:>6.1} {:>9.0} | {:>8.3} {:>6.1} {:>9.0} {:>6.1} {:>7.1} | {:>3}",
+                    row.name,
+                    row.initial.power,
+                    row.initial.area,
+                    row.initial.delay,
+                    u.final_power,
+                    u.power_reduction_percent(),
+                    u.final_area,
+                    c.final_power,
+                    c.power_reduction_percent(),
+                    c.final_area,
+                    c.final_delay,
+                    c.cpu_seconds,
+                    if row.equivalence_ok { "ok" } else { "XX" },
+                );
+                for (class, stats) in u.class_stats() {
+                    let i = SubClass::ALL
+                        .iter()
+                        .position(|&cl| cl == class)
+                        .expect("known class");
+                    class_power[i] += stats.power_saved;
+                    class_area[i] += stats.area_delta;
+                    class_count[i] += stats.count;
+                }
+                sums[0] += row.initial.power;
+                sums[1] += row.initial.area;
+                sums[2] += row.initial.delay;
+                sums[3] += u.final_power;
+                sums[4] += u.final_area;
+                sums[5] += c.final_power;
+                sums[6] += c.final_area;
+                sums[7] += c.final_delay;
+            }
+            Err(e) => println!("{name:<9} | ERROR: {e}"),
+        }
+    }
+
+    println!("{}", "-".repeat(130));
+    println!(
+        "{:<9} | {:>8.2} {:>9.0} {:>6.1} | {:>8.2} {:>6} {:>9.0} | {:>8.2} {:>6} {:>9.0} {:>6.1} {:>7} |",
+        "Σ:", sums[0], sums[1], sums[2], sums[3], "", sums[4], sums[5], "", sums[6], sums[7], ""
+    );
+    let pct = |init: f64, fin: f64| {
+        if init > 0.0 {
+            100.0 * (init - fin) / init
+        } else {
+            0.0
+        }
+    };
+    println!(
+        "{:<9} | {:>8} {:>9} {:>6} | {:>8} {:>6.1} {:>9.1} | {:>8} {:>6.1} {:>9.1} {:>6.1} {:>7} |",
+        "reduction:",
+        "",
+        "",
+        "",
+        "",
+        pct(sums[0], sums[3]),
+        pct(sums[1], sums[4]),
+        "",
+        pct(sums[0], sums[5]),
+        pct(sums[1], sums[6]),
+        pct(sums[2], sums[7]),
+        ""
+    );
+    println!();
+    println!(
+        "# paper: 26.1% power / 8.9% area (unconstrained); 21.4% power / 7.5% area / 6.8% delay (constrained)"
+    );
+
+    // Table 2 from the same unconstrained runs.
+    let total_power: f64 = class_power.iter().sum();
+    let total_area_red: f64 = -class_area.iter().sum::<f64>();
+    println!();
+    println!("# Table 2 (from the unconstrained runs above)");
+    println!(
+        "{:<34} {:>8} {:>8} {:>8} {:>8}",
+        "substitution:", "OS2", "IS2", "OS3", "IS3"
+    );
+    print!("{:<34}", "count:");
+    for c in class_count {
+        print!(" {c:>8}");
+    }
+    println!();
+    print!("{:<34}", "contribution to power reduction:");
+    for p in class_power {
+        if total_power.abs() > 1e-12 {
+            print!(" {:>7.1}%", 100.0 * p / total_power);
+        } else {
+            print!(" {:>7}%", "--");
+        }
+    }
+    println!();
+    print!("{:<34}", "contribution to area reduction:");
+    for a in class_area {
+        if total_area_red.abs() > 1e-12 {
+            print!(" {:>7.1}%", 100.0 * (-a) / total_area_red);
+        } else {
+            print!(" {:>7}%", "--");
+        }
+    }
+    println!();
+    println!("# paper: power 32.5 / 36.5 / 27.6 / 3.4 %; area 171.5 / −11.6 / −27.7 / −32.2 %");
+}

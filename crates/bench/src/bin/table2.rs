@@ -1,0 +1,76 @@
+//! Regenerates the paper's **Table 2**: the contribution of each
+//! substitution class (OS2 / IS2 / OS3 / IS3) to the overall power and
+//! area reduction, measured by summing the per-substitution effects of the
+//! unconstrained Table-1 runs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p powder-bench --bin table2 --release [-- --quick | --circuits=...]
+//! ```
+
+use powder::{optimize, SubClass};
+use powder_bench::{circuit_selection, experiment_config, library};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let circuits = circuit_selection(&args);
+    let lib = library();
+
+    let mut power_by_class = [0.0f64; 4];
+    let mut area_by_class = [0.0f64; 4];
+    let mut count_by_class = [0usize; 4];
+
+    for name in &circuits {
+        let Ok(mut nl) = powder_benchmarks::build(name, lib.clone()) else {
+            eprintln!("skipping unknown circuit {name}");
+            continue;
+        };
+        let report = optimize(&mut nl, &experiment_config(None));
+        for (class, stats) in report.class_stats() {
+            let i = SubClass::ALL.iter().position(|&c| c == class).expect("known class");
+            power_by_class[i] += stats.power_saved;
+            area_by_class[i] += stats.area_delta;
+            count_by_class[i] += stats.count;
+        }
+        eprintln!(
+            "  {name}: {} substitutions, {:.1}% power",
+            report.applied.len(),
+            report.power_reduction_percent()
+        );
+    }
+
+    let total_power: f64 = power_by_class.iter().sum();
+    // Overall area *reduction* = −Σ deltas; a class's contribution is its
+    // share of that reduction (same sign convention as the paper, where
+    // OS2 contributes >100% and the others negatively).
+    let total_area_red: f64 = -area_by_class.iter().sum::<f64>();
+
+    println!("# Table 2 reproduction — contribution of substitution classes");
+    println!("{:<34} {:>8} {:>8} {:>8} {:>8}", "substitution:", "OS2", "IS2", "OS3", "IS3");
+    print!("{:<34}", "count:");
+    for c in count_by_class {
+        print!(" {c:>8}");
+    }
+    println!();
+    print!("{:<34}", "contribution to power reduction:");
+    for p in power_by_class {
+        if total_power.abs() > 1e-12 {
+            print!(" {:>7.1}%", 100.0 * p / total_power);
+        } else {
+            print!(" {:>7}%", "--");
+        }
+    }
+    println!();
+    print!("{:<34}", "contribution to area reduction:");
+    for a in area_by_class {
+        if total_area_red.abs() > 1e-12 {
+            print!(" {:>7.1}%", 100.0 * (-a) / total_area_red);
+        } else {
+            print!(" {:>7}%", "--");
+        }
+    }
+    println!();
+    println!();
+    println!("# paper: power 32.5 / 36.5 / 27.6 / 3.4 %; area 171.5 / −11.6 / −27.7 / −32.2 %");
+}

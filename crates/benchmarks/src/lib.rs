@@ -1,0 +1,48 @@
+//! Benchmark circuits standing in for the MCNC/ISCAS suite of the paper's
+//! Table 1.
+//!
+//! The original BLIF/PLA sources are not redistributable, so every circuit
+//! is regenerated deterministically (see DESIGN.md §3 for the substitution
+//! rationale):
+//!
+//! * **exact re-implementations** where the function is publicly known and
+//!   unambiguous — `rd84` (8-input weight encoder), `9sym`/`z9sym`/`9symml`
+//!   (9-input symmetric), `comp` (16-bit magnitude comparator), `f51m`
+//!   (4×4 multiplier-class arithmetic), `alu2`/`alu4` (4/8-bit ALUs),
+//!   `C1355`/`C1908`-class single-error-correcting codecs, `rot` (barrel
+//!   rotator), `C432`-class priority/interrupt logic, `des`-class
+//!   S-box/permutation network;
+//! * **seeded synthetic stand-ins** for the two-level (PLA) family
+//!   (`duke2`, `misex3`, `spla`, `table5`, `cps`, `apex*`, …) built from a
+//!   shared product-term pool — reproducing the logic-sharing structure
+//!   that makes the family rich in observability don't-cares — and for the
+//!   multi-level control family (`frg1`, `c8`, `term1`, `x1`, …) built as
+//!   seeded random gate DAGs.
+//!
+//! All circuits pass through the same POSE-substitute flow
+//! (`powder-synth`, power-aware mapping over the built-in `lib2`-like
+//! library), so POWDER starts — as in the paper — from netlists already
+//! optimised for low power.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use powder_library::lib2;
+//!
+//! let lib = Arc::new(lib2());
+//! let nl = powder_benchmarks::build("rd84", lib)?;
+//! assert_eq!(nl.inputs().len(), 8);
+//! assert_eq!(nl.outputs().len(), 4);
+//! # Ok::<(), powder_benchmarks::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generators;
+pub mod mini;
+mod random;
+mod suite;
+
+pub use suite::{build, table1_names, tradeoff_names, BuildError, Family, info, BenchmarkInfo};

@@ -1,0 +1,158 @@
+//! Tiny exactly-known circuits (ISCAS `c17`, a full adder, 5-input
+//! majority) — handy for demos, docs and fast tests, and as ground-truth
+//! fixtures for the verification machinery.
+
+use powder_library::Library;
+use powder_netlist::Netlist;
+use powder_synth::{map_netlist, MapMode, SubjectBuilder};
+use std::sync::Arc;
+
+/// Names of the mini-suite circuits.
+#[must_use]
+pub fn mini_names() -> Vec<&'static str> {
+    vec!["c17", "fulladd", "maj5"]
+}
+
+/// Builds a mini-suite circuit by name (exact, deterministic, mapped with
+/// the power-aware mapper).
+///
+/// # Errors
+///
+/// Returns the unknown name as a [`crate::BuildError`].
+pub fn build_mini(name: &str, lib: Arc<Library>) -> Result<Netlist, crate::BuildError> {
+    let nl = match name {
+        "c17" => c17(lib),
+        "fulladd" => fulladd(lib),
+        "maj5" => maj5(lib),
+        other => {
+            return Err(crate::BuildError {
+                name: other.to_string(),
+            })
+        }
+    };
+    debug_assert!(nl.validate().is_ok());
+    Ok(nl)
+}
+
+/// The ISCAS-85 `c17`: six NAND2 gates, 5 inputs, 2 outputs.
+fn c17(lib: Arc<Library>) -> Netlist {
+    let mut b = SubjectBuilder::new("c17", lib);
+    let g1 = b.input("G1");
+    let g2 = b.input("G2");
+    let g3 = b.input("G3");
+    let g6 = b.input("G6");
+    let g7 = b.input("G7");
+    let n10 = b.nand(g1, g3);
+    let n11 = b.nand(g3, g6);
+    let n16 = b.nand(g2, n11);
+    let n19 = b.nand(n11, g7);
+    let n22 = b.nand(n10, n16);
+    let n23 = b.nand(n16, n19);
+    b.output("G22", n22);
+    b.output("G23", n23);
+    map_netlist(&b.finish(), MapMode::Power).expect("c17 maps")
+}
+
+/// A single full adder: sum and carry.
+fn fulladd(lib: Arc<Library>) -> Netlist {
+    let mut b = SubjectBuilder::new("fulladd", lib);
+    let x = b.input("a");
+    let y = b.input("b");
+    let cin = b.input("cin");
+    let xy = b.xor(x, y);
+    let sum = b.xor(xy, cin);
+    let t1 = b.and(x, y);
+    let t2 = b.and(xy, cin);
+    let carry = b.or(t1, t2);
+    b.output("sum", sum);
+    b.output("cout", carry);
+    map_netlist(&b.finish(), MapMode::Power).expect("fulladd maps")
+}
+
+/// 5-input majority, built from adders + comparator logic.
+fn maj5(lib: Arc<Library>) -> Netlist {
+    let mut b = SubjectBuilder::new("maj5", lib);
+    let ins: Vec<_> = (0..5).map(|i| b.input(format!("x{i}"))).collect();
+    // Sum the 5 bits into a 3-bit count, then test count >= 3 (i.e. the
+    // count's MSB is set, or both low bits with ... simpler: count >= 3
+    // ⇔ bit2 | (bit1 & bit0)).
+    let mut count = vec![b.constant(false); 3];
+    for &x in &ins {
+        let mut carry = x;
+        for bit in count.iter_mut() {
+            let s = b.xor(*bit, carry);
+            let c = b.and(*bit, carry);
+            *bit = s;
+            carry = c;
+        }
+    }
+    let low = b.and(count[0], count[1]);
+    let m = b.or(count[2], low);
+    b.output("maj", m);
+    map_netlist(&b.finish(), MapMode::Power).expect("maj5 maps")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+    use powder_sim::{simulate, CellCovers, Patterns};
+
+    fn sig_bit(v: &[u64], m: usize) -> bool {
+        (v[m / 64] >> (m % 64)) & 1 == 1
+    }
+
+    #[test]
+    fn c17_matches_reference_equations() {
+        let nl = build_mini("c17", Arc::new(lib2())).unwrap();
+        assert_eq!(nl.inputs().len(), 5);
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(5);
+        let vals = simulate(&nl, &covers, &pats);
+        for m in 0..32usize {
+            let g = |i: usize| (m >> i) & 1 == 1; // G1,G2,G3,G6,G7 = bits 0..4
+            let n10 = !(g(0) && g(2));
+            let n11 = !(g(2) && g(3));
+            let n16 = !(g(1) && n11);
+            let n19 = !(n11 && g(4));
+            let g22 = !(n10 && n16);
+            let g23 = !(n16 && n19);
+            assert_eq!(sig_bit(vals.get(nl.outputs()[0]), m), g22, "G22 at {m}");
+            assert_eq!(sig_bit(vals.get(nl.outputs()[1]), m), g23, "G23 at {m}");
+        }
+    }
+
+    #[test]
+    fn fulladd_adds() {
+        let nl = build_mini("fulladd", Arc::new(lib2())).unwrap();
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(3);
+        let vals = simulate(&nl, &covers, &pats);
+        for m in 0..8usize {
+            let total = (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+            assert_eq!(sig_bit(vals.get(nl.outputs()[0]), m), total & 1 == 1);
+            assert_eq!(sig_bit(vals.get(nl.outputs()[1]), m), total >= 2);
+        }
+    }
+
+    #[test]
+    fn maj5_is_majority() {
+        let nl = build_mini("maj5", Arc::new(lib2())).unwrap();
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(5);
+        let vals = simulate(&nl, &covers, &pats);
+        for m in 0..32usize {
+            assert_eq!(
+                sig_bit(vals.get(nl.outputs()[0]), m),
+                (m as u32).count_ones() >= 3,
+                "{m:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_mini_name_errors() {
+        assert!(build_mini("c18", Arc::new(lib2())).is_err());
+        assert_eq!(mini_names().len(), 3);
+    }
+}

@@ -1,0 +1,212 @@
+//! Seeded synthetic stand-ins: shared-pool PLAs (the two-level family) and
+//! random multi-level control DAGs.
+
+use powder_library::Library;
+use powder_logic::{Cube, Sop};
+use powder_netlist::Netlist;
+use powder_synth::{map_netlist, synthesize, CircuitSpec, MapMode, SubjectBuilder, SubjectRef};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Deterministic seed derived from a benchmark name (FNV-1a).
+#[must_use]
+pub fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Parameters for a shared-pool PLA stand-in.
+#[derive(Clone, Copy, Debug)]
+pub struct PlaParams {
+    /// Primary inputs (≤ 64).
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Size of the shared product-term pool.
+    pub pool: usize,
+    /// Product terms ORed into each output.
+    pub terms_per_output: usize,
+    /// Literals per product term (min, max).
+    pub literals: (usize, usize),
+}
+
+/// Generates a multi-output PLA whose outputs draw product terms from a
+/// shared pool — the sharing structure of the real MCNC two-level family
+/// (`cps`, `apex*`, `table5`, …) that makes them rich in compatible
+/// signals and observability don't-cares.
+#[must_use]
+pub fn shared_pla(lib: Arc<Library>, name: &str, p: PlaParams) -> Netlist {
+    assert!(p.inputs <= 64, "PLA stand-ins limited to 64 inputs");
+    let mut rng = StdRng::seed_from_u64(name_seed(name));
+    let mut pool: Vec<Cube> = Vec::with_capacity(p.pool);
+    while pool.len() < p.pool {
+        let nlits = rng.gen_range(p.literals.0..=p.literals.1.max(p.literals.0));
+        let mut vars: Vec<usize> = (0..p.inputs).collect();
+        vars.shuffle(&mut rng);
+        let mut cube = Cube::universe();
+        for &v in vars.iter().take(nlits) {
+            cube = cube.with_literal(v, rng.gen());
+        }
+        if !pool.contains(&cube) {
+            pool.push(cube);
+        }
+    }
+    let outputs: Vec<(String, Sop)> = (0..p.outputs)
+        .map(|o| {
+            let mut chosen: Vec<Cube> = pool
+                .choose_multiple(&mut rng, p.terms_per_output.min(pool.len()))
+                .copied()
+                .collect();
+            chosen.sort();
+            (format!("y{o}"), Sop::from_cubes(p.inputs, chosen))
+        })
+        .collect();
+    let spec = CircuitSpec::from_sops(
+        name,
+        (0..p.inputs).map(|i| format!("x{i}")).collect(),
+        outputs,
+    );
+    synthesize(&spec, lib, MapMode::Power).expect("PLA stand-ins synthesize")
+}
+
+/// Parameters for a random multi-level control DAG.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiLevelParams {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Internal nodes created.
+    pub nodes: usize,
+    /// Probability that a node duplicates existing structure (adding
+    /// redundancy that post-mapping optimisation can recover).
+    pub redundancy: f64,
+}
+
+/// Generates a random multi-level control circuit: a DAG of AND/OR/XOR/MUX
+/// nodes over randomly selected earlier signals, with occasional
+/// deliberately redundant re-expressions of existing nodes.
+#[must_use]
+pub fn multilevel(lib: Arc<Library>, name: &str, p: MultiLevelParams) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(name_seed(name));
+    let mut b = SubjectBuilder::new(name, lib);
+    let mut signals: Vec<SubjectRef> = (0..p.inputs)
+        .map(|i| b.input(format!("x{i}")))
+        .collect();
+    for _ in 0..p.nodes {
+        let pick = |rng: &mut StdRng, signals: &[SubjectRef]| {
+            // Bias toward recent signals for depth.
+            let n = signals.len();
+            let lo = n.saturating_sub(24);
+            let mut r = signals[rng.gen_range(lo..n)];
+            if rng.gen_bool(0.3) {
+                r = r.not();
+            }
+            r
+        };
+        let x = pick(&mut rng, &signals);
+        let y = pick(&mut rng, &signals);
+        let node = if rng.gen_bool(p.redundancy) {
+            // Redundant re-expression: z = (x & y) | (x & !y) == x.
+            let t1 = b.and(x, y);
+            let t2 = b.and(x, y.not());
+            b.or(t1, t2)
+        } else {
+            match rng.gen_range(0..4u8) {
+                0 => b.and(x, y),
+                1 => b.or(x, y),
+                2 => b.xor(x, y),
+                _ => {
+                    let s = pick(&mut rng, &signals);
+                    b.mux(s, x, y)
+                }
+            }
+        };
+        signals.push(node);
+    }
+    // Outputs: the most recent distinct signals.
+    let mut count = 0usize;
+    let mut used = std::collections::HashSet::new();
+    for &s in signals.iter().rev() {
+        if count >= p.outputs {
+            break;
+        }
+        let gate = {
+            // resolve for identity dedupe
+            b.resolve(s)
+        };
+        if used.insert(gate) {
+            b.output(format!("y{count}"), s);
+            count += 1;
+        }
+    }
+    let subject = b.finish();
+    map_netlist(&subject, MapMode::Power).expect("multilevel stand-ins map")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(name_seed("cps"), name_seed("cps"));
+        assert_ne!(name_seed("cps"), name_seed("apex1"));
+    }
+
+    #[test]
+    fn shared_pla_is_deterministic_and_valid() {
+        let p = PlaParams {
+            inputs: 12,
+            outputs: 6,
+            pool: 30,
+            terms_per_output: 8,
+            literals: (3, 6),
+        };
+        let a = shared_pla(Arc::new(lib2()), "t_pla", p);
+        let b = shared_pla(Arc::new(lib2()), "t_pla", p);
+        a.validate().unwrap();
+        assert_eq!(a.cell_count(), b.cell_count(), "determinism");
+        assert_eq!(a.inputs().len(), 12);
+        assert_eq!(a.outputs().len(), 6);
+        assert!(a.cell_count() > 20);
+    }
+
+    #[test]
+    fn multilevel_is_deterministic_and_valid() {
+        let p = MultiLevelParams {
+            inputs: 10,
+            outputs: 5,
+            nodes: 60,
+            redundancy: 0.1,
+        };
+        let a = multilevel(Arc::new(lib2()), "t_ml", p);
+        let b = multilevel(Arc::new(lib2()), "t_ml", p);
+        a.validate().unwrap();
+        assert_eq!(a.area(), b.area(), "determinism");
+        assert_eq!(a.outputs().len(), 5);
+    }
+
+    #[test]
+    fn wide_pla_over_tt_limit_works() {
+        // 40 inputs exceeds the truth-table path; from_sops + factoring
+        // must handle it.
+        let p = PlaParams {
+            inputs: 40,
+            outputs: 8,
+            pool: 40,
+            terms_per_output: 10,
+            literals: (3, 7),
+        };
+        let nl = shared_pla(Arc::new(lib2()), "t_wide", p);
+        nl.validate().unwrap();
+        assert_eq!(nl.inputs().len(), 40);
+    }
+}

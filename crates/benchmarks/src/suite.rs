@@ -1,0 +1,283 @@
+//! The Table-1 benchmark suite: all 47 circuit names of the paper, mapped
+//! to deterministic generators.
+
+use crate::generators as g;
+use crate::random::{multilevel, shared_pla, MultiLevelParams, PlaParams};
+use powder_library::Library;
+use powder_netlist::Netlist;
+use powder_synth::MapMode;
+use std::fmt;
+use std::sync::Arc;
+
+/// Circuit family, used for reporting and substitution documentation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// Adders, multipliers, clipped arithmetic.
+    Arithmetic,
+    /// Symmetric / counting functions (exact reproductions).
+    Symmetric,
+    /// Magnitude comparator (exact interface class).
+    Comparator,
+    /// Error-correcting codecs (ISCAS C1355/C1908 class).
+    Ecc,
+    /// Random multi-level control logic (seeded stand-ins).
+    Control,
+    /// Collapsed two-level PLA family (seeded shared-pool stand-ins).
+    TwoLevel,
+    /// ALU datapaths.
+    Alu,
+    /// Priority / interrupt logic (C432 class).
+    Priority,
+    /// Barrel rotator (`rot`).
+    Rotator,
+    /// S-box/permutation network (`des`, `C5315` class).
+    Crypto,
+    /// Decomposable wide single-output function (`t481`).
+    Decomposable,
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Static description of a suite entry.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchmarkInfo {
+    /// Benchmark name (Table 1 spelling).
+    pub name: &'static str,
+    /// Circuit family.
+    pub family: Family,
+    /// Whether the function is an exact reproduction (vs a seeded
+    /// stand-in of the same class).
+    pub exact: bool,
+}
+
+/// Error returned for unknown benchmark names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildError {
+    /// The unknown name.
+    pub name: String,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark {:?}", self.name)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+const TABLE1: [BenchmarkInfo; 47] = [
+    BenchmarkInfo { name: "comp", family: Family::Comparator, exact: true },
+    BenchmarkInfo { name: "Z5xp1", family: Family::Arithmetic, exact: false },
+    BenchmarkInfo { name: "clip", family: Family::Arithmetic, exact: false },
+    BenchmarkInfo { name: "frg1", family: Family::Control, exact: false },
+    BenchmarkInfo { name: "c8", family: Family::Control, exact: false },
+    BenchmarkInfo { name: "term1", family: Family::Control, exact: false },
+    BenchmarkInfo { name: "f51m", family: Family::Arithmetic, exact: false },
+    BenchmarkInfo { name: "rd84", family: Family::Symmetric, exact: true },
+    BenchmarkInfo { name: "bw", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "ttt2", family: Family::Control, exact: false },
+    BenchmarkInfo { name: "C432", family: Family::Priority, exact: false },
+    BenchmarkInfo { name: "i2", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "Z9sym", family: Family::Symmetric, exact: true },
+    BenchmarkInfo { name: "apex7", family: Family::Control, exact: false },
+    BenchmarkInfo { name: "alu4tl", family: Family::Alu, exact: false },
+    BenchmarkInfo { name: "9sym", family: Family::Symmetric, exact: true },
+    BenchmarkInfo { name: "9symml", family: Family::Symmetric, exact: true },
+    BenchmarkInfo { name: "x1", family: Family::Control, exact: false },
+    BenchmarkInfo { name: "example2", family: Family::Control, exact: false },
+    BenchmarkInfo { name: "ex5", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "alu2", family: Family::Alu, exact: false },
+    BenchmarkInfo { name: "x4", family: Family::Control, exact: false },
+    BenchmarkInfo { name: "C880", family: Family::Alu, exact: false },
+    BenchmarkInfo { name: "C1355", family: Family::Ecc, exact: true },
+    BenchmarkInfo { name: "duke2", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "pdc", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "C1908", family: Family::Ecc, exact: true },
+    BenchmarkInfo { name: "ex4", family: Family::Control, exact: false },
+    BenchmarkInfo { name: "t481", family: Family::Decomposable, exact: false },
+    BenchmarkInfo { name: "rot", family: Family::Rotator, exact: true },
+    BenchmarkInfo { name: "spla", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "vda", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "misex3", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "frg2", family: Family::Control, exact: false },
+    BenchmarkInfo { name: "alu4", family: Family::Alu, exact: false },
+    BenchmarkInfo { name: "apex6", family: Family::Control, exact: false },
+    BenchmarkInfo { name: "x3", family: Family::Control, exact: false },
+    BenchmarkInfo { name: "apex5", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "dalu", family: Family::Alu, exact: false },
+    BenchmarkInfo { name: "i8", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "table5", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "cps", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "k2", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "C5315", family: Family::Crypto, exact: false },
+    BenchmarkInfo { name: "apex1", family: Family::TwoLevel, exact: false },
+    BenchmarkInfo { name: "pair", family: Family::Arithmetic, exact: false },
+    BenchmarkInfo { name: "des", family: Family::Crypto, exact: false },
+];
+
+/// All 47 Table-1 benchmark names, in the paper's (area-sorted) order.
+#[must_use]
+pub fn table1_names() -> Vec<&'static str> {
+    TABLE1.iter().map(|b| b.name).collect()
+}
+
+/// The 18-circuit subset used for the Figure 6 power–delay trade-off.
+#[must_use]
+pub fn tradeoff_names() -> Vec<&'static str> {
+    vec![
+        "comp", "Z5xp1", "clip", "frg1", "c8", "term1", "f51m", "rd84", "bw", "ttt2", "C432",
+        "Z9sym", "apex7", "9sym", "alu2", "x4", "duke2", "t481",
+    ]
+}
+
+/// Metadata for a benchmark name.
+#[must_use]
+pub fn info(name: &str) -> Option<BenchmarkInfo> {
+    TABLE1.iter().find(|b| b.name == name).copied()
+}
+
+fn pla(i: usize, o: usize, pool: usize, terms: usize, lits: (usize, usize)) -> PlaParams {
+    PlaParams {
+        inputs: i,
+        outputs: o,
+        pool,
+        terms_per_output: terms,
+        literals: lits,
+    }
+}
+
+fn ml(i: usize, o: usize, nodes: usize, red: f64) -> MultiLevelParams {
+    MultiLevelParams {
+        inputs: i,
+        outputs: o,
+        nodes,
+        redundancy: red,
+    }
+}
+
+/// Builds a benchmark by its Table-1 name: spec generation, two-level
+/// minimisation / factoring where applicable, and power-aware technology
+/// mapping over the provided library.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] for names outside the suite.
+pub fn build(name: &str, lib: Arc<Library>) -> Result<Netlist, BuildError> {
+    let nl = match name {
+        "comp" => g::comparator(lib, 16),
+        "Z5xp1" => g::arith_tt(lib, "Z5xp1", 7, 10, |x| (x * x + x) & 0x3FF),
+        "clip" => g::arith_tt(lib, "clip", 9, 5, |x| {
+            let centered = (x as i64 - 255).unsigned_abs();
+            centered.min(31)
+        }),
+        "frg1" => multilevel(lib, "frg1", ml(28, 3, 70, 0.12)),
+        "c8" => multilevel(lib, "c8", ml(28, 18, 80, 0.10)),
+        "term1" => multilevel(lib, "term1", ml(34, 10, 85, 0.10)),
+        "f51m" => g::multiplier(lib, "f51m", 4),
+        "rd84" => g::weight_encoder(lib, "rd84", 8),
+        "bw" => shared_pla(lib, "bw", pla(5, 28, 24, 6, (2, 4))),
+        "ttt2" => multilevel(lib, "ttt2", ml(24, 21, 95, 0.10)),
+        "C432" => g::priority(lib, "C432", 4, 4),
+        "i2" => shared_pla(lib, "i2", pla(45, 1, 50, 25, (6, 10))),
+        "Z9sym" => g::symmetric(lib, "Z9sym", 9, 3, 6, MapMode::Power),
+        "apex7" => multilevel(lib, "apex7", ml(48, 36, 110, 0.10)),
+        "alu4tl" => g::alu(lib, "alu4tl", 4),
+        "9sym" => g::symmetric(lib, "9sym", 9, 3, 6, MapMode::Power),
+        "9symml" => g::symmetric(lib, "9symml", 9, 3, 6, MapMode::Area),
+        "x1" => multilevel(lib, "x1", ml(50, 34, 140, 0.10)),
+        "example2" => multilevel(lib, "example2", ml(84, 66, 150, 0.08)),
+        "ex5" => shared_pla(lib, "ex5", pla(8, 63, 60, 8, (3, 7))),
+        "alu2" => g::alu(lib, "alu2", 5),
+        "x4" => multilevel(lib, "x4", ml(94, 71, 170, 0.10)),
+        "C880" => g::alu(lib, "C880", 7),
+        "C1355" => g::sec_codec(lib, "C1355", 32),
+        "duke2" => shared_pla(lib, "duke2", pla(22, 29, 87, 12, (4, 8))),
+        "pdc" => shared_pla(lib, "pdc", pla(16, 40, 120, 10, (3, 8))),
+        "C1908" => g::sec_codec(lib, "C1908", 25),
+        "ex4" => multilevel(lib, "ex4", ml(64, 28, 180, 0.10)),
+        "t481" => g::decomposable(lib, "t481"),
+        "rot" => g::rotator(lib, "rot", 32),
+        "spla" => shared_pla(lib, "spla", pla(16, 46, 140, 12, (4, 9))),
+        "vda" => shared_pla(lib, "vda", pla(17, 39, 150, 12, (4, 9))),
+        "misex3" => shared_pla(lib, "misex3", pla(14, 14, 160, 16, (4, 9))),
+        "frg2" => multilevel(lib, "frg2", ml(64, 60, 220, 0.10)),
+        "alu4" => g::alu(lib, "alu4", 8),
+        "apex6" => multilevel(lib, "apex6", ml(64, 60, 230, 0.08)),
+        "x3" => multilevel(lib, "x3", ml(64, 60, 240, 0.10)),
+        "apex5" => shared_pla(lib, "apex5", pla(60, 40, 160, 10, (4, 9))),
+        "dalu" => g::arith_mix(lib, "dalu", 9),
+        "i8" => shared_pla(lib, "i8", pla(50, 40, 170, 12, (4, 9))),
+        "table5" => shared_pla(lib, "table5", pla(17, 15, 190, 18, (5, 10))),
+        "cps" => shared_pla(lib, "cps", pla(24, 50, 200, 14, (4, 9))),
+        "k2" => shared_pla(lib, "k2", pla(45, 45, 200, 14, (5, 10))),
+        "C5315" => g::sbox_network(lib, "C5315", 40, 2, crate::random::name_seed("C5315")),
+        "apex1" => shared_pla(lib, "apex1", pla(45, 45, 210, 16, (4, 9))),
+        "pair" => g::arith_mix(lib, "pair", 12),
+        "des" => g::sbox_network(lib, "des", 64, 2, crate::random::name_seed("des")),
+        other => {
+            return Err(BuildError {
+                name: other.to_string(),
+            })
+        }
+    };
+    debug_assert!(nl.validate().is_ok(), "{name} failed validation");
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+
+    #[test]
+    fn suite_has_47_names_and_metadata() {
+        let names = table1_names();
+        assert_eq!(names.len(), 47);
+        for n in &names {
+            assert!(info(n).is_some(), "{n}");
+        }
+        assert!(info("nonexistent").is_none());
+        // Table 1 order starts and ends as in the paper.
+        assert_eq!(names[0], "comp");
+        assert_eq!(*names.last().unwrap(), "des");
+    }
+
+    #[test]
+    fn tradeoff_subset_is_18_known_names() {
+        let t = tradeoff_names();
+        assert_eq!(t.len(), 18);
+        for n in &t {
+            assert!(info(n).is_some(), "{n}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        assert!(build("bogus", Arc::new(lib2())).is_err());
+    }
+
+    #[test]
+    fn sample_circuits_build_and_validate() {
+        // A cross-family sample; the full 47 build in the table1 harness.
+        let lib = Arc::new(lib2());
+        for name in ["rd84", "bw", "frg1", "C432", "t481", "alu4tl", "clip"] {
+            let nl = build(name, lib.clone()).unwrap();
+            nl.validate().unwrap();
+            assert!(nl.cell_count() > 5, "{name}: {} cells", nl.cell_count());
+            assert!(!nl.outputs().is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let lib = Arc::new(lib2());
+        let a = build("duke2", lib.clone()).unwrap();
+        let b = build("duke2", lib).unwrap();
+        assert_eq!(a.cell_count(), b.cell_count());
+        assert!((a.area() - b.area()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,277 @@
+//! `powder` — command-line front end for the POWDER optimizer.
+//!
+//! ```text
+//! powder optimize <in.blif> [-o out.blif] [--delay-limit PCT] [--library lib.genlib]
+//!                 [--repeat N] [--patterns N] [--seed S] [--resize] [--redundancy]
+//! powder synth    <in.pla>  [-o out.blif] [--library lib.genlib]   # two-level → mapped
+//! powder stats    <in.blif> [--library lib.genlib]
+//! powder bench    <name>    [-o out.blif]      # dump a suite circuit as BLIF
+//! powder list                                  # list suite circuits
+//! ```
+//!
+//! Exit code 0 on success, 1 on DRC/IO/parse errors.
+
+use powder::{optimize, DelayLimit, OptimizeConfig};
+use powder_library::{genlib::parse_genlib, lib2, Library};
+use powder_netlist::blif::{read_blif, write_blif};
+use powder_netlist::Netlist;
+use powder_power::{PowerConfig, PowerEstimator};
+use powder_timing::{TimingAnalysis, TimingConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Options {
+    positional: Vec<String>,
+    output: Option<String>,
+    library: Option<String>,
+    delay_limit: Option<f64>,
+    repeat: usize,
+    patterns: usize,
+    seed: u64,
+    resize: bool,
+    redundancy: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        positional: Vec::new(),
+        output: None,
+        library: None,
+        delay_limit: None,
+        repeat: 10,
+        patterns: 1024,
+        seed: 0xB0D1E5,
+        resize: false,
+        redundancy: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "-o" | "--output" => o.output = Some(val("-o")?),
+            "--library" => o.library = Some(val("--library")?),
+            "--delay-limit" => {
+                o.delay_limit = Some(
+                    val("--delay-limit")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("bad --delay-limit: {e}"))?,
+                )
+            }
+            "--repeat" => {
+                o.repeat = val("--repeat")?
+                    .parse()
+                    .map_err(|e| format!("bad --repeat: {e}"))?
+            }
+            "--patterns" => {
+                o.patterns = val("--patterns")?
+                    .parse()
+                    .map_err(|e| format!("bad --patterns: {e}"))?
+            }
+            "--seed" => {
+                o.seed = val("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--resize" => o.resize = true,
+            "--redundancy" => o.redundancy = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}"))
+            }
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn load_library(opts: &Options) -> Result<Arc<Library>, String> {
+    match &opts.library {
+        None => Ok(Arc::new(lib2())),
+        Some(path) => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_genlib(path, &src)
+                .map(Arc::new)
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn load_netlist(path: &str, lib: Arc<Library>) -> Result<Netlist, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let nl = read_blif(&src, lib).map_err(|e| e.to_string())?;
+    nl.validate().map_err(|e| e.to_string())?;
+    Ok(nl)
+}
+
+fn print_stats(nl: &Netlist) {
+    let est = PowerEstimator::new(nl, &PowerConfig::default());
+    let sta = TimingAnalysis::new(nl, &TimingConfig::default());
+    println!("circuit : {}", nl.name());
+    println!("inputs  : {}", nl.inputs().len());
+    println!("outputs : {}", nl.outputs().len());
+    println!("cells   : {}", nl.cell_count());
+    println!("area    : {:.0}", nl.area());
+    println!("power   : {:.4}  (Σ C·E, zero-delay)", est.circuit_power(nl));
+    println!("delay   : {:.2}", sta.circuit_delay());
+    println!("{}", nl.stats());
+}
+
+fn emit(nl: &Netlist, output: Option<&str>) -> Result<(), String> {
+    // Output format follows the file extension: .v → Verilog, .bench →
+    // ISCAS bench, anything else → mapped BLIF.
+    let text = match output {
+        Some(p) if p.ends_with(".v") => powder_netlist::verilog::write_verilog(nl),
+        Some(p) if p.ends_with(".bench") => powder_netlist::bench_fmt::write_bench(nl),
+        _ => write_blif(nl),
+    };
+    match output {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        return Err("usage: powder <optimize|synth|stats|bench|list> ...".into());
+    };
+    let opts = parse_args(&args[1..])?;
+    match command.as_str() {
+        "list" => {
+            for name in powder_benchmarks::table1_names() {
+                let info = powder_benchmarks::info(name).expect("known");
+                println!("{name:<10} {:?}{}", info.family, if info.exact { " (exact)" } else { "" });
+            }
+            Ok(())
+        }
+        "bench" => {
+            let name = opts
+                .positional
+                .first()
+                .ok_or("bench requires a circuit name (see `powder list`)")?;
+            let lib = load_library(&opts)?;
+            let nl = powder_benchmarks::build(name, lib).map_err(|e| e.to_string())?;
+            print_stats(&nl);
+            emit(&nl, opts.output.as_deref())
+        }
+        "synth" => {
+            let path = opts.positional.first().ok_or("synth requires a .pla input file")?;
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let pla = powder_logic::pla::parse_pla(&src).map_err(|e| e.to_string())?;
+            let lib = load_library(&opts)?;
+            let spec = powder_synth::CircuitSpec::from_pla(path.as_str(), &pla);
+            let nl = powder_synth::synthesize(&spec, lib, powder_synth::MapMode::Power)
+                .map_err(|e| e.to_string())?;
+            print_stats(&nl);
+            emit(&nl, opts.output.as_deref())
+        }
+        "stats" => {
+            let path = opts.positional.first().ok_or("stats requires an input file")?;
+            let lib = load_library(&opts)?;
+            let nl = load_netlist(path, lib)?;
+            print_stats(&nl);
+            Ok(())
+        }
+        "optimize" => {
+            let path = opts.positional.first().ok_or("optimize requires an input file")?;
+            let lib = load_library(&opts)?;
+            let mut nl = load_netlist(path, lib)?;
+            let cfg = OptimizeConfig {
+                repeat: opts.repeat,
+                sim_words: opts.patterns.div_ceil(64).max(1),
+                seed: opts.seed,
+                delay_limit: opts
+                    .delay_limit
+                    .map(|pct| DelayLimit::Factor(1.0 + pct / 100.0)),
+                ..OptimizeConfig::default()
+            };
+            if opts.redundancy {
+                let r = powder::redundancy::remove_redundancies(&mut nl, cfg.backtrack_limit);
+                eprintln!(
+                    "redundancy removal: {} pins tied, {} gates removed",
+                    r.pins_tied, r.gates_removed
+                );
+            }
+            let report = optimize(&mut nl, &cfg);
+            eprintln!("{report}");
+            if opts.resize {
+                let r = powder::resize::resize_for_power(
+                    &mut nl,
+                    &cfg.power,
+                    opts.delay_limit.map(|pct| (1.0 + pct / 100.0) * report.initial_delay),
+                );
+                eprintln!(
+                    "resize: {} gates exchanged, {:.4} additional power saved",
+                    r.gates_resized, r.power_saved
+                );
+            }
+            nl.validate().map_err(|e| e.to_string())?;
+            emit(&nl, opts.output.as_deref())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("powder: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let o = parse_args(&args(&[
+            "in.blif", "-o", "out.blif", "--delay-limit", "20", "--repeat", "5",
+            "--patterns", "512", "--seed", "7", "--resize",
+        ]))
+        .unwrap();
+        assert_eq!(o.positional, vec!["in.blif"]);
+        assert_eq!(o.output.as_deref(), Some("out.blif"));
+        assert_eq!(o.delay_limit, Some(20.0));
+        assert_eq!(o.repeat, 5);
+        assert_eq!(o.patterns, 512);
+        assert_eq!(o.seed, 7);
+        assert!(o.resize);
+        assert!(!o.redundancy);
+    }
+
+    #[test]
+    fn rejects_unknown_and_incomplete_options() {
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["-o"])).is_err());
+        assert!(parse_args(&args(&["--delay-limit", "abc"])).is_err());
+    }
+
+    #[test]
+    fn default_library_loads() {
+        let o = parse_args(&[]).unwrap();
+        let lib = load_library(&o).unwrap();
+        assert!(lib.len() > 10);
+    }
+
+    #[test]
+    fn missing_library_file_is_error() {
+        let o = parse_args(&args(&["--library", "/nonexistent.genlib"])).unwrap();
+        assert!(load_library(&o).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Committing a substitution to the netlist (the paper's
+//! `perform_substitution`).
+
+use powder_atpg::Substitution;
+use powder_netlist::{GateId, Netlist};
+
+/// What a committed substitution changed.
+#[derive(Clone, Debug)]
+pub struct ApplyResult {
+    /// The signal now feeding the rewired branches (an existing stem, a new
+    /// inverter, or a new two-input gate).
+    pub new_source: GateId,
+    /// Newly created gates (inverter or the OS3/IS3 gate), if any.
+    pub added: Vec<GateId>,
+    /// Gates removed by the dangling sweep.
+    pub removed: Vec<GateId>,
+    /// The sinks whose pins were rewired.
+    pub sinks: Vec<GateId>,
+}
+
+/// Applies `sub` to `nl`: creates any new inverter/gate, rewires the
+/// branches, and sweeps the logic that dangles as a result.
+///
+/// The caller is responsible for having established permissibility (via
+/// `powder_atpg::check_substitution`) and structural validity.
+///
+/// # Panics
+///
+/// Panics if the substitution references dead gates or mismatched pins.
+pub fn apply_substitution(nl: &mut Netlist, sub: &Substitution) -> ApplyResult {
+    let mut added = Vec::new();
+    let lib = nl.library().clone();
+
+    let new_source = match *sub {
+        Substitution::Os2 { b, invert, .. } | Substitution::Is2 { b, invert, .. } => {
+            if invert {
+                let inv = lib.inverter();
+                let g = nl.add_cell(format!("powder_inv_{}", nl.id_bound()), inv, &[b]);
+                added.push(g);
+                g
+            } else {
+                b
+            }
+        }
+        Substitution::Os3 { cell, b, c, .. } | Substitution::Is3 { cell, b, c, .. } => {
+            let g = nl.add_cell(format!("powder_new_{}", nl.id_bound()), cell, &[b, c]);
+            added.push(g);
+            g
+        }
+    };
+
+    let (stem, sinks) = match *sub {
+        Substitution::Os2 { a, .. } | Substitution::Os3 { a, .. } => {
+            let sinks: Vec<GateId> = nl.fanouts(a).iter().map(|c| c.gate).collect();
+            nl.replace_all_fanouts(a, new_source);
+            (a, sinks)
+        }
+        Substitution::Is2 { sink, pin, .. } | Substitution::Is3 { sink, pin, .. } => {
+            let old = nl.replace_fanin(sink, pin, new_source);
+            (old, vec![sink])
+        }
+    };
+
+    let removed = nl.sweep_from(stem);
+    debug_assert!(nl.validate().is_ok(), "apply left an inconsistent netlist");
+    ApplyResult {
+        new_source,
+        added,
+        removed,
+        sinks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+    use powder_netlist::GateKind;
+    use powder_sim::{simulate, CellCovers, Patterns};
+    use std::sync::Arc;
+
+    fn po_signatures(nl: &Netlist, inputs: usize) -> Vec<Vec<u64>> {
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(inputs);
+        let vals = simulate(nl, &covers, &pats);
+        nl.outputs().iter().map(|&o| vals.get(o).to_vec()).collect()
+    }
+
+    #[test]
+    fn os2_apply_preserves_io_behavior_and_sweeps() {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let andn2 = lib.find_by_name("andn2").unwrap();
+        let or2 = lib.find_by_name("or2").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_cell("g1", and2, &[a, b]);
+        let g2 = nl.add_cell("g2", andn2, &[a, b]);
+        let g3 = nl.add_cell("g3", or2, &[g1, g2]);
+        nl.add_output("f", g3);
+        let before = po_signatures(&nl, 2);
+
+        let res = apply_substitution(
+            &mut nl,
+            &Substitution::Os2 {
+                a: g3,
+                b: a,
+                invert: false,
+            },
+        );
+        assert_eq!(res.removed.len(), 3);
+        assert_eq!(nl.cell_count(), 0);
+        assert_eq!(po_signatures(&nl, 2), before);
+    }
+
+    #[test]
+    fn inverted_is2_inserts_inverter() {
+        let lib = Arc::new(lib2());
+        let nand2 = lib.find_by_name("nand2").unwrap();
+        let and2 = lib.find_by_name("and2").unwrap();
+        let or2 = lib.find_by_name("or2").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_input("x");
+        let g1 = nl.add_cell("g1", nand2, &[a, b]);
+        let g2 = nl.add_cell("g2", and2, &[a, b]);
+        let g3 = nl.add_cell("g3", or2, &[g2, x]);
+        nl.add_output("f1", g1);
+        nl.add_output("f2", g3);
+        let before = po_signatures(&nl, 3);
+
+        let res = apply_substitution(
+            &mut nl,
+            &Substitution::Is2 {
+                sink: g3,
+                pin: 0,
+                b: g1,
+                invert: true,
+            },
+        );
+        assert_eq!(res.added.len(), 1);
+        let inv = res.added[0];
+        assert!(matches!(nl.kind(inv), GateKind::Cell(c) if nl.library().cell_ref(c).is_inverter()));
+        assert_eq!(nl.fanins(g3)[0], inv);
+        assert_eq!(res.removed, vec![g2], "the old AND dangles");
+        assert_eq!(po_signatures(&nl, 3), before);
+    }
+
+    #[test]
+    fn is3_apply_builds_new_gate() {
+        let lib = Arc::new(lib2());
+        let xor2 = lib.find_by_name("xor2").unwrap();
+        let and2 = lib.find_by_name("and2").unwrap();
+        let mut nl = Netlist::new("fig2", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_cell("d", xor2, &[a, c]);
+        let f = nl.add_cell("f", and2, &[d, b]);
+        nl.add_output("fo", f);
+        let before = po_signatures(&nl, 3);
+
+        let res = apply_substitution(
+            &mut nl,
+            &Substitution::Is3 {
+                sink: d,
+                pin: 0,
+                cell: and2,
+                b: a,
+                c: b,
+            },
+        );
+        assert_eq!(res.added.len(), 1);
+        assert_eq!(nl.fanins(d)[0], res.added[0]);
+        assert!(res.removed.is_empty(), "a is a PI, nothing dangles");
+        assert_eq!(po_signatures(&nl, 3), before);
+    }
+}

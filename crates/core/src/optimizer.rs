@@ -1,0 +1,479 @@
+//! The `power_optimize` main loop of the paper's Figure 5.
+
+use crate::apply::apply_substitution;
+use crate::gain::{analyze_fast, analyze_full};
+use crate::report::{AppliedSubstitution, OptimizeReport, SubClass};
+use powder_atpg::{
+    check_substitution, generate_candidates, CandidateConfig, CheckOutcome, Substitution,
+};
+use powder_netlist::{GateId, Netlist};
+use powder_power::{PowerConfig, PowerEstimator};
+use powder_sim::{simulate, CellCovers, Patterns};
+use powder_timing::{SubstitutionTiming, TimingAnalysis, TimingConfig};
+use std::time::Instant;
+
+/// How the delay constraint of Section 3.4 is specified.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DelayLimit {
+    /// An absolute required time at the primary outputs.
+    Absolute(f64),
+    /// A multiple of the *initial* circuit delay; `Factor(1.0)` forbids any
+    /// delay increase (the paper's "0 % delay constraint"), `Factor(1.2)`
+    /// allows 20 %, and so on.
+    Factor(f64),
+}
+
+/// Configuration of the optimizer (the parameters of Fig. 5 plus the
+/// engineering knobs of the surrounding machinery).
+#[derive(Clone, Debug)]
+pub struct OptimizeConfig {
+    /// The paper's `repeat`: substitutions committed per candidate
+    /// generation round.
+    pub repeat: usize,
+    /// Optional delay constraint; `None` runs the unconstrained mode.
+    pub delay_limit: Option<DelayLimit>,
+    /// Random simulation volume: `sim_words × 64` patterns.
+    pub sim_words: usize,
+    /// Seed for the random pattern generator.
+    pub seed: u64,
+    /// PODEM backtrack budget per permissibility check.
+    pub backtrack_limit: usize,
+    /// Candidates pre-selected by `PG_A + PG_B` for full `PG_C` analysis.
+    pub preselect: usize,
+    /// Upper bound on candidate-generation rounds.
+    pub max_rounds: usize,
+    /// Substitutions with total gain at or below this are not applied.
+    pub min_gain: f64,
+    /// Candidates rejected (by delay or ATPG) per round before the round
+    /// is cut short and fresh candidates are generated.
+    pub max_rejections_per_round: usize,
+    /// Candidate-generation knobs.
+    pub candidates: CandidateConfig,
+    /// Power model (output load, input probabilities).
+    pub power: PowerConfig,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> Self {
+        OptimizeConfig {
+            repeat: 10,
+            delay_limit: None,
+            sim_words: 8,
+            seed: 0xB0D1E5,
+            backtrack_limit: 3_000,
+            preselect: 8,
+            max_rounds: 60,
+            min_gain: 1e-9,
+            max_rejections_per_round: 250,
+            candidates: CandidateConfig::default(),
+            power: PowerConfig::default(),
+        }
+    }
+}
+
+/// Runs POWDER on `nl` in place and reports what happened.
+///
+/// This is the paper's `power_optimize(netlist, repeat, delay_limit)`:
+/// estimate power, then repeatedly generate candidate substitutions by
+/// fault simulation, select the best by `PG_A + PG_B` pre-selection and
+/// full `PG_C` analysis, discard candidates violating the delay constraint,
+/// prove the survivor permissible by ATPG, commit it, and incrementally
+/// re-estimate — until no power-reducing substitution remains.
+pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
+    let t0 = Instant::now();
+    let covers = CellCovers::new(nl.library());
+    let mut est = PowerEstimator::new(nl, &config.power);
+    let initial_power = est.circuit_power(nl);
+    let initial_area = nl.area();
+    let output_load = config.power.output_load;
+
+    let probe_cfg = TimingConfig {
+        output_load,
+        required_time: None,
+    };
+    let initial_delay = TimingAnalysis::new(nl, &probe_cfg).circuit_delay();
+    let required_time = config.delay_limit.map(|dl| match dl {
+        DelayLimit::Absolute(t) => t,
+        DelayLimit::Factor(f) => f * initial_delay,
+    });
+    let sta_cfg = TimingConfig {
+        output_load,
+        required_time,
+    };
+    let mut sta = required_time.map(|_| TimingAnalysis::new(nl, &sta_cfg));
+
+    let mut patterns = Patterns::random(nl.inputs().len(), config.sim_words.max(1), config.seed);
+    let mut applied: Vec<AppliedSubstitution> = Vec::new();
+    let mut rounds = 0usize;
+    let mut atpg_checks = 0usize;
+    let mut atpg_rejections = 0usize;
+    let mut delay_rejections = 0usize;
+
+    for _round in 0..config.max_rounds {
+        rounds += 1;
+        let values = simulate(nl, &covers, &patterns);
+        let cands = generate_candidates(nl, &covers, &values, &config.candidates);
+        if cands.is_empty() {
+            break;
+        }
+        // Score once per round by the re-estimation-free PG_A + PG_B.
+        let mut scored: Vec<(Substitution, f64)> = cands
+            .into_iter()
+            .map(|s| {
+                let fast = analyze_fast(nl, &est, &s).fast();
+                (s, fast)
+            })
+            .collect();
+        scored.sort_by(|x, y| y.1.total_cmp(&x.1));
+        let mut consumed = vec![false; scored.len()];
+
+        let mut progress = false;
+        let mut learned = false;
+        let mut repeat_left = config.repeat;
+        let mut rejections_this_round = 0usize;
+        // Scan cursor: everything before it is consumed, so each inner
+        // iteration resumes where the ranking left off instead of
+        // rescanning the whole candidate list.
+        let mut cursor = 0usize;
+        'inner: while repeat_left > 0 && rejections_this_round < config.max_rejections_per_round {
+            while cursor < scored.len() && consumed[cursor] {
+                cursor += 1;
+            }
+            // Pre-select the next `preselect` live candidates.
+            let mut pre: Vec<usize> = Vec::with_capacity(config.preselect);
+            let mut i = cursor;
+            while i < scored.len() && pre.len() < config.preselect {
+                if !consumed[i] {
+                    let s = &scored[i].0;
+                    if !candidate_alive(nl, s) || !s.is_structurally_valid(nl) {
+                        consumed[i] = true;
+                    } else {
+                        pre.push(i);
+                    }
+                }
+                i += 1;
+            }
+            if pre.is_empty() {
+                break 'inner;
+            }
+            // Full PG analysis on the pre-selected set.
+            let best = pre
+                .iter()
+                .map(|&i| (i, analyze_full(nl, &est, &scored[i].0).total()))
+                .max_by(|x, y| x.1.total_cmp(&y.1))
+                .expect("pre-selection is non-empty");
+            let (idx, gain) = best;
+            if gain <= config.min_gain {
+                // The most promising candidates no longer reduce power;
+                // end this round (fresh candidates may still exist).
+                break 'inner;
+            }
+            let sub = scored[idx].0;
+            consumed[idx] = true;
+
+            // check_delay (Section 3.4).
+            if let Some(sta_ref) = &sta {
+                let timing = substitution_timing(nl, sta_ref, &sub, output_load);
+                if !sta_ref.check_substitution(&timing) {
+                    delay_rejections += 1;
+                    rejections_this_round += 1;
+                    continue 'inner;
+                }
+            }
+
+            // check_candidate (exact ATPG).
+            atpg_checks += 1;
+            match check_substitution(nl, &sub, config.backtrack_limit) {
+                CheckOutcome::Permissible => {
+                    let power_before = est.circuit_power(nl);
+                    let area_before = nl.area();
+                    let result = apply_substitution(nl, &sub);
+                    let cone = update_cone(nl, &result.added, &result.sinks);
+                    est.update_cone(nl, &cone);
+                    let power_after = est.circuit_power(nl);
+                    applied.push(AppliedSubstitution {
+                        substitution: sub,
+                        class: SubClass::of(&sub),
+                        power_saved: power_before - power_after,
+                        area_delta: nl.area() - area_before,
+                    });
+                    if sta.is_some() {
+                        sta = Some(TimingAnalysis::new(nl, &sta_cfg));
+                    }
+                    repeat_left -= 1;
+                    progress = true;
+                }
+                CheckOutcome::NotPermissible(witness) => {
+                    atpg_rejections += 1;
+                    rejections_this_round += 1;
+                    // Teach the filter: the witness distinguishes circuits,
+                    // so adding it to the pattern set kills this candidate
+                    // class in future rounds.
+                    patterns.push_pattern(&witness);
+                    learned = true;
+                }
+                CheckOutcome::Aborted => {
+                    atpg_rejections += 1;
+                    rejections_this_round += 1;
+                }
+            }
+        }
+        // A round that only *learned* counterexamples still sharpened the
+        // filter; re-generate candidates against the enlarged pattern set
+        // before giving up.
+        if !progress && !learned {
+            break;
+        }
+    }
+
+    let final_delay = TimingAnalysis::new(nl, &probe_cfg).circuit_delay();
+    OptimizeReport {
+        initial_power,
+        final_power: est.circuit_power(nl),
+        initial_area,
+        final_area: nl.area(),
+        initial_delay,
+        final_delay,
+        applied,
+        rounds,
+        atpg_checks,
+        atpg_rejections,
+        delay_rejections,
+        cpu_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// All gates referenced by a candidate are still live.
+fn candidate_alive(nl: &Netlist, sub: &Substitution) -> bool {
+    let (b, c) = sub.sources();
+    if !nl.is_live(b) || c.is_some_and(|c| !nl.is_live(c)) {
+        return false;
+    }
+    match *sub {
+        Substitution::Os2 { a, .. } | Substitution::Os3 { a, .. } => nl.is_live(a),
+        Substitution::Is2 { sink, pin, .. } | Substitution::Is3 { sink, pin, .. } => {
+            nl.is_live(sink) && (pin as usize) < nl.fanins(sink).len()
+        }
+    }
+}
+
+/// Gates whose probability must be refreshed after a committed
+/// substitution, in topological order: the new gates, the rewired sinks,
+/// and everything downstream.
+fn update_cone(nl: &Netlist, added: &[GateId], sinks: &[GateId]) -> Vec<GateId> {
+    let mut member = vec![false; nl.id_bound()];
+    for &g in added.iter().chain(sinks) {
+        if nl.is_live(g) {
+            member[g.0 as usize] = true;
+            for t in nl.tfo(g) {
+                member[t.0 as usize] = true;
+            }
+        }
+    }
+    nl.topo_order()
+        .into_iter()
+        .filter(|g| member[g.0 as usize])
+        .collect()
+}
+
+/// Prepares the what-if timing description of a substitution (Section 3.4).
+fn substitution_timing(
+    nl: &Netlist,
+    sta: &TimingAnalysis,
+    sub: &Substitution,
+    output_load: f64,
+) -> SubstitutionTiming {
+    let lib = nl.library();
+    let (b, c) = sub.sources();
+    let required_at_a = match *sub {
+        Substitution::Os2 { a, .. } | Substitution::Os3 { a, .. } => sta.required(a),
+        Substitution::Is2 { sink, .. } | Substitution::Is3 { sink, .. } => {
+            sta.branch_required(nl, sink)
+        }
+    };
+    let moved_cap = match *sub {
+        Substitution::Os2 { a, .. } | Substitution::Os3 { a, .. } => nl.load_cap(a, output_load),
+        Substitution::Is2 { sink, pin, .. } | Substitution::Is3 { sink, pin, .. } => {
+            nl.branch_cap(&powder_netlist::Conn { gate: sink, pin }, output_load)
+        }
+    };
+    match *sub {
+        Substitution::Os2 { invert, .. } | Substitution::Is2 { invert, .. } => {
+            if invert {
+                let inv = lib.cell_ref(lib.inverter());
+                SubstitutionTiming {
+                    required_at_a,
+                    b,
+                    extra_cap_on_b: inv.pin_cap(0),
+                    new_gate_delay: inv.delay(moved_cap),
+                    c: None,
+                }
+            } else {
+                SubstitutionTiming {
+                    required_at_a,
+                    b,
+                    extra_cap_on_b: moved_cap,
+                    new_gate_delay: 0.0,
+                    c: None,
+                }
+            }
+        }
+        Substitution::Os3 { cell, .. } | Substitution::Is3 { cell, .. } => {
+            let cl = lib.cell_ref(cell);
+            SubstitutionTiming {
+                required_at_a,
+                b,
+                extra_cap_on_b: cl.pin_cap(0),
+                new_gate_delay: cl.delay(moved_cap),
+                c: Some((c.expect("3-sub"), cl.pin_cap(1))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+    use powder_sim::{simulate as sim, Patterns as Pats};
+    use std::sync::Arc;
+
+    /// Output signatures under exhaustive patterns, for equivalence checks.
+    fn po_sigs(nl: &Netlist) -> Vec<Vec<u64>> {
+        let covers = CellCovers::new(nl.library());
+        let pats = Pats::exhaustive(nl.inputs().len());
+        let vals = sim(nl, &covers, &pats);
+        nl.outputs().iter().map(|&o| vals.get(o).to_vec()).collect()
+    }
+
+    fn redundant_circuit() -> Netlist {
+        // Two copies of (a&b) feeding an OR plus an unrelated XOR consumer:
+        // plenty of substitution opportunities.
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let or2 = lib.find_by_name("or2").unwrap();
+        let xor2 = lib.find_by_name("xor2").unwrap();
+        let mut nl = Netlist::new("redundant", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl.add_cell("g1", and2, &[a, b]);
+        let g2 = nl.add_cell("g2", and2, &[b, a]); // duplicate of g1
+        let g3 = nl.add_cell("g3", or2, &[g1, g2]); // == g1
+        let g4 = nl.add_cell("g4", xor2, &[g3, c]);
+        nl.add_output("f", g4);
+        nl
+    }
+
+    #[test]
+    fn optimizer_reduces_power_and_preserves_function() {
+        let mut nl = redundant_circuit();
+        let before_sigs = po_sigs(&nl);
+        let report = optimize(&mut nl, &OptimizeConfig::default());
+        nl.validate().unwrap();
+        assert_eq!(po_sigs(&nl), before_sigs, "I/O behaviour must not change");
+        assert!(
+            report.final_power < report.initial_power,
+            "redundancy must be exploited: {report}"
+        );
+        assert!(!report.applied.is_empty());
+        // The duplicate AND pair must have been merged away.
+        assert!(nl.cell_count() < 4);
+    }
+
+    #[test]
+    fn delay_constrained_mode_never_exceeds_limit() {
+        let mut nl = redundant_circuit();
+        let cfg = OptimizeConfig {
+            delay_limit: Some(DelayLimit::Factor(1.0)),
+            ..OptimizeConfig::default()
+        };
+        let report = optimize(&mut nl, &cfg);
+        nl.validate().unwrap();
+        assert!(
+            report.final_delay <= report.initial_delay + 1e-9,
+            "delay grew: {} -> {}",
+            report.initial_delay,
+            report.final_delay
+        );
+    }
+
+    #[test]
+    fn absolute_delay_limit_is_respected() {
+        let mut nl = redundant_circuit();
+        let initial = TimingAnalysis::new(
+            &nl,
+            &TimingConfig {
+                output_load: 1.0,
+                required_time: None,
+            },
+        )
+        .circuit_delay();
+        let cfg = OptimizeConfig {
+            delay_limit: Some(DelayLimit::Absolute(initial * 2.0)),
+            ..OptimizeConfig::default()
+        };
+        let report = optimize(&mut nl, &cfg);
+        assert!(report.final_delay <= initial * 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn report_bookkeeping_is_consistent() {
+        let mut nl = redundant_circuit();
+        let report = optimize(&mut nl, &OptimizeConfig::default());
+        let total_saved: f64 = report.applied.iter().map(|a| a.power_saved).sum();
+        assert!(
+            (total_saved - (report.initial_power - report.final_power)).abs() < 1e-6,
+            "per-substitution savings must add up: {total_saved} vs {}",
+            report.initial_power - report.final_power
+        );
+        let total_area: f64 = report.applied.iter().map(|a| a.area_delta).sum();
+        assert!((total_area - (report.final_area - report.initial_area)).abs() < 1e-6);
+    }
+
+    /// The paper's Figure 2 rewiring end-to-end: starting from circuit A
+    /// (d = a ⊕ c branches into f = d·b, plus e = a·b driving its own
+    /// output), POWDER finds a power-reducing permissible rewiring of the
+    /// XOR's `a` branch onto e, producing circuit B.
+    #[test]
+    fn paper_figure2_example() {
+        let lib = Arc::new(lib2());
+        let xor2 = lib.find_by_name("xor2").unwrap();
+        let and2 = lib.find_by_name("and2").unwrap();
+        let mut nl = Netlist::new("fig2", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let e = nl.add_cell("e", and2, &[a, b]);
+        let d = nl.add_cell("d", xor2, &[a, c]);
+        let f = nl.add_cell("f", and2, &[d, b]);
+        nl.add_output("fe", e);
+        nl.add_output("ff", f);
+        let before_sigs = po_sigs(&nl);
+
+        // The candidate the paper performs: IS2 of branch a→d by e.
+        let sub = Substitution::Is2 {
+            sink: d,
+            pin: 0,
+            b: e,
+            invert: false,
+        };
+        let est = PowerEstimator::new(&nl, &PowerConfig::default());
+        let gain = crate::gain::analyze_full(&nl, &est, &sub);
+        assert!(
+            gain.total() > 0.0,
+            "the Figure 2 rewiring must reduce power: {gain:?}"
+        );
+        assert_eq!(
+            check_substitution(&nl, &sub, 1000),
+            CheckOutcome::Permissible
+        );
+
+        // And the optimizer, left alone, must reduce power without
+        // changing the outputs.
+        let report = optimize(&mut nl, &OptimizeConfig::default());
+        nl.validate().unwrap();
+        assert_eq!(po_sigs(&nl), before_sigs);
+        assert!(report.final_power < report.initial_power, "{report}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Optimization reports and the per-class statistics behind Table 2.
+
+use powder_atpg::Substitution;
+use std::fmt;
+
+/// The four substitution classes of the paper (inverted variants count
+/// toward their base class).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum SubClass {
+    /// Output substitution by an existing signal.
+    Os2,
+    /// Input (branch) substitution by an existing signal.
+    Is2,
+    /// Output substitution by a new two-input gate.
+    Os3,
+    /// Input substitution by a new two-input gate.
+    Is3,
+}
+
+impl SubClass {
+    /// All classes, in the paper's Table 2 order.
+    pub const ALL: [SubClass; 4] = [SubClass::Os2, SubClass::Is2, SubClass::Os3, SubClass::Is3];
+
+    /// Class of a substitution.
+    #[must_use]
+    pub fn of(sub: &Substitution) -> Self {
+        match sub {
+            Substitution::Os2 { .. } => SubClass::Os2,
+            Substitution::Is2 { .. } => SubClass::Is2,
+            Substitution::Os3 { .. } => SubClass::Os3,
+            Substitution::Is3 { .. } => SubClass::Is3,
+        }
+    }
+}
+
+impl fmt::Display for SubClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SubClass::Os2 => "OS2",
+            SubClass::Is2 => "IS2",
+            SubClass::Os3 => "OS3",
+            SubClass::Is3 => "IS3",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One committed substitution with its measured effect.
+#[derive(Clone, Debug)]
+pub struct AppliedSubstitution {
+    /// The substitution that was performed.
+    pub substitution: Substitution,
+    /// Its class.
+    pub class: SubClass,
+    /// Measured power reduction (positive = saved).
+    pub power_saved: f64,
+    /// Measured area change (positive = grew).
+    pub area_delta: f64,
+}
+
+/// Aggregated per-class effect (the rows of the paper's Table 2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClassStats {
+    /// Number of substitutions committed.
+    pub count: usize,
+    /// Total power saved by this class.
+    pub power_saved: f64,
+    /// Total area change caused by this class (negative = shrank).
+    pub area_delta: f64,
+}
+
+/// The result of running the optimizer on one circuit.
+#[derive(Clone, Debug)]
+pub struct OptimizeReport {
+    /// `Σ C·E` before optimization.
+    pub initial_power: f64,
+    /// `Σ C·E` after optimization.
+    pub final_power: f64,
+    /// Total gate area before.
+    pub initial_area: f64,
+    /// Total gate area after.
+    pub final_area: f64,
+    /// Circuit delay before.
+    pub initial_delay: f64,
+    /// Circuit delay after.
+    pub final_delay: f64,
+    /// Every committed substitution, in order.
+    pub applied: Vec<AppliedSubstitution>,
+    /// Number of outer candidate-generation rounds executed.
+    pub rounds: usize,
+    /// Number of exact ATPG checks run.
+    pub atpg_checks: usize,
+    /// Exact checks rejected (non-permissible or aborted).
+    pub atpg_rejections: usize,
+    /// Candidates discarded by the delay constraint.
+    pub delay_rejections: usize,
+    /// Wall-clock seconds spent.
+    pub cpu_seconds: f64,
+}
+
+impl OptimizeReport {
+    /// Power reduction as a percentage of the initial power.
+    #[must_use]
+    pub fn power_reduction_percent(&self) -> f64 {
+        if self.initial_power <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.initial_power - self.final_power) / self.initial_power
+        }
+    }
+
+    /// Area reduction as a percentage of the initial area.
+    #[must_use]
+    pub fn area_reduction_percent(&self) -> f64 {
+        if self.initial_area <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.initial_area - self.final_area) / self.initial_area
+        }
+    }
+
+    /// Per-class totals (Table 2 input).
+    #[must_use]
+    pub fn class_stats(&self) -> [(SubClass, ClassStats); 4] {
+        let mut out = SubClass::ALL.map(|c| (c, ClassStats::default()));
+        for a in &self.applied {
+            let slot = &mut out
+                .iter_mut()
+                .find(|(c, _)| *c == a.class)
+                .expect("all classes present")
+                .1;
+            slot.count += 1;
+            slot.power_saved += a.power_saved;
+            slot.area_delta += a.area_delta;
+        }
+        out
+    }
+}
+
+impl fmt::Display for OptimizeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "power {:.3} -> {:.3} ({:+.1}%), area {:.0} -> {:.0} ({:+.1}%), delay {:.2} -> {:.2}",
+            self.initial_power,
+            self.final_power,
+            -self.power_reduction_percent(),
+            self.initial_area,
+            self.final_area,
+            -self.area_reduction_percent(),
+            self.initial_delay,
+            self.final_delay,
+        )?;
+        write!(
+            f,
+            "{} substitutions in {} rounds ({} ATPG checks, {} rejected, {} delay-rejected), {:.1}s",
+            self.applied.len(),
+            self.rounds,
+            self.atpg_checks,
+            self.atpg_rejections,
+            self.delay_rejections,
+            self.cpu_seconds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_netlist::GateId;
+
+    #[test]
+    fn class_of_substitutions() {
+        let os2 = Substitution::Os2 {
+            a: GateId(0),
+            b: GateId(1),
+            invert: true,
+        };
+        assert_eq!(SubClass::of(&os2), SubClass::Os2);
+        assert_eq!(SubClass::Os2.to_string(), "OS2");
+    }
+
+    #[test]
+    fn report_percentages_and_stats() {
+        let applied = vec![
+            AppliedSubstitution {
+                substitution: Substitution::Os2 {
+                    a: GateId(0),
+                    b: GateId(1),
+                    invert: false,
+                },
+                class: SubClass::Os2,
+                power_saved: 3.0,
+                area_delta: -100.0,
+            },
+            AppliedSubstitution {
+                substitution: Substitution::Is2 {
+                    sink: GateId(2),
+                    pin: 0,
+                    b: GateId(1),
+                    invert: false,
+                },
+                class: SubClass::Is2,
+                power_saved: 1.0,
+                area_delta: 50.0,
+            },
+        ];
+        let r = OptimizeReport {
+            initial_power: 10.0,
+            final_power: 6.0,
+            initial_area: 1000.0,
+            final_area: 950.0,
+            initial_delay: 5.0,
+            final_delay: 5.0,
+            applied,
+            rounds: 1,
+            atpg_checks: 2,
+            atpg_rejections: 0,
+            delay_rejections: 0,
+            cpu_seconds: 0.1,
+        };
+        assert!((r.power_reduction_percent() - 40.0).abs() < 1e-12);
+        assert!((r.area_reduction_percent() - 5.0).abs() < 1e-12);
+        let stats = r.class_stats();
+        assert_eq!(stats[0].1.count, 1);
+        assert!((stats[0].1.power_saved - 3.0).abs() < 1e-12);
+        assert_eq!(stats[1].1.count, 1);
+        assert_eq!(stats[2].1.count, 0);
+        let shown = r.to_string();
+        assert!(shown.contains("substitutions"));
+    }
+}

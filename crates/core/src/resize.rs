@@ -1,0 +1,190 @@
+//! Slack-aware gate re-sizing for power — the adjacent optimisation the
+//! paper cites as related work (ref \[14\], Bahar et al.) and the synthesis
+//! flow of Figure 1 lists after netlist optimisation.
+//!
+//! For every cell instance, the pass considers the library cells with the
+//! *same function* (up to pin permutation) and switches to the variant with
+//! the lowest switched input capacitance whose slower/faster drive still
+//! meets the timing constraint. With the built-in library this trades the
+//! strong `inv2` against the small `inv1` and vice versa; richer libraries
+//! benefit more.
+
+use powder_netlist::{GateId, GateKind, Netlist};
+use powder_power::{PowerConfig, PowerEstimator};
+use powder_timing::{TimingAnalysis, TimingConfig};
+
+/// Result of a re-sizing pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResizeReport {
+    /// Gates whose cell was exchanged.
+    pub gates_resized: usize,
+    /// Switched-capacitance reduction achieved.
+    pub power_saved: f64,
+}
+
+/// Re-sizes gates to minimise switched capacitance under the given
+/// required time (`None`: the current circuit delay must not grow).
+///
+/// Conservative per-gate legality check: the gate's own delay change plus
+/// the input-capacitance change seen by its drivers must fit inside the
+/// local slacks.
+pub fn resize_for_power(
+    nl: &mut Netlist,
+    config: &PowerConfig,
+    required_time: Option<f64>,
+) -> ResizeReport {
+    let lib = nl.library().clone();
+    let est0 = PowerEstimator::new(nl, config);
+    let before_power = est0.circuit_power(nl);
+    let tcfg = TimingConfig {
+        output_load: config.output_load,
+        required_time,
+    };
+    let mut report = ResizeReport::default();
+
+    let gates: Vec<GateId> = nl
+        .iter_live()
+        .filter(|&g| matches!(nl.kind(g), GateKind::Cell(_)))
+        .collect();
+    for g in gates {
+        // Recompute timing/power views fresh enough for a legality check;
+        // STA per gate keeps the pass simple and is still O(n²) worst case,
+        // acceptable for a cleanup pass.
+        let sta = TimingAnalysis::new(nl, &tcfg);
+        let est = PowerEstimator::new(nl, config);
+        let current = nl.cell_id(g).expect("cell gate");
+        let cell = lib.cell_ref(current);
+        let load = nl.load_cap(g, config.output_load);
+        // Cost: switched cap on the gate's input pins.
+        let pin_cost = |cid: powder_library::CellId| -> f64 {
+            let c = lib.cell_ref(cid);
+            nl.fanins(g)
+                .iter()
+                .enumerate()
+                .map(|(pin, &f)| c.pin_cap(pin) * est.transition(f))
+                .sum()
+        };
+        let mut best: Option<(powder_library::CellId, f64)> = None;
+        for (cid, cand) in lib.iter() {
+            if cid == current
+                || cand.inputs() != cell.inputs()
+                || cand.function != cell.function
+            {
+                continue;
+            }
+            // Timing legality: the gate's delay change must fit its slack,
+            // and each driver's delay change (from the pin-cap delta) must
+            // fit that driver's slack.
+            let delay_delta = cand.delay(load) - cell.delay(load);
+            if delay_delta > sta.slack(g) + 1e-9 {
+                continue;
+            }
+            let drivers_ok = nl.fanins(g).iter().enumerate().all(|(pin, &f)| {
+                let cap_delta = cand.pin_cap(pin) - cell.pin_cap(pin);
+                match nl.kind(f) {
+                    GateKind::Cell(fc) => {
+                        let extra = lib.cell_ref(fc).drive_res * cap_delta;
+                        extra <= sta.slack(f) + 1e-9
+                    }
+                    _ => true,
+                }
+            });
+            if !drivers_ok {
+                continue;
+            }
+            let cost = pin_cost(cid);
+            if cost < pin_cost(current) - 1e-12
+                && best.as_ref().is_none_or(|&(_, c)| cost < c)
+            {
+                best = Some((cid, cost));
+            }
+        }
+        if let Some((cid, _)) = best {
+            swap_cell(nl, g, cid);
+            report.gates_resized += 1;
+        }
+    }
+    let est1 = PowerEstimator::new(nl, config);
+    report.power_saved = before_power - est1.circuit_power(nl);
+    report
+}
+
+/// Replaces the cell of `g` in place (same function, same pin order).
+fn swap_cell(nl: &mut Netlist, g: GateId, new_cell: powder_library::CellId) {
+    // The netlist has no direct "swap cell" primitive; rebuild the gate and
+    // move the fanouts over.
+    let fanins = nl.fanins(g).to_vec();
+    let name = format!("{}_rs", nl.gate_name(g));
+    let replacement = nl.add_cell(name, new_cell, &fanins);
+    nl.replace_all_fanouts(g, replacement);
+    nl.sweep_from(g);
+    debug_assert!(nl.validate().is_ok());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+    use std::sync::Arc;
+
+    /// An oversized inverter driving a single small load gets downsized
+    /// when there is slack; never when the path is critical.
+    #[test]
+    fn downsizes_off_critical_inverter() {
+        let lib = Arc::new(lib2());
+        let inv2 = lib.find_by_name("inv2").unwrap();
+        let and2 = lib.find_by_name("and2").unwrap();
+        let inv1 = lib.find_by_name("inv1").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        // Critical path: long inverter chain on b.
+        let mut chain = b;
+        for i in 0..6 {
+            chain = nl.add_cell(format!("c{i}"), inv1, &[chain]);
+        }
+        // Off-critical: strong inverter on a.
+        let big = nl.add_cell("big", inv2, &[a]);
+        let g = nl.add_cell("g", and2, &[big, chain]);
+        nl.add_output("f", g);
+
+        let report = resize_for_power(&mut nl, &PowerConfig::default(), None);
+        nl.validate().unwrap();
+        assert_eq!(report.gates_resized, 1, "{report:?}");
+        assert!(report.power_saved > 0.0);
+        // The strong inverter is gone.
+        let remaining: Vec<&str> = nl
+            .iter_live()
+            .filter_map(|id| nl.cell_id(id))
+            .map(|c| nl.library().cell_ref(c).name.as_str())
+            .collect();
+        assert!(!remaining.contains(&"inv2"), "{remaining:?}");
+    }
+
+    #[test]
+    fn critical_gate_not_downsized() {
+        let lib = Arc::new(lib2());
+        let inv2 = lib.find_by_name("inv2").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        // inv2 alone on the (only, hence critical) path with zero slack.
+        let big = nl.add_cell("big", inv2, &[a]);
+        nl.add_output("f", big);
+        let report = resize_for_power(&mut nl, &PowerConfig::default(), None);
+        // inv1 is slower into the same load; with zero slack it must stay.
+        assert_eq!(report.gates_resized, 0, "{report:?}");
+    }
+
+    #[test]
+    fn relaxed_required_time_enables_downsizing() {
+        let lib = Arc::new(lib2());
+        let inv2 = lib.find_by_name("inv2").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let big = nl.add_cell("big", inv2, &[a]);
+        nl.add_output("f", big);
+        let report = resize_for_power(&mut nl, &PowerConfig::default(), Some(100.0));
+        assert_eq!(report.gates_resized, 1, "{report:?}");
+        nl.validate().unwrap();
+    }
+}

@@ -1,0 +1,384 @@
+//! Cells and libraries.
+
+use powder_logic::TruthTable;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a cell within its [`Library`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CellId(pub u32);
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// An input pin of a cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pin {
+    /// Pin name as declared in the library source.
+    pub name: String,
+    /// Input capacitance presented to the driving signal.
+    pub cap: f64,
+}
+
+/// A combinational standard cell.
+///
+/// The cell's logic is a single-output [`TruthTable`] whose variable `i` is
+/// the cell's `i`-th input pin. Delay follows the paper's linear model
+/// `D = τ + R·C_load`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    /// Cell name, unique within its library.
+    pub name: String,
+    /// Gate area in library units.
+    pub area: f64,
+    /// The single-output Boolean function over the input pins.
+    pub function: TruthTable,
+    /// Input pins, in function-variable order.
+    pub pins: Vec<Pin>,
+    /// Intrinsic delay `τ`.
+    pub intrinsic: f64,
+    /// Drive resistance `R` (delay per unit of capacitive load).
+    pub drive_res: f64,
+}
+
+impl Cell {
+    /// Number of input pins.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Capacitance of input pin `pin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` is out of range.
+    #[must_use]
+    pub fn pin_cap(&self, pin: usize) -> f64 {
+        self.pins[pin].cap
+    }
+
+    /// True if this cell is a single-input inverter.
+    #[must_use]
+    pub fn is_inverter(&self) -> bool {
+        self.inputs() == 1 && self.function == !TruthTable::var(0, 1)
+    }
+
+    /// True if this cell is a single-input buffer.
+    #[must_use]
+    pub fn is_buffer(&self) -> bool {
+        self.inputs() == 1 && self.function == TruthTable::var(0, 1)
+    }
+
+    /// Delay through the cell when driving `load` units of capacitance.
+    #[must_use]
+    pub fn delay(&self, load: f64) -> f64 {
+        self.intrinsic + self.drive_res * load
+    }
+}
+
+/// A successful match of a cut function against a library cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Match {
+    /// The matching cell.
+    pub cell: CellId,
+    /// `perm[i]` is the cut-leaf index connected to cell input pin `i`.
+    pub perm: Vec<usize>,
+}
+
+/// A collection of [`Cell`]s with lookup indices.
+///
+/// # Example
+///
+/// ```
+/// use powder_library::lib2;
+/// use powder_logic::TruthTable;
+///
+/// let lib = lib2();
+/// // An AND2 function matches some cell (possibly via pin permutation).
+/// let and2 = TruthTable::var(0, 2) & TruthTable::var(1, 2);
+/// assert!(lib.match_function(&and2).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Library {
+    name: String,
+    cells: Vec<Cell>,
+    by_name: HashMap<String, CellId>,
+    inverter: Option<CellId>,
+    buffer: Option<CellId>,
+}
+
+impl Library {
+    /// Creates a library from cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two cells share a name.
+    #[must_use]
+    pub fn new(name: impl Into<String>, cells: Vec<Cell>) -> Self {
+        let mut by_name = HashMap::new();
+        let mut inverter = None;
+        let mut buffer = None;
+        for (i, c) in cells.iter().enumerate() {
+            let id = CellId(i as u32);
+            let prev = by_name.insert(c.name.clone(), id);
+            assert!(prev.is_none(), "duplicate cell name {:?}", c.name);
+            // Prefer the smallest-area inverter / buffer.
+            if c.is_inverter() && inverter.is_none_or(|p: CellId| cells[p.0 as usize].area > c.area)
+            {
+                inverter = Some(id);
+            }
+            if c.is_buffer() && buffer.is_none_or(|p: CellId| cells[p.0 as usize].area > c.area) {
+                buffer = Some(id);
+            }
+        }
+        Library {
+            name: name.into(),
+            cells,
+            by_name,
+            inverter,
+            buffer,
+        }
+    }
+
+    /// Library name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the library has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Looks up a cell by id.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> Option<&Cell> {
+        self.cells.get(id.0 as usize)
+    }
+
+    /// Looks up a cell by id, panicking on an invalid id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this library.
+    #[must_use]
+    pub fn cell_ref(&self, id: CellId) -> &Cell {
+        &self.cells[id.0 as usize]
+    }
+
+    /// Looks up a cell id by name.
+    #[must_use]
+    pub fn find_by_name(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The smallest inverter in the library.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no inverter (every mapping library must).
+    #[must_use]
+    pub fn inverter(&self) -> CellId {
+        self.inverter.expect("library has no inverter cell")
+    }
+
+    /// The smallest buffer, if the library has one.
+    #[must_use]
+    pub fn buffer(&self) -> Option<CellId> {
+        self.buffer
+    }
+
+    /// Iterator over `(CellId, &Cell)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// Cells with exactly `k` inputs.
+    pub fn cells_with_inputs(&self, k: usize) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.iter().filter(move |(_, c)| c.inputs() == k)
+    }
+
+    /// Finds a cell implementing `tt` exactly, trying all input
+    /// permutations; returns the match with the smallest area.
+    ///
+    /// `tt` must use exactly the cut's leaves as variables (no dead
+    /// variables); cells with a different input count are skipped.
+    #[must_use]
+    pub fn match_function(&self, tt: &TruthTable) -> Option<Match> {
+        let k = tt.vars();
+        let mut best: Option<(Match, f64)> = None;
+        for (id, cell) in self.cells_with_inputs(k) {
+            if let Some(perm) = match_with_permutation(&cell.function, tt) {
+                let m = Match { cell: id, perm };
+                if best.as_ref().is_none_or(|(_, a)| cell.area < *a) {
+                    best = Some((m, cell.area));
+                }
+            }
+        }
+        best.map(|(m, _)| m)
+    }
+}
+
+/// Finds `perm` such that `cell_fn(x_0,..,x_{k-1}) == tt(x_{perm[0]},..)`,
+/// i.e. cell pin `i` should be fed by cut leaf `perm[i]`.
+fn match_with_permutation(cell_fn: &TruthTable, tt: &TruthTable) -> Option<Vec<usize>> {
+    let k = tt.vars();
+    if cell_fn.vars() != k {
+        return None;
+    }
+    let mut perm: Vec<usize> = (0..k).collect();
+    loop {
+        // candidate: pin i reads leaf perm[i]; the cell then computes
+        // g(leaves) with g(m) = cell_fn over pins; compare against tt:
+        // tt == cell_fn with variable i renamed to perm[i].
+        if &tt.permute(&perm) == cell_fn {
+            return Some(perm.clone());
+        }
+        if !next_permutation(&mut perm) {
+            return None;
+        }
+    }
+}
+
+/// Advances `perm` to the next lexicographic permutation; false at the end.
+fn next_permutation(perm: &mut [usize]) -> bool {
+    if perm.len() < 2 {
+        return false;
+    }
+    let mut i = perm.len() - 1;
+    while i > 0 && perm[i - 1] >= perm[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = perm.len() - 1;
+    while perm[j] <= perm[i - 1] {
+        j -= 1;
+    }
+    perm.swap(i - 1, j);
+    perm[i..].reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv_cell() -> Cell {
+        Cell {
+            name: "inv".into(),
+            area: 1.0,
+            function: !TruthTable::var(0, 1),
+            pins: vec![Pin {
+                name: "a".into(),
+                cap: 1.0,
+            }],
+            intrinsic: 1.0,
+            drive_res: 0.5,
+        }
+    }
+
+    fn andnot_cell() -> Cell {
+        // f = a & !b — asymmetric, good for permutation tests
+        Cell {
+            name: "andnot".into(),
+            area: 2.0,
+            function: TruthTable::var(0, 2) & !TruthTable::var(1, 2),
+            pins: vec![
+                Pin {
+                    name: "a".into(),
+                    cap: 1.0,
+                },
+                Pin {
+                    name: "b".into(),
+                    cap: 1.0,
+                },
+            ],
+            intrinsic: 1.5,
+            drive_res: 0.4,
+        }
+    }
+
+    #[test]
+    fn inverter_detection_and_lookup() {
+        let lib = Library::new("t", vec![andnot_cell(), inv_cell()]);
+        assert_eq!(lib.inverter(), CellId(1));
+        assert!(lib.cell_ref(lib.inverter()).is_inverter());
+        assert_eq!(lib.find_by_name("andnot"), Some(CellId(0)));
+        assert_eq!(lib.find_by_name("nope"), None);
+    }
+
+    #[test]
+    fn delay_linear_model() {
+        let c = inv_cell();
+        assert!((c.delay(4.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn match_identity_permutation() {
+        let lib = Library::new("t", vec![andnot_cell(), inv_cell()]);
+        let f = TruthTable::var(0, 2) & !TruthTable::var(1, 2);
+        let m = lib.match_function(&f).expect("must match");
+        assert_eq!(m.cell, CellId(0));
+        assert_eq!(m.perm, vec![0, 1]);
+    }
+
+    #[test]
+    fn match_swapped_permutation() {
+        let lib = Library::new("t", vec![andnot_cell(), inv_cell()]);
+        // g = !a & b = andnot with pins swapped: pin0 (positive) ← leaf 1
+        let g = !TruthTable::var(0, 2) & TruthTable::var(1, 2);
+        let m = lib.match_function(&g).expect("must match via permutation");
+        assert_eq!(m.cell, CellId(0));
+        assert_eq!(m.perm, vec![1, 0]);
+        // Verify the permutation semantics explicitly: feeding pin i from
+        // leaf perm[i] reproduces g.
+        let cell = lib.cell_ref(m.cell);
+        let subs: Vec<TruthTable> = m
+            .perm
+            .iter()
+            .map(|&leaf| TruthTable::var(leaf, 2))
+            .collect();
+        assert_eq!(cell.function.compose(&subs), g);
+    }
+
+    #[test]
+    fn no_match_for_unimplemented_function() {
+        let lib = Library::new("t", vec![inv_cell()]);
+        let xor = TruthTable::var(0, 2) ^ TruthTable::var(1, 2);
+        assert!(lib.match_function(&xor).is_none());
+    }
+
+    #[test]
+    fn next_permutation_order() {
+        let mut p = vec![0, 1, 2];
+        let mut seen = vec![p.clone()];
+        while next_permutation(&mut p) {
+            seen.push(p.clone());
+        }
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen.last().unwrap(), &vec![2, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell name")]
+    fn duplicate_names_panic() {
+        let _ = Library::new("t", vec![inv_cell(), inv_cell()]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Built-in `lib2`-like standard-cell library.
+//!
+//! The MCNC `lib2.genlib` file itself is not redistributable, so this module
+//! ships a library with the same classic cell set, area scale and — crucially
+//! for reproducing the paper — the same *relative* input-pin capacitances:
+//! an XOR/XNOR input pin loads its driver twice as much as a simple-gate
+//! input pin, which is exactly the assumption of the paper's Figure 2
+//! example.
+
+use crate::cell::Library;
+use crate::genlib::parse_genlib;
+
+/// Genlib source of the built-in library.
+pub const LIB2_GENLIB: &str = r#"
+# POWDER reproduction standard library (lib2-like).
+# Fields: GATE name area out=expr; PIN name phase load max rb rf fb ff
+GATE inv1   928  O=!a;             PIN * INV 1.0 999 0.9 0.30 0.9 0.30
+GATE inv2   1392 O=!a;             PIN * INV 2.0 999 0.8 0.15 0.8 0.15
+GATE buf1   1392 O=a;              PIN * NONINV 1.0 999 1.6 0.25 1.6 0.25
+GATE nand2  1392 O=!(a*b);         PIN * INV 1.0 999 1.0 0.25 1.0 0.25
+GATE nand3  1856 O=!(a*b*c);       PIN * INV 1.0 999 1.1 0.28 1.1 0.28
+GATE nand4  2320 O=!(a*b*c*d);     PIN * INV 1.0 999 1.3 0.30 1.3 0.30
+GATE nor2   1392 O=!(a+b);         PIN * INV 1.0 999 1.1 0.28 1.1 0.28
+GATE nor3   1856 O=!(a+b+c);       PIN * INV 1.0 999 1.3 0.32 1.3 0.32
+GATE nor4   2320 O=!(a+b+c+d);     PIN * INV 1.0 999 1.5 0.36 1.5 0.36
+GATE and2   1856 O=a*b;            PIN * NONINV 1.0 999 1.6 0.25 1.6 0.25
+GATE and3   2320 O=a*b*c;          PIN * NONINV 1.0 999 1.8 0.26 1.8 0.26
+GATE and4   2784 O=a*b*c*d;        PIN * NONINV 1.0 999 2.0 0.28 2.0 0.28
+GATE or2    1856 O=a+b;            PIN * NONINV 1.0 999 1.7 0.26 1.7 0.26
+GATE or3    2320 O=a+b+c;          PIN * NONINV 1.0 999 1.9 0.28 1.9 0.28
+GATE or4    2784 O=a+b+c+d;        PIN * NONINV 1.0 999 2.1 0.30 2.1 0.30
+GATE xor2   2784 O=a*!b + !a*b;    PIN * UNKNOWN 2.0 999 1.9 0.30 1.9 0.30
+GATE xnor2  2784 O=a*b + !a*!b;    PIN * UNKNOWN 2.0 999 1.9 0.30 1.9 0.30
+GATE aoi21  1856 O=!(a*b + c);     PIN * INV 1.0 999 1.3 0.30 1.3 0.30
+GATE aoi22  2320 O=!(a*b + c*d);   PIN * INV 1.0 999 1.5 0.32 1.5 0.32
+GATE oai21  1856 O=!((a+b) * c);   PIN * INV 1.0 999 1.3 0.30 1.3 0.30
+GATE oai22  2320 O=!((a+b)*(c+d)); PIN * INV 1.0 999 1.5 0.32 1.5 0.32
+GATE mux21  2784 O=s*a + !s*b;     PIN s UNKNOWN 2.0 999 2.0 0.30 2.0 0.30
+    PIN a NONINV 1.0 999 1.8 0.30 1.8 0.30
+    PIN b NONINV 1.0 999 1.8 0.30 1.8 0.30
+GATE andn2  1856 O=a*!b;           PIN * NONINV 1.0 999 1.6 0.25 1.6 0.25
+GATE orn2   1856 O=a+!b;           PIN * NONINV 1.0 999 1.7 0.26 1.7 0.26
+"#;
+
+/// Additional double-drive-strength variants for [`lib2x`]: same functions,
+/// ~1.5× area, doubled input capacitance, lower intrinsic delay and half
+/// the drive resistance — the classic x2 cell trade-off that gives the
+/// re-sizing pass something to work with.
+pub const LIB2X_EXTRA_GENLIB: &str = r#"
+GATE nand2_x2 2088 O=!(a*b);       PIN * INV 2.0 999 0.8 0.125 0.8 0.125
+GATE nor2_x2  2088 O=!(a+b);       PIN * INV 2.0 999 0.9 0.14 0.9 0.14
+GATE and2_x2  2784 O=a*b;          PIN * NONINV 2.0 999 1.3 0.125 1.3 0.125
+GATE or2_x2   2784 O=a+b;          PIN * NONINV 2.0 999 1.4 0.13 1.4 0.13
+GATE xor2_x2  4176 O=a*!b + !a*b;  PIN * UNKNOWN 4.0 999 1.6 0.15 1.6 0.15
+GATE aoi21_x2 2784 O=!(a*b + c);   PIN * INV 2.0 999 1.1 0.15 1.1 0.15
+"#;
+
+/// Builds the extended library: every [`lib2`] cell plus double-strength
+/// variants of the workhorse gates.
+///
+/// # Example
+///
+/// ```
+/// use powder_library::lib2x;
+/// let lib = lib2x();
+/// assert!(lib.find_by_name("nand2").is_some());
+/// assert!(lib.find_by_name("nand2_x2").is_some());
+/// ```
+///
+/// # Panics
+///
+/// Never panics in practice; the embedded sources are validated by tests.
+#[must_use]
+pub fn lib2x() -> Library {
+    let combined = format!("{LIB2_GENLIB}\n{LIB2X_EXTRA_GENLIB}");
+    parse_genlib("lib2x", &combined).expect("built-in library sources are valid")
+}
+
+/// Builds the built-in `lib2`-like [`Library`].
+///
+/// # Example
+///
+/// ```
+/// use powder_library::lib2;
+/// let lib = lib2();
+/// assert!(lib.len() >= 20);
+/// let xor = lib.cell_ref(lib.find_by_name("xor2").unwrap());
+/// let and = lib.cell_ref(lib.find_by_name("and2").unwrap());
+/// // The paper's Figure 2 load assumption: XOR pin = 2 × AND pin.
+/// assert_eq!(xor.pin_cap(0), 2.0 * and.pin_cap(0));
+/// ```
+///
+/// # Panics
+///
+/// Never panics in practice; the embedded source is validated by tests.
+#[must_use]
+pub fn lib2() -> Library {
+    parse_genlib("lib2", LIB2_GENLIB).expect("built-in library source is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_logic::TruthTable;
+
+    #[test]
+    fn library_parses_and_has_core_cells() {
+        let lib = lib2();
+        for name in [
+            "inv1", "inv2", "buf1", "nand2", "nand3", "nand4", "nor2", "nor3", "nor4", "and2",
+            "and3", "and4", "or2", "or3", "or4", "xor2", "xnor2", "aoi21", "aoi22", "oai21",
+            "oai22", "mux21", "andn2", "orn2",
+        ] {
+            assert!(lib.find_by_name(name).is_some(), "missing cell {name}");
+        }
+    }
+
+    #[test]
+    fn inverter_is_smallest() {
+        let lib = lib2();
+        assert_eq!(lib.cell_ref(lib.inverter()).name, "inv1");
+        assert!(lib.buffer().is_some());
+    }
+
+    #[test]
+    fn functions_are_correct() {
+        let lib = lib2();
+        let f = |name: &str| lib.cell_ref(lib.find_by_name(name).unwrap()).function.clone();
+        let a2 = TruthTable::var(0, 2);
+        let b2 = TruthTable::var(1, 2);
+        assert_eq!(f("nand2"), !(a2.clone() & b2.clone()));
+        assert_eq!(f("xor2"), a2.clone() ^ b2.clone());
+        assert_eq!(f("xnor2"), !(a2 ^ b2));
+        let a3 = TruthTable::var(0, 3);
+        let b3 = TruthTable::var(1, 3);
+        let c3 = TruthTable::var(2, 3);
+        assert_eq!(f("aoi21"), !((a3.clone() & b3.clone()) | c3.clone()));
+        assert_eq!(f("oai21"), !((a3.clone() | b3.clone()) & c3));
+        // mux21: s a b with s = var0
+        let s = TruthTable::var(0, 3);
+        let a = TruthTable::var(1, 3);
+        let b = TruthTable::var(2, 3);
+        assert_eq!(f("mux21"), (s.clone() & a) | (!s & b));
+    }
+
+    #[test]
+    fn every_two_input_nand_nor_matchable() {
+        let lib = lib2();
+        let and2 = TruthTable::var(0, 2) & TruthTable::var(1, 2);
+        assert!(lib.match_function(&and2).is_some());
+        assert!(lib.match_function(&!and2.clone()).is_some());
+        let or2 = TruthTable::var(0, 2) | TruthTable::var(1, 2);
+        assert!(lib.match_function(&or2).is_some());
+        assert!(lib.match_function(&!or2.clone()).is_some());
+        let inv = !TruthTable::var(0, 1);
+        assert!(lib.match_function(&inv).is_some());
+    }
+
+    #[test]
+    fn lib2x_extends_lib2() {
+        let base = lib2();
+        let ext = lib2x();
+        assert_eq!(ext.len(), base.len() + 6);
+        let n1 = ext.cell_ref(ext.find_by_name("nand2").unwrap());
+        let n2 = ext.cell_ref(ext.find_by_name("nand2_x2").unwrap());
+        assert_eq!(n1.function, n2.function);
+        assert!(n2.drive_res < n1.drive_res, "x2 drives harder");
+        assert!(n2.pin_cap(0) > n1.pin_cap(0), "x2 loads its drivers more");
+        assert!(n2.area > n1.area);
+    }
+
+    #[test]
+    fn areas_on_lib2_scale() {
+        let lib = lib2();
+        let inv = lib.cell_ref(lib.find_by_name("inv1").unwrap());
+        assert!((inv.area - 928.0).abs() < 1e-9);
+        for (_, c) in lib.iter() {
+            assert!(c.area >= 928.0 && c.area <= 2784.0, "{}", c.name);
+            assert!(c.intrinsic > 0.0 && c.drive_res > 0.0, "{}", c.name);
+        }
+    }
+}

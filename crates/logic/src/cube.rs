@@ -1,0 +1,333 @@
+//! Cubes (products of literals) over up to 64 variables.
+
+use crate::TruthTable;
+use std::fmt;
+
+/// A cube — a conjunction of literals — over at most 64 variables.
+///
+/// `pos` holds the variables that appear as positive literals, `neg` those
+/// that appear negated; the two masks are disjoint. A variable in neither
+/// mask is absent from the cube (a "don't care" position).
+///
+/// # Example
+///
+/// ```
+/// use powder_logic::Cube;
+///
+/// // a & !c over 3 variables
+/// let c = Cube::new(0b001, 0b100);
+/// assert!(c.eval(0b001));
+/// assert!(c.eval(0b011));
+/// assert!(!c.eval(0b101));
+/// assert_eq!(c.literal_count(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    pos: u64,
+    neg: u64,
+}
+
+impl Cube {
+    /// Creates a cube from positive/negative literal masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable appears in both masks.
+    #[must_use]
+    pub fn new(pos: u64, neg: u64) -> Self {
+        assert_eq!(pos & neg, 0, "cube literal masks must be disjoint");
+        Cube { pos, neg }
+    }
+
+    /// The universal cube (tautology, no literals).
+    #[must_use]
+    pub fn universe() -> Self {
+        Cube { pos: 0, neg: 0 }
+    }
+
+    /// The minterm cube for assignment `m` over `vars` variables.
+    #[must_use]
+    pub fn minterm(m: u64, vars: usize) -> Self {
+        let mask = if vars >= 64 { u64::MAX } else { (1u64 << vars) - 1 };
+        Cube {
+            pos: m & mask,
+            neg: !m & mask,
+        }
+    }
+
+    /// Mask of positive literals.
+    #[must_use]
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Mask of negative literals.
+    #[must_use]
+    pub fn neg(&self) -> u64 {
+        self.neg
+    }
+
+    /// The literal of variable `v`: `Some(true)` positive, `Some(false)`
+    /// negative, `None` absent.
+    #[must_use]
+    pub fn literal(&self, v: usize) -> Option<bool> {
+        if (self.pos >> v) & 1 == 1 {
+            Some(true)
+        } else if (self.neg >> v) & 1 == 1 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Returns this cube with the literal of `v` set (replacing any
+    /// existing literal of `v`).
+    #[must_use]
+    pub fn with_literal(mut self, v: usize, positive: bool) -> Self {
+        let bit = 1u64 << v;
+        if positive {
+            self.pos |= bit;
+            self.neg &= !bit;
+        } else {
+            self.neg |= bit;
+            self.pos &= !bit;
+        }
+        self
+    }
+
+    /// Returns this cube with the literal of `v` removed.
+    #[must_use]
+    pub fn without_literal(mut self, v: usize) -> Self {
+        let bit = !(1u64 << v);
+        self.pos &= bit;
+        self.neg &= bit;
+        self
+    }
+
+    /// Number of literals in the cube.
+    #[must_use]
+    pub fn literal_count(&self) -> u32 {
+        (self.pos | self.neg).count_ones()
+    }
+
+    /// Mask of variables that appear (in either phase).
+    #[must_use]
+    pub fn support_mask(&self) -> u64 {
+        self.pos | self.neg
+    }
+
+    /// Evaluates the cube on assignment `m`.
+    #[must_use]
+    pub fn eval(&self, m: u64) -> bool {
+        (m & self.pos) == self.pos && (m & self.neg) == 0
+    }
+
+    /// True if `self` covers `other` (every assignment satisfying `other`
+    /// satisfies `self`), i.e. `self`'s literals are a subset of `other`'s.
+    #[must_use]
+    pub fn covers(&self, other: &Cube) -> bool {
+        (self.pos & other.pos) == self.pos && (self.neg & other.neg) == self.neg
+    }
+
+    /// The intersection of two cubes, or `None` if they conflict.
+    #[must_use]
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        let pos = self.pos | other.pos;
+        let neg = self.neg | other.neg;
+        if pos & neg != 0 {
+            None
+        } else {
+            Some(Cube { pos, neg })
+        }
+    }
+
+    /// Number of variables on which the two cubes have opposite literals.
+    #[must_use]
+    pub fn conflict_count(&self, other: &Cube) -> u32 {
+        ((self.pos & other.neg) | (self.neg & other.pos)).count_ones()
+    }
+
+    /// Merges two cubes that differ in exactly one variable's phase and
+    /// agree elsewhere (the Quine–McCluskey adjacency merge); `None` if they
+    /// are not mergeable.
+    #[must_use]
+    pub fn merge_adjacent(&self, other: &Cube) -> Option<Cube> {
+        if self.support_mask() != other.support_mask() {
+            return None;
+        }
+        let diff = (self.pos ^ other.pos) | (self.neg ^ other.neg);
+        if diff.count_ones() != 1 || self.conflict_count(other) != 1 {
+            return None;
+        }
+        let var = (self.pos & other.neg) | (self.neg & other.pos);
+        Some(Cube {
+            pos: self.pos & !var,
+            neg: self.neg & !var,
+        })
+    }
+
+    /// Algebraic cube division: `self / other` if `other`'s literals are a
+    /// subset of `self`'s, giving the quotient cube; `None` otherwise.
+    #[must_use]
+    pub fn divide(&self, other: &Cube) -> Option<Cube> {
+        if other.covers(self) {
+            Some(Cube {
+                pos: self.pos & !other.pos,
+                neg: self.neg & !other.neg,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The common literals of two cubes (largest common sub-cube).
+    #[must_use]
+    pub fn common(&self, other: &Cube) -> Cube {
+        Cube {
+            pos: self.pos & other.pos,
+            neg: self.neg & other.neg,
+        }
+    }
+
+    /// Converts the cube into a truth table over `vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube mentions a variable `>= vars`.
+    #[must_use]
+    pub fn to_tt(&self, vars: usize) -> TruthTable {
+        assert!(
+            vars >= 64 || self.support_mask() < (1u64 << vars),
+            "cube mentions variable outside range"
+        );
+        let mut tt = TruthTable::one(vars);
+        for v in 0..vars.min(64) {
+            match self.literal(v) {
+                Some(true) => tt = tt & TruthTable::var(v, vars),
+                Some(false) => tt = tt & !TruthTable::var(v, vars),
+                None => {}
+            }
+        }
+        tt
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pos == 0 && self.neg == 0 {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for v in 0..64 {
+            if let Some(phase) = self.literal(v) {
+                if !first {
+                    write!(f, "·")?;
+                }
+                first = false;
+                if phase {
+                    write!(f, "x{v}")?;
+                } else {
+                    write!(f, "!x{v}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_literals() {
+        let c = Cube::new(0b0101, 0b1010);
+        assert!(c.eval(0b0101));
+        assert!(!c.eval(0b0111));
+        assert_eq!(c.literal(0), Some(true));
+        assert_eq!(c.literal(1), Some(false));
+        assert_eq!(c.literal(10), None);
+        assert_eq!(c.literal_count(), 4);
+    }
+
+    #[test]
+    fn minterm_cube() {
+        let c = Cube::minterm(0b101, 3);
+        assert!(c.eval(0b101));
+        for m in 0..8u64 {
+            assert_eq!(c.eval(m), m == 0b101);
+        }
+    }
+
+    #[test]
+    fn covers_subset_semantics() {
+        let big = Cube::new(0b001, 0);
+        let small = Cube::new(0b011, 0b100);
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(Cube::universe().covers(&big));
+    }
+
+    #[test]
+    fn intersect_conflict() {
+        let a = Cube::new(0b1, 0);
+        let b = Cube::new(0, 0b1);
+        assert!(a.intersect(&b).is_none());
+        let c = Cube::new(0b10, 0);
+        assert_eq!(a.intersect(&c), Some(Cube::new(0b11, 0)));
+    }
+
+    #[test]
+    fn merge_adjacent_qm() {
+        // x0·x1 + x0·!x1 = x0
+        let a = Cube::new(0b11, 0);
+        let b = Cube::new(0b01, 0b10);
+        assert_eq!(a.merge_adjacent(&b), Some(Cube::new(0b01, 0)));
+        // different support: no merge
+        let c = Cube::new(0b01, 0);
+        assert_eq!(a.merge_adjacent(&c), None);
+    }
+
+    #[test]
+    fn division_and_common() {
+        // (x0·x1·!x2) / (x0·!x2) = x1
+        let a = Cube::new(0b011, 0b100);
+        let b = Cube::new(0b001, 0b100);
+        assert_eq!(a.divide(&b), Some(Cube::new(0b010, 0)));
+        assert_eq!(b.divide(&a), None);
+        assert_eq!(a.common(&b), b);
+    }
+
+    #[test]
+    fn with_without_literal() {
+        let c = Cube::universe().with_literal(3, true).with_literal(5, false);
+        assert_eq!(c.literal(3), Some(true));
+        assert_eq!(c.literal(5), Some(false));
+        let c2 = c.without_literal(3);
+        assert_eq!(c2.literal(3), None);
+        // flipping phase
+        let c3 = c.with_literal(3, false);
+        assert_eq!(c3.literal(3), Some(false));
+    }
+
+    #[test]
+    fn to_tt_matches_eval() {
+        let c = Cube::new(0b001, 0b100);
+        let tt = c.to_tt(3);
+        for m in 0..8u64 {
+            assert_eq!(tt.eval(m), c.eval(m));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_masks_panic() {
+        let _ = Cube::new(0b1, 0b1);
+    }
+}

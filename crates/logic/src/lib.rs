@@ -1,0 +1,43 @@
+//! Boolean function layer for the POWDER reproduction.
+//!
+//! This crate provides the function representations every other layer is
+//! built on:
+//!
+//! * [`TruthTable`] — a bit-packed complete truth table over up to
+//!   [`MAX_TT_VARS`] variables. Library cells, cut functions and benchmark
+//!   specifications are all truth tables.
+//! * [`Cube`] / [`Sop`] — cube-literal and sum-of-products representations
+//!   used by two-level minimisation and algebraic factoring.
+//! * [`minimize`] — exact (Quine–McCluskey) and heuristic (espresso-style
+//!   expand/irredundant) two-level minimisation.
+//! * [`kernel`] — algebraic division and kernel extraction used by the
+//!   multi-level factoring step of the pre-POWDER synthesis flow.
+//!
+//! # Example
+//!
+//! ```
+//! use powder_logic::TruthTable;
+//!
+//! let a = TruthTable::var(0, 3);
+//! let b = TruthTable::var(1, 3);
+//! let c = TruthTable::var(2, 3);
+//! // f = (a ^ c) & b, the function of the paper's Figure 2 circuit A.
+//! let f = (a ^ c) & b;
+//! assert_eq!(f.count_ones(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+pub mod kernel;
+#[cfg(test)]
+mod proptests;
+pub mod minimize;
+pub mod pla;
+mod sop;
+mod tt;
+
+pub use cube::Cube;
+pub use sop::Sop;
+pub use tt::{TruthTable, MAX_TT_VARS};

@@ -1,0 +1,267 @@
+//! Reader/writer for the Berkeley/espresso `.pla` two-level format —
+//! the format the MCNC two-level benchmarks were distributed in.
+//!
+//! Supported directives: `.i`, `.o`, `.ilb`, `.ob`, `.p` (ignored), `.type
+//! fr|f` (the default `f`/`fr` semantics: a `1` output bit puts the cube in
+//! that output's ON-set; `0`/`~` bits are ignored), `.e`/`.end`.
+//!
+//! # Example
+//!
+//! ```
+//! use powder_logic::pla::{parse_pla, write_pla};
+//!
+//! let pla = parse_pla("\
+//! .i 3
+//! .o 2
+//! 1-0 10
+//! -11 01
+//! .e
+//! ")?;
+//! assert_eq!(pla.inputs.len(), 3);
+//! assert_eq!(pla.outputs.len(), 2);
+//! let text = write_pla(&pla);
+//! assert!(text.contains(".i 3"));
+//! # Ok::<(), powder_logic::pla::ParsePlaError>(())
+//! ```
+
+use crate::{Cube, Sop};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parsed multi-output PLA.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pla {
+    /// Input labels (`.ilb` or synthesized `x0..`).
+    pub inputs: Vec<String>,
+    /// Output labels (`.ob` or synthesized `y0..`).
+    pub outputs: Vec<String>,
+    /// One ON-set SOP per output, over the inputs.
+    pub on_sets: Vec<Sop>,
+}
+
+/// Error produced while parsing `.pla` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlaError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParsePlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pla line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParsePlaError {}
+
+/// Parses `.pla` text.
+///
+/// # Errors
+///
+/// Returns [`ParsePlaError`] on malformed directives, rows of the wrong
+/// width, unknown plane characters, or missing `.i`/`.o`.
+pub fn parse_pla(src: &str) -> Result<Pla, ParsePlaError> {
+    let err = |line: usize, message: String| ParsePlaError { line, message };
+    let mut ni: Option<usize> = None;
+    let mut no: Option<usize> = None;
+    let mut ilb: Option<Vec<String>> = None;
+    let mut ob: Option<Vec<String>> = None;
+    let mut rows: Vec<(usize, String, String)> = Vec::new();
+
+    for (lineno0, raw) in src.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut toks = rest.split_whitespace();
+            match toks.next() {
+                Some("i") => {
+                    ni = Some(
+                        toks.next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err(lineno, ".i needs a count".into()))?,
+                    )
+                }
+                Some("o") => {
+                    no = Some(
+                        toks.next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err(lineno, ".o needs a count".into()))?,
+                    )
+                }
+                Some("ilb") => ilb = Some(toks.map(str::to_string).collect()),
+                Some("ob") => ob = Some(toks.map(str::to_string).collect()),
+                Some("p") | Some("type") | Some("phase") | Some("pair") => {}
+                Some("e") | Some("end") => break,
+                Some(other) => {
+                    return Err(err(lineno, format!("unsupported directive .{other}")))
+                }
+                None => return Err(err(lineno, "bare '.'".into())),
+            }
+        } else {
+            let mut parts = line.split_whitespace();
+            let inp = parts
+                .next()
+                .ok_or_else(|| err(lineno, "missing input plane".into()))?
+                .to_string();
+            let out = parts
+                .next()
+                .ok_or_else(|| err(lineno, "missing output plane".into()))?
+                .to_string();
+            rows.push((lineno, inp, out));
+        }
+    }
+
+    let ni = ni.ok_or_else(|| err(0, "missing .i".into()))?;
+    let no = no.ok_or_else(|| err(0, "missing .o".into()))?;
+    if ni > 64 {
+        return Err(err(0, format!("{ni} inputs exceed the 64-variable cube limit")));
+    }
+    let inputs = match ilb {
+        Some(v) if v.len() == ni => v,
+        Some(v) => {
+            return Err(err(0, format!(".ilb lists {} names, .i says {ni}", v.len())))
+        }
+        None => (0..ni).map(|i| format!("x{i}")).collect(),
+    };
+    let outputs = match ob {
+        Some(v) if v.len() == no => v,
+        Some(v) => return Err(err(0, format!(".ob lists {} names, .o says {no}", v.len()))),
+        None => (0..no).map(|o| format!("y{o}")).collect(),
+    };
+
+    let mut on_sets = vec![Sop::zero(ni); no];
+    for (lineno, inp, out) in rows {
+        if inp.len() != ni {
+            return Err(err(lineno, format!("input plane {inp:?} is not {ni} wide")));
+        }
+        if out.len() != no {
+            return Err(err(lineno, format!("output plane {out:?} is not {no} wide")));
+        }
+        let mut cube = Cube::universe();
+        for (v, ch) in inp.chars().enumerate() {
+            match ch {
+                '1' => cube = cube.with_literal(v, true),
+                '0' => cube = cube.with_literal(v, false),
+                '-' | '2' => {}
+                other => {
+                    return Err(err(lineno, format!("bad input-plane character {other:?}")))
+                }
+            }
+        }
+        for (o, ch) in out.chars().enumerate() {
+            match ch {
+                '1' | '4' => on_sets[o].push(cube),
+                '0' | '~' | '-' | '2' => {}
+                other => {
+                    return Err(err(lineno, format!("bad output-plane character {other:?}")))
+                }
+            }
+        }
+    }
+    Ok(Pla {
+        inputs,
+        outputs,
+        on_sets,
+    })
+}
+
+/// Serialises a [`Pla`] back to `.pla` text (type `fr` rows, ON-set only).
+#[must_use]
+pub fn write_pla(pla: &Pla) -> String {
+    let ni = pla.inputs.len();
+    let no = pla.outputs.len();
+    let mut s = String::new();
+    let _ = writeln!(s, ".i {ni}");
+    let _ = writeln!(s, ".o {no}");
+    let _ = writeln!(s, ".ilb {}", pla.inputs.join(" "));
+    let _ = writeln!(s, ".ob {}", pla.outputs.join(" "));
+    // Merge identical cubes across outputs into shared rows.
+    let mut rows: Vec<(Cube, Vec<bool>)> = Vec::new();
+    for (o, sop) in pla.on_sets.iter().enumerate() {
+        for &cube in sop.cubes() {
+            match rows.iter_mut().find(|(c, _)| *c == cube) {
+                Some((_, mask)) => mask[o] = true,
+                None => {
+                    let mut mask = vec![false; no];
+                    mask[o] = true;
+                    rows.push((cube, mask));
+                }
+            }
+        }
+    }
+    let _ = writeln!(s, ".p {}", rows.len());
+    for (cube, mask) in rows {
+        let mut inp = String::with_capacity(ni);
+        for v in 0..ni {
+            inp.push(match cube.literal(v) {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => '-',
+            });
+        }
+        let out: String = mask.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let _ = writeln!(s, "{inp} {out}");
+    }
+    s.push_str(".e\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let pla = parse_pla(".i 2\n.o 1\n11 1\n00 1\n.e\n").unwrap();
+        assert_eq!(pla.inputs, vec!["x0", "x1"]);
+        let f = &pla.on_sets[0];
+        // xnor
+        assert!(f.eval(0b00) && f.eval(0b11));
+        assert!(!f.eval(0b01) && !f.eval(0b10));
+    }
+
+    #[test]
+    fn labels_and_dontcares() {
+        let pla = parse_pla(".i 3\n.o 2\n.ilb a b c\n.ob f g\n1-0 10\n-11 01\n.e\n").unwrap();
+        assert_eq!(pla.inputs, vec!["a", "b", "c"]);
+        assert_eq!(pla.outputs, vec!["f", "g"]);
+        assert!(pla.on_sets[0].eval(0b001)); // a=1,b=-,c=0
+        assert!(pla.on_sets[0].eval(0b011));
+        assert!(!pla.on_sets[0].eval(0b101));
+        assert!(pla.on_sets[1].eval(0b110)); // b=1,c=1
+    }
+
+    #[test]
+    fn roundtrip_preserves_functions() {
+        let src = ".i 4\n.o 3\n1--0 110\n01-- 011\n--11 100\n0000 001\n.e\n";
+        let pla = parse_pla(src).unwrap();
+        let back = parse_pla(&write_pla(&pla)).unwrap();
+        assert_eq!(back.inputs, pla.inputs);
+        assert_eq!(back.outputs, pla.outputs);
+        for (a, b) in pla.on_sets.iter().zip(&back.on_sets) {
+            assert_eq!(a.to_tt(), b.to_tt());
+        }
+    }
+
+    #[test]
+    fn shared_rows_merge_on_write() {
+        let src = ".i 2\n.o 2\n11 11\n.e\n";
+        let pla = parse_pla(src).unwrap();
+        let text = write_pla(&pla);
+        assert!(text.contains(".p 1"), "{text}");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_pla("11 1\n").is_err(), "missing .i/.o");
+        assert!(parse_pla(".i 2\n.o 1\n111 1\n.e").is_err(), "row width");
+        assert!(parse_pla(".i 2\n.o 1\n1x 1\n.e").is_err(), "bad char");
+        assert!(parse_pla(".i 2\n.o 1\n.ilb a\n11 1\n.e").is_err(), "ilb arity");
+        assert!(parse_pla(".i 2\n.o 1\n.bogus\n.e").is_err(), "directive");
+    }
+}

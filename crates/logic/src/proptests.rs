@@ -1,0 +1,129 @@
+//! Property-based tests of the Boolean layer.
+
+use crate::{kernel, minimize, Cube, Sop, TruthTable};
+use proptest::prelude::*;
+
+fn arb_tt(vars: usize) -> impl Strategy<Value = TruthTable> {
+    proptest::collection::vec(any::<u64>(), TruthTable::zero(vars).as_words().len()).prop_map(
+        move |words| {
+            let mut tt = TruthTable::zero(vars);
+            for (m, chunk) in words.iter().enumerate() {
+                for b in 0..64u64 {
+                    let idx = m as u64 * 64 + b;
+                    if idx < tt.num_minterms() && (chunk >> b) & 1 == 1 {
+                        tt.set(idx, true);
+                    }
+                }
+            }
+            tt
+        },
+    )
+}
+
+fn arb_cube(vars: usize) -> impl Strategy<Value = Cube> {
+    let mask = if vars >= 64 { u64::MAX } else { (1u64 << vars) - 1 };
+    (any::<u64>(), any::<u64>()).prop_map(move |(p, n)| {
+        let pos = p & mask;
+        let neg = n & mask & !pos;
+        Cube::new(pos, neg)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn demorgan_holds(a in arb_tt(5), b in arb_tt(5)) {
+        prop_assert_eq!(!(a.clone() & b.clone()), !a.clone() | !b.clone());
+    }
+
+    #[test]
+    fn cofactor_shannon_expansion(f in arb_tt(6), var in 0usize..6) {
+        let c0 = f.cofactor(var, false);
+        let c1 = f.cofactor(var, true);
+        let x = TruthTable::var(var, 6);
+        prop_assert_eq!((x.clone() & c1) | (!x & c0), f);
+    }
+
+    #[test]
+    fn permute_roundtrip(f in arb_tt(5), seed in any::<u64>()) {
+        // Build a permutation from the seed.
+        let mut perm: Vec<usize> = (0..5).collect();
+        let mut s = seed;
+        for i in (1..5).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            perm.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut inv = vec![0; 5];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        prop_assert_eq!(f.permute(&perm).permute(&inv), f);
+    }
+
+    #[test]
+    fn cube_cover_matches_eval(c in arb_cube(6), d in arb_cube(6)) {
+        // covers ⇔ every satisfying assignment of d satisfies c
+        let c_tt = c.to_tt(6);
+        let d_tt = d.to_tt(6);
+        let covers_semantically = (d_tt.clone() & !c_tt.clone()).is_zero();
+        prop_assert_eq!(c.covers(&d), covers_semantically, "{:?} vs {:?}", c, d);
+    }
+
+    #[test]
+    fn cube_intersection_is_conjunction(c in arb_cube(6), d in arb_cube(6)) {
+        let want = c.to_tt(6) & d.to_tt(6);
+        match c.intersect(&d) {
+            Some(i) => prop_assert_eq!(i.to_tt(6), want),
+            None => prop_assert!(want.is_zero()),
+        }
+    }
+
+    #[test]
+    fn qm_and_heuristic_cover_same_function(f in arb_tt(6)) {
+        let exact = minimize::quine_mccluskey(&f);
+        let heur = minimize::minimize_heuristic(&f);
+        prop_assert_eq!(exact.to_tt(), f.clone());
+        prop_assert_eq!(heur.to_tt(), f.clone());
+        // exact cover never uses more cubes than the canonical minterm form
+        prop_assert!(exact.cube_count() as u64 <= f.count_ones().max(1));
+    }
+
+    #[test]
+    fn algebraic_division_identity(f in arb_tt(5)) {
+        let sop = minimize::minimize(&f);
+        prop_assume!(sop.cube_count() >= 2);
+        for pair in kernel::kernels(&sop).into_iter().take(4) {
+            let (q, r) = sop.algebraic_divide(&pair.kernel);
+            prop_assume!(!q.is_empty());
+            // f == kernel·q + r as functions
+            let mut product = Sop::zero(5);
+            for kc in pair.kernel.cubes() {
+                for qc in q.cubes() {
+                    if let Some(c) = kc.intersect(qc) {
+                        product.push(c);
+                    }
+                }
+            }
+            let rebuilt = product.to_tt() | r.to_tt();
+            prop_assert_eq!(rebuilt, sop.to_tt());
+        }
+    }
+
+    #[test]
+    fn sop_tt_roundtrip(f in arb_tt(7)) {
+        let sop = Sop::from_tt_minterms(&f);
+        prop_assert_eq!(sop.to_tt(), f);
+    }
+
+    #[test]
+    fn compose_respects_semantics(outer in arb_tt(3), s0 in arb_tt(4), s1 in arb_tt(4), s2 in arb_tt(4)) {
+        let composed = outer.compose(&[s0.clone(), s1.clone(), s2.clone()]);
+        for m in 0..16u64 {
+            let inner = u64::from(s0.eval(m))
+                | (u64::from(s1.eval(m)) << 1)
+                | (u64::from(s2.eval(m)) << 2);
+            prop_assert_eq!(composed.eval(m), outer.eval(inner));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Sum-of-products (disjunction of cubes) representation.
+
+use crate::{Cube, TruthTable};
+use std::fmt;
+
+/// A sum-of-products: a disjunction of [`Cube`]s over a fixed variable
+/// count (at most 64).
+///
+/// # Example
+///
+/// ```
+/// use powder_logic::{Cube, Sop};
+///
+/// // f = x0·x1 + !x2
+/// let f = Sop::from_cubes(3, vec![Cube::new(0b011, 0), Cube::new(0, 0b100)]);
+/// assert!(f.eval(0b011));
+/// assert!(f.eval(0b000));
+/// assert!(!f.eval(0b100));
+/// assert_eq!(f.literal_count(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Sop {
+    vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// Creates an SOP from cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars > 64` or any cube mentions a variable `>= vars`.
+    #[must_use]
+    pub fn from_cubes(vars: usize, cubes: Vec<Cube>) -> Self {
+        assert!(vars <= 64, "SOP limited to 64 variables");
+        for c in &cubes {
+            assert!(
+                vars == 64 || c.support_mask() < (1u64 << vars),
+                "cube mentions variable outside range"
+            );
+        }
+        Sop { vars, cubes }
+    }
+
+    /// The constant-0 SOP (no cubes).
+    #[must_use]
+    pub fn zero(vars: usize) -> Self {
+        Self::from_cubes(vars, Vec::new())
+    }
+
+    /// The constant-1 SOP (single universal cube).
+    #[must_use]
+    pub fn one(vars: usize) -> Self {
+        Self::from_cubes(vars, vec![Cube::universe()])
+    }
+
+    /// Builds the canonical minterm SOP of a truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has more than 64 variables (it cannot, given
+    /// [`crate::MAX_TT_VARS`]).
+    #[must_use]
+    pub fn from_tt_minterms(tt: &TruthTable) -> Self {
+        let cubes = tt.minterms().map(|m| Cube::minterm(m, tt.vars())).collect();
+        Sop {
+            vars: tt.vars(),
+            cubes,
+        }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// The cubes of this SOP.
+    #[must_use]
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    #[must_use]
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total number of literals — the classic two-level cost measure.
+    #[must_use]
+    pub fn literal_count(&self) -> u32 {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// True if the SOP has no cubes (constant 0 syntactically).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Adds a cube.
+    pub fn push(&mut self, cube: Cube) {
+        assert!(
+            self.vars == 64 || cube.support_mask() < (1u64 << self.vars),
+            "cube mentions variable outside range"
+        );
+        self.cubes.push(cube);
+    }
+
+    /// Evaluates the SOP on assignment `m`.
+    #[must_use]
+    pub fn eval(&self, m: u64) -> bool {
+        self.cubes.iter().any(|c| c.eval(m))
+    }
+
+    /// Converts to a truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars > MAX_TT_VARS`.
+    #[must_use]
+    pub fn to_tt(&self) -> TruthTable {
+        let mut tt = TruthTable::zero(self.vars);
+        for c in &self.cubes {
+            tt = tt | c.to_tt(self.vars);
+        }
+        tt
+    }
+
+    /// Removes cubes covered by another single cube (single-cube
+    /// containment), in place.
+    pub fn remove_contained(&mut self) {
+        let cubes = std::mem::take(&mut self.cubes);
+        let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
+        'outer: for (i, c) in cubes.iter().enumerate() {
+            for (j, d) in cubes.iter().enumerate() {
+                if i != j && d.covers(c) && (!c.covers(d) || j < i) {
+                    continue 'outer;
+                }
+            }
+            kept.push(*c);
+        }
+        self.cubes = kept;
+    }
+
+    /// Mask of variables appearing in any cube.
+    #[must_use]
+    pub fn support_mask(&self) -> u64 {
+        self.cubes.iter().fold(0, |m, c| m | c.support_mask())
+    }
+
+    /// Algebraic division of this SOP by a divisor SOP: returns
+    /// `(quotient, remainder)` with `self = divisor·quotient + remainder`
+    /// as algebraic expressions.
+    ///
+    /// This is the weak (algebraic) division used by kernel-based factoring;
+    /// the quotient is empty if the divisor does not algebraically divide
+    /// this expression.
+    #[must_use]
+    pub fn algebraic_divide(&self, divisor: &Sop) -> (Sop, Sop) {
+        if divisor.is_empty() {
+            return (Sop::zero(self.vars), self.clone());
+        }
+        // For each divisor cube, the candidate quotient cubes.
+        let mut candidates: Vec<Vec<Cube>> = Vec::with_capacity(divisor.cubes.len());
+        for d in &divisor.cubes {
+            let quots: Vec<Cube> = self
+                .cubes
+                .iter()
+                .filter_map(|c| c.divide(d))
+                .collect();
+            if quots.is_empty() {
+                return (Sop::zero(self.vars), self.clone());
+            }
+            candidates.push(quots);
+        }
+        // Quotient = intersection of all candidate sets.
+        let mut quotient: Vec<Cube> = candidates[0].clone();
+        for set in &candidates[1..] {
+            quotient.retain(|q| set.contains(q));
+        }
+        if quotient.is_empty() {
+            return (Sop::zero(self.vars), self.clone());
+        }
+        // Remainder = self minus divisor×quotient cubes.
+        let mut product: Vec<Cube> = Vec::new();
+        for d in &divisor.cubes {
+            for q in &quotient {
+                if let Some(p) = d.intersect(q) {
+                    product.push(p);
+                }
+            }
+        }
+        let remainder: Vec<Cube> = self
+            .cubes
+            .iter()
+            .copied()
+            .filter(|c| !product.contains(c))
+            .collect();
+        (
+            Sop::from_cubes(self.vars, quotient),
+            Sop::from_cubes(self.vars, remainder),
+        )
+    }
+}
+
+impl fmt::Debug for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Cube> for Sop {
+    /// Collects cubes into an SOP over 64 variables (the most permissive
+    /// arity); use [`Sop::from_cubes`] when the arity matters.
+    fn from_iter<T: IntoIterator<Item = Cube>>(iter: T) -> Self {
+        Sop {
+            vars: 64,
+            cubes: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_tt_agree() {
+        let f = Sop::from_cubes(4, vec![Cube::new(0b0011, 0), Cube::new(0b1000, 0b0100)]);
+        let tt = f.to_tt();
+        for m in 0..16u64 {
+            assert_eq!(f.eval(m), tt.eval(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn from_tt_minterms_roundtrip() {
+        let tt = TruthTable::from_fn(5, |m| (m * 7) % 5 == 1);
+        let sop = Sop::from_tt_minterms(&tt);
+        assert_eq!(sop.to_tt(), tt);
+        assert_eq!(sop.cube_count() as u64, tt.count_ones());
+    }
+
+    #[test]
+    fn containment_removal() {
+        let mut f = Sop::from_cubes(
+            3,
+            vec![
+                Cube::new(0b001, 0),        // x0
+                Cube::new(0b011, 0),        // x0·x1  (contained)
+                Cube::new(0b011, 0),        // duplicate (contained)
+                Cube::new(0b100, 0b010),    // x2·!x1
+            ],
+        );
+        let tt = f.to_tt();
+        f.remove_contained();
+        assert_eq!(f.cube_count(), 2);
+        assert_eq!(f.to_tt(), tt);
+    }
+
+    #[test]
+    fn algebraic_division_basic() {
+        // f = a·c + a·d + b·c + b·d + e  (vars a=0,b=1,c=2,d=3,e=4)
+        let f = Sop::from_cubes(
+            5,
+            vec![
+                Cube::new(0b00101, 0),
+                Cube::new(0b01001, 0),
+                Cube::new(0b00110, 0),
+                Cube::new(0b01010, 0),
+                Cube::new(0b10000, 0),
+            ],
+        );
+        // divisor = a + b
+        let d = Sop::from_cubes(5, vec![Cube::new(0b1, 0), Cube::new(0b10, 0)]);
+        let (q, r) = f.algebraic_divide(&d);
+        // quotient = c + d
+        let mut qc: Vec<Cube> = q.cubes().to_vec();
+        qc.sort();
+        assert_eq!(qc, vec![Cube::new(0b00100, 0), Cube::new(0b01000, 0)]);
+        assert_eq!(r.cubes(), &[Cube::new(0b10000, 0)]);
+    }
+
+    #[test]
+    fn division_failure_gives_self_as_remainder() {
+        let f = Sop::from_cubes(3, vec![Cube::new(0b001, 0)]);
+        let d = Sop::from_cubes(3, vec![Cube::new(0b010, 0)]);
+        let (q, r) = f.algebraic_divide(&d);
+        assert!(q.is_empty());
+        assert_eq!(r, f);
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Sop::zero(4).to_tt().is_zero());
+        assert!(Sop::one(4).to_tt().is_one());
+    }
+}

@@ -1,0 +1,602 @@
+//! Bit-packed complete truth tables.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// Maximum number of variables a [`TruthTable`] may have.
+///
+/// `2^22` bits is 512 KiB per table, which keeps even the widest benchmark
+/// specification cones affordable while still covering every cone the
+/// synthesis flow collapses.
+pub const MAX_TT_VARS: usize = 22;
+
+/// A complete truth table over `vars` input variables, bit-packed into
+/// 64-bit words.
+///
+/// Bit `m` of the table is the function value for the input assignment whose
+/// binary encoding is `m` (variable 0 is the least-significant bit of `m`).
+/// For `vars < 6` only the low `2^vars` bits of the single word are
+/// meaningful; all operations keep the unused high bits at zero so that
+/// equality and hashing are structural.
+///
+/// # Example
+///
+/// ```
+/// use powder_logic::TruthTable;
+///
+/// let a = TruthTable::var(0, 2);
+/// let b = TruthTable::var(1, 2);
+/// let and = a.clone() & b.clone();
+/// assert_eq!(and.eval(0b11), true);
+/// assert_eq!(and.eval(0b01), false);
+/// assert_eq!((a | b).count_ones(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    vars: usize,
+    words: Vec<u64>,
+}
+
+/// Pre-computed cofactor masks for variables 0..6 within a single word.
+const VAR_MASKS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+impl TruthTable {
+    fn word_count(vars: usize) -> usize {
+        if vars <= 6 {
+            1
+        } else {
+            1 << (vars - 6)
+        }
+    }
+
+    fn used_mask(vars: usize) -> u64 {
+        if vars >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1 << vars)) - 1
+        }
+    }
+
+    fn assert_vars(vars: usize) {
+        assert!(
+            vars <= MAX_TT_VARS,
+            "truth table limited to {MAX_TT_VARS} variables, got {vars}"
+        );
+    }
+
+    /// The constant-0 function over `vars` variables.
+    #[must_use]
+    pub fn zero(vars: usize) -> Self {
+        Self::assert_vars(vars);
+        TruthTable {
+            vars,
+            words: vec![0; Self::word_count(vars)],
+        }
+    }
+
+    /// The constant-1 function over `vars` variables.
+    #[must_use]
+    pub fn one(vars: usize) -> Self {
+        Self::assert_vars(vars);
+        let mut words = vec![u64::MAX; Self::word_count(vars)];
+        words[0] = Self::used_mask(vars);
+        if vars < 6 {
+            words[0] = Self::used_mask(vars);
+        }
+        TruthTable { vars, words }
+    }
+
+    /// The projection function of variable `index` over `vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= vars` or `vars > MAX_TT_VARS`.
+    #[must_use]
+    pub fn var(index: usize, vars: usize) -> Self {
+        Self::assert_vars(vars);
+        assert!(index < vars, "variable {index} out of range for {vars} vars");
+        let n = Self::word_count(vars);
+        let mut words = vec![0u64; n];
+        if index < 6 {
+            let pat = VAR_MASKS[index] & Self::used_mask(vars);
+            for w in &mut words {
+                *w = pat;
+            }
+            if vars < 6 {
+                words[0] = VAR_MASKS[index] & Self::used_mask(vars);
+            }
+        } else {
+            let stride = 1usize << (index - 6);
+            for (i, w) in words.iter_mut().enumerate() {
+                if (i / stride) % 2 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        TruthTable { vars, words }
+    }
+
+    /// Builds a table by evaluating `f` on every input assignment.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use powder_logic::TruthTable;
+    /// // 3-input majority
+    /// let maj = TruthTable::from_fn(3, |m| (m.count_ones() >= 2));
+    /// assert_eq!(maj.count_ones(), 4);
+    /// ```
+    #[must_use]
+    pub fn from_fn(vars: usize, mut f: impl FnMut(u64) -> bool) -> Self {
+        Self::assert_vars(vars);
+        let mut tt = Self::zero(vars);
+        for m in 0..(1u64 << vars) {
+            if f(m) {
+                tt.set(m, true);
+            }
+        }
+        tt
+    }
+
+    /// Number of input variables.
+    #[must_use]
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Number of minterms (input assignments mapped to 1).
+    #[must_use]
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Total number of input assignments, `2^vars`.
+    #[must_use]
+    pub fn num_minterms(&self) -> u64 {
+        1u64 << self.vars
+    }
+
+    /// The fraction of assignments on which the function is 1.
+    ///
+    /// Used as the signal probability of a cell output when all inputs are
+    /// independent and uniform.
+    #[must_use]
+    pub fn ones_fraction(&self) -> f64 {
+        self.count_ones() as f64 / self.num_minterms() as f64
+    }
+
+    /// Evaluates the function on the assignment encoded by `minterm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minterm >= 2^vars`.
+    #[must_use]
+    pub fn eval(&self, minterm: u64) -> bool {
+        assert!(minterm < self.num_minterms(), "minterm out of range");
+        let word = (minterm >> 6) as usize;
+        let bit = minterm & 63;
+        (self.words[word] >> bit) & 1 == 1
+    }
+
+    /// Sets the function value for one input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `minterm >= 2^vars`.
+    pub fn set(&mut self, minterm: u64, value: bool) {
+        assert!(minterm < self.num_minterms(), "minterm out of range");
+        let word = (minterm >> 6) as usize;
+        let bit = minterm & 63;
+        if value {
+            self.words[word] |= 1u64 << bit;
+        } else {
+            self.words[word] &= !(1u64 << bit);
+        }
+    }
+
+    /// True if the function is constant 0.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if the function is constant 1.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        *self == Self::one(self.vars)
+    }
+
+    /// True if the function depends on variable `index` (i.e. the two
+    /// cofactors differ).
+    #[must_use]
+    pub fn depends_on(&self, index: usize) -> bool {
+        self.cofactor(index, false) != self.cofactor(index, true)
+    }
+
+    /// The support of the function: indices of all variables it depends on.
+    #[must_use]
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.vars).filter(|&i| self.depends_on(i)).collect()
+    }
+
+    /// The cofactor of the function with variable `index` fixed to `value`,
+    /// expressed over the *same* variable set (the fixed variable becomes
+    /// irrelevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= vars`.
+    #[must_use]
+    pub fn cofactor(&self, index: usize, value: bool) -> Self {
+        assert!(index < self.vars, "variable out of range");
+        let mut out = self.clone();
+        if index < 6 {
+            let mask = VAR_MASKS[index];
+            let shift = 1u32 << index;
+            for w in &mut out.words {
+                if value {
+                    let hi = *w & mask;
+                    *w = hi | (hi >> shift);
+                } else {
+                    let lo = *w & !mask;
+                    *w = lo | (lo << shift);
+                }
+            }
+            out.words[0] &= Self::used_mask(self.vars);
+            if self.vars < 6 {
+                out.words[0] &= Self::used_mask(self.vars);
+            }
+        } else {
+            let stride = 1usize << (index - 6);
+            let n = out.words.len();
+            for block in (0..n).step_by(2 * stride) {
+                for k in 0..stride {
+                    let src = if value { block + stride + k } else { block + k };
+                    let v = out.words[src];
+                    out.words[block + k] = v;
+                    out.words[block + stride + k] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Existential quantification: `∃ x_index . f`.
+    #[must_use]
+    pub fn exists(&self, index: usize) -> Self {
+        self.cofactor(index, false) | self.cofactor(index, true)
+    }
+
+    /// Returns a new table with the input variables permuted: input `i` of
+    /// the result corresponds to input `perm[i]` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != vars` or `perm` is not a permutation.
+    #[must_use]
+    pub fn permute(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.vars, "permutation length mismatch");
+        let mut seen = vec![false; self.vars];
+        for &p in perm {
+            assert!(p < self.vars && !seen[p], "invalid permutation");
+            seen[p] = true;
+        }
+        let mut out = Self::zero(self.vars);
+        for m in 0..self.num_minterms() {
+            if self.eval(Self::permute_minterm(m, perm)) {
+                out.set(m, true);
+            }
+        }
+        out
+    }
+
+    fn permute_minterm(m: u64, perm: &[usize]) -> u64 {
+        let mut src = 0u64;
+        for (i, &p) in perm.iter().enumerate() {
+            if (m >> i) & 1 == 1 {
+                src |= 1u64 << p;
+            }
+        }
+        src
+    }
+
+    /// Extends the table to `new_vars` variables; the added variables are
+    /// don't-cares (the function does not depend on them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_vars < vars` or `new_vars > MAX_TT_VARS`.
+    #[must_use]
+    pub fn extend_to(&self, new_vars: usize) -> Self {
+        assert!(new_vars >= self.vars, "cannot shrink a truth table");
+        Self::assert_vars(new_vars);
+        let mut out = Self::zero(new_vars);
+        let low_mask = self.num_minterms() - 1;
+        for m in 0..out.num_minterms() {
+            if self.eval(m & low_mask) {
+                out.set(m, true);
+            }
+        }
+        out
+    }
+
+    /// Shrinks the table to only the variables in `keep` (which must contain
+    /// the whole support). Variable `i` of the result is `keep[i]` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function depends on a variable outside `keep`.
+    #[must_use]
+    pub fn project(&self, keep: &[usize]) -> Self {
+        for v in self.support() {
+            assert!(keep.contains(&v), "support variable {v} not kept");
+        }
+        let mut out = Self::zero(keep.len());
+        for m in 0..out.num_minterms() {
+            let mut src = 0u64;
+            for (i, &k) in keep.iter().enumerate() {
+                if (m >> i) & 1 == 1 {
+                    src |= 1u64 << k;
+                }
+            }
+            if self.eval(src) {
+                out.set(m, true);
+            }
+        }
+        out
+    }
+
+    /// Iterator over all minterms (assignments mapped to 1).
+    pub fn minterms(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.num_minterms()).filter(move |&m| self.eval(m))
+    }
+
+    /// Composes this function with sub-functions: `self(g_0, ..., g_{k-1})`
+    /// where each `g_i` is a table over the same `inner_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs.len() != self.vars()` or the subs disagree on their
+    /// variable count.
+    #[must_use]
+    pub fn compose(&self, subs: &[TruthTable]) -> TruthTable {
+        assert_eq!(subs.len(), self.vars, "need one sub-function per input");
+        if subs.is_empty() {
+            return if self.eval(0) {
+                TruthTable::one(0)
+            } else {
+                TruthTable::zero(0)
+            };
+        }
+        let inner = subs[0].vars;
+        let mut acc = TruthTable::zero(inner);
+        for m in self.minterms() {
+            let mut term = TruthTable::one(inner);
+            for (i, sub) in subs.iter().enumerate() {
+                assert_eq!(sub.vars, inner, "sub-function arity mismatch");
+                if (m >> i) & 1 == 1 {
+                    term = term & sub.clone();
+                } else {
+                    term = term & !sub.clone();
+                }
+            }
+            acc = acc | term;
+        }
+        acc
+    }
+
+    /// The raw words backing the table (low bit of word 0 is minterm 0).
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} vars: ", self.vars)?;
+        if self.vars <= 6 {
+            write!(f, "{:0width$b}", self.words[0], width = 1 << self.vars)?;
+        } else {
+            write!(f, "{} words", self.words.len())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Not for TruthTable {
+    type Output = TruthTable;
+    fn not(mut self) -> TruthTable {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.words[0] &= Self::used_mask(self.vars);
+        if self.vars < 6 {
+            self.words[0] &= Self::used_mask(self.vars);
+        }
+        self
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for TruthTable {
+            type Output = TruthTable;
+            fn $method(mut self, rhs: TruthTable) -> TruthTable {
+                assert_eq!(self.vars, rhs.vars, "truth table arity mismatch");
+                for (a, b) in self.words.iter_mut().zip(rhs.words.iter()) {
+                    *a = *a $op *b;
+                }
+                self
+            }
+        }
+        impl $trait<&TruthTable> for &TruthTable {
+            type Output = TruthTable;
+            fn $method(self, rhs: &TruthTable) -> TruthTable {
+                assert_eq!(self.vars, rhs.vars, "truth table arity mismatch");
+                let mut out = self.clone();
+                for (a, b) in out.words.iter_mut().zip(rhs.words.iter()) {
+                    *a = *a $op *b;
+                }
+                out
+            }
+        }
+    };
+}
+
+impl_binop!(BitAnd, bitand, &);
+impl_binop!(BitOr, bitor, |);
+impl_binop!(BitXor, bitxor, ^);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        for n in 0..10 {
+            assert!(TruthTable::zero(n).is_zero());
+            assert!(TruthTable::one(n).is_one());
+            assert_eq!(TruthTable::one(n).count_ones(), 1 << n);
+        }
+    }
+
+    #[test]
+    fn var_projection_small_and_large() {
+        for n in [1, 3, 6, 8] {
+            for i in 0..n {
+                let v = TruthTable::var(i, n);
+                for m in 0..(1u64 << n) {
+                    assert_eq!(v.eval(m), (m >> i) & 1 == 1, "n={n} i={i} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_ops_match_bitwise_semantics() {
+        let a = TruthTable::var(0, 4);
+        let b = TruthTable::var(2, 4);
+        let f = (a.clone() & b.clone()) | (!a.clone() ^ b.clone());
+        for m in 0..16u64 {
+            let av = (m >> 0) & 1 == 1;
+            let bv = (m >> 2) & 1 == 1;
+            assert_eq!(f.eval(m), (av && bv) || (!av != bv));
+        }
+    }
+
+    #[test]
+    fn cofactor_small_var() {
+        let f = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        let c1 = f.cofactor(1, true);
+        for m in 0..8u64 {
+            assert_eq!(c1.eval(m), (m | 0b010).count_ones() >= 2);
+        }
+        let c0 = f.cofactor(1, false);
+        for m in 0..8u64 {
+            assert_eq!(c0.eval(m), (m & !0b010u64).count_ones() >= 2);
+        }
+    }
+
+    #[test]
+    fn cofactor_large_var() {
+        let f = TruthTable::from_fn(8, |m| (m * 2654435761) % 3 == 0);
+        for idx in [6, 7] {
+            for val in [false, true] {
+                let c = f.cofactor(idx, val);
+                for m in 0..256u64 {
+                    let fixed = if val { m | (1 << idx) } else { m & !(1u64 << idx) };
+                    assert_eq!(c.eval(m), f.eval(fixed), "idx={idx} val={val} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_and_dependence() {
+        let f = TruthTable::var(1, 5) ^ TruthTable::var(3, 5);
+        assert_eq!(f.support(), vec![1, 3]);
+        assert!(!f.depends_on(0));
+        assert!(f.depends_on(3));
+    }
+
+    #[test]
+    fn permute_swaps_inputs() {
+        // f = x0 & !x1
+        let f = TruthTable::var(0, 2) & !TruthTable::var(1, 2);
+        let g = f.permute(&[1, 0]); // g(x0,x1) = f(x1,x0) = x1 & !x0
+        assert_eq!(g, TruthTable::var(1, 2) & !TruthTable::var(0, 2));
+    }
+
+    #[test]
+    fn extend_and_project_roundtrip() {
+        let f = TruthTable::from_fn(3, |m| m == 5 || m == 2);
+        let wide = f.extend_to(6);
+        assert_eq!(wide.support(), f.support());
+        let back = wide.project(&[0, 1, 2]);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn project_reorders() {
+        // f over vars {1,3}: x1 | x3
+        let f = TruthTable::var(1, 4) | TruthTable::var(3, 4);
+        let p = f.project(&[3, 1]);
+        // result var0 = old var3, var1 = old var1
+        assert_eq!(p, TruthTable::var(0, 2) | TruthTable::var(1, 2));
+    }
+
+    #[test]
+    fn compose_builds_nested_function() {
+        // outer = AND2, inner subs = (x0 | x1, x2)
+        let and2 = TruthTable::var(0, 2) & TruthTable::var(1, 2);
+        let s0 = TruthTable::var(0, 3) | TruthTable::var(1, 3);
+        let s1 = TruthTable::var(2, 3);
+        let f = and2.compose(&[s0, s1]);
+        for m in 0..8u64 {
+            let expect = ((m & 1 != 0) || (m & 2 != 0)) && (m & 4 != 0);
+            assert_eq!(f.eval(m), expect);
+        }
+    }
+
+    #[test]
+    fn exists_quantification() {
+        let f = TruthTable::var(0, 2) & TruthTable::var(1, 2);
+        let e = f.exists(0);
+        assert_eq!(e, TruthTable::var(1, 2));
+    }
+
+    #[test]
+    fn ones_fraction_probability() {
+        let maj = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        assert!((maj.ones_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn binop_arity_mismatch_panics() {
+        let _ = TruthTable::var(0, 2) & TruthTable::var(0, 3);
+    }
+
+    #[test]
+    fn zero_var_tables() {
+        let z = TruthTable::zero(0);
+        let o = TruthTable::one(0);
+        assert!(!z.eval(0));
+        assert!(o.eval(0));
+        assert_eq!(o.count_ones(), 1);
+    }
+}

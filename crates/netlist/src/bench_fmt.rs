@@ -1,0 +1,443 @@
+//! Reader/writer for the ISCAS `.bench` netlist format.
+//!
+//! `.bench` describes plain Boolean structure (`f = AND(a, b, c)`) with no
+//! cell binding, so:
+//!
+//! * [`read_bench`] *maps while parsing*: each n-ary operator is matched
+//!   against the target library (decomposing into binary chains when the
+//!   library lacks the arity);
+//! * [`write_bench`] expands each mapped cell into AND/OR/NOT primitives
+//!   via its sum-of-products, introducing internal nets — the output is
+//!   functionally, not structurally, equivalent to the input netlist.
+//!
+//! Sequential elements (`DFF`) are rejected: this reproduction is purely
+//! combinational, like the paper's circuits.
+
+use crate::netlist::{GateId, GateKind, Netlist};
+use powder_library::Library;
+use powder_logic::{minimize, TruthTable};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Error produced while parsing `.bench` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bench line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBenchError {}
+
+/// N-ary Boolean operator of the `.bench` vocabulary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BenchOp {
+    And,
+    Nand,
+    Or,
+    Nor,
+    Xor,
+    Xnor,
+    Not,
+    Buff,
+}
+
+impl BenchOp {
+    fn parse(s: &str) -> Option<BenchOp> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Some(BenchOp::And),
+            "NAND" => Some(BenchOp::Nand),
+            "OR" => Some(BenchOp::Or),
+            "NOR" => Some(BenchOp::Nor),
+            "XOR" => Some(BenchOp::Xor),
+            "XNOR" => Some(BenchOp::Xnor),
+            "NOT" => Some(BenchOp::Not),
+            "BUF" | "BUFF" => Some(BenchOp::Buff),
+            _ => None,
+        }
+    }
+
+    /// The operator's function over `k` operands.
+    fn function(self, k: usize) -> TruthTable {
+        let acc = |init: TruthTable, f: fn(TruthTable, TruthTable) -> TruthTable| {
+            (1..k).fold(init, |a, i| f(a, TruthTable::var(i, k)))
+        };
+        let v0 = TruthTable::var(0, k);
+        match self {
+            BenchOp::And => acc(v0, |a, b| a & b),
+            BenchOp::Nand => !acc(v0, |a, b| a & b),
+            BenchOp::Or => acc(v0, |a, b| a | b),
+            BenchOp::Nor => !acc(v0, |a, b| a | b),
+            BenchOp::Xor => acc(v0, |a, b| a ^ b),
+            BenchOp::Xnor => !acc(v0, |a, b| a ^ b),
+            BenchOp::Not => !v0,
+            BenchOp::Buff => v0,
+        }
+    }
+}
+
+/// Instantiates `op` over `args`, mapping onto library cells (binary
+/// chains where the arity is missing).
+fn build_op(
+    nl: &mut Netlist,
+    lib: &Arc<Library>,
+    op: BenchOp,
+    args: &[GateId],
+    net: &str,
+) -> Result<GateId, String> {
+    let instantiate = |nl: &mut Netlist, tt: &TruthTable, ins: &[GateId], name: &str| {
+        lib.match_function(tt).map(|m| {
+            let fanins: Vec<GateId> = m.perm.iter().map(|&i| ins[i]).collect();
+            nl.add_cell(name, m.cell, &fanins)
+        })
+    };
+    // Direct n-ary match first.
+    let tt = op.function(args.len());
+    if let Some(g) = instantiate(nl, &tt, args, net) {
+        return Ok(g);
+    }
+    // Fall back to a chain of the binary base op, with one polarity fix.
+    let (base, invert_out) = match op {
+        BenchOp::And | BenchOp::Nand => (BenchOp::And, op == BenchOp::Nand),
+        BenchOp::Or | BenchOp::Nor => (BenchOp::Or, op == BenchOp::Nor),
+        BenchOp::Xor | BenchOp::Xnor => (BenchOp::Xor, op == BenchOp::Xnor),
+        BenchOp::Not | BenchOp::Buff => {
+            return Err(format!("library cannot express {op:?}"));
+        }
+    };
+    let base2 = base.function(2);
+    let mut acc = args[0];
+    for (i, &x) in args.iter().enumerate().skip(1) {
+        let name = format!("{net}_c{i}");
+        acc = instantiate(nl, &base2, &[acc, x], &name)
+            .ok_or_else(|| format!("library lacks a binary {base:?}"))?;
+    }
+    if invert_out {
+        let inv = !TruthTable::var(0, 1);
+        acc = instantiate(nl, &inv, &[acc], &format!("{net}_n"))
+            .ok_or_else(|| "library lacks an inverter".to_string())?;
+    }
+    Ok(acc)
+}
+
+/// Parses ISCAS `.bench` text, mapping it onto `library`.
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on syntax errors, undriven nets, sequential
+/// elements, or operators the library cannot express.
+pub fn read_bench(src: &str, library: Arc<Library>) -> Result<Netlist, ParseBenchError> {
+    let err = |line: usize, message: String| ParseBenchError { line, message };
+    let mut nl = Netlist::new("bench", library.clone());
+    let mut nets: HashMap<String, GateId> = HashMap::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    struct Pending {
+        line: usize,
+        net: String,
+        op: BenchOp,
+        args: Vec<String>,
+    }
+    let mut pending: Vec<Pending> = Vec::new();
+
+    for (lineno0, raw) in src.lines().enumerate() {
+        let lineno = lineno0 + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let upper = line.to_ascii_uppercase();
+        if let Some(rest) = upper.strip_prefix("INPUT") {
+            let name = rest.trim().trim_matches(|c| c == '(' || c == ')').trim();
+            // keep original case from the raw line
+            let orig = line[line.find('(').unwrap_or(0) + 1..line.rfind(')').unwrap_or(line.len())]
+                .trim()
+                .to_string();
+            if orig.is_empty() || name.is_empty() {
+                return Err(err(lineno, "malformed INPUT(...)".into()));
+            }
+            let id = nl.add_input(orig.clone());
+            nets.insert(orig, id);
+        } else if upper.starts_with("OUTPUT") {
+            let orig = line[line.find('(').map(|i| i + 1).unwrap_or(0)
+                ..line.rfind(')').unwrap_or(line.len())]
+                .trim()
+                .to_string();
+            if orig.is_empty() {
+                return Err(err(lineno, "malformed OUTPUT(...)".into()));
+            }
+            outputs.push((lineno, orig));
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let net = lhs.trim().to_string();
+            let rhs = rhs.trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| err(lineno, format!("expected op(args) after {net} =")))?;
+            let opname = rhs[..open].trim();
+            if opname.eq_ignore_ascii_case("DFF") {
+                return Err(err(lineno, "sequential element DFF is unsupported".into()));
+            }
+            let op = BenchOp::parse(opname)
+                .ok_or_else(|| err(lineno, format!("unknown operator {opname:?}")))?;
+            let inner = rhs[open + 1..rhs.rfind(')').unwrap_or(rhs.len())].trim();
+            let args: Vec<String> = inner
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if args.is_empty() {
+                return Err(err(lineno, format!("operator {opname} needs operands")));
+            }
+            pending.push(Pending {
+                line: lineno,
+                net,
+                op,
+                args,
+            });
+        } else {
+            return Err(err(lineno, format!("unparseable line {line:?}")));
+        }
+    }
+
+    // Nets that are also primary outputs: their driver gate takes a
+    // decorated name so the PO pseudo-gate can keep the declared one.
+    let output_names: std::collections::HashSet<&str> =
+        outputs.iter().map(|(_, n)| n.as_str()).collect();
+    // Resolve assignments iteratively (nets may be used before defined).
+    let mut remaining = pending;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        let mut still = Vec::new();
+        for p in remaining {
+            let resolved: Option<Vec<GateId>> =
+                p.args.iter().map(|a| nets.get(a).copied()).collect();
+            match resolved {
+                Some(args) => {
+                    let gate_name = if output_names.contains(p.net.as_str()) {
+                        format!("{}__drv", p.net)
+                    } else {
+                        p.net.clone()
+                    };
+                    let g = build_op(&mut nl, &library, p.op, &args, &gate_name)
+                        .map_err(|m| err(p.line, m))?;
+                    if nets.insert(p.net.clone(), g).is_some() {
+                        return Err(err(p.line, format!("net {:?} driven twice", p.net)));
+                    }
+                }
+                None => still.push(p),
+            }
+        }
+        if still.len() == before {
+            let p = &still[0];
+            return Err(err(
+                p.line,
+                format!("undriven operand among {:?} (or a cycle)", p.args),
+            ));
+        }
+        remaining = still;
+    }
+
+    for (line, name) in outputs {
+        let &src = nets
+            .get(&name)
+            .ok_or_else(|| err(line, format!("output net {name:?} is undriven")))?;
+        nl.add_output(name, src);
+    }
+    Ok(nl)
+}
+
+/// Serialises a netlist as `.bench`, expanding each cell into
+/// AND/OR/NOT primitives over internal nets via its SOP.
+#[must_use]
+pub fn write_bench(nl: &Netlist) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# {} (written by powder)", nl.name());
+    for &pi in nl.inputs() {
+        let _ = writeln!(s, "INPUT({})", nl.gate_name(pi));
+    }
+    for &po in nl.outputs() {
+        let _ = writeln!(s, "OUTPUT({})", nl.gate_name(po));
+    }
+    // A stem feeding exactly one PO takes the PO's name; other POs get an
+    // explicit BUFF alias at the end.
+    let mut net_name: HashMap<GateId, String> = HashMap::new();
+    let mut aliased: Vec<GateId> = Vec::new();
+    for &po in nl.outputs() {
+        let src = nl.fanins(po)[0];
+        let sole = nl.fanouts(src).len() == 1 && !matches!(nl.kind(src), GateKind::Input);
+        if sole && !net_name.contains_key(&src) {
+            net_name.insert(src, nl.gate_name(po).to_string());
+        } else {
+            aliased.push(po);
+        }
+    }
+    let name_of = |nl: &Netlist, net_name: &HashMap<GateId, String>, g: GateId| -> String {
+        net_name
+            .get(&g)
+            .cloned()
+            .unwrap_or_else(|| nl.gate_name(g).to_string())
+    };
+    for g in nl.topo_order() {
+        match nl.kind(g) {
+            GateKind::Input | GateKind::Output => {}
+            GateKind::Const(v) => {
+                // .bench has no constants; emit x AND NOT(x) over the first
+                // input, or x OR NOT(x) for constant one.
+                let pi = nl
+                    .inputs()
+                    .first()
+                    .map(|&p| nl.gate_name(p).to_string())
+                    .unwrap_or_else(|| "gnd".into());
+                let name = name_of(nl, &net_name, g);
+                let _ = writeln!(s, "{name}_n = NOT({pi})");
+                if v {
+                    let _ = writeln!(s, "{name} = OR({pi}, {name}_n)");
+                } else {
+                    let _ = writeln!(s, "{name} = AND({pi}, {name}_n)");
+                }
+            }
+            GateKind::Cell(c) => {
+                let cell = nl.library().cell_ref(c);
+                let name = name_of(nl, &net_name, g);
+                let ins: Vec<String> = nl
+                    .fanins(g)
+                    .iter()
+                    .map(|&f| name_of(nl, &net_name, f))
+                    .collect();
+                // Fast paths for single-op cells.
+                let sop = minimize::minimize(&cell.function);
+                let mut terms: Vec<String> = Vec::new();
+                let mut aux = 0usize;
+                for cube in sop.cubes() {
+                    let mut lits: Vec<String> = Vec::new();
+                    for (v, input) in ins.iter().enumerate() {
+                        match cube.literal(v) {
+                            Some(true) => lits.push(input.clone()),
+                            Some(false) => {
+                                let lname = format!("{name}_i{aux}");
+                                aux += 1;
+                                let _ = writeln!(s, "{lname} = NOT({input})");
+                                lits.push(lname);
+                            }
+                            None => {}
+                        }
+                    }
+                    match lits.len() {
+                        0 => terms.push(String::new()), // constant-one cube
+                        1 => terms.push(lits.remove(0)),
+                        _ => {
+                            let tname = format!("{name}_t{aux}");
+                            aux += 1;
+                            let _ = writeln!(s, "{tname} = AND({})", lits.join(", "));
+                            terms.push(tname);
+                        }
+                    }
+                }
+                match terms.len() {
+                    1 => {
+                        let t = &terms[0];
+                        let _ = writeln!(s, "{name} = BUFF({t})");
+                    }
+                    _ => {
+                        let _ = writeln!(s, "{name} = OR({})", terms.join(", "));
+                    }
+                }
+            }
+        }
+    }
+    for po in aliased {
+        let src = nl.fanins(po)[0];
+        let _ = writeln!(
+            s,
+            "{} = BUFF({})",
+            nl.gate_name(po),
+            name_of(nl, &net_name, src)
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+
+    #[test]
+    fn parses_simple_bench() {
+        let lib = Arc::new(lib2());
+        let src = "\
+# c17-ish
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(f)
+t1 = NAND(a, b)
+t2 = NOR(b, c)
+f = XOR(t1, t2)
+";
+        let nl = read_bench(src, lib).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.inputs().len(), 3);
+        assert_eq!(nl.outputs().len(), 1);
+        assert!(nl.cell_count() >= 3);
+    }
+
+    #[test]
+    fn wide_ops_decompose() {
+        let lib = Arc::new(lib2());
+        // lib2 tops out at 4-input AND; a 6-way AND needs a chain.
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(g)
+OUTPUT(f)
+f = AND(a, b, c, d, e, g)
+";
+        let nl = read_bench(src, lib).unwrap();
+        nl.validate().unwrap();
+        assert!(nl.cell_count() >= 2);
+    }
+
+    #[test]
+    fn rejects_dff_and_garbage() {
+        let lib = Arc::new(lib2());
+        assert!(read_bench("q = DFF(d)", lib.clone()).unwrap_err().message.contains("DFF"));
+        assert!(read_bench("nonsense line", lib.clone()).is_err());
+        assert!(read_bench("f = FROB(a)", lib.clone()).is_err());
+        assert!(read_bench("OUTPUT(f)\n", lib).is_err());
+    }
+
+    #[test]
+    fn out_of_order_definitions_resolve() {
+        let lib = Arc::new(lib2());
+        let src = "\
+INPUT(a)
+OUTPUT(f)
+f = NOT(t)
+t = NOT(a)
+";
+        let nl = read_bench(src, lib).unwrap();
+        assert_eq!(nl.cell_count(), 2);
+    }
+
+    #[test]
+    fn writer_emits_interface_and_structure() {
+        let lib = Arc::new(lib2());
+        let xor2 = lib.find_by_name("xor2").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_cell("g", xor2, &[a, b]);
+        nl.add_output("f", g);
+        let text = write_bench(&nl);
+        assert!(text.contains("INPUT(a)"));
+        assert!(text.contains("OUTPUT(f)"));
+        assert!(text.contains("= AND(") || text.contains("= OR("));
+    }
+}

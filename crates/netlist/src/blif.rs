@@ -1,0 +1,377 @@
+//! Reader/writer for a mapped-netlist subset of the BLIF format.
+//!
+//! Only the constructs needed to exchange *mapped* circuits are supported:
+//! `.model`, `.inputs`, `.outputs`, `.gate <cell> pin=net ... O=net`,
+//! constants via `.names` with zero inputs, and `.end`. This mirrors how
+//! SIS-era tools dumped technology-mapped netlists.
+
+use crate::netlist::{GateId, GateKind, Netlist};
+use powder_library::Library;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Error produced while parsing mapped BLIF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBlifError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blif line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBlifError {}
+
+/// Serialises a netlist as mapped BLIF.
+///
+/// Every live cell instance becomes a `.gate` line; the net names are the
+/// gate names of the drivers.
+#[must_use]
+pub fn write_blif(nl: &Netlist) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, ".model {}", nl.name());
+    let inputs: Vec<&str> = nl.inputs().iter().map(|&i| nl.gate_name(i)).collect();
+    let _ = writeln!(s, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<&str> = nl.outputs().iter().map(|&o| nl.gate_name(o)).collect();
+    let _ = writeln!(s, ".outputs {}", outputs.join(" "));
+    // Net naming: a stem that feeds exactly one PO takes the PO's name so no
+    // alias is needed; other stems keep the gate name. POs whose driver net
+    // ends up with a different name get an explicit buffer gate.
+    let mut net_name: HashMap<GateId, String> = HashMap::new();
+    let mut aliased: Vec<GateId> = Vec::new();
+    for &o in nl.outputs() {
+        let src = nl.fanins(o)[0];
+        let sole_po_sink = nl.fanouts(src).len() == 1
+            && !matches!(nl.kind(src), GateKind::Input | GateKind::Const(_));
+        if sole_po_sink && !net_name.contains_key(&src) {
+            net_name.insert(src, nl.gate_name(o).to_string());
+        } else {
+            aliased.push(o);
+        }
+    }
+    let name_of = |id: GateId, net_name: &HashMap<GateId, String>| -> String {
+        net_name
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| nl.gate_name(id).to_string())
+    };
+    for id in nl.topo_order() {
+        match nl.kind(id) {
+            GateKind::Cell(c) => {
+                let cell = nl.library().cell_ref(c);
+                let mut line = format!(".gate {}", cell.name);
+                for (pin, &src) in nl.fanins(id).iter().enumerate() {
+                    let _ = write!(
+                        line,
+                        " {}={}",
+                        cell.pins[pin].name,
+                        name_of(src, &net_name)
+                    );
+                }
+                let _ = writeln!(s, "{line} O={}", name_of(id, &net_name));
+            }
+            GateKind::Const(v) => {
+                let _ = writeln!(s, ".names {}", name_of(id, &net_name));
+                if v {
+                    let _ = writeln!(s, "1");
+                }
+            }
+            GateKind::Input | GateKind::Output => {}
+        }
+    }
+    for o in aliased {
+        let src = nl.fanins(o)[0];
+        let _ = writeln!(
+            s,
+            ".gate buf1 a={} O={}",
+            name_of(src, &net_name),
+            nl.gate_name(o)
+        );
+    }
+    s.push_str(".end\n");
+    s
+}
+
+/// Parses mapped BLIF produced by [`write_blif`] (or a compatible tool)
+/// against `library`.
+///
+/// # Errors
+///
+/// Returns [`ParseBlifError`] on unknown cells/pins, undriven nets, or
+/// malformed directives.
+pub fn read_blif(src: &str, library: Arc<Library>) -> Result<Netlist, ParseBlifError> {
+    let err = |line: usize, message: String| ParseBlifError { line, message };
+    let mut model = String::from("blif");
+    let mut input_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    struct GateLine {
+        line: usize,
+        cell: String,
+        conns: Vec<(String, String)>, // (pin, net)
+    }
+    let mut gate_lines: Vec<GateLine> = Vec::new();
+    let mut const_lines: Vec<(usize, String, bool)> = Vec::new();
+
+    // Join continuation lines ending in '\'.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim_end();
+        let (mut text, cont) = match line.strip_suffix('\\') {
+            Some(t) => (t.to_string(), true),
+            None => (line.to_string(), false),
+        };
+        if let Some((start, prev)) = pending.take() {
+            text = format!("{prev} {text}");
+            pending = cont.then_some((start, text.clone()));
+            if pending.is_none() {
+                logical.push((start, text));
+            }
+        } else if cont {
+            pending = Some((i + 1, text));
+        } else if !text.trim().is_empty() {
+            logical.push((i + 1, text));
+        }
+    }
+
+    let mut idx = 0;
+    while idx < logical.len() {
+        let (lineno, line) = &logical[idx];
+        let lineno = *lineno;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        match toks.first().copied() {
+            Some(".model") => {
+                model = toks.get(1).unwrap_or(&"blif").to_string();
+            }
+            Some(".inputs") => {
+                input_names.extend(toks[1..].iter().map(|s| s.to_string()));
+            }
+            Some(".outputs") => {
+                output_names.extend(toks[1..].iter().map(|s| s.to_string()));
+            }
+            Some(".gate") => {
+                let cell = toks
+                    .get(1)
+                    .ok_or_else(|| err(lineno, ".gate missing cell name".into()))?
+                    .to_string();
+                let mut conns = Vec::new();
+                for t in &toks[2..] {
+                    let (pin, net) = t
+                        .split_once('=')
+                        .ok_or_else(|| err(lineno, format!("bad connection {t:?}")))?;
+                    conns.push((pin.to_string(), net.to_string()));
+                }
+                gate_lines.push(GateLine {
+                    line: lineno,
+                    cell,
+                    conns,
+                });
+            }
+            Some(".names") => {
+                // Only constant .names (zero inputs) are supported.
+                if toks.len() != 2 {
+                    return Err(err(lineno, ".names with inputs unsupported in mapped blif".into()));
+                }
+                let net = toks[1].to_string();
+                // A following "1" line marks constant one.
+                let one = logical
+                    .get(idx + 1)
+                    .is_some_and(|(_, l)| l.trim() == "1");
+                if one {
+                    idx += 1;
+                }
+                const_lines.push((lineno, net, one));
+            }
+            Some(".end") => break,
+            Some(other) => {
+                return Err(err(lineno, format!("unsupported directive {other:?}")));
+            }
+            None => {}
+        }
+        idx += 1;
+    }
+
+    let mut nl = Netlist::new(model, library.clone());
+    let output_name_set: std::collections::HashSet<&String> = output_names.iter().collect();
+    let mut net_to_gate: HashMap<String, GateId> = HashMap::new();
+    for name in &input_names {
+        let id = nl.add_input(name.clone());
+        net_to_gate.insert(name.clone(), id);
+    }
+    for (line, net, value) in const_lines {
+        let id = nl.add_const(net.clone(), value);
+        if net_to_gate.insert(net.clone(), id).is_some() {
+            return Err(err(line, format!("net {net:?} driven twice")));
+        }
+    }
+
+    // Gates may reference nets defined later: resolve iteratively.
+    let mut remaining: Vec<GateLine> = gate_lines;
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        let mut still: Vec<GateLine> = Vec::new();
+        for g in remaining {
+            let cell_id = library.find_by_name(&g.cell).ok_or_else(|| {
+                err(g.line, format!("unknown cell {:?}", g.cell))
+            })?;
+            let cell = library.cell_ref(cell_id);
+            let out_net = g
+                .conns
+                .iter()
+                .find(|(p, _)| p == "O" || p == "o" || p == "out")
+                .map(|(_, n)| n.clone())
+                .ok_or_else(|| err(g.line, "gate has no O= output connection".into()))?;
+            let mut fanins = Vec::with_capacity(cell.inputs());
+            let mut ready = true;
+            for pin in &cell.pins {
+                let net = g
+                    .conns
+                    .iter()
+                    .find(|(p, _)| p == &pin.name)
+                    .map(|(_, n)| n.clone())
+                    .ok_or_else(|| {
+                        err(g.line, format!("gate {} missing pin {}", g.cell, pin.name))
+                    })?;
+                match net_to_gate.get(&net) {
+                    Some(&id) => fanins.push(id),
+                    None => {
+                        ready = false;
+                        break;
+                    }
+                }
+            }
+            if ready {
+                // Keep the declared name free for the PO pseudo-gate.
+                let gate_name = if output_name_set.contains(&out_net) {
+                    format!("{out_net}__drv")
+                } else {
+                    out_net.clone()
+                };
+                let id = nl.add_cell(gate_name, cell_id, &fanins);
+                if net_to_gate.insert(out_net.clone(), id).is_some() {
+                    return Err(err(g.line, format!("net {out_net:?} driven twice")));
+                }
+                progressed = true;
+            } else {
+                still.push(g);
+            }
+        }
+        if !progressed && !still.is_empty() {
+            let g = &still[0];
+            return Err(err(
+                g.line,
+                format!("unresolvable (cyclic or undriven) gate {:?}", g.cell),
+            ));
+        }
+        remaining = still;
+    }
+
+    for name in &output_names {
+        let src = *net_to_gate
+            .get(name)
+            .ok_or_else(|| err(0, format!("output net {name:?} is undriven")))?;
+        nl.add_output(name.clone(), src);
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+
+    fn sample() -> Netlist {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let xor2 = lib.find_by_name("xor2").unwrap();
+        let mut nl = Netlist::new("fig2", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_cell("d", xor2, &[a, c]);
+        let f = nl.add_cell("fg", and2, &[d, b]);
+        nl.add_output("f", f);
+        nl
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let nl = sample();
+        let text = write_blif(&nl);
+        let back = read_blif(&text, nl.library().clone()).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.inputs().len(), 3);
+        assert_eq!(back.outputs().len(), 1);
+        assert_eq!(back.cell_count(), 2);
+        assert!((back.area() - nl.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_gates_resolve() {
+        let lib = Arc::new(lib2());
+        let text = "\
+.model t
+.inputs a b
+.outputs f
+.gate and2 a=x b=b O=f
+.gate inv1 a=a O=x
+.end
+";
+        let nl = read_blif(text, lib).unwrap();
+        nl.validate().unwrap();
+        assert_eq!(nl.cell_count(), 2);
+    }
+
+    #[test]
+    fn unknown_cell_errors() {
+        let lib = Arc::new(lib2());
+        let e = read_blif(".model t\n.inputs a\n.outputs f\n.gate bogus a=a O=f\n.end", lib)
+            .unwrap_err();
+        assert!(e.message.contains("unknown cell"));
+    }
+
+    #[test]
+    fn undriven_output_errors() {
+        let lib = Arc::new(lib2());
+        let e = read_blif(".model t\n.inputs a\n.outputs f\n.end", lib).unwrap_err();
+        assert!(e.message.contains("undriven"));
+    }
+
+    #[test]
+    fn constants_roundtrip() {
+        let lib = Arc::new(lib2());
+        let mut nl = Netlist::new("k", lib.clone());
+        let one = nl.add_const("k1", true);
+        nl.add_output("f", one);
+        let text = write_blif(&nl);
+        let back = read_blif(&text, lib).unwrap();
+        back.validate().unwrap();
+        // A PO cannot be fed by a constant net directly in mapped blif; the
+        // writer inserts a buffer whose fanin is the constant.
+        let driver = back.fanins(back.outputs()[0])[0];
+        let source = match back.kind(driver) {
+            GateKind::Const(v) => v,
+            GateKind::Cell(_) => match back.kind(back.fanins(driver)[0]) {
+                GateKind::Const(v) => v,
+                other => panic!("unexpected driver kind {other:?}"),
+            },
+            other => panic!("unexpected driver kind {other:?}"),
+        };
+        assert!(source);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let lib = Arc::new(lib2());
+        let text = ".model t\n.inputs \\\na b\n.outputs f\n.gate and2 a=a b=b O=f\n.end";
+        let nl = read_blif(text, lib).unwrap();
+        assert_eq!(nl.inputs().len(), 2);
+    }
+}

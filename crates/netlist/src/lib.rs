@@ -1,0 +1,50 @@
+//! Gate-level mapped netlist database for the POWDER reproduction.
+//!
+//! A [`Netlist`] is a DAG of library-cell instances plus primary-input,
+//! primary-output and constant pseudo-gates, following the paper's
+//! terminology (Section 2):
+//!
+//! * the output signal of a gate is its **stem**; each fanout connection is
+//!   a **branch**, identified by `(sink gate, sink pin)`;
+//! * `TFO(s)` is the transitive fanout of `s`;
+//! * the region removed when a stem loses all fanouts (the paper's
+//!   `Dom(s)` in the power-gain analysis) is the maximum fanout-free cone,
+//!   [`Netlist::mffc`].
+//!
+//! The editing operations ([`Netlist::replace_fanin`],
+//! [`Netlist::replace_all_fanouts`], [`Netlist::sweep_from`], …) are exactly
+//! the primitives the POWDER optimizer composes into the paper's OS2 / IS2 /
+//! OS3 / IS3 substitutions.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use powder_library::lib2;
+//! use powder_netlist::Netlist;
+//!
+//! let lib = Arc::new(lib2());
+//! let and2 = lib.find_by_name("and2").unwrap();
+//! let mut nl = Netlist::new("demo", lib);
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let g = nl.add_cell("g", and2, &[a, b]);
+//! nl.add_output("f", g);
+//! nl.validate().unwrap();
+//! assert_eq!(nl.live_gate_count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+pub mod bench_fmt;
+pub mod blif;
+mod stats;
+pub mod verilog;
+mod netlist;
+#[cfg(test)]
+mod proptests;
+
+pub use netlist::{Conn, GateId, GateKind, Netlist, NetlistError};
+pub use stats::NetlistStats;

@@ -1,0 +1,654 @@
+//! The netlist data structure and its editing operations.
+
+use powder_library::{CellId, Library};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a gate within a [`Netlist`]. Stable across edits; removed gates
+/// leave tombstones.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GateId(pub u32);
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// What a gate is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GateKind {
+    /// Primary input (no fanins).
+    Input,
+    /// Primary output marker (exactly one fanin, no cell).
+    Output,
+    /// A constant driver (no fanins).
+    Const(bool),
+    /// An instance of a library cell.
+    Cell(CellId),
+}
+
+/// A fanout connection: the branch signal `(sink gate, sink input pin)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Conn {
+    /// The gate the branch feeds.
+    pub gate: GateId,
+    /// Which input pin of `gate` the branch drives.
+    pub pin: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Gate {
+    name: String,
+    kind: GateKind,
+    fanins: Vec<GateId>,
+    fanouts: Vec<Conn>,
+    alive: bool,
+}
+
+/// Structural error reported by [`Netlist::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistError {
+    /// Description of the inconsistency.
+    pub message: String,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist error: {}", self.message)
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A combinational mapped netlist over a shared [`Library`].
+#[derive(Clone)]
+pub struct Netlist {
+    name: String,
+    library: Arc<Library>,
+    gates: Vec<Gate>,
+    inputs: Vec<GateId>,
+    outputs: Vec<GateId>,
+    names: HashMap<String, GateId>,
+    live: usize,
+}
+
+impl fmt::Debug for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Netlist({:?}: {} inputs, {} outputs, {} live gates)",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.live
+        )
+    }
+}
+
+impl Netlist {
+    /// Creates an empty netlist over `library`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, library: Arc<Library>) -> Self {
+        Netlist {
+            name: name.into(),
+            library,
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            names: HashMap::new(),
+            live: 0,
+        }
+    }
+
+    /// Netlist name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The library this netlist is mapped to.
+    #[must_use]
+    pub fn library(&self) -> &Arc<Library> {
+        &self.library
+    }
+
+    fn push_gate(&mut self, name: String, kind: GateKind, fanins: Vec<GateId>) -> GateId {
+        let id = GateId(self.gates.len() as u32);
+        let unique = if self.names.contains_key(&name) {
+            format!("{name}${}", id.0)
+        } else {
+            name
+        };
+        self.names.insert(unique.clone(), id);
+        self.gates.push(Gate {
+            name: unique,
+            kind,
+            fanins: fanins.clone(),
+            fanouts: Vec::new(),
+            alive: true,
+        });
+        self.live += 1;
+        for (pin, &src) in fanins.iter().enumerate() {
+            assert!(self.gates[src.0 as usize].alive, "fanin {src} is dead");
+            self.gates[src.0 as usize].fanouts.push(Conn {
+                gate: id,
+                pin: pin as u32,
+            });
+        }
+        id
+    }
+
+    /// Adds a primary input.
+    pub fn add_input(&mut self, name: impl Into<String>) -> GateId {
+        let id = self.push_gate(name.into(), GateKind::Input, Vec::new());
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a primary output fed by `src`.
+    pub fn add_output(&mut self, name: impl Into<String>, src: GateId) -> GateId {
+        let id = self.push_gate(name.into(), GateKind::Output, vec![src]);
+        self.outputs.push(id);
+        id
+    }
+
+    /// Adds a constant driver.
+    pub fn add_const(&mut self, name: impl Into<String>, value: bool) -> GateId {
+        self.push_gate(name.into(), GateKind::Const(value), Vec::new())
+    }
+
+    /// Adds a library-cell instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanins.len()` does not match the cell's input count or the
+    /// cell id is invalid.
+    pub fn add_cell(&mut self, name: impl Into<String>, cell: CellId, fanins: &[GateId]) -> GateId {
+        let c = self.library.cell(cell).expect("invalid cell id");
+        assert_eq!(
+            c.inputs(),
+            fanins.len(),
+            "cell {} expects {} inputs, got {}",
+            c.name,
+            c.inputs(),
+            fanins.len()
+        );
+        self.push_gate(name.into(), GateKind::Cell(cell), fanins.to_vec())
+    }
+
+    /// Primary inputs, in creation order.
+    #[must_use]
+    pub fn inputs(&self) -> &[GateId] {
+        &self.inputs
+    }
+
+    /// Primary outputs, in creation order.
+    #[must_use]
+    pub fn outputs(&self) -> &[GateId] {
+        &self.outputs
+    }
+
+    /// Whether `id` refers to a live (not removed) gate.
+    #[must_use]
+    pub fn is_live(&self, id: GateId) -> bool {
+        self.gates
+            .get(id.0 as usize)
+            .is_some_and(|gate| gate.alive)
+    }
+
+    /// Number of live gates (including input/output/const pseudo-gates).
+    #[must_use]
+    pub fn live_gate_count(&self) -> usize {
+        self.live
+    }
+
+    /// Number of live library-cell instances.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.iter_live()
+            .filter(|&id| matches!(self.kind(id), GateKind::Cell(_)))
+            .count()
+    }
+
+    /// Upper bound (exclusive) of gate ids ever allocated; dead ids below
+    /// this bound are tombstones.
+    #[must_use]
+    pub fn id_bound(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Iterator over live gate ids, ascending.
+    pub fn iter_live(&self) -> impl Iterator<Item = GateId> + '_ {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.alive)
+            .map(|(i, _)| GateId(i as u32))
+    }
+
+    fn gate(&self, id: GateId) -> &Gate {
+        let g = &self.gates[id.0 as usize];
+        assert!(g.alive, "gate {id} has been removed");
+        g
+    }
+
+    /// Gate name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is dead or out of range (as do all accessors below).
+    #[must_use]
+    pub fn gate_name(&self, id: GateId) -> &str {
+        &self.gate(id).name
+    }
+
+    /// Gate kind.
+    #[must_use]
+    pub fn kind(&self, id: GateId) -> GateKind {
+        self.gate(id).kind
+    }
+
+    /// The cell id of a cell instance, `None` for pseudo-gates.
+    #[must_use]
+    pub fn cell_id(&self, id: GateId) -> Option<CellId> {
+        match self.gate(id).kind {
+            GateKind::Cell(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Fanin gates, in pin order.
+    #[must_use]
+    pub fn fanins(&self, id: GateId) -> &[GateId] {
+        &self.gate(id).fanins
+    }
+
+    /// Fanout branches.
+    #[must_use]
+    pub fn fanouts(&self, id: GateId) -> &[Conn] {
+        &self.gate(id).fanouts
+    }
+
+    /// Looks up a gate by name.
+    #[must_use]
+    pub fn find_by_name(&self, name: &str) -> Option<GateId> {
+        self.names.get(name).copied().filter(|&id| self.is_live(id))
+    }
+
+    /// Total area of live cell instances.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.iter_live()
+            .filter_map(|id| self.cell_id(id))
+            .map(|c| self.library.cell_ref(c).area)
+            .sum()
+    }
+
+    /// Capacitive load driven by the stem of `id`: the sum of the input-pin
+    /// capacitances of its sinks, with primary-output sinks contributing
+    /// `output_load` each.
+    #[must_use]
+    pub fn load_cap(&self, id: GateId, output_load: f64) -> f64 {
+        self.gate(id)
+            .fanouts
+            .iter()
+            .map(|c| self.branch_cap(c, output_load))
+            .sum()
+    }
+
+    /// Capacitance of one branch (one sink pin).
+    #[must_use]
+    pub fn branch_cap(&self, conn: &Conn, output_load: f64) -> f64 {
+        match self.gate(conn.gate).kind {
+            GateKind::Output => output_load,
+            GateKind::Cell(c) => self.library.cell_ref(c).pin_cap(conn.pin as usize),
+            GateKind::Input | GateKind::Const(_) => {
+                unreachable!("inputs and constants have no input pins")
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Editing operations
+    // ------------------------------------------------------------------
+
+    /// Rewires input pin `pin` of `sink` from its current driver to
+    /// `new_src` (the IS2 primitive). Returns the previous driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin is out of range or `new_src` is dead.
+    pub fn replace_fanin(&mut self, sink: GateId, pin: u32, new_src: GateId) -> GateId {
+        assert!(self.gate(new_src).alive);
+        let old = self.gates[sink.0 as usize].fanins[pin as usize];
+        if old == new_src {
+            return old;
+        }
+        // remove the branch from the old driver
+        let conn = Conn { gate: sink, pin };
+        let fo = &mut self.gates[old.0 as usize].fanouts;
+        let idx = fo
+            .iter()
+            .position(|c| *c == conn)
+            .expect("fanout list out of sync");
+        fo.swap_remove(idx);
+        // attach to the new driver
+        self.gates[new_src.0 as usize].fanouts.push(conn);
+        self.gates[sink.0 as usize].fanins[pin as usize] = new_src;
+        old
+    }
+
+    /// Moves every fanout branch of stem `a` onto stem `b` (the OS2
+    /// primitive). `a` keeps its fanins but becomes fanout-free (dangling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either gate is dead.
+    pub fn replace_all_fanouts(&mut self, a: GateId, b: GateId) {
+        assert_ne!(a, b, "cannot substitute a signal by itself");
+        assert!(self.gate(b).alive);
+        let moved = std::mem::take(&mut self.gates[a.0 as usize].fanouts);
+        for conn in &moved {
+            self.gates[conn.gate.0 as usize].fanins[conn.pin as usize] = b;
+        }
+        self.gates[b.0 as usize].fanouts.extend(moved);
+    }
+
+    /// The maximum fanout-free cone of `root`: the set of gates (including
+    /// `root`) that become dangling if `root` loses all its fanouts. This is
+    /// the region the paper's `PG_A` accounts for. Pseudo-gates (inputs,
+    /// constants) are never included.
+    #[must_use]
+    pub fn mffc(&self, root: GateId) -> Vec<GateId> {
+        if !matches!(self.gate(root).kind, GateKind::Cell(_)) {
+            return Vec::new();
+        }
+        let mut in_cone: HashMap<GateId, ()> = HashMap::new();
+        let mut cone = vec![root];
+        in_cone.insert(root, ());
+        // Process in discovery order; a fanin joins the cone if all its
+        // fanouts lead into the cone. Iterate to fixpoint (discovery order
+        // is enough because we re-check candidates each round).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let snapshot: Vec<GateId> = cone.clone();
+            for g in snapshot {
+                for &fi in &self.gate(g).fanins {
+                    if in_cone.contains_key(&fi) {
+                        continue;
+                    }
+                    if !matches!(self.gate(fi).kind, GateKind::Cell(_)) {
+                        continue;
+                    }
+                    let all_inside = self
+                        .gate(fi)
+                        .fanouts
+                        .iter()
+                        .all(|c| in_cone.contains_key(&c.gate));
+                    if all_inside && !self.gate(fi).fanouts.is_empty() {
+                        in_cone.insert(fi, ());
+                        cone.push(fi);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        cone
+    }
+
+    /// Removes `seed` and everything upstream that becomes dangling, if
+    /// `seed` currently has no fanouts. Primary inputs and outputs are
+    /// never removed; dangling constants are. Returns the removed gate ids.
+    pub fn sweep_from(&mut self, seed: GateId) -> Vec<GateId> {
+        let mut removed = Vec::new();
+        let mut stack = vec![seed];
+        while let Some(id) = stack.pop() {
+            let g = &self.gates[id.0 as usize];
+            if !g.alive
+                || !g.fanouts.is_empty()
+                || !matches!(g.kind, GateKind::Cell(_) | GateKind::Const(_))
+            {
+                continue;
+            }
+            let fanins = g.fanins.clone();
+            for (pin, &src) in fanins.iter().enumerate() {
+                let conn = Conn {
+                    gate: id,
+                    pin: pin as u32,
+                };
+                let fo = &mut self.gates[src.0 as usize].fanouts;
+                if let Some(idx) = fo.iter().position(|c| *c == conn) {
+                    fo.swap_remove(idx);
+                }
+                stack.push(src);
+            }
+            let gate = &mut self.gates[id.0 as usize];
+            gate.alive = false;
+            gate.fanins.clear();
+            self.live -= 1;
+            removed.push(id);
+        }
+        removed
+    }
+
+    /// Checks structural consistency: pin counts, fanin/fanout symmetry,
+    /// liveness, acyclicity, and output/input arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let fail = |message: String| Err(NetlistError { message });
+        for id in self.iter_live() {
+            let g = self.gate(id);
+            match g.kind {
+                GateKind::Input | GateKind::Const(_) => {
+                    if !g.fanins.is_empty() {
+                        return fail(format!("{id} is a source but has fanins"));
+                    }
+                }
+                GateKind::Output => {
+                    if g.fanins.len() != 1 {
+                        return fail(format!("output {id} must have exactly one fanin"));
+                    }
+                    if !g.fanouts.is_empty() {
+                        return fail(format!("output {id} must not have fanouts"));
+                    }
+                }
+                GateKind::Cell(c) => {
+                    let cell = self
+                        .library
+                        .cell(c)
+                        .ok_or(NetlistError {
+                            message: format!("{id} references invalid cell {c}"),
+                        })?;
+                    if cell.inputs() != g.fanins.len() {
+                        return fail(format!(
+                            "{id} ({}) has {} fanins, cell wants {}",
+                            cell.name,
+                            g.fanins.len(),
+                            cell.inputs()
+                        ));
+                    }
+                }
+            }
+            for (pin, &src) in g.fanins.iter().enumerate() {
+                if !self.is_live(src) {
+                    return fail(format!("{id} pin {pin} driven by dead gate {src}"));
+                }
+                let conn = Conn {
+                    gate: id,
+                    pin: pin as u32,
+                };
+                if !self.gate(src).fanouts.contains(&conn) {
+                    return fail(format!("{src} missing fanout record for {id}.{pin}"));
+                }
+            }
+            for c in &g.fanouts {
+                if !self.is_live(c.gate) {
+                    return fail(format!("{id} fans out to dead gate {}", c.gate));
+                }
+                if self.gate(c.gate).fanins.get(c.pin as usize) != Some(&id) {
+                    return fail(format!("{id} fanout record to {}.{} stale", c.gate, c.pin));
+                }
+            }
+        }
+        if self.topo_order_checked().is_none() {
+            return fail("netlist contains a combinational cycle".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+
+    fn small() -> (Netlist, GateId, GateId, GateId, GateId) {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let or2 = lib.find_by_name("or2").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_cell("g1", and2, &[a, b]);
+        let g2 = nl.add_cell("g2", or2, &[g1, b]);
+        nl.add_output("f", g2);
+        (nl, a, b, g1, g2)
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let (nl, a, _b, g1, g2) = small();
+        nl.validate().unwrap();
+        assert_eq!(nl.fanins(g2), &[g1, nl.inputs()[1]]);
+        assert_eq!(nl.fanouts(a), &[Conn { gate: g1, pin: 0 }]);
+        assert_eq!(nl.cell_count(), 2);
+        assert!(nl.area() > 0.0);
+    }
+
+    #[test]
+    fn unique_names() {
+        let lib = Arc::new(lib2());
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("x");
+        let b = nl.add_input("x");
+        assert_ne!(nl.gate_name(a), nl.gate_name(b));
+        assert_eq!(nl.find_by_name("x"), Some(a));
+    }
+
+    #[test]
+    fn replace_fanin_moves_branch() {
+        let (mut nl, a, b, g1, g2) = small();
+        // g2 pin0 currently g1; rewire to a
+        let old = nl.replace_fanin(g2, 0, a);
+        assert_eq!(old, g1);
+        nl.validate().unwrap();
+        assert_eq!(nl.fanins(g2)[0], a);
+        assert!(nl.fanouts(g1).is_empty());
+        assert_eq!(nl.fanouts(a).len(), 2);
+        let _ = b;
+    }
+
+    #[test]
+    fn replace_all_fanouts_and_sweep() {
+        let (mut nl, a, b, g1, g2) = small();
+        nl.replace_all_fanouts(g1, a);
+        assert!(nl.fanouts(g1).is_empty());
+        assert_eq!(nl.fanins(g2)[0], a);
+        let removed = nl.sweep_from(g1);
+        assert_eq!(removed, vec![g1]);
+        assert!(!nl.is_live(g1));
+        nl.validate().unwrap();
+        // inputs a,b survive
+        assert!(nl.is_live(a) && nl.is_live(b));
+    }
+
+    #[test]
+    fn sweep_cascades_through_chain() {
+        let lib = Arc::new(lib2());
+        let inv = lib.find_by_name("inv1").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let g1 = nl.add_cell("g1", inv, &[a]);
+        let g2 = nl.add_cell("g2", inv, &[g1]);
+        let g3 = nl.add_cell("g3", inv, &[g2]);
+        let o = nl.add_output("f", g3);
+        // Rewire output to a, leaving the whole chain dangling.
+        nl.replace_fanin(o, 0, a);
+        let removed = nl.sweep_from(g3);
+        assert_eq!(removed.len(), 3);
+        nl.validate().unwrap();
+        assert_eq!(nl.cell_count(), 0);
+    }
+
+    #[test]
+    fn sweep_stops_at_shared_logic() {
+        let (mut nl, a, _b, g1, g2) = small();
+        // add a second user of g1
+        let lib = nl.library().clone();
+        let inv = lib.find_by_name("inv1").unwrap();
+        let g3 = nl.add_cell("g3", inv, &[g1]);
+        nl.add_output("f2", g3);
+        // detach g2's use of g1
+        nl.replace_fanin(g2, 0, a);
+        let removed = nl.sweep_from(g1);
+        assert!(removed.is_empty(), "g1 still feeds g3");
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn mffc_of_tree_is_whole_tree() {
+        let (nl, _a, _b, g1, g2) = small();
+        let cone = nl.mffc(g2);
+        assert!(cone.contains(&g2));
+        assert!(cone.contains(&g1));
+        assert_eq!(cone.len(), 2);
+    }
+
+    #[test]
+    fn mffc_excludes_shared_gates() {
+        let (mut nl, _a, _b, g1, g2) = small();
+        let lib = nl.library().clone();
+        let inv = lib.find_by_name("inv1").unwrap();
+        let g3 = nl.add_cell("g3", inv, &[g1]);
+        nl.add_output("f2", g3);
+        let cone = nl.mffc(g2);
+        assert_eq!(cone, vec![g2], "g1 is shared with g3");
+    }
+
+    #[test]
+    fn load_cap_sums_pins() {
+        let (nl, _a, b, _g1, g2) = small();
+        // b feeds and2 pin (1.0) and or2 pin (1.0)
+        assert!((nl.load_cap(b, 3.0) - 2.0).abs() < 1e-9);
+        // g2 feeds one PO with output load 3.0
+        assert!((nl.load_cap(g2, 3.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_catches_arity_mismatch() {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            nl.add_cell("g", and2, &[a]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn const_gates() {
+        let lib = Arc::new(lib2());
+        let mut nl = Netlist::new("t", lib);
+        let k = nl.add_const("one", true);
+        nl.add_output("f", k);
+        nl.validate().unwrap();
+        assert_eq!(nl.kind(k), GateKind::Const(true));
+    }
+}

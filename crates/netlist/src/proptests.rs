@@ -1,0 +1,145 @@
+//! Property-based tests: random edit sequences must keep the netlist
+//! structurally consistent, and analyses must agree with definitions.
+
+use crate::{GateId, GateKind, Netlist};
+use powder_library::lib2;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a random DAG netlist from a byte recipe.
+fn build(inputs: usize, ops: &[(u8, u8, u8)]) -> Netlist {
+    let lib = Arc::new(lib2());
+    let names = ["and2", "or2", "nand2", "nor2", "xor2", "inv1"];
+    let cells: Vec<_> = names
+        .iter()
+        .map(|n| lib.find_by_name(n).expect("cell"))
+        .collect();
+    let mut nl = Netlist::new("p", lib);
+    let mut sigs: Vec<GateId> = (0..inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
+    for (k, (op, a, b)) in ops.iter().enumerate() {
+        let cell = cells[*op as usize % cells.len()];
+        let ca = sigs[*a as usize % sigs.len()];
+        let cb = sigs[*b as usize % sigs.len()];
+        let lib = nl.library().clone();
+        let g = if lib.cell_ref(cell).inputs() == 1 {
+            nl.add_cell(format!("g{k}"), cell, &[ca])
+        } else {
+            nl.add_cell(format!("g{k}"), cell, &[ca, cb])
+        };
+        sigs.push(g);
+    }
+    let n = sigs.len();
+    for (i, &s) in sigs[n.saturating_sub(2)..].iter().enumerate() {
+        nl.add_output(format!("f{i}"), s);
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random legal rewires followed by sweeps always leave a valid DAG.
+    #[test]
+    fn random_edit_sequences_stay_consistent(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..24),
+        edits in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..12),
+        inputs in 2usize..5,
+    ) {
+        let mut nl = build(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        for (pick, src) in edits {
+            let live: Vec<GateId> = nl
+                .iter_live()
+                .filter(|&g| matches!(nl.kind(g), GateKind::Cell(_)))
+                .collect();
+            if live.is_empty() {
+                break;
+            }
+            let sink = live[pick as usize % live.len()];
+            let candidates: Vec<GateId> = nl
+                .iter_live()
+                .filter(|&g| !matches!(nl.kind(g), GateKind::Output))
+                .filter(|&g| !nl.reaches(sink, g))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let new_src = candidates[src as usize % candidates.len()];
+            let old = nl.replace_fanin(sink, 0, new_src);
+            nl.sweep_from(old);
+            prop_assert!(nl.validate().is_ok(), "after rewiring {sink} <- {new_src}");
+        }
+    }
+
+    /// `mffc(g)` is exactly the set removed by rewiring all of g's fanouts
+    /// away and sweeping.
+    #[test]
+    fn mffc_predicts_sweep(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..20),
+        inputs in 2usize..5,
+    ) {
+        let nl = build(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        for g in nl.iter_live().collect::<Vec<_>>() {
+            if !matches!(nl.kind(g), GateKind::Cell(_)) || nl.fanouts(g).is_empty() {
+                continue;
+            }
+            // Find an alternative driver outside g's cone.
+            let Some(alt) = nl
+                .iter_live()
+                .find(|&x| !matches!(nl.kind(x), GateKind::Output) && !nl.reaches(g, x) && x != g)
+            else {
+                continue;
+            };
+            let mut predicted = nl.mffc(g);
+            predicted.sort();
+            let mut work = nl.clone();
+            work.replace_all_fanouts(g, alt);
+            let mut removed = work.sweep_from(g);
+            removed.sort();
+            prop_assert_eq!(&predicted, &removed, "gate {}", g);
+            prop_assert!(work.validate().is_ok());
+        }
+    }
+
+    /// `tfo` and `reaches` agree, and levels are monotone along edges.
+    #[test]
+    fn analyses_agree(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 3..20),
+        inputs in 2usize..5,
+    ) {
+        let nl = build(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let levels = nl.levels();
+        for g in nl.iter_live() {
+            for &f in nl.fanins(g) {
+                prop_assert!(levels[f.0 as usize] < levels[g.0 as usize]);
+            }
+            let tfo = nl.tfo(g);
+            for &t in &tfo {
+                prop_assert!(nl.reaches(g, t), "{g} should reach {t}");
+            }
+            // reaches is reflexive; tfo excludes self.
+            prop_assert!(!tfo.contains(&g));
+        }
+    }
+
+    /// BLIF round-trips preserve interface and area.
+    #[test]
+    fn blif_roundtrip_preserves_shape(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 3..16),
+        inputs in 2usize..5,
+    ) {
+        let nl = build(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let text = crate::blif::write_blif(&nl);
+        let back = crate::blif::read_blif(&text, nl.library().clone()).expect("parses");
+        prop_assert!(back.validate().is_ok());
+        prop_assert_eq!(back.inputs().len(), nl.inputs().len());
+        prop_assert_eq!(back.outputs().len(), nl.outputs().len());
+        // Dangling gates are not emitted (area may shrink); the writer may
+        // add one buffer per aliased output (area may grow by that much).
+        let buf_area = 1392.0 * nl.outputs().len() as f64;
+        prop_assert!(back.area() <= nl.area() + buf_area + 1e-9);
+    }
+}

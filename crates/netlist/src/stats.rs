@@ -1,0 +1,140 @@
+//! Structural statistics of a mapped netlist, for reports and the CLI.
+
+use crate::netlist::{GateKind, Netlist};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate structural statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetlistStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Live cell instances.
+    pub cells: usize,
+    /// Constant drivers.
+    pub constants: usize,
+    /// Total cell area.
+    pub area: f64,
+    /// Logic depth in levels (including the PO pseudo-level).
+    pub depth: u32,
+    /// Instance count per cell name, sorted by name.
+    pub cells_by_type: BTreeMap<String, usize>,
+    /// Histogram of stem fanout counts: `fanout_histogram[k]` = number of
+    /// stems with exactly `k` fanouts (index capped at the vector length,
+    /// last bucket collects the rest).
+    pub fanout_histogram: Vec<usize>,
+    /// Maximum stem fanout.
+    pub max_fanout: usize,
+}
+
+impl Netlist {
+    /// Computes structural statistics for the current netlist state.
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        const HIST_BUCKETS: usize = 9; // 0..=7 plus an "8+" bucket
+        let mut cells_by_type: BTreeMap<String, usize> = BTreeMap::new();
+        let mut fanout_histogram = vec![0usize; HIST_BUCKETS];
+        let mut max_fanout = 0usize;
+        let mut cells = 0usize;
+        let mut constants = 0usize;
+        for g in self.iter_live() {
+            match self.kind(g) {
+                GateKind::Output => continue,
+                GateKind::Cell(c) => {
+                    cells += 1;
+                    *cells_by_type
+                        .entry(self.library().cell_ref(c).name.clone())
+                        .or_insert(0) += 1;
+                }
+                GateKind::Const(_) => constants += 1,
+                GateKind::Input => {}
+            }
+            let fo = self.fanouts(g).len();
+            max_fanout = max_fanout.max(fo);
+            let bucket = fo.min(HIST_BUCKETS - 1);
+            fanout_histogram[bucket] += 1;
+        }
+        NetlistStats {
+            inputs: self.inputs().len(),
+            outputs: self.outputs().len(),
+            cells,
+            constants,
+            area: self.area(),
+            depth: self.depth(),
+            cells_by_type,
+            fanout_histogram,
+            max_fanout,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} inputs, {} outputs, {} cells (area {:.0}), depth {}",
+            self.inputs, self.outputs, self.cells, self.area, self.depth
+        )?;
+        write!(f, "cell mix:")?;
+        for (name, count) in &self.cells_by_type {
+            write!(f, " {name}×{count}")?;
+        }
+        writeln!(f)?;
+        write!(
+            f,
+            "fanouts (0..7,8+): {:?}, max {}",
+            self.fanout_histogram, self.max_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+    use std::sync::Arc;
+
+    #[test]
+    fn stats_count_structure() {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let inv = lib.find_by_name("inv1").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_cell("g1", and2, &[a, b]);
+        let g2 = nl.add_cell("g2", inv, &[g1]);
+        let g3 = nl.add_cell("g3", inv, &[g1]);
+        nl.add_output("f1", g2);
+        nl.add_output("f2", g3);
+        let st = nl.stats();
+        assert_eq!(st.inputs, 2);
+        assert_eq!(st.outputs, 2);
+        assert_eq!(st.cells, 3);
+        assert_eq!(st.cells_by_type["inv1"], 2);
+        assert_eq!(st.cells_by_type["and2"], 1);
+        assert_eq!(st.max_fanout, 2, "g1 feeds two inverters");
+        // stems with 1 fanout: a, b, g2, g3 → bucket[1] == 4
+        assert_eq!(st.fanout_histogram[1], 4);
+        assert_eq!(st.fanout_histogram[2], 1);
+        let shown = st.to_string();
+        assert!(shown.contains("cell mix:"));
+    }
+
+    #[test]
+    fn stats_survive_edits() {
+        let lib = Arc::new(lib2());
+        let inv = lib.find_by_name("inv1").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let g1 = nl.add_cell("g1", inv, &[a]);
+        let o = nl.add_output("f", g1);
+        nl.replace_fanin(o, 0, a);
+        nl.sweep_from(g1);
+        let st = nl.stats();
+        assert_eq!(st.cells, 0);
+        assert_eq!(st.inputs, 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Gate-level structural Verilog writer.
+//!
+//! Emits one module instantiating the library cells by name — the handoff
+//! format a place-and-route flow downstream of POWDER would consume. Net
+//! and instance identifiers are sanitised into Verilog-legal names
+//! (alphanumeric and `_`, uniquified on collision).
+
+use crate::netlist::{GateId, GateKind, Netlist};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Sanitises an identifier into Verilog-legal form.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, 'n');
+    }
+    out
+}
+
+/// Serialises a netlist as structural Verilog.
+///
+/// Cell pins are connected by name (`.a(net)`), the output pin is called
+/// `O` as in the genlib source. Constants become `1'b0`/`1'b1` literals.
+#[must_use]
+pub fn write_verilog(nl: &Netlist) -> String {
+    // Assign unique sanitised names.
+    let mut names: HashMap<GateId, String> = HashMap::new();
+    let mut used: HashSet<String> = HashSet::new();
+    let unique = |raw: &str, used: &mut HashSet<String>| -> String {
+        let base = sanitize(raw);
+        let mut name = base.clone();
+        let mut k = 0;
+        while !used.insert(name.clone()) {
+            k += 1;
+            name = format!("{base}_{k}");
+        }
+        name
+    };
+    for g in nl.iter_live() {
+        let n = unique(nl.gate_name(g), &mut used);
+        names.insert(g, n);
+    }
+
+    let mut s = String::new();
+    let module = sanitize(nl.name());
+    let ports: Vec<String> = nl
+        .inputs()
+        .iter()
+        .chain(nl.outputs())
+        .map(|g| names[g].clone())
+        .collect();
+    let _ = writeln!(s, "module {module} ({});", ports.join(", "));
+    for &pi in nl.inputs() {
+        let _ = writeln!(s, "  input {};", names[&pi]);
+    }
+    for &po in nl.outputs() {
+        let _ = writeln!(s, "  output {};", names[&po]);
+    }
+    for g in nl.iter_live() {
+        if matches!(nl.kind(g), GateKind::Cell(_) | GateKind::Const(_)) {
+            let _ = writeln!(s, "  wire {};", names[&g]);
+        }
+    }
+    let mut inst = 0usize;
+    for g in nl.topo_order() {
+        match nl.kind(g) {
+            GateKind::Input | GateKind::Output => {}
+            GateKind::Const(v) => {
+                let _ = writeln!(s, "  assign {} = 1'b{};", names[&g], u8::from(v));
+            }
+            GateKind::Cell(c) => {
+                let cell = nl.library().cell_ref(c);
+                inst += 1;
+                let mut conns: Vec<String> = nl
+                    .fanins(g)
+                    .iter()
+                    .enumerate()
+                    .map(|(pin, &f)| format!(".{}({})", sanitize(&cell.pins[pin].name), names[&f]))
+                    .collect();
+                conns.push(format!(".O({})", names[&g]));
+                let _ = writeln!(
+                    s,
+                    "  {} u{inst} ({});",
+                    sanitize(&cell.name),
+                    conns.join(", ")
+                );
+            }
+        }
+    }
+    for &po in nl.outputs() {
+        let src = nl.fanins(po)[0];
+        let _ = writeln!(s, "  assign {} = {};", names[&po], names[&src]);
+    }
+    s.push_str("endmodule\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+    use std::sync::Arc;
+
+    #[test]
+    fn emits_module_with_ports_and_instances() {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let xor2 = lib.find_by_name("xor2").unwrap();
+        let mut nl = Netlist::new("fig-2", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b!"); // needs sanitising
+        let c = nl.add_input("c");
+        let d = nl.add_cell("d", xor2, &[a, c]);
+        let f = nl.add_cell("f", and2, &[d, b]);
+        nl.add_output("out", f);
+        let v = write_verilog(&nl);
+        assert!(v.starts_with("module fig_2 ("), "{v}");
+        assert!(v.contains("input b_;"), "{v}");
+        assert!(v.contains("xor2 u1 (.a(a), .b(c), .O(d));"), "{v}");
+        assert!(v.contains("assign out = f;"), "{v}");
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn constants_become_literals() {
+        let lib = Arc::new(lib2());
+        let mut nl = Netlist::new("k", lib);
+        let one = nl.add_const("one", true);
+        nl.add_output("f", one);
+        let v = write_verilog(&nl);
+        assert!(v.contains("assign one = 1'b1;"), "{v}");
+    }
+
+    #[test]
+    fn name_collisions_uniquified() {
+        let lib = Arc::new(lib2());
+        let inv = lib.find_by_name("inv1").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("x?");
+        let g = nl.add_cell("x:", inv, &[a]); // both sanitise to x_
+        nl.add_output("f", g);
+        let v = write_verilog(&nl);
+        assert!(v.contains("x_") && v.contains("x__1"), "{v}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-cell SOP covers used for fast bit-parallel evaluation.
+
+use powder_library::Library;
+use powder_logic::{minimize, Cube};
+
+/// Cached sum-of-products covers for every cell in a library.
+///
+/// Evaluating a cell over packed pattern words reduces to, per cube, an AND
+/// of (possibly complemented) fanin words — typically 1–4 cubes for the
+/// classic cell set, far cheaper than per-bit truth-table lookups.
+#[derive(Clone, Debug)]
+pub struct CellCovers {
+    covers: Vec<Vec<Cube>>,
+}
+
+impl CellCovers {
+    /// Computes covers for all cells of `library`.
+    #[must_use]
+    pub fn new(library: &Library) -> Self {
+        let covers = library
+            .iter()
+            .map(|(_, cell)| minimize::minimize(&cell.function).cubes().to_vec())
+            .collect();
+        CellCovers { covers }
+    }
+
+    /// The cover of cell `cell`.
+    #[must_use]
+    pub fn cover(&self, cell: powder_library::CellId) -> &[Cube] {
+        &self.covers[cell.0 as usize]
+    }
+
+    /// Evaluates cell `cell` on one packed word per fanin.
+    #[inline]
+    #[must_use]
+    pub fn eval_word(&self, cell: powder_library::CellId, fanin_words: &[u64]) -> u64 {
+        let mut out = 0u64;
+        for cube in self.cover(cell) {
+            let mut term = u64::MAX;
+            let mut lits = cube.support_mask();
+            while lits != 0 {
+                let v = lits.trailing_zeros() as usize;
+                lits &= lits - 1;
+                let w = fanin_words[v];
+                term &= if cube.literal(v) == Some(true) { w } else { !w };
+                if term == 0 {
+                    break;
+                }
+            }
+            out |= term;
+            if out == u64::MAX {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+
+    #[test]
+    fn covers_match_cell_functions() {
+        let lib = lib2();
+        let covers = CellCovers::new(&lib);
+        for (id, cell) in lib.iter() {
+            let k = cell.inputs();
+            // exhaustive check via single-word packing for k <= 6
+            let mut fanin_words = vec![0u64; k];
+            for m in 0..(1u64 << k) {
+                for (i, fanin_word) in fanin_words.iter_mut().enumerate() {
+                    if (m >> i) & 1 == 1 {
+                        *fanin_word |= 1 << m;
+                    }
+                }
+            }
+            let out = covers.eval_word(id, &fanin_words);
+            for m in 0..(1u64 << k) {
+                assert_eq!(
+                    (out >> m) & 1 == 1,
+                    cell.function.eval(m),
+                    "cell {} minterm {m}",
+                    cell.name
+                );
+            }
+        }
+    }
+}

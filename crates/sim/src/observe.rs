@@ -1,0 +1,250 @@
+//! Exact per-pattern observability by forward difference propagation.
+//!
+//! The observability mask of a signal has bit `t` set iff flipping the
+//! signal's value on pattern `t` flips at least one primary output — the
+//! bit-parallel analogue of fault-simulating the stuck-at fault pair at the
+//! signal, as used by the candidate-generation machinery of refs \[2,5\].
+
+use crate::{CellCovers, SimValues};
+use powder_netlist::{Conn, GateId, GateKind, Netlist};
+use std::collections::HashMap;
+
+/// Observability mask of stem `stem`: for each pattern, whether flipping the
+/// stem (all its branches at once) is visible at any primary output.
+#[must_use]
+pub fn stem_observability(
+    nl: &Netlist,
+    covers: &CellCovers,
+    values: &SimValues,
+    stem: GateId,
+) -> Vec<u64> {
+    let flipped: Vec<u64> = values.get(stem).iter().map(|w| !w).collect();
+    propagate_difference(nl, covers, values, stem, &flipped, None)
+}
+
+/// Observability mask of one branch `conn` of stem `stem`: flipping the
+/// value *as seen by that sink pin only*.
+///
+/// Branch observability is never smaller than what IS2 filtering needs: an
+/// input substitution only alters the value entering that one pin.
+#[must_use]
+pub fn branch_observability(
+    nl: &Netlist,
+    covers: &CellCovers,
+    values: &SimValues,
+    stem: GateId,
+    conn: Conn,
+) -> Vec<u64> {
+    let flipped: Vec<u64> = values.get(stem).iter().map(|w| !w).collect();
+    propagate_difference(nl, covers, values, stem, &flipped, Some(conn))
+}
+
+/// Observability masks for every live stem, indexed by raw gate id (dead
+/// gates get empty vectors). `O(Σ |TFO| · words)` overall.
+#[must_use]
+pub fn stem_observability_all(
+    nl: &Netlist,
+    covers: &CellCovers,
+    values: &SimValues,
+) -> Vec<Vec<u64>> {
+    let mut out = vec![Vec::new(); nl.id_bound()];
+    for id in nl.iter_live() {
+        if matches!(nl.kind(id), GateKind::Output) {
+            continue;
+        }
+        out[id.0 as usize] = stem_observability(nl, covers, values, id);
+    }
+    out
+}
+
+/// Propagates a forced value `forced` at `source` through the transitive
+/// fanout (restricted to branch `only_branch` at the source when given) and
+/// returns the OR of the resulting primary-output differences.
+fn propagate_difference(
+    nl: &Netlist,
+    covers: &CellCovers,
+    values: &SimValues,
+    source: GateId,
+    forced: &[u64],
+    only_branch: Option<Conn>,
+) -> Vec<u64> {
+    let words = values.words();
+    let mut obs = vec![0u64; words];
+
+    // Sort the TFO by topological position so each gate is evaluated after
+    // all its (possibly modified) fanins.
+    let topo = nl.topo_order();
+    let mut pos = vec![u32::MAX; nl.id_bound()];
+    for (i, &g) in topo.iter().enumerate() {
+        pos[g.0 as usize] = i as u32;
+    }
+    let mut tfo: Vec<GateId> = match only_branch {
+        Some(conn) => {
+            let mut v = nl.tfo(conn.gate);
+            v.push(conn.gate);
+            v
+        }
+        None => nl.tfo(source),
+    };
+    tfo.sort_by_key(|g| pos[g.0 as usize]);
+
+    // modified[g] = packed values under the forced difference, only for
+    // gates whose value actually changed.
+    let mut modified: HashMap<GateId, Vec<u64>> = HashMap::new();
+    let changed_any = forced
+        .iter()
+        .zip(values.get(source))
+        .any(|(f, o)| f != o);
+    if !changed_any {
+        return obs;
+    }
+    if only_branch.is_none() {
+        modified.insert(source, forced.to_vec());
+    }
+
+    let mut fanin_words: Vec<u64> = Vec::with_capacity(8);
+    for &g in &tfo {
+        match nl.kind(g) {
+            GateKind::Input | GateKind::Const(_) => {}
+            GateKind::Output => {
+                let src = nl.fanins(g)[0];
+                if let Some(mv) = modified.get(&src) {
+                    for w in 0..words {
+                        obs[w] |= mv[w] ^ values.get(src)[w];
+                    }
+                }
+            }
+            GateKind::Cell(c) => {
+                let fanins = nl.fanins(g);
+                // Skip gates none of whose fanins changed (and which are not
+                // the special branch sink).
+                let is_branch_sink = only_branch.is_some_and(|b| b.gate == g);
+                if !is_branch_sink && !fanins.iter().any(|f| modified.contains_key(f)) {
+                    continue;
+                }
+                let mut new_vals = vec![0u64; words];
+                for w in 0..words {
+                    fanin_words.clear();
+                    for (pin, f) in fanins.iter().enumerate() {
+                        let base = match modified.get(f) {
+                            Some(mv) => mv[w],
+                            None => values.get(*f)[w],
+                        };
+                        let v = match only_branch {
+                            Some(b) if b.gate == g && b.pin == pin as u32 => forced[w],
+                            _ => base,
+                        };
+                        fanin_words.push(v);
+                    }
+                    new_vals[w] = covers.eval_word(c, &fanin_words);
+                }
+                if new_vals != values.get(g) {
+                    modified.insert(g, new_vals);
+                }
+            }
+        }
+    }
+    obs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, Patterns};
+    use powder_library::lib2;
+    use std::sync::Arc;
+
+    /// f = (a ^ c) & b — flipping d=(a^c) is observable exactly when b=1.
+    #[test]
+    fn xor_and_observability() {
+        let lib = Arc::new(lib2());
+        let xor2 = lib.find_by_name("xor2").unwrap();
+        let and2 = lib.find_by_name("and2").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_cell("d", xor2, &[a, c]);
+        let f = nl.add_cell("f", and2, &[d, b]);
+        nl.add_output("fo", f);
+        let covers = CellCovers::new(nl.library());
+        let p = Patterns::exhaustive(3);
+        let v = simulate(&nl, &covers, &p);
+        let obs_d = stem_observability(&nl, &covers, &v, d);
+        for m in 0..8usize {
+            let expect = m & 2 != 0; // b = input index 1
+            assert_eq!((obs_d[m / 64] >> (m % 64)) & 1 == 1, expect, "pattern {m}");
+        }
+        // The output stem itself is always observable.
+        let obs_f = stem_observability(&nl, &covers, &v, f);
+        for m in 0..8usize {
+            assert_eq!((obs_f[m / 64] >> (m % 64)) & 1, 1);
+        }
+    }
+
+    /// With reconvergence, naive chain-rule observability would be wrong;
+    /// difference propagation is exact. f = a ^ a via two paths is constant,
+    /// so the internal signals are never observable... use g = (a&b) | (a&!b)
+    /// = a: flipping branch a→(a&b) is observable iff b=1.
+    #[test]
+    fn branch_vs_stem_observability_reconvergent() {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let andn2 = lib.find_by_name("andn2").unwrap(); // a*!b
+        let or2 = lib.find_by_name("or2").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_cell("g1", and2, &[a, b]);
+        let g2 = nl.add_cell("g2", andn2, &[a, b]);
+        let g3 = nl.add_cell("g3", or2, &[g1, g2]);
+        nl.add_output("f", g3);
+        let covers = CellCovers::new(nl.library());
+        let p = Patterns::exhaustive(2);
+        let v = simulate(&nl, &covers, &p);
+
+        // Stem a: flipping a flips f = a always. Observable on all patterns.
+        let obs_a = stem_observability(&nl, &covers, &v, a);
+        for m in 0..4usize {
+            assert_eq!((obs_a[0] >> m) & 1, 1, "stem a pattern {m}");
+        }
+        // Branch a→g1 (pin 0 of g1): flip changes g1 = a&b only when b=1;
+        // then f = (!a&b) | (a&!b)... compare exactly:
+        let conn = nl
+            .fanouts(a)
+            .iter()
+            .copied()
+            .find(|c| c.gate == g1)
+            .unwrap();
+        let obs_branch = branch_observability(&nl, &covers, &v, a, conn);
+        for m in 0..4usize {
+            let (av, bv) = (m & 1 != 0, m & 2 != 0);
+            let f_orig = av;
+            let f_flip = (!av && bv) || (av && !bv);
+            assert_eq!(
+                (obs_branch[0] >> m) & 1 == 1,
+                f_orig != f_flip,
+                "branch pattern {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_stems_bulk_matches_single() {
+        let lib = Arc::new(lib2());
+        let nand2 = lib.find_by_name("nand2").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_cell("g1", nand2, &[a, b]);
+        let g2 = nl.add_cell("g2", nand2, &[g1, b]);
+        nl.add_output("f", g2);
+        let covers = CellCovers::new(nl.library());
+        let p = Patterns::random(2, 4, 9);
+        let v = simulate(&nl, &covers, &p);
+        let all = stem_observability_all(&nl, &covers, &v);
+        for id in [a, b, g1, g2] {
+            assert_eq!(all[id.0 as usize], stem_observability(&nl, &covers, &v, id));
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Subject-graph construction over NAND2/INV with structural hashing.
+//!
+//! The builder wraps a [`Netlist`] whose only cells are the library's
+//! smallest NAND2 and inverter, exposing AND/OR/XOR/MUX constructors with
+//! constant folding, double-negation elimination and hash-consing — an
+//! AIG-flavoured subject graph that the mapper then covers with real cells.
+
+use powder_library::{CellId, Library};
+use powder_netlist::{GateId, Netlist};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A signal handle inside a [`SubjectBuilder`]: a gate plus polarity.
+///
+/// Inverters are materialised lazily (and hash-consed), so most polarity
+/// bookkeeping is free.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SubjectRef {
+    gate: GateId,
+    inverted: bool,
+}
+
+impl SubjectRef {
+    /// The complemented signal.
+    #[must_use]
+    pub fn not(self) -> Self {
+        SubjectRef {
+            gate: self.gate,
+            inverted: !self.inverted,
+        }
+    }
+}
+
+/// Builds NAND2/INV subject netlists with structural hashing.
+pub struct SubjectBuilder {
+    nl: Netlist,
+    nand2: CellId,
+    inv: CellId,
+    nand_cache: HashMap<(GateId, GateId), GateId>,
+    inv_cache: HashMap<GateId, GateId>,
+    const_cache: [Option<GateId>; 2],
+    counter: usize,
+}
+
+impl SubjectBuilder {
+    /// Creates a builder for a subject netlist named `name` over `library`
+    /// (which must provide NAND2 and an inverter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library lacks a 2-input NAND or an inverter.
+    #[must_use]
+    pub fn new(name: impl Into<String>, library: Arc<Library>) -> Self {
+        use powder_logic::TruthTable;
+        let nand_tt = !(TruthTable::var(0, 2) & TruthTable::var(1, 2));
+        let nand2 = library
+            .match_function(&nand_tt)
+            .expect("library must provide NAND2")
+            .cell;
+        let inv = library.inverter();
+        SubjectBuilder {
+            nl: Netlist::new(name, library),
+            nand2,
+            inv,
+            nand_cache: HashMap::new(),
+            inv_cache: HashMap::new(),
+            const_cache: [None, None],
+            counter: 0,
+        }
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}_{}", self.counter)
+    }
+
+    /// Adds a primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> SubjectRef {
+        let gate = self.nl.add_input(name);
+        SubjectRef {
+            gate,
+            inverted: false,
+        }
+    }
+
+    /// A constant signal.
+    pub fn constant(&mut self, value: bool) -> SubjectRef {
+        let idx = usize::from(value);
+        let gate = match self.const_cache[idx] {
+            Some(g) => g,
+            None => {
+                let name = self.fresh_name(if value { "one" } else { "zero" });
+                let g = self.nl.add_const(name, value);
+                self.const_cache[idx] = Some(g);
+                g
+            }
+        };
+        SubjectRef {
+            gate,
+            inverted: false,
+        }
+    }
+
+    fn const_value(&self, r: SubjectRef) -> Option<bool> {
+        match self.nl.kind(r.gate) {
+            powder_netlist::GateKind::Const(v) => Some(v ^ r.inverted),
+            _ => None,
+        }
+    }
+
+    /// Materialises `r` as a gate output (inserting an inverter if the
+    /// reference is complemented).
+    pub fn resolve(&mut self, r: SubjectRef) -> GateId {
+        if !r.inverted {
+            return r.gate;
+        }
+        if let Some(&g) = self.inv_cache.get(&r.gate) {
+            return g;
+        }
+        let name = self.fresh_name("inv");
+        let g = self.nl.add_cell(name, self.inv, &[r.gate]);
+        self.inv_cache.insert(r.gate, g);
+        g
+    }
+
+    /// `a AND b`, with constant folding and hash-consing.
+    pub fn and(&mut self, a: SubjectRef, b: SubjectRef) -> SubjectRef {
+        self.nand(a, b).not()
+    }
+
+    /// `a OR b`.
+    pub fn or(&mut self, a: SubjectRef, b: SubjectRef) -> SubjectRef {
+        self.nand(a.not(), b.not())
+    }
+
+    /// `a XOR b`, built from NANDs.
+    pub fn xor(&mut self, a: SubjectRef, b: SubjectRef) -> SubjectRef {
+        match (self.const_value(a), self.const_value(b)) {
+            (Some(va), _) => return if va { b.not() } else { b },
+            (_, Some(vb)) => return if vb { a.not() } else { a },
+            _ => {}
+        }
+        if a == b {
+            return self.constant(false);
+        }
+        if a == b.not() {
+            return self.constant(true);
+        }
+        // xor = nand(nand(a, nab), nand(b, nab)) with nab = nand(a,b)
+        let nab = self.nand(a, b);
+        let l = self.nand(a, nab);
+        let r = self.nand(b, nab);
+        self.nand(l, r)
+    }
+
+    /// `if s then a else b`.
+    pub fn mux(&mut self, s: SubjectRef, a: SubjectRef, b: SubjectRef) -> SubjectRef {
+        let t = self.and(s, a);
+        let e = self.and(s.not(), b);
+        self.or(t, e)
+    }
+
+    /// `NAND(a, b)` — the primitive everything else reduces to.
+    pub fn nand(&mut self, a: SubjectRef, b: SubjectRef) -> SubjectRef {
+        // Constant folding.
+        match (self.const_value(a), self.const_value(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.constant(true),
+            (Some(true), _) => return self.materialized_not(b),
+            (_, Some(true)) => return self.materialized_not(a),
+            _ => {}
+        }
+        if a == b.not() {
+            return self.constant(true);
+        }
+        let ga = self.resolve(a);
+        let gb = self.resolve(b);
+        if ga == gb {
+            // NAND(x, x) = !x
+            return SubjectRef {
+                gate: ga,
+                inverted: true,
+            };
+        }
+        let key = if ga <= gb { (ga, gb) } else { (gb, ga) };
+        if let Some(&g) = self.nand_cache.get(&key) {
+            return SubjectRef {
+                gate: g,
+                inverted: false,
+            };
+        }
+        let name = self.fresh_name("nd");
+        let g = self.nl.add_cell(name, self.nand2, &[key.0, key.1]);
+        self.nand_cache.insert(key, g);
+        SubjectRef {
+            gate: g,
+            inverted: false,
+        }
+    }
+
+    fn materialized_not(&mut self, r: SubjectRef) -> SubjectRef {
+        r.not()
+    }
+
+    /// Balanced AND over several operands (empty = constant 1).
+    pub fn and_many(&mut self, refs: &[SubjectRef]) -> SubjectRef {
+        self.reduce(refs, true)
+    }
+
+    /// Balanced OR over several operands (empty = constant 0).
+    pub fn or_many(&mut self, refs: &[SubjectRef]) -> SubjectRef {
+        self.reduce(refs, false)
+    }
+
+    fn reduce(&mut self, refs: &[SubjectRef], is_and: bool) -> SubjectRef {
+        match refs.len() {
+            0 => self.constant(is_and),
+            1 => refs[0],
+            _ => {
+                // Left-leaning chain: operands are expected pre-sorted by
+                // descending activity so late (inner) positions carry the
+                // low-activity signals, after the low-power decomposition
+                // idea of refs [10,11]. A chain (not a balanced tree) makes
+                // that ordering meaningful.
+                let mut acc = refs[0];
+                for &r in &refs[1..] {
+                    acc = if is_and { self.and(acc, r) } else { self.or(acc, r) };
+                }
+                acc
+            }
+        }
+    }
+
+    /// Marks `r` as primary output `name`.
+    pub fn output(&mut self, name: impl Into<String>, r: SubjectRef) -> GateId {
+        let g = self.resolve(r);
+        self.nl.add_output(name, g)
+    }
+
+    /// Finishes the build, returning the subject netlist.
+    #[must_use]
+    pub fn finish(self) -> Netlist {
+        self.nl
+    }
+
+    /// Read access to the netlist under construction.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+    use powder_sim::{simulate, CellCovers, Patterns};
+
+    fn check_output(build: impl FnOnce(&mut SubjectBuilder) -> SubjectRef, f: impl Fn(u64) -> bool, inputs: usize) {
+        let lib = Arc::new(lib2());
+        let mut b = SubjectBuilder::new("t", lib);
+        let _ins: Vec<SubjectRef> = (0..inputs).map(|i| b.input(format!("x{i}"))).collect();
+        let out = build(&mut b);
+        b.output("f", out);
+        let nl = b.finish();
+        nl.validate().unwrap();
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(inputs);
+        let vals = simulate(&nl, &covers, &pats);
+        let sig = vals.get(nl.outputs()[0]);
+        for m in 0..(1usize << inputs) {
+            assert_eq!(
+                (sig[m / 64] >> (m % 64)) & 1 == 1,
+                f(m as u64),
+                "mismatch at {m:#b}"
+            );
+        }
+    }
+
+    // Inputs are re-created inside each closure via the builder order, so
+    // x_i corresponds to bit i of the minterm.
+    fn ins(b: &SubjectBuilder, _n: usize) -> Vec<SubjectRef> {
+        b.netlist()
+            .inputs()
+            .iter()
+            .map(|&gate| SubjectRef {
+                gate,
+                inverted: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn and_or_xor_mux_semantics() {
+        check_output(
+            |b| {
+                let i = ins(b, 2);
+                b.and(i[0], i[1])
+            },
+            |m| (m & 1 != 0) && (m & 2 != 0),
+            2,
+        );
+        check_output(
+            |b| {
+                let i = ins(b, 2);
+                b.or(i[0], i[1])
+            },
+            |m| (m & 1 != 0) || (m & 2 != 0),
+            2,
+        );
+        check_output(
+            |b| {
+                let i = ins(b, 2);
+                b.xor(i[0], i[1])
+            },
+            |m| (m & 1 != 0) != (m & 2 != 0),
+            2,
+        );
+        check_output(
+            |b| {
+                let i = ins(b, 3);
+                b.mux(i[0], i[1], i[2])
+            },
+            |m| {
+                if m & 1 != 0 {
+                    m & 2 != 0
+                } else {
+                    m & 4 != 0
+                }
+            },
+            3,
+        );
+    }
+
+    #[test]
+    fn hash_consing_shares_structure() {
+        let lib = Arc::new(lib2());
+        let mut b = SubjectBuilder::new("t", lib);
+        let x = b.input("x");
+        let y = b.input("y");
+        let a1 = b.and(x, y);
+        let a2 = b.and(y, x);
+        assert_eq!(a1, a2, "commutative hash-consing");
+        let n1 = b.resolve(a1.not());
+        let n2 = b.resolve(a2.not());
+        assert_eq!(n1, n2, "inverter cache");
+    }
+
+    #[test]
+    fn constant_folding() {
+        let lib = Arc::new(lib2());
+        let mut b = SubjectBuilder::new("t", lib);
+        let x = b.input("x");
+        let one = b.constant(true);
+        let zero = b.constant(false);
+        assert_eq!(b.and(x, one), x);
+        let az = b.and(x, zero);
+        assert_eq!(b.const_value(az), Some(false));
+        assert_eq!(b.or(x, zero), x);
+        let xx = b.xor(x, x);
+        assert_eq!(b.const_value(xx), Some(false));
+        let xnx = b.xor(x, x.not());
+        assert_eq!(b.const_value(xnx), Some(true));
+        // NAND(x, x) = !x without creating a gate
+        let nxx = b.nand(x, x);
+        assert_eq!(nxx, x.not());
+    }
+
+    #[test]
+    fn and_many_or_many() {
+        check_output(
+            |b| {
+                let i = ins(b, 4);
+                b.and_many(&i)
+            },
+            |m| m == 0b1111,
+            4,
+        );
+        check_output(
+            |b| {
+                let i = ins(b, 4);
+                b.or_many(&i)
+            },
+            |m| m != 0,
+            4,
+        );
+    }
+}

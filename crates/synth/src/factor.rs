@@ -1,0 +1,173 @@
+//! Algebraic factoring of minimised SOPs into subject-graph logic.
+//!
+//! `factor_sop` recursively extracts the best kernel (by literal saving),
+//! producing `f = q·k + r` structure; leaves become literal AND/OR chains
+//! whose operands are ordered by descending switching activity so that the
+//! low-activity signals end up late in the chain — the decomposition
+//! heuristic of the low-power mapping literature the paper builds on
+//! (refs \[10, 11\]).
+
+use crate::builder::{SubjectBuilder, SubjectRef};
+use powder_logic::{kernel, Cube, Sop};
+
+/// Activity-ordering context: `activity[i]` is the transition probability
+/// of input variable `i` (defaults to uniform when unknown).
+#[derive(Clone, Debug, Default)]
+pub struct Activities(pub Vec<f64>);
+
+impl Activities {
+    fn of(&self, var: usize) -> f64 {
+        self.0.get(var).copied().unwrap_or(0.5)
+    }
+}
+
+/// Recursion guard: SOPs at or below this size skip kernel extraction.
+const FACTOR_LEAF_CUBES: usize = 2;
+
+/// Builds subject-graph logic computing `sop` over `inputs`, factoring
+/// algebraically where profitable.
+///
+/// # Panics
+///
+/// Panics if a cube references a variable with no entry in `inputs`.
+#[must_use]
+pub fn factor_sop(
+    b: &mut SubjectBuilder,
+    sop: &Sop,
+    inputs: &[SubjectRef],
+    activities: &Activities,
+) -> SubjectRef {
+    if sop.is_empty() {
+        return b.constant(false);
+    }
+    if sop.cubes().iter().any(|c| c.literal_count() == 0) {
+        return b.constant(true);
+    }
+    if sop.cube_count() > FACTOR_LEAF_CUBES {
+        if let Some(best) = kernel::best_factor(sop) {
+            let (quot, rest) = sop.algebraic_divide(&best.kernel);
+            if !quot.is_empty() {
+                let k = factor_sop(b, &best.kernel, inputs, activities);
+                let q = factor_sop(b, &quot, inputs, activities);
+                let product = b.and(k, q);
+                if rest.is_empty() {
+                    return product;
+                }
+                let r = factor_sop(b, &rest, inputs, activities);
+                return b.or(product, r);
+            }
+        }
+    }
+    // Leaf: OR of cube ANDs, activity-ordered.
+    let mut terms: Vec<(SubjectRef, f64)> = sop
+        .cubes()
+        .iter()
+        .map(|c| {
+            let t = build_cube(b, c, inputs, activities);
+            (t, cube_activity(c, activities))
+        })
+        .collect();
+    // High-activity first so low-activity operands land late in the chain.
+    terms.sort_by(|x, y| y.1.total_cmp(&x.1));
+    let refs: Vec<SubjectRef> = terms.into_iter().map(|(t, _)| t).collect();
+    b.or_many(&refs)
+}
+
+fn cube_activity(cube: &Cube, act: &Activities) -> f64 {
+    (0..64)
+        .filter(|&v| cube.literal(v).is_some())
+        .map(|v| act.of(v))
+        .fold(0.0, f64::max)
+}
+
+fn build_cube(
+    b: &mut SubjectBuilder,
+    cube: &Cube,
+    inputs: &[SubjectRef],
+    act: &Activities,
+) -> SubjectRef {
+    let mut lits: Vec<(SubjectRef, f64)> = (0..64)
+        .filter_map(|v| {
+            cube.literal(v).map(|phase| {
+                let r = if phase { inputs[v] } else { inputs[v].not() };
+                (r, act.of(v))
+            })
+        })
+        .collect();
+    lits.sort_by(|x, y| y.1.total_cmp(&x.1));
+    let refs: Vec<SubjectRef> = lits.into_iter().map(|(r, _)| r).collect();
+    b.and_many(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+    use powder_netlist::Netlist;
+    use powder_sim::{simulate, CellCovers, Patterns};
+    use std::sync::Arc;
+
+    fn build_and_check(sop: &Sop, inputs: usize) -> Netlist {
+        let lib = Arc::new(lib2());
+        let mut b = SubjectBuilder::new("t", lib);
+        let ins: Vec<SubjectRef> = (0..inputs).map(|i| b.input(format!("x{i}"))).collect();
+        let out = factor_sop(&mut b, sop, &ins, &Activities::default());
+        b.output("f", out);
+        let nl = b.finish();
+        nl.validate().unwrap();
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(inputs);
+        let vals = simulate(&nl, &covers, &pats);
+        let sig = vals.get(nl.outputs()[0]);
+        for m in 0..(1u64 << inputs) {
+            assert_eq!(
+                (sig[m as usize / 64] >> (m % 64)) & 1 == 1,
+                sop.eval(m),
+                "mismatch at {m:#b}"
+            );
+        }
+        nl
+    }
+
+    #[test]
+    fn factored_logic_matches_sop_semantics() {
+        // f = a·c + a·d + b·c + b·d + e — factors as (a+b)(c+d) + e.
+        let sop = Sop::from_cubes(
+            5,
+            vec![
+                Cube::new(0b00101, 0),
+                Cube::new(0b01001, 0),
+                Cube::new(0b00110, 0),
+                Cube::new(0b01010, 0),
+                Cube::new(0b10000, 0),
+            ],
+        );
+        let nl = build_and_check(&sop, 5);
+        // Factored form needs fewer gates than flat 2-level NAND logic:
+        // flat would need 4 × AND2-chains + 5-way OR; factoring shares.
+        assert!(nl.cell_count() <= 10, "got {} cells", nl.cell_count());
+    }
+
+    #[test]
+    fn single_cube_and_constants() {
+        let sop = Sop::from_cubes(3, vec![Cube::new(0b011, 0b100)]);
+        build_and_check(&sop, 3);
+        build_and_check(&Sop::zero(2), 2);
+        build_and_check(&Sop::one(2), 2);
+    }
+
+    #[test]
+    fn negative_literals() {
+        // f = !a·!b + a·b (xnor)
+        let sop = Sop::from_cubes(2, vec![Cube::new(0, 0b11), Cube::new(0b11, 0)]);
+        build_and_check(&sop, 2);
+    }
+
+    #[test]
+    fn deep_factoring_terminates() {
+        // A denser function exercising recursive kernel extraction.
+        let tt = powder_logic::TruthTable::from_fn(6, |m| (m * 37 + 11) % 7 < 3);
+        let sop = powder_logic::minimize::minimize(&tt);
+        build_and_check(&sop, 6);
+    }
+}

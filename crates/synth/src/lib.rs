@@ -1,0 +1,49 @@
+//! Pre-POWDER synthesis flow — the reproduction's stand-in for POSE.
+//!
+//! The paper's experiments start from circuits that were *already* optimised
+//! and technology-mapped for low power by POSE (logic optimisation \[6,7\] +
+//! low-power mapping \[10\]). This crate rebuilds that pipeline:
+//!
+//! 1. **Two-level minimisation** of each output cone
+//!    (`powder_logic::minimize`);
+//! 2. **Algebraic factoring** of the minimised SOPs
+//!    ([`factor::factor_sop`]), with activity-aware operand ordering so
+//!    low-activity signals sit late in gate chains (after refs \[10,11\]);
+//! 3. **Subject-graph construction** over NAND2/INV with structural hashing
+//!    and constant folding ([`SubjectBuilder`]);
+//! 4. **Cut-based technology mapping** ([`map_netlist`]) with either an
+//!    area-flow or a *switched-capacitance* cost ([`MapMode`]), matching cut
+//!    functions against the whole library under input permutations.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use powder_library::lib2;
+//! use powder_logic::TruthTable;
+//! use powder_synth::{synthesize, CircuitSpec, MapMode};
+//!
+//! // A 3-input majority function, specified as a truth table.
+//! let spec = CircuitSpec::from_truth_tables(
+//!     "maj3",
+//!     vec!["a".into(), "b".into(), "c".into()],
+//!     vec![("f".into(), TruthTable::from_fn(3, |m| m.count_ones() >= 2))],
+//! );
+//! let lib = Arc::new(lib2());
+//! let mapped = synthesize(&spec, lib, MapMode::Power)?;
+//! mapped.validate().unwrap();
+//! assert!(mapped.cell_count() > 0);
+//! # Ok::<(), powder_synth::SynthesisError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod factor;
+mod mapper;
+mod spec;
+
+pub use builder::{SubjectBuilder, SubjectRef};
+pub use mapper::{map_netlist, MapError, MapMode};
+pub use spec::{synthesize, CircuitSpec, SynthesisError};

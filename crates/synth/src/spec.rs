@@ -1,0 +1,222 @@
+//! Circuit specifications and the end-to-end synthesis entry point.
+
+use crate::builder::{SubjectBuilder, SubjectRef};
+use crate::factor::{factor_sop, Activities};
+use crate::mapper::{map_netlist, MapError, MapMode};
+use powder_library::Library;
+use powder_logic::{minimize, Sop, TruthTable};
+use powder_netlist::Netlist;
+use std::fmt;
+use std::sync::Arc;
+
+/// A multi-output combinational specification: named outputs over shared
+/// named inputs, each given as a truth table (or pre-minimised SOP).
+#[derive(Clone, Debug)]
+pub struct CircuitSpec {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<(String, Sop)>,
+    input_activities: Activities,
+}
+
+/// Error produced by [`synthesize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// An output's function arity disagrees with the input list.
+    ArityMismatch {
+        /// The offending output.
+        output: String,
+    },
+    /// Technology mapping failed.
+    Map(MapError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::ArityMismatch { output } => {
+                write!(f, "output {output:?} arity does not match the input list")
+            }
+            SynthesisError::Map(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl From<MapError> for SynthesisError {
+    fn from(e: MapError) -> Self {
+        SynthesisError::Map(e)
+    }
+}
+
+impl CircuitSpec {
+    /// Builds a spec from truth tables (one per output, all over the same
+    /// input list). Each table is two-level minimised immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a table's variable count differs from `inputs.len()`.
+    #[must_use]
+    pub fn from_truth_tables(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        outputs: Vec<(String, TruthTable)>,
+    ) -> Self {
+        let n = inputs.len();
+        let outputs = outputs
+            .into_iter()
+            .map(|(oname, tt)| {
+                assert_eq!(tt.vars(), n, "output {oname} arity mismatch");
+                let sop = minimize::minimize(&tt);
+                (oname, sop)
+            })
+            .collect();
+        CircuitSpec {
+            name: name.into(),
+            inputs,
+            outputs,
+            input_activities: Activities::default(),
+        }
+    }
+
+    /// Builds a spec from already-minimised SOPs.
+    #[must_use]
+    pub fn from_sops(
+        name: impl Into<String>,
+        inputs: Vec<String>,
+        outputs: Vec<(String, Sop)>,
+    ) -> Self {
+        CircuitSpec {
+            name: name.into(),
+            inputs,
+            outputs,
+            input_activities: Activities::default(),
+        }
+    }
+
+    /// Builds a spec from a parsed `.pla` (ON-set semantics; each output's
+    /// SOP is used as-is, so run two-level minimisation upstream if the
+    /// source is unminimised).
+    #[must_use]
+    pub fn from_pla(name: impl Into<String>, pla: &powder_logic::pla::Pla) -> Self {
+        CircuitSpec {
+            name: name.into(),
+            inputs: pla.inputs.clone(),
+            outputs: pla
+                .outputs
+                .iter()
+                .cloned()
+                .zip(pla.on_sets.iter().cloned())
+                .collect(),
+            input_activities: Activities::default(),
+        }
+    }
+
+    /// Sets per-input transition activities used by the low-power
+    /// decomposition ordering.
+    #[must_use]
+    pub fn with_activities(mut self, activities: Vec<f64>) -> Self {
+        self.input_activities = Activities(activities);
+        self
+    }
+
+    /// Circuit name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input names.
+    #[must_use]
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Output names and functions.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, Sop)] {
+        &self.outputs
+    }
+}
+
+/// Runs the full POSE-substitute flow: factoring, subject-graph
+/// construction and technology mapping.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError`] when an output references inputs outside the
+/// declared list or when mapping fails.
+pub fn synthesize(
+    spec: &CircuitSpec,
+    library: Arc<Library>,
+    mode: MapMode,
+) -> Result<Netlist, SynthesisError> {
+    let mut b = SubjectBuilder::new(spec.name.clone(), library);
+    let ins: Vec<SubjectRef> = spec.inputs.iter().map(|n| b.input(n.clone())).collect();
+    let n = ins.len();
+    for (oname, sop) in &spec.outputs {
+        if sop.vars() > 64 || (n < 64 && sop.support_mask() >> n != 0) {
+            return Err(SynthesisError::ArityMismatch {
+                output: oname.clone(),
+            });
+        }
+        let out = factor_sop(&mut b, sop, &ins, &spec.input_activities);
+        b.output(oname.clone(), out);
+    }
+    let subject = b.finish();
+    Ok(map_netlist(&subject, mode)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+    use powder_sim::{simulate, CellCovers, Patterns};
+
+    #[test]
+    fn synthesize_multi_output_and_verify() {
+        // full adder: sum = a^b^cin, carry = maj(a,b,cin)
+        let sum = TruthTable::from_fn(3, |m| m.count_ones() % 2 == 1);
+        let carry = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        let spec = CircuitSpec::from_truth_tables(
+            "fa",
+            vec!["a".into(), "b".into(), "cin".into()],
+            vec![("sum".into(), sum.clone()), ("carry".into(), carry.clone())],
+        );
+        let nl = synthesize(&spec, Arc::new(lib2()), MapMode::Power).unwrap();
+        nl.validate().unwrap();
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(3);
+        let vals = simulate(&nl, &covers, &pats);
+        for (po, tt) in nl.outputs().iter().zip([sum, carry]) {
+            let sig = vals.get(*po);
+            for m in 0..8u64 {
+                assert_eq!((sig[0] >> m) & 1 == 1, tt.eval(m), "minterm {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let sop = powder_logic::Sop::from_cubes(4, vec![powder_logic::Cube::new(0b1000, 0)]);
+        let spec = CircuitSpec::from_sops("bad", vec!["a".into()], vec![("f".into(), sop)]);
+        assert!(matches!(
+            synthesize(&spec, Arc::new(lib2()), MapMode::Area),
+            Err(SynthesisError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn area_mode_no_larger_than_naive() {
+        let tt = TruthTable::from_fn(5, |m| (m * 13) % 3 == 1);
+        let spec = CircuitSpec::from_truth_tables(
+            "r5",
+            (0..5).map(|i| format!("x{i}")).collect(),
+            vec![("f".into(), tt)],
+        );
+        let nl = synthesize(&spec, Arc::new(lib2()), MapMode::Area).unwrap();
+        nl.validate().unwrap();
+        assert!(nl.cell_count() > 0);
+    }
+}

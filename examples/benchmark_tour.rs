@@ -1,0 +1,51 @@
+//! Tour of the benchmark suite: build a handful of circuits across the
+//! families, run POWDER on each, and dump one of them as mapped BLIF
+//! before/after, including the per-class substitution breakdown (Table 2
+//! style) for each run.
+//!
+//! Run with: `cargo run --release --example benchmark_tour`
+
+use powder::{optimize, OptimizeConfig, SubClass};
+use powder_library::lib2;
+use powder_netlist::blif;
+use std::sync::Arc;
+
+fn main() {
+    let lib = Arc::new(lib2());
+    let picks = ["rd84", "comp", "bw", "t481", "C432", "f51m"];
+
+    println!(
+        "{:<8} {:<12} {:>6} {:>9} {:>7} | {:>4} {:>4} {:>4} {:>4}",
+        "circuit", "family", "cells", "power", "red.%", "OS2", "IS2", "OS3", "IS3"
+    );
+    for name in picks {
+        let info = powder_benchmarks::info(name).expect("known benchmark");
+        let mut nl = powder_benchmarks::build(name, lib.clone()).expect("suite circuit builds");
+        let before = if name == "rd84" {
+            Some(blif::write_blif(&nl))
+        } else {
+            None
+        };
+        let report = optimize(&mut nl, &OptimizeConfig::default());
+        nl.validate().expect("optimized netlist is consistent");
+        let stats = report.class_stats();
+        let count =
+            |c: SubClass| stats.iter().find(|(k, _)| *k == c).map_or(0, |(_, s)| s.count);
+        println!(
+            "{:<8} {:<12} {:>6} {:>9.3} {:>7.1} | {:>4} {:>4} {:>4} {:>4}",
+            name,
+            info.family.to_string(),
+            nl.cell_count(),
+            report.final_power,
+            report.power_reduction_percent(),
+            count(SubClass::Os2),
+            count(SubClass::Is2),
+            count(SubClass::Os3),
+            count(SubClass::Is3),
+        );
+        if let Some(before) = before {
+            println!("\n--- rd84 before POWDER ---\n{before}");
+            println!("--- rd84 after POWDER ---\n{}", blif::write_blif(&nl));
+        }
+    }
+}

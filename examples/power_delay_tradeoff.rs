@@ -1,0 +1,52 @@
+//! Power–delay trade-off on a single benchmark (a per-circuit slice of the
+//! paper's Figure 6 experiment).
+//!
+//! Builds one circuit from the suite, then runs POWDER under a sweep of
+//! delay constraints from 0 % to 200 % allowed increase, printing the
+//! resulting (relative delay, relative power) points.
+//!
+//! Run with: `cargo run --release --example power_delay_tradeoff [-- circuit]`
+
+use powder::{optimize, DelayLimit, OptimizeConfig};
+use powder_library::lib2;
+use powder_power::{PowerConfig, PowerEstimator};
+use powder_timing::{TimingAnalysis, TimingConfig};
+use std::sync::Arc;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "rd84".to_string());
+    let lib = Arc::new(lib2());
+    let original = match powder_benchmarks::build(&name, lib) {
+        Ok(nl) => nl,
+        Err(e) => {
+            eprintln!("{e}; known circuits: {:?}", powder_benchmarks::table1_names());
+            std::process::exit(1);
+        }
+    };
+    let est = PowerEstimator::new(&original, &PowerConfig::default());
+    let init_power = est.circuit_power(&original);
+    let init_delay =
+        TimingAnalysis::new(&original, &TimingConfig::default()).circuit_delay();
+    println!(
+        "{name}: {} cells, power {init_power:.3}, delay {init_delay:.2}",
+        original.cell_count()
+    );
+    println!("{:>9} {:>12} {:>12} {:>6}", "allow %", "rel power", "rel delay", "subs");
+
+    for allow in [0.0, 10.0, 20.0, 30.0, 50.0, 80.0, 100.0, 150.0, 200.0] {
+        let mut work = original.clone();
+        let cfg = OptimizeConfig {
+            delay_limit: Some(DelayLimit::Factor(1.0 + allow / 100.0)),
+            sim_words: 16,
+            ..OptimizeConfig::default()
+        };
+        let report = optimize(&mut work, &cfg);
+        println!(
+            "{allow:>9.0} {:>12.4} {:>12.4} {:>6}",
+            report.final_power / init_power,
+            report.final_delay / init_delay,
+            report.applied.len()
+        );
+    }
+    println!("\n(relative power should fall as the allowance grows, then saturate — Fig. 6)");
+}

@@ -1,0 +1,140 @@
+//! End-to-end integration tests: specification → synthesis → POWDER →
+//! verified equivalence, across circuit families and optimizer modes.
+
+use powder::{optimize, DelayLimit, OptimizeConfig};
+use powder_library::lib2;
+use powder_netlist::Netlist;
+use powder_power::{PowerConfig, PowerEstimator};
+use powder_sim::{simulate, CellCovers, Patterns};
+use powder_timing::{TimingAnalysis, TimingConfig};
+use std::sync::Arc;
+
+fn po_signatures(nl: &Netlist, pats: &Patterns) -> Vec<Vec<u64>> {
+    let covers = CellCovers::new(nl.library());
+    let vals = simulate(nl, &covers, pats);
+    nl.outputs().iter().map(|&o| vals.get(o).to_vec()).collect()
+}
+
+fn fast_config() -> OptimizeConfig {
+    OptimizeConfig {
+        sim_words: 4,
+        max_rounds: 6,
+        ..OptimizeConfig::default()
+    }
+}
+
+/// One small circuit per family; each must survive optimization with its
+/// input/output behaviour intact.
+#[test]
+fn families_round_trip_through_powder() {
+    let lib = Arc::new(lib2());
+    for name in ["rd84", "bw", "frg1", "C432", "f51m"] {
+        let original = powder_benchmarks::build(name, lib.clone()).expect("suite builds");
+        let pats = Patterns::random(original.inputs().len(), 8, 42);
+        let before = po_signatures(&original, &pats);
+        let mut nl = original.clone();
+        let report = optimize(&mut nl, &fast_config());
+        nl.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(po_signatures(&nl, &pats), before, "{name} changed function");
+        assert!(
+            report.final_power <= report.initial_power + 1e-9,
+            "{name} power increased"
+        );
+    }
+}
+
+/// The delay-constrained mode must never exceed the limit, for several
+/// allowance factors, and looser limits must never do worse than tighter
+/// ones by more than noise.
+#[test]
+fn delay_constraints_are_hard_limits() {
+    let lib = Arc::new(lib2());
+    let original = powder_benchmarks::build("rd84", lib).expect("rd84 builds");
+    let init_delay =
+        TimingAnalysis::new(&original, &TimingConfig::default()).circuit_delay();
+    let mut last_power = f64::INFINITY;
+    for factor in [1.0, 1.3, 2.0] {
+        let mut nl = original.clone();
+        let cfg = OptimizeConfig {
+            delay_limit: Some(DelayLimit::Factor(factor)),
+            ..fast_config()
+        };
+        let report = optimize(&mut nl, &cfg);
+        assert!(
+            report.final_delay <= factor * init_delay + 1e-9,
+            "factor {factor}: delay {} exceeds limit {}",
+            report.final_delay,
+            factor * init_delay
+        );
+        // Trade-off direction: more slack, at least as much power saved
+        // (allowing a small tolerance for heuristic ordering effects).
+        assert!(
+            report.final_power <= last_power * 1.05,
+            "factor {factor} should not be much worse than tighter limits"
+        );
+        last_power = last_power.min(report.final_power);
+    }
+}
+
+/// The unconstrained optimizer must strictly reduce power on the
+/// redundancy-rich decomposable circuit (the `t481` story of the paper).
+#[test]
+fn t481_collapses_substantially() {
+    let lib = Arc::new(lib2());
+    let mut nl = powder_benchmarks::build("t481", lib).expect("t481 builds");
+    let pats = Patterns::random(nl.inputs().len(), 8, 7);
+    let before = po_signatures(&nl, &pats);
+    let report = optimize(&mut nl, &OptimizeConfig::default());
+    nl.validate().unwrap();
+    assert_eq!(po_signatures(&nl, &pats), before);
+    assert!(
+        report.power_reduction_percent() > 5.0,
+        "t481-class logic must shed redundancy, got {:.1}%",
+        report.power_reduction_percent()
+    );
+}
+
+/// Optimizing an already-optimized circuit must be (near-)idempotent.
+#[test]
+fn second_pass_finds_little() {
+    let lib = Arc::new(lib2());
+    let mut nl = powder_benchmarks::build("bw", lib).expect("bw builds");
+    let first = optimize(&mut nl, &fast_config());
+    let second = optimize(&mut nl, &fast_config());
+    assert!(
+        second.power_reduction_percent() <= first.power_reduction_percent().max(5.0),
+        "second pass should find much less: {} vs {}",
+        second.power_reduction_percent(),
+        first.power_reduction_percent()
+    );
+    nl.validate().unwrap();
+}
+
+/// The reported power numbers must match an independent estimator run.
+#[test]
+fn report_power_matches_fresh_estimate() {
+    let lib = Arc::new(lib2());
+    let mut nl = powder_benchmarks::build("frg1", lib).expect("frg1 builds");
+    let report = optimize(&mut nl, &fast_config());
+    let fresh = PowerEstimator::new(&nl, &PowerConfig::default());
+    assert!(
+        (fresh.circuit_power(&nl) - report.final_power).abs() < 1e-6,
+        "incremental estimate drifted: {} vs {}",
+        fresh.circuit_power(&nl),
+        report.final_power
+    );
+}
+
+/// BLIF round-trip of an optimized netlist: write, read, same behaviour.
+#[test]
+fn optimized_netlist_survives_blif_roundtrip() {
+    use powder_netlist::blif::{read_blif, write_blif};
+    let lib = Arc::new(lib2());
+    let mut nl = powder_benchmarks::build("bw", lib.clone()).expect("bw builds");
+    let _ = optimize(&mut nl, &fast_config());
+    let text = write_blif(&nl);
+    let back = read_blif(&text, lib).expect("round-trip parses");
+    back.validate().unwrap();
+    let pats = Patterns::random(nl.inputs().len(), 4, 3);
+    assert_eq!(po_signatures(&nl, &pats), po_signatures(&back, &pats));
+}

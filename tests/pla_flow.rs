@@ -1,0 +1,72 @@
+//! End-to-end `.pla` flow: parse → synthesize → verify against the SOP
+//! semantics → optimize → still equivalent.
+
+use powder::{optimize, OptimizeConfig};
+use powder_library::lib2;
+use powder_logic::pla::{parse_pla, write_pla};
+use powder_sim::{simulate, CellCovers, Patterns};
+use powder_synth::{synthesize, CircuitSpec, MapMode};
+use std::sync::Arc;
+
+const SAMPLE: &str = "\
+.i 5
+.o 3
+.ilb a b c d e
+.ob f g h
+1--0- 100
+01--- 110
+--11- 011
+---01 101
+00000 010
+.e
+";
+
+#[test]
+fn pla_synthesis_matches_onset_semantics() {
+    let pla = parse_pla(SAMPLE).expect("parses");
+    let spec = CircuitSpec::from_pla("sample", &pla);
+    let nl = synthesize(&spec, Arc::new(lib2()), MapMode::Power).expect("synthesizes");
+    nl.validate().unwrap();
+    let covers = CellCovers::new(nl.library());
+    let pats = Patterns::exhaustive(5);
+    let vals = simulate(&nl, &covers, &pats);
+    for (o, &po) in nl.outputs().iter().enumerate() {
+        let sig = vals.get(po);
+        for m in 0..32u64 {
+            assert_eq!(
+                (sig[0] >> m) & 1 == 1,
+                pla.on_sets[o].eval(m),
+                "output {o} minterm {m:#b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pla_roundtrip_then_optimize() {
+    let pla = parse_pla(SAMPLE).expect("parses");
+    let pla2 = parse_pla(&write_pla(&pla)).expect("round-trips");
+    let spec = CircuitSpec::from_pla("sample", &pla2);
+    let mut nl = synthesize(&spec, Arc::new(lib2()), MapMode::Power).expect("synthesizes");
+    let covers = CellCovers::new(nl.library());
+    let pats = Patterns::exhaustive(5);
+    let before: Vec<Vec<u64>> = {
+        let v = simulate(&nl, &covers, &pats);
+        nl.outputs().iter().map(|&o| v.get(o).to_vec()).collect()
+    };
+    let report = optimize(
+        &mut nl,
+        &OptimizeConfig {
+            sim_words: 4,
+            max_rounds: 6,
+            ..OptimizeConfig::default()
+        },
+    );
+    nl.validate().unwrap();
+    let after: Vec<Vec<u64>> = {
+        let v = simulate(&nl, &covers, &pats);
+        nl.outputs().iter().map(|&o| v.get(o).to_vec()).collect()
+    };
+    assert_eq!(before, after, "optimization broke the PLA function");
+    assert!(report.final_power <= report.initial_power + 1e-9);
+}

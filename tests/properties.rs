@@ -1,0 +1,191 @@
+//! Property-based tests over the core invariants of the reproduction:
+//! soundness of the candidate filter + ATPG pipeline, correctness of
+//! two-level minimisation and mapping, and consistency of the power-gain
+//! decomposition — all on randomly generated circuits.
+
+use powder::gain::analyze_full;
+use powder_atpg::{check_substitution, generate_candidates, CandidateConfig, CheckOutcome};
+use powder_library::lib2;
+use powder_logic::{minimize, Cube, Sop, TruthTable};
+use powder_netlist::{GateId, Netlist};
+use powder_power::{PowerConfig, PowerEstimator};
+use powder_sim::{simulate, CellCovers, Patterns};
+use powder_synth::{map_netlist, synthesize, CircuitSpec, MapMode};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a random mapped netlist from a recipe of bytes: `ops[i]` selects
+/// a cell and two (or one) fanins among earlier signals.
+fn random_netlist(inputs: usize, ops: &[(u8, u8, u8)]) -> Netlist {
+    let lib = Arc::new(lib2());
+    let cells: Vec<_> = ["and2", "or2", "nand2", "nor2", "xor2", "xnor2", "inv1", "andn2"]
+        .iter()
+        .map(|n| lib.find_by_name(n).expect("lib2 cell"))
+        .collect();
+    let mut nl = Netlist::new("prop", lib);
+    let mut signals: Vec<GateId> = (0..inputs)
+        .map(|i| nl.add_input(format!("x{i}")))
+        .collect();
+    for (k, (op, a, b)) in ops.iter().enumerate() {
+        let cell = cells[*op as usize % cells.len()];
+        let ca = signals[*a as usize % signals.len()];
+        let cb = signals[*b as usize % signals.len()];
+        let lib = nl.library().clone();
+        let g = if lib.cell_ref(cell).inputs() == 1 {
+            nl.add_cell(format!("g{k}"), cell, &[ca])
+        } else {
+            nl.add_cell(format!("g{k}"), cell, &[ca, cb])
+        };
+        signals.push(g);
+    }
+    // Outputs: last few signals.
+    let n = signals.len();
+    for (i, &s) in signals[n.saturating_sub(3)..].iter().enumerate() {
+        nl.add_output(format!("f{i}"), s);
+    }
+    nl
+}
+
+fn po_signatures(nl: &Netlist, pats: &Patterns) -> Vec<Vec<u64>> {
+    let covers = CellCovers::new(nl.library());
+    let vals = simulate(nl, &covers, pats);
+    nl.outputs().iter().map(|&o| vals.get(o).to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every candidate the filter + ATPG pipeline certifies as permissible
+    /// must truly preserve the circuit's I/O behaviour when applied.
+    #[test]
+    fn certified_substitutions_preserve_behavior(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..24),
+        inputs in 2usize..6,
+    ) {
+        let nl = random_netlist(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(inputs);
+        let vals = simulate(&nl, &covers, &pats);
+        let cands = generate_candidates(&nl, &covers, &vals, &CandidateConfig::default());
+        for cand in cands.into_iter().take(12) {
+            if check_substitution(&nl, &cand, 10_000) == CheckOutcome::Permissible {
+                let mut rewired = nl.clone();
+                powder::apply::apply_substitution(&mut rewired, &cand);
+                rewired.validate().expect("apply keeps netlist consistent");
+                prop_assert_eq!(
+                    po_signatures(&nl, &pats),
+                    po_signatures(&rewired, &pats),
+                    "candidate {:?} broke the circuit", cand
+                );
+            }
+        }
+    }
+
+    /// The PG_A + PG_B + PG_C decomposition must equal the measured power
+    /// difference of actually applying the substitution.
+    #[test]
+    fn gain_decomposition_is_exact(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..20),
+        inputs in 2usize..5,
+    ) {
+        let nl = random_netlist(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(inputs);
+        let vals = simulate(&nl, &covers, &pats);
+        let est = PowerEstimator::new(&nl, &PowerConfig::default());
+        let before = est.circuit_power(&nl);
+        let cands = generate_candidates(&nl, &covers, &vals, &CandidateConfig::default());
+        for cand in cands.into_iter().take(6) {
+            let gain = analyze_full(&nl, &est, &cand);
+            let mut rewired = nl.clone();
+            powder::apply::apply_substitution(&mut rewired, &cand);
+            let after = PowerEstimator::new(&rewired, &PowerConfig::default())
+                .circuit_power(&rewired);
+            prop_assert!(
+                (gain.total() - (before - after)).abs() < 1e-6,
+                "{:?}: decomposed {} vs measured {}", cand, gain.total(), before - after
+            );
+        }
+    }
+
+    /// Two-level minimisation must always produce an exact cover.
+    #[test]
+    fn minimisation_covers_exactly(bits in any::<u64>(), vars in 1usize..7) {
+        let tt = TruthTable::from_fn(vars, |m| (bits >> (m % 64)) & 1 == 1);
+        let sop = minimize::minimize(&tt);
+        prop_assert_eq!(sop.to_tt(), tt);
+    }
+
+    /// Technology mapping must preserve behaviour for arbitrary SOP specs.
+    #[test]
+    fn synthesis_preserves_specification(
+        cubes in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..8),
+        vars in 2usize..6,
+    ) {
+        let mask = (1u64 << vars) - 1;
+        let cube_list: Vec<Cube> = cubes
+            .iter()
+            .map(|&(p, n)| {
+                let pos = u64::from(p) & mask;
+                let neg = u64::from(n) & mask & !pos;
+                Cube::new(pos, neg)
+            })
+            .collect();
+        let sop = Sop::from_cubes(vars, cube_list);
+        let spec = CircuitSpec::from_sops(
+            "prop",
+            (0..vars).map(|i| format!("x{i}")).collect(),
+            vec![("f".to_string(), sop.clone())],
+        );
+        let nl = synthesize(&spec, Arc::new(lib2()), MapMode::Power).expect("synthesizes");
+        nl.validate().expect("valid netlist");
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(vars);
+        let vals = simulate(&nl, &covers, &pats);
+        let sig = vals.get(nl.outputs()[0]);
+        for m in 0..(1u64 << vars) {
+            prop_assert_eq!(
+                (sig[m as usize / 64] >> (m % 64)) & 1 == 1,
+                sop.eval(m),
+                "mismatch at {:#b}", m
+            );
+        }
+    }
+
+    /// Remapping a mapped netlist must preserve behaviour and not increase
+    /// area (the mapper is a covering optimiser).
+    #[test]
+    fn remapping_preserves_behavior(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..20),
+        inputs in 2usize..5,
+    ) {
+        let nl = random_netlist(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let remapped = map_netlist(&nl, MapMode::Area).expect("remaps");
+        remapped.validate().expect("valid");
+        let pats = Patterns::exhaustive(inputs);
+        prop_assert_eq!(po_signatures(&nl, &pats), po_signatures(&remapped, &pats));
+        prop_assert!(remapped.area() <= nl.area() + 1e-9);
+    }
+
+    /// Analytic probability propagation must agree with Monte-Carlo
+    /// simulation within sampling error on fanout-free circuits, and stay
+    /// within [0, 1] everywhere for arbitrary DAGs.
+    #[test]
+    fn probabilities_stay_sane(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 3..20),
+        inputs in 2usize..6,
+    ) {
+        let nl = random_netlist(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let est = PowerEstimator::new(&nl, &PowerConfig::default());
+        for id in nl.iter_live() {
+            let p = est.probability(id);
+            prop_assert!((0.0..=1.0).contains(&p), "p({id}) = {p}");
+            prop_assert!(est.transition(id) <= 0.5 + 1e-12);
+        }
+        prop_assert!(est.circuit_power(&nl) >= 0.0);
+    }
+}

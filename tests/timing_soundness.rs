@@ -1,0 +1,124 @@
+//! Soundness of the §3.4 what-if delay check: whenever the check accepts a
+//! substitution, actually committing it must not violate the timing
+//! constraint. (The check may conservatively reject; it must never
+//! wrongly accept.)
+
+use powder::apply::apply_substitution;
+use powder_atpg::{generate_candidates, CandidateConfig, Substitution};
+use powder_library::lib2;
+use powder_netlist::{GateId, Netlist};
+use powder_sim::{simulate, CellCovers, Patterns};
+use powder_timing::{SubstitutionTiming, TimingAnalysis, TimingConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn build(inputs: usize, ops: &[(u8, u8, u8)]) -> Netlist {
+    let lib = Arc::new(lib2());
+    let names = ["and2", "or2", "nand2", "nor2", "xor2", "inv1"];
+    let cells: Vec<_> = names.iter().map(|n| lib.find_by_name(n).unwrap()).collect();
+    let mut nl = Netlist::new("t", lib);
+    let mut sigs: Vec<GateId> = (0..inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
+    for (k, (op, a, b)) in ops.iter().enumerate() {
+        let cell = cells[*op as usize % cells.len()];
+        let lib = nl.library().clone();
+        let fanins: Vec<GateId> = (0..lib.cell_ref(cell).inputs())
+            .map(|j| sigs[(if j == 0 { *a } else { *b }) as usize % sigs.len()])
+            .collect();
+        sigs.push(nl.add_cell(format!("g{k}"), cell, &fanins));
+    }
+    let n = sigs.len();
+    for (i, &s) in sigs[n.saturating_sub(2)..].iter().enumerate() {
+        nl.add_output(format!("f{i}"), s);
+    }
+    nl
+}
+
+/// Mirrors the optimizer's construction of the what-if description.
+fn timing_of(nl: &Netlist, sta: &TimingAnalysis, sub: &Substitution) -> SubstitutionTiming {
+    let lib = nl.library();
+    let (b, c) = sub.sources();
+    let required_at_a = match *sub {
+        Substitution::Os2 { a, .. } | Substitution::Os3 { a, .. } => sta.required(a),
+        Substitution::Is2 { sink, .. } | Substitution::Is3 { sink, .. } => {
+            sta.branch_required(nl, sink)
+        }
+    };
+    let moved_cap = match *sub {
+        Substitution::Os2 { a, .. } | Substitution::Os3 { a, .. } => nl.load_cap(a, 1.0),
+        Substitution::Is2 { sink, pin, .. } | Substitution::Is3 { sink, pin, .. } => {
+            nl.branch_cap(&powder_netlist::Conn { gate: sink, pin }, 1.0)
+        }
+    };
+    match *sub {
+        Substitution::Os2 { invert, .. } | Substitution::Is2 { invert, .. } => {
+            if invert {
+                let inv = lib.cell_ref(lib.inverter());
+                SubstitutionTiming {
+                    required_at_a,
+                    b,
+                    extra_cap_on_b: inv.pin_cap(0),
+                    new_gate_delay: inv.delay(moved_cap),
+                    c: None,
+                }
+            } else {
+                SubstitutionTiming {
+                    required_at_a,
+                    b,
+                    extra_cap_on_b: moved_cap,
+                    new_gate_delay: 0.0,
+                    c: None,
+                }
+            }
+        }
+        Substitution::Os3 { cell, .. } | Substitution::Is3 { cell, .. } => {
+            let cl = lib.cell_ref(cell);
+            SubstitutionTiming {
+                required_at_a,
+                b,
+                extra_cap_on_b: cl.pin_cap(0),
+                new_gate_delay: cl.delay(moved_cap),
+                c: Some((c.expect("3-sub"), cl.pin_cap(1))),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn accepted_substitutions_never_violate_timing(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..20),
+        inputs in 2usize..5,
+        slack_pct in 0u8..40,
+    ) {
+        let nl = build(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let base = TimingAnalysis::new(&nl, &TimingConfig::default());
+        let required = base.circuit_delay() * (1.0 + f64::from(slack_pct) / 100.0);
+        let cfg = TimingConfig {
+            output_load: 1.0,
+            required_time: Some(required),
+        };
+        let sta = TimingAnalysis::new(&nl, &cfg);
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(inputs);
+        let vals = simulate(&nl, &covers, &pats);
+        for cand in generate_candidates(&nl, &covers, &vals, &CandidateConfig::default())
+            .into_iter()
+            .take(16)
+        {
+            let what_if = timing_of(&nl, &sta, &cand);
+            if sta.check_substitution(&what_if) {
+                let mut work = nl.clone();
+                apply_substitution(&mut work, &cand);
+                let after = TimingAnalysis::new(&work, &TimingConfig::default());
+                prop_assert!(
+                    after.circuit_delay() <= required + 1e-9,
+                    "{:?}: accepted but delay {} > required {}",
+                    cand, after.circuit_delay(), required
+                );
+            }
+        }
+    }
+}
