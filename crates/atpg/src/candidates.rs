@@ -102,11 +102,8 @@ impl PairCells {
         let and = &v0 & &v1;
         let or = &v0 | &v1;
         let xor = &v0 ^ &v1;
-        let find = |tt: &TruthTable| -> Option<CellId> {
-            nl.library()
-                .match_function(tt)
-                .map(|m| m.cell)
-        };
+        let find =
+            |tt: &TruthTable| -> Option<CellId> { nl.library().match_function(tt).map(|m| m.cell) };
         PairCells {
             and2: find(&and),
             or2: find(&or),
@@ -143,10 +140,7 @@ pub fn generate_candidates(
     // Exact-signature index for XOR/XNOR partner lookup.
     let mut sig_index: HashMap<Vec<u64>, Vec<GateId>> = HashMap::new();
     for &s in &sources {
-        sig_index
-            .entry(values.get(s).to_vec())
-            .or_default()
-            .push(s);
+        sig_index.entry(values.get(s).to_vec()).or_default().push(s);
     }
 
     let pair_cells = PairCells::detect(nl);
@@ -167,7 +161,8 @@ pub fn generate_candidates(
             })
             .clone()
     };
-    let in_bits = |bits: &[u64], g: GateId| (bits[g.0 as usize / 64] >> (g.0 as usize % 64)) & 1 == 1;
+    let in_bits =
+        |bits: &[u64], g: GateId| (bits[g.0 as usize / 64] >> (g.0 as usize % 64)) & 1 == 1;
 
     // ---------------- output substitutions (OS2 / OS3) ----------------
     for &a in &sources {
@@ -200,11 +195,7 @@ pub fn generate_candidates(
                     });
                     kept += 1;
                 } else if config.enable_inverted && compatible(sig_a, sig_b, care, true) {
-                    out.push(Substitution::Os2 {
-                        a,
-                        b,
-                        invert: true,
-                    });
+                    out.push(Substitution::Os2 { a, b, invert: true });
                     kept += 1;
                 }
                 if kept >= config.max_per_signal {
@@ -478,9 +469,7 @@ pub fn generate_candidates(
                                     .zip(values.get(b))
                                     .zip(values.get(c))
                                     .zip(&care)
-                                    .all(|(((&a_w, &b_w), &c_w), &m)| {
-                                        ((b_w | c_w) ^ a_w) & m == 0
-                                    });
+                                    .all(|(((&a_w, &b_w), &c_w), &m)| ((b_w | c_w) ^ a_w) & m == 0);
                                 if ok {
                                     out.push(Substitution::Is3 {
                                         sink: conn.gate,

@@ -338,7 +338,10 @@ mod tests {
             b: a,
             invert: false,
         };
-        assert_eq!(check_substitution(&nl, &sub, 1000), CheckOutcome::Permissible);
+        assert_eq!(
+            check_substitution(&nl, &sub, 1000),
+            CheckOutcome::Permissible
+        );
     }
 
     #[test]
@@ -378,7 +381,10 @@ mod tests {
             b: g1,
             invert: true,
         };
-        assert_eq!(check_substitution(&nl, &sub, 1000), CheckOutcome::Permissible);
+        assert_eq!(
+            check_substitution(&nl, &sub, 1000),
+            CheckOutcome::Permissible
+        );
     }
 
     /// The paper's Figure 2: f = (a ^ c) & b; rewiring the XOR's `a` input
@@ -403,7 +409,10 @@ mod tests {
             b: a,
             c: b,
         };
-        assert_eq!(check_substitution(&nl, &sub, 1000), CheckOutcome::Permissible);
+        assert_eq!(
+            check_substitution(&nl, &sub, 1000),
+            CheckOutcome::Permissible
+        );
         // Rewiring branch c→d.pin1 to a·b is NOT permissible: with b=1,
         // a=0, c=1 the original f is 1 but the rewired circuit gives 0.
         let sub_bad = Substitution::Is3 {
@@ -473,7 +482,10 @@ mod tests {
             b: a,
             c: b,
         };
-        assert_eq!(check_substitution(&nl, &sub, 1000), CheckOutcome::Permissible);
+        assert_eq!(
+            check_substitution(&nl, &sub, 1000),
+            CheckOutcome::Permissible
+        );
     }
 
     #[test]

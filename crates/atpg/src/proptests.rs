@@ -30,8 +30,8 @@ fn random_sat_case(inputs: usize, ops: &[(u8, u8, u8)]) -> (crate::SatCircuit, b
             2 => (b.and2(a.0, c.0), a.1 & c.1),
             3 => (b.not(a.0), !a.1),
             _ => {
-                let aoi = !((TruthTable::var(0, 3) & TruthTable::var(1, 3))
-                    | TruthTable::var(2, 3));
+                let aoi =
+                    !((TruthTable::var(0, 3) & TruthTable::var(1, 3)) | TruthTable::var(2, 3));
                 let d = nodes[(*x as usize + *y as usize) % nodes.len()].clone();
                 (
                     b.gate(aoi.clone(), vec![a.0, c.0, d.0]),

@@ -263,8 +263,7 @@ fn solve_exhaustive(circuit: &SatCircuit, order: &[NodeId], cone_pis: &[NodeId])
             }
             Node::Const(v) => vec![if *v { u64::MAX } else { 0 }; words],
             Node::Gate { function, fanins } => {
-                let fanin_vals: Vec<&Vec<u64>> =
-                    fanins.iter().map(|f| &values[f]).collect();
+                let fanin_vals: Vec<&Vec<u64>> = fanins.iter().map(|f| &values[f]).collect();
                 let mut out = vec![0u64; words];
                 // Evaluate as an OR of minterm products of the (small)
                 // gate function — functions here have ≤ 6 inputs.
@@ -301,7 +300,11 @@ fn solve_exhaustive(circuit: &SatCircuit, order: &[NodeId], cone_pis: &[NodeId])
     }
     let out = out_words.unwrap_or_else(|| values[&circuit.output].clone());
     // Mask off padding patterns beyond 2^k when k < 6.
-    let valid = if k >= 6 { u64::MAX } else { (1u64 << (1 << k)) - 1 };
+    let valid = if k >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << k)) - 1
+    };
     for (w, &word) in out.iter().enumerate() {
         let word = if w == 0 { word & valid } else { word };
         if word != 0 {

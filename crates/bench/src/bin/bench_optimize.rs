@@ -1,0 +1,272 @@
+//! Benchmarks the incremental analysis engine: runs POWDER twice per
+//! circuit — incremental refreshes versus full-rebuild baseline — and
+//! emits a machine-readable `BENCH_optimize.json` with per-circuit
+//! wall-clock, per-phase breakdown, and refresh counters.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p powder-bench --bin bench_optimize --release \
+//!     [-- --quick | --circuits=a,b,c] [--out=BENCH_optimize.json]
+//! ```
+//!
+//! By default the medium `--quick` (trade-off) suite is used; pass
+//! `--circuits=` for an explicit list or `--all` for the full Table 1
+//! suite.
+
+use powder::apply::apply_substitution;
+use powder::{optimize, DelayLimit, OptimizeConfig, OptimizeReport, Substitution};
+use powder_bench::{experiment_config, library};
+use powder_netlist::Netlist;
+use powder_power::PowerEstimator;
+use powder_sim::{resimulate_cone, simulate, CellCovers, Patterns};
+use powder_timing::{TimingAnalysis, TimingConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One optimizer run, timed externally for the headline number.
+struct Run {
+    report: OptimizeReport,
+    seconds: f64,
+}
+
+/// Isolated measurement of the post-commit analysis refresh: replays a
+/// committed substitution sequence and times only the work of bringing
+/// simulation values, power totals/probabilities, and STA back in sync
+/// after each edit — incrementally (dirty cone) versus from scratch.
+/// Returns `(incremental_seconds, full_seconds)`, best of `reps` replays.
+fn replay_refresh(
+    nl: &Netlist,
+    subs: &[Substitution],
+    cfg: &OptimizeConfig,
+    reps: usize,
+) -> (f64, f64) {
+    let covers = CellCovers::new(nl.library());
+    let pats = Patterns::random(nl.inputs().len(), cfg.sim_words, cfg.seed);
+    let initial_delay = TimingAnalysis::new(
+        nl,
+        &TimingConfig {
+            output_load: cfg.power.output_load,
+            required_time: None,
+        },
+    )
+    .circuit_delay();
+    let tcfg = TimingConfig {
+        output_load: cfg.power.output_load,
+        required_time: Some(initial_delay),
+    };
+
+    let mut best_inc = f64::INFINITY;
+    let mut best_full = f64::INFINITY;
+    for _ in 0..reps {
+        // Incremental: every analysis refreshed over the dirty cone.
+        let mut work = nl.clone();
+        let mut est = PowerEstimator::new(&work, &cfg.power);
+        let mut sta = TimingAnalysis::new(&work, &tcfg);
+        let mut values = simulate(&work, &covers, &pats);
+        work.drain_dirty();
+        let t = Instant::now();
+        for sub in subs {
+            apply_substitution(&mut work, sub);
+            let region = work.drain_dirty();
+            let cone = work.dirty_cone(&region);
+            est.retire_gates(region.removed());
+            est.update_cone(&work, &cone);
+            let _ = est.total_power();
+            resimulate_cone(&work, &covers, &mut values, &cone);
+            sta.update(&work, &region);
+        }
+        best_inc = best_inc.min(t.elapsed().as_secs_f64());
+
+        // Full: every analysis rebuilt from scratch after each edit.
+        let mut work = nl.clone();
+        let t = Instant::now();
+        for sub in subs {
+            apply_substitution(&mut work, sub);
+            work.drain_dirty();
+            let est = PowerEstimator::new(&work, &cfg.power);
+            let _ = est.circuit_power(&work);
+            let _ = simulate(&work, &covers, &pats);
+            let _ = TimingAnalysis::new(&work, &tcfg);
+        }
+        best_full = best_full.min(t.elapsed().as_secs_f64());
+    }
+    (best_inc, best_full)
+}
+
+fn run_mode(nl: &Netlist, incremental: bool) -> Run {
+    let mut work = nl.clone();
+    // Delay-constrained mode so STA refreshes are part of the measurement.
+    let cfg = OptimizeConfig {
+        incremental,
+        ..experiment_config(Some(DelayLimit::Factor(1.0)))
+    };
+    let t = Instant::now();
+    let report = optimize(&mut work, &cfg);
+    let seconds = t.elapsed().as_secs_f64();
+    Run { report, seconds }
+}
+
+fn json_run(out: &mut String, indent: &str, run: &Run) {
+    let r = &run.report;
+    let p = &r.phase;
+    let i = &r.incremental;
+    let _ = write!(
+        out,
+        "{indent}{{\n\
+         {indent}  \"seconds\": {:.6},\n\
+         {indent}  \"applied\": {},\n\
+         {indent}  \"rounds\": {},\n\
+         {indent}  \"final_power\": {:.9},\n\
+         {indent}  \"phase\": {{ \"simulation\": {:.6}, \"candidates\": {:.6}, \"gain\": {:.6}, \"timing\": {:.6}, \"atpg\": {:.6}, \"apply\": {:.6} }},\n\
+         {indent}  \"refreshes\": {{ \"sta_incremental\": {}, \"sta_full\": {}, \"sim_incremental\": {}, \"sim_full\": {}, \"power_incremental\": {}, \"power_full\": {} }}\n\
+         {indent}}}",
+        run.seconds,
+        r.applied.len(),
+        r.rounds,
+        r.final_power,
+        p.simulation,
+        p.candidates,
+        p.gain,
+        p.timing,
+        p.atpg,
+        p.apply,
+        i.incremental_sta_updates,
+        i.full_sta_rebuilds,
+        i.incremental_resims,
+        i.full_resims,
+        i.incremental_power_updates,
+        i.full_power_rescans,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .unwrap_or("BENCH_optimize.json")
+        .to_string();
+    let circuits: Vec<String> =
+        if let Some(list) = args.iter().find_map(|a| a.strip_prefix("--circuits=")) {
+            list.split(',').map(str::to_string).collect()
+        } else if args.iter().any(|a| a == "--all") {
+            powder_benchmarks::table1_names()
+                .into_iter()
+                .map(str::to_string)
+                .collect()
+        } else {
+            powder_benchmarks::tradeoff_names()
+                .into_iter()
+                .map(str::to_string)
+                .collect()
+        };
+
+    let lib = library();
+    let mut rows = String::new();
+    let mut total_inc = 0.0f64;
+    let mut total_full = 0.0f64;
+
+    let mut total_refresh_inc = 0.0f64;
+    let mut total_refresh_full = 0.0f64;
+
+    println!("# bench_optimize — incremental vs full-rebuild POWDER");
+    println!("# refresh columns: per-commit analysis resync replayed in isolation (best of 3)");
+    println!(
+        "{:<9} {:>6} | {:>9} {:>9} | {:>10} {:>10} {:>8} | {:>5} {:>5}",
+        "circuit",
+        "gates",
+        "inc(s)",
+        "full(s)",
+        "refr-i(ms)",
+        "refr-f(ms)",
+        "speedup",
+        "subs",
+        "eq?"
+    );
+
+    let mut ran = 0usize;
+    for name in &circuits {
+        let nl = match powder_benchmarks::build(name, lib.clone()) {
+            Ok(nl) => nl,
+            Err(e) => {
+                eprintln!("{name}: skipped ({e})");
+                continue;
+            }
+        };
+        let gates = nl.cell_count();
+        let inc = run_mode(&nl, true);
+        let full = run_mode(&nl, false);
+        // Both modes share all decision code; diverging results would mean
+        // the incremental state drifted.
+        let same = inc.report.applied.len() == full.report.applied.len()
+            && (inc.report.final_power - full.report.final_power).abs() < 1e-6;
+        total_inc += inc.seconds;
+        total_full += full.seconds;
+        let subs: Vec<Substitution> = inc.report.applied.iter().map(|a| a.substitution).collect();
+        let cfg = OptimizeConfig {
+            ..experiment_config(Some(DelayLimit::Factor(1.0)))
+        };
+        let (refresh_inc, refresh_full) = if subs.is_empty() {
+            (0.0, 0.0)
+        } else {
+            replay_refresh(&nl, &subs, &cfg, 3)
+        };
+        total_refresh_inc += refresh_inc;
+        total_refresh_full += refresh_full;
+        println!(
+            "{:<9} {:>6} | {:>9.3} {:>9.3} | {:>10.3} {:>10.3} {:>7.2}x | {:>5} {:>5}",
+            name,
+            gates,
+            inc.seconds,
+            full.seconds,
+            refresh_inc * 1e3,
+            refresh_full * 1e3,
+            refresh_full / refresh_inc.max(1e-12),
+            subs.len(),
+            if same { "ok" } else { "DIFF" },
+        );
+        if ran > 0 {
+            rows.push_str(",\n");
+        }
+        ran += 1;
+        let _ = write!(
+            rows,
+            "    {{\n      \"name\": \"{name}\",\n      \"gates\": {gates},\n      \"results_match\": {same},\n      \"incremental\":\n"
+        );
+        json_run(&mut rows, "      ", &inc);
+        rows.push_str(",\n      \"full_rebuild\":\n");
+        json_run(&mut rows, "      ", &full);
+        let _ = write!(
+            rows,
+            ",\n      \"end_to_end_speedup\": {:.4},\n      \"refresh\": {{ \"commits\": {}, \"incremental_seconds\": {:.6}, \"full_seconds\": {:.6}, \"speedup\": {:.4} }}\n    }}",
+            full.seconds / inc.seconds.max(1e-12),
+            subs.len(),
+            refresh_inc,
+            refresh_full,
+            refresh_full / refresh_inc.max(1e-12),
+        );
+    }
+
+    if ran == 0 {
+        eprintln!("no circuit ran; {out_path} not written (see `powder list` for names)");
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"bench_optimize\",\n  \"delay_limit\": \"factor 1.0\",\n  \"circuits\": [\n{rows}\n  ],\n  \"totals\": {{ \"incremental_seconds\": {total_inc:.6}, \"full_rebuild_seconds\": {total_full:.6}, \"end_to_end_speedup\": {:.4}, \"refresh_incremental_seconds\": {total_refresh_inc:.6}, \"refresh_full_seconds\": {total_refresh_full:.6}, \"refresh_speedup\": {:.4} }}\n}}\n",
+        total_full / total_inc.max(1e-12),
+        total_refresh_full / total_refresh_inc.max(1e-12),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_optimize.json");
+    println!(
+        "\ntotal: end-to-end incremental {total_inc:.3}s vs full-rebuild {total_full:.3}s ({:.2}x)",
+        total_full / total_inc.max(1e-12)
+    );
+    println!(
+        "refresh-only: incremental {:.1}ms vs full {:.1}ms ({:.1}x); wrote {out_path}",
+        total_refresh_inc * 1e3,
+        total_refresh_full * 1e3,
+        total_refresh_full / total_refresh_inc.max(1e-12)
+    );
+}

@@ -46,7 +46,10 @@ fn main() {
         }
     }
 
-    println!("# Figure 6 reproduction — power–delay trade-off over {} circuits", originals.len());
+    println!(
+        "# Figure 6 reproduction — power–delay trade-off over {} circuits",
+        originals.len()
+    );
     println!(
         "{:>10} {:>16} {:>16} {:>14} {:>14}",
         "allow(%)", "rel. power", "rel. delay", "Σ power", "Σ delay"
@@ -74,6 +77,8 @@ fn main() {
         );
     }
     println!();
-    println!("# paper: relative power falls from 0.74 (0%) to ~0.62 (200%), saturating beyond ~80%;");
+    println!(
+        "# paper: relative power falls from 0.74 (0%) to ~0.62 (200%), saturating beyond ~80%;"
+    );
     println!("# the produced circuits sit left of each constraint (delay not fully exploited).");
 }

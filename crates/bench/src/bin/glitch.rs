@@ -67,5 +67,7 @@ fn main() {
             delta_total
         );
     }
-    println!("\n# positive Δtotal%: the zero-delay optimization also reduces hazard-inclusive power");
+    println!(
+        "\n# positive Δtotal%: the zero-delay optimization also reduces hazard-inclusive power"
+    );
 }

@@ -23,8 +23,19 @@ fn main() {
     println!("# (equivalence column: random-pattern check of both optimized netlists)");
     println!(
         "{:<9} | {:>8} {:>9} {:>6} | {:>8} {:>6} {:>9} | {:>8} {:>6} {:>9} {:>6} {:>7} | {:>3}",
-        "circuit", "power", "area", "delay", "power", "red.%", "area", "power", "red.%", "area",
-        "delay", "CPU(s)", "eq"
+        "circuit",
+        "power",
+        "area",
+        "delay",
+        "power",
+        "red.%",
+        "area",
+        "power",
+        "red.%",
+        "area",
+        "delay",
+        "CPU(s)",
+        "eq"
     );
     println!("{}", "-".repeat(130));
 

@@ -28,7 +28,10 @@ fn main() {
         };
         let report = optimize(&mut nl, &experiment_config(None));
         for (class, stats) in report.class_stats() {
-            let i = SubClass::ALL.iter().position(|&c| c == class).expect("known class");
+            let i = SubClass::ALL
+                .iter()
+                .position(|&c| c == class)
+                .expect("known class");
             power_by_class[i] += stats.power_saved;
             area_by_class[i] += stats.area_delta;
             count_by_class[i] += stats.count;
@@ -47,7 +50,10 @@ fn main() {
     let total_area_red: f64 = -area_by_class.iter().sum::<f64>();
 
     println!("# Table 2 reproduction — contribution of substitution classes");
-    println!("{:<34} {:>8} {:>8} {:>8} {:>8}", "substitution:", "OS2", "IS2", "OS3", "IS3");
+    println!(
+        "{:<34} {:>8} {:>8} {:>8} {:>8}",
+        "substitution:", "OS2", "IS2", "OS3", "IS3"
+    );
     print!("{:<34}", "count:");
     for c in count_by_class {
         print!(" {c:>8}");

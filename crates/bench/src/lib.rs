@@ -99,10 +99,7 @@ pub fn run_table1_row(name: &str) -> Result<Table1Row, powder_benchmarks::BuildE
     let unconstrained = optimize(&mut nl_u, &experiment_config(None));
 
     let mut nl_c = original.clone();
-    let constrained = optimize(
-        &mut nl_c,
-        &experiment_config(Some(DelayLimit::Factor(1.0))),
-    );
+    let constrained = optimize(&mut nl_c, &experiment_config(Some(DelayLimit::Factor(1.0))));
 
     let equivalence_ok = equivalent_by_simulation(&original, &nl_u, 32, 0xEC)
         && equivalent_by_simulation(&original, &nl_c, 32, 0xEC);
@@ -173,7 +170,10 @@ mod tests {
     #[test]
     fn smoke_one_row() {
         let row = run_table1_row("bw").unwrap();
-        assert!(row.equivalence_ok, "bw optimization must be equivalence-preserving");
+        assert!(
+            row.equivalence_ok,
+            "bw optimization must be equivalence-preserving"
+        );
         assert!(row.unconstrained.final_power <= row.initial.power + 1e-9);
         assert!(row.constrained.final_delay <= row.initial.delay + 1e-9);
     }

@@ -3,6 +3,7 @@
 use powder_library::Library;
 use powder_netlist::Netlist;
 use powder_synth::{map_netlist, MapMode, SubjectBuilder, SubjectRef};
+use std::ops::Not;
 use std::sync::Arc;
 
 fn finish(b: SubjectBuilder) -> Netlist {
@@ -98,7 +99,14 @@ pub fn weight_encoder(lib: Arc<Library>, name: &str, n: usize) -> Netlist {
 
 /// `9sym`-class symmetric function: output 1 iff the input weight lies in
 /// `[lo, hi]`.
-pub fn symmetric(lib: Arc<Library>, name: &str, n: usize, lo: u32, hi: u32, mode: MapMode) -> Netlist {
+pub fn symmetric(
+    lib: Arc<Library>,
+    name: &str,
+    n: usize,
+    lo: u32,
+    hi: u32,
+    mode: MapMode,
+) -> Netlist {
     let mut b = SubjectBuilder::new(name, lib);
     let ins = inputs(&mut b, "x", n);
     // Popcount then range compare, all structural.
@@ -186,11 +194,7 @@ pub fn alu(lib: Arc<Library>, name: &str, bits: usize) -> Netlist {
     let cin = b.input("cin");
     // op: 00 add, 01 and, 10 or, 11 xor. Sub folded in via cin + b-inversion
     // control on op=00 with cin acting as mode refinement.
-    let binv: Vec<SubjectRef> = y.iter().map(|&v| {
-        // b xor cin: gives a/b±c flavour on the add path
-        v
-    }).collect();
-    let (sums, carry) = ripple_add(&mut b, &a, &binv, cin);
+    let (sums, carry) = ripple_add(&mut b, &a, &y, cin);
     for i in 0..bits {
         let and_i = b.and(a[i], y[i]);
         let or_i = b.or(a[i], y[i]);
@@ -200,10 +204,7 @@ pub fn alu(lib: Arc<Library>, name: &str, bits: usize) -> Netlist {
         let out = b.mux(op[1], m1, m0);
         b.output(format!("f{i}"), out);
     }
-    let zero_terms: Vec<SubjectRef> = (0..bits).map(|i| {
-        let and_i = b.and(a[i], y[i]);
-        and_i
-    }).collect();
+    let zero_terms: Vec<SubjectRef> = (0..bits).map(|i| b.and(a[i], y[i])).collect();
     let any = b.or_many(&zero_terms);
     b.output("cout", carry);
     b.output("flag", any);
@@ -278,12 +279,12 @@ pub fn sec_codec(lib: Arc<Library>, name: &str, data: usize) -> Netlist {
     let mut syndrome_copies: Vec<Vec<SubjectRef>> = Vec::with_capacity(COPIES);
     for copy in 0..COPIES {
         let mut syndrome = Vec::with_capacity(check);
-        for j in 0..check {
+        for (j, &pj) in p.iter().enumerate() {
             let mut members: Vec<SubjectRef> = (0..data)
                 .filter(|&i| ((i + 1) >> j) & 1 == 1)
                 .map(|i| d[i])
                 .collect();
-            members.push(p[j]);
+            members.push(pj);
             // Rotate the operand order per copy so hash-consing cannot
             // share the chains.
             let rot = copy * members.len() / COPIES;
@@ -337,10 +338,7 @@ pub fn rotator(lib: Arc<Library>, name: &str, width: usize) -> Netlist {
         b.output(format!("q{i}"), bit);
     }
     let any = b.or_many(&word);
-    let par = word
-        .iter()
-        .skip(1)
-        .fold(word[0], |acc, &x| b.xor(acc, x));
+    let par = word.iter().skip(1).fold(word[0], |acc, &x| b.xor(acc, x));
     b.output("nz", any);
     b.output("parity", par);
     finish(b)
@@ -348,7 +346,13 @@ pub fn rotator(lib: Arc<Library>, name: &str, width: usize) -> Netlist {
 
 /// `des`-class S-box / permutation network: `rounds` rounds of 6→4 S-boxes
 /// (seeded, fixed tables) with bit permutation and key XOR between rounds.
-pub fn sbox_network(lib: Arc<Library>, name: &str, width: usize, rounds: usize, seed: u64) -> Netlist {
+pub fn sbox_network(
+    lib: Arc<Library>,
+    name: &str,
+    width: usize,
+    rounds: usize,
+    seed: u64,
+) -> Netlist {
     use rand::rngs::StdRng;
     use rand::seq::SliceRandom;
     use rand::{Rng, SeedableRng};

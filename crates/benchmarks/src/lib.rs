@@ -45,4 +45,4 @@ pub mod mini;
 mod random;
 mod suite;
 
-pub use suite::{build, table1_names, tradeoff_names, BuildError, Family, info, BenchmarkInfo};
+pub use suite::{build, info, table1_names, tradeoff_names, BenchmarkInfo, BuildError, Family};

@@ -76,7 +76,7 @@ fn maj5(lib: Arc<Library>) -> Netlist {
     // Sum the 5 bits into a 3-bit count, then test count >= 3 (i.e. the
     // count's MSB is set, or both low bits with ... simpler: count >= 3
     // ⇔ bit2 | (bit1 & bit0)).
-    let mut count = vec![b.constant(false); 3];
+    let mut count = [b.constant(false); 3];
     for &x in &ins {
         let mut carry = x;
         for bit in count.iter_mut() {

@@ -8,6 +8,7 @@ use powder_synth::{map_netlist, synthesize, CircuitSpec, MapMode, SubjectBuilder
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::ops::Not;
 use std::sync::Arc;
 
 /// Deterministic seed derived from a benchmark name (FNV-1a).
@@ -96,9 +97,7 @@ pub struct MultiLevelParams {
 pub fn multilevel(lib: Arc<Library>, name: &str, p: MultiLevelParams) -> Netlist {
     let mut rng = StdRng::seed_from_u64(name_seed(name));
     let mut b = SubjectBuilder::new(name, lib);
-    let mut signals: Vec<SubjectRef> = (0..p.inputs)
-        .map(|i| b.input(format!("x{i}")))
-        .collect();
+    let mut signals: Vec<SubjectRef> = (0..p.inputs).map(|i| b.input(format!("x{i}"))).collect();
     for _ in 0..p.nodes {
         let pick = |rng: &mut StdRng, signals: &[SubjectRef]| {
             // Bias toward recent signals for depth.

@@ -70,53 +70,241 @@ impl fmt::Display for BuildError {
 impl std::error::Error for BuildError {}
 
 const TABLE1: [BenchmarkInfo; 47] = [
-    BenchmarkInfo { name: "comp", family: Family::Comparator, exact: true },
-    BenchmarkInfo { name: "Z5xp1", family: Family::Arithmetic, exact: false },
-    BenchmarkInfo { name: "clip", family: Family::Arithmetic, exact: false },
-    BenchmarkInfo { name: "frg1", family: Family::Control, exact: false },
-    BenchmarkInfo { name: "c8", family: Family::Control, exact: false },
-    BenchmarkInfo { name: "term1", family: Family::Control, exact: false },
-    BenchmarkInfo { name: "f51m", family: Family::Arithmetic, exact: false },
-    BenchmarkInfo { name: "rd84", family: Family::Symmetric, exact: true },
-    BenchmarkInfo { name: "bw", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "ttt2", family: Family::Control, exact: false },
-    BenchmarkInfo { name: "C432", family: Family::Priority, exact: false },
-    BenchmarkInfo { name: "i2", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "Z9sym", family: Family::Symmetric, exact: true },
-    BenchmarkInfo { name: "apex7", family: Family::Control, exact: false },
-    BenchmarkInfo { name: "alu4tl", family: Family::Alu, exact: false },
-    BenchmarkInfo { name: "9sym", family: Family::Symmetric, exact: true },
-    BenchmarkInfo { name: "9symml", family: Family::Symmetric, exact: true },
-    BenchmarkInfo { name: "x1", family: Family::Control, exact: false },
-    BenchmarkInfo { name: "example2", family: Family::Control, exact: false },
-    BenchmarkInfo { name: "ex5", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "alu2", family: Family::Alu, exact: false },
-    BenchmarkInfo { name: "x4", family: Family::Control, exact: false },
-    BenchmarkInfo { name: "C880", family: Family::Alu, exact: false },
-    BenchmarkInfo { name: "C1355", family: Family::Ecc, exact: true },
-    BenchmarkInfo { name: "duke2", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "pdc", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "C1908", family: Family::Ecc, exact: true },
-    BenchmarkInfo { name: "ex4", family: Family::Control, exact: false },
-    BenchmarkInfo { name: "t481", family: Family::Decomposable, exact: false },
-    BenchmarkInfo { name: "rot", family: Family::Rotator, exact: true },
-    BenchmarkInfo { name: "spla", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "vda", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "misex3", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "frg2", family: Family::Control, exact: false },
-    BenchmarkInfo { name: "alu4", family: Family::Alu, exact: false },
-    BenchmarkInfo { name: "apex6", family: Family::Control, exact: false },
-    BenchmarkInfo { name: "x3", family: Family::Control, exact: false },
-    BenchmarkInfo { name: "apex5", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "dalu", family: Family::Alu, exact: false },
-    BenchmarkInfo { name: "i8", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "table5", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "cps", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "k2", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "C5315", family: Family::Crypto, exact: false },
-    BenchmarkInfo { name: "apex1", family: Family::TwoLevel, exact: false },
-    BenchmarkInfo { name: "pair", family: Family::Arithmetic, exact: false },
-    BenchmarkInfo { name: "des", family: Family::Crypto, exact: false },
+    BenchmarkInfo {
+        name: "comp",
+        family: Family::Comparator,
+        exact: true,
+    },
+    BenchmarkInfo {
+        name: "Z5xp1",
+        family: Family::Arithmetic,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "clip",
+        family: Family::Arithmetic,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "frg1",
+        family: Family::Control,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "c8",
+        family: Family::Control,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "term1",
+        family: Family::Control,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "f51m",
+        family: Family::Arithmetic,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "rd84",
+        family: Family::Symmetric,
+        exact: true,
+    },
+    BenchmarkInfo {
+        name: "bw",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "ttt2",
+        family: Family::Control,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "C432",
+        family: Family::Priority,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "i2",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "Z9sym",
+        family: Family::Symmetric,
+        exact: true,
+    },
+    BenchmarkInfo {
+        name: "apex7",
+        family: Family::Control,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "alu4tl",
+        family: Family::Alu,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "9sym",
+        family: Family::Symmetric,
+        exact: true,
+    },
+    BenchmarkInfo {
+        name: "9symml",
+        family: Family::Symmetric,
+        exact: true,
+    },
+    BenchmarkInfo {
+        name: "x1",
+        family: Family::Control,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "example2",
+        family: Family::Control,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "ex5",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "alu2",
+        family: Family::Alu,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "x4",
+        family: Family::Control,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "C880",
+        family: Family::Alu,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "C1355",
+        family: Family::Ecc,
+        exact: true,
+    },
+    BenchmarkInfo {
+        name: "duke2",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "pdc",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "C1908",
+        family: Family::Ecc,
+        exact: true,
+    },
+    BenchmarkInfo {
+        name: "ex4",
+        family: Family::Control,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "t481",
+        family: Family::Decomposable,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "rot",
+        family: Family::Rotator,
+        exact: true,
+    },
+    BenchmarkInfo {
+        name: "spla",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "vda",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "misex3",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "frg2",
+        family: Family::Control,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "alu4",
+        family: Family::Alu,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "apex6",
+        family: Family::Control,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "x3",
+        family: Family::Control,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "apex5",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "dalu",
+        family: Family::Alu,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "i8",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "table5",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "cps",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "k2",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "C5315",
+        family: Family::Crypto,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "apex1",
+        family: Family::TwoLevel,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "pair",
+        family: Family::Arithmetic,
+        exact: false,
+    },
+    BenchmarkInfo {
+        name: "des",
+        family: Family::Crypto,
+        exact: false,
+    },
 ];
 
 /// All 47 Table-1 benchmark names, in the paper's (area-sorted) order.

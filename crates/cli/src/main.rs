@@ -78,9 +78,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--resize" => o.resize = true,
             "--redundancy" => o.redundancy = true,
-            other if other.starts_with('-') => {
-                return Err(format!("unknown option {other:?}"))
-            }
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => o.positional.push(other.to_string()),
         }
     }
@@ -91,8 +89,8 @@ fn load_library(opts: &Options) -> Result<Arc<Library>, String> {
     match &opts.library {
         None => Ok(Arc::new(lib2())),
         Some(path) => {
-            let src = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             parse_genlib(path, &src)
                 .map(Arc::new)
                 .map_err(|e| e.to_string())
@@ -115,7 +113,10 @@ fn print_stats(nl: &Netlist) {
     println!("outputs : {}", nl.outputs().len());
     println!("cells   : {}", nl.cell_count());
     println!("area    : {:.0}", nl.area());
-    println!("power   : {:.4}  (Σ C·E, zero-delay)", est.circuit_power(nl));
+    println!(
+        "power   : {:.4}  (Σ C·E, zero-delay)",
+        est.circuit_power(nl)
+    );
     println!("delay   : {:.2}", sta.circuit_delay());
     println!("{}", nl.stats());
 }
@@ -147,7 +148,11 @@ fn run() -> Result<(), String> {
         "list" => {
             for name in powder_benchmarks::table1_names() {
                 let info = powder_benchmarks::info(name).expect("known");
-                println!("{name:<10} {:?}{}", info.family, if info.exact { " (exact)" } else { "" });
+                println!(
+                    "{name:<10} {:?}{}",
+                    info.family,
+                    if info.exact { " (exact)" } else { "" }
+                );
             }
             Ok(())
         }
@@ -162,9 +167,12 @@ fn run() -> Result<(), String> {
             emit(&nl, opts.output.as_deref())
         }
         "synth" => {
-            let path = opts.positional.first().ok_or("synth requires a .pla input file")?;
-            let src = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let path = opts
+                .positional
+                .first()
+                .ok_or("synth requires a .pla input file")?;
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let pla = powder_logic::pla::parse_pla(&src).map_err(|e| e.to_string())?;
             let lib = load_library(&opts)?;
             let spec = powder_synth::CircuitSpec::from_pla(path.as_str(), &pla);
@@ -174,14 +182,20 @@ fn run() -> Result<(), String> {
             emit(&nl, opts.output.as_deref())
         }
         "stats" => {
-            let path = opts.positional.first().ok_or("stats requires an input file")?;
+            let path = opts
+                .positional
+                .first()
+                .ok_or("stats requires an input file")?;
             let lib = load_library(&opts)?;
             let nl = load_netlist(path, lib)?;
             print_stats(&nl);
             Ok(())
         }
         "optimize" => {
-            let path = opts.positional.first().ok_or("optimize requires an input file")?;
+            let path = opts
+                .positional
+                .first()
+                .ok_or("optimize requires an input file")?;
             let lib = load_library(&opts)?;
             let mut nl = load_netlist(path, lib)?;
             let cfg = OptimizeConfig {
@@ -206,7 +220,8 @@ fn run() -> Result<(), String> {
                 let r = powder::resize::resize_for_power(
                     &mut nl,
                     &cfg.power,
-                    opts.delay_limit.map(|pct| (1.0 + pct / 100.0) * report.initial_delay),
+                    opts.delay_limit
+                        .map(|pct| (1.0 + pct / 100.0) * report.initial_delay),
                 );
                 eprintln!(
                     "resize: {} gates exchanged, {:.4} additional power saved",
@@ -241,8 +256,18 @@ mod tests {
     #[test]
     fn parses_flags_and_positionals() {
         let o = parse_args(&args(&[
-            "in.blif", "-o", "out.blif", "--delay-limit", "20", "--repeat", "5",
-            "--patterns", "512", "--seed", "7", "--resize",
+            "in.blif",
+            "-o",
+            "out.blif",
+            "--delay-limit",
+            "20",
+            "--repeat",
+            "5",
+            "--patterns",
+            "512",
+            "--seed",
+            "7",
+            "--resize",
         ]))
         .unwrap();
         assert_eq!(o.positional, vec!["in.blif"]);

@@ -142,7 +142,9 @@ mod tests {
         );
         assert_eq!(res.added.len(), 1);
         let inv = res.added[0];
-        assert!(matches!(nl.kind(inv), GateKind::Cell(c) if nl.library().cell_ref(c).is_inverter()));
+        assert!(
+            matches!(nl.kind(inv), GateKind::Cell(c) if nl.library().cell_ref(c).is_inverter())
+        );
         assert_eq!(nl.fanins(g3)[0], inv);
         assert_eq!(res.removed, vec![g2], "the old AND dangles");
         assert_eq!(po_signatures(&nl, 3), before);

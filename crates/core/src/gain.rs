@@ -211,16 +211,15 @@ pub fn analyze_full(nl: &Netlist, est: &PowerEstimator, sub: &Substitution) -> P
         .collect();
 
     let removed: HashSet<GateId> = removal_set(nl, sub).into_iter().collect();
-    let what = est.whatif_probabilities(nl, &edits);
     let mut pg_c = 0.0;
-    for (&g, &p_new) in &what {
+    est.whatif_foreach(nl, &edits, |g, p_new| {
         if matches!(nl.kind(g), GateKind::Output) || removed.contains(&g) {
-            continue;
+            return;
         }
         let e_old = est.transition(g);
         let e_new = 2.0 * p_new * (1.0 - p_new);
         pg_c += nl.load_cap(g, output_load) * (e_old - e_new);
-    }
+    });
     gain.pg_c = Some(pg_c);
     gain
 }

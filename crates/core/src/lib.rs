@@ -59,4 +59,6 @@ pub mod resize;
 
 pub use optimizer::{optimize, DelayLimit, OptimizeConfig};
 pub use powder_atpg::{CandidateConfig, Substitution};
-pub use report::{AppliedSubstitution, ClassStats, OptimizeReport, SubClass};
+pub use report::{
+    AppliedSubstitution, ClassStats, IncrementalStats, OptimizeReport, PhaseTimes, SubClass,
+};

@@ -2,13 +2,13 @@
 
 use crate::apply::apply_substitution;
 use crate::gain::{analyze_fast, analyze_full};
-use crate::report::{AppliedSubstitution, OptimizeReport, SubClass};
+use crate::report::{AppliedSubstitution, IncrementalStats, OptimizeReport, PhaseTimes, SubClass};
 use powder_atpg::{
     check_substitution, generate_candidates, CandidateConfig, CheckOutcome, Substitution,
 };
-use powder_netlist::{GateId, Netlist};
+use powder_netlist::{ConeScratch, GateId, Netlist};
 use powder_power::{PowerConfig, PowerEstimator};
-use powder_sim::{simulate, CellCovers, Patterns};
+use powder_sim::{resimulate_cone, simulate, CellCovers, Patterns, SimValues};
 use powder_timing::{SubstitutionTiming, TimingAnalysis, TimingConfig};
 use std::time::Instant;
 
@@ -47,6 +47,15 @@ pub struct OptimizeConfig {
     /// Candidates rejected (by delay or ATPG) per round before the round
     /// is cut short and fresh candidates are generated.
     pub max_rejections_per_round: usize,
+    /// Refresh simulation values, power totals, and timing incrementally
+    /// over the dirty region of each committed substitution. `false`
+    /// reproduces the full-rebuild baseline (results are identical up to
+    /// floating-point accumulation order); useful for benchmarking.
+    pub incremental: bool,
+    /// After every committed substitution, cross-check all incremental
+    /// state against a from-scratch recomputation and panic on
+    /// divergence. Test/debug aid; expensive.
+    pub cross_check: bool,
     /// Candidate-generation knobs.
     pub candidates: CandidateConfig,
     /// Power model (output load, input probabilities).
@@ -65,6 +74,8 @@ impl Default for OptimizeConfig {
             max_rounds: 60,
             min_gain: 1e-9,
             max_rejections_per_round: 250,
+            incremental: true,
+            cross_check: false,
             candidates: CandidateConfig::default(),
             power: PowerConfig::default(),
         }
@@ -102,21 +113,48 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
     };
     let mut sta = required_time.map(|_| TimingAnalysis::new(nl, &sta_cfg));
 
+    // The journal may hold records from netlist construction or earlier
+    // caller edits; every analysis above was just built from the current
+    // state, so incremental tracking starts from a clean slate.
+    nl.drain_dirty();
+
     let mut patterns = Patterns::random(nl.inputs().len(), config.sim_words.max(1), config.seed);
     let mut applied: Vec<AppliedSubstitution> = Vec::new();
     let mut rounds = 0usize;
     let mut atpg_checks = 0usize;
     let mut atpg_rejections = 0usize;
     let mut delay_rejections = 0usize;
+    let mut phase = PhaseTimes::default();
+    let mut inc = IncrementalStats::default();
+
+    // Retained across rounds in incremental mode: refreshed over dirty
+    // cones after commits, fully regenerated only when the pattern set
+    // itself changes (a learned ATPG counterexample).
+    let mut values: Option<SimValues> = None;
+    let mut patterns_stale = true;
+    let mut cone_scratch = ConeScratch::new();
+    let mut cone: Vec<GateId> = Vec::new();
 
     for _round in 0..config.max_rounds {
         rounds += 1;
-        let values = simulate(nl, &covers, &patterns);
-        let cands = generate_candidates(nl, &covers, &values, &config.candidates);
+        let t = Instant::now();
+        if !config.incremental || patterns_stale || values.is_none() {
+            values = Some(simulate(nl, &covers, &patterns));
+            patterns_stale = false;
+            inc.full_resims += 1;
+        }
+        phase.simulation += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let cands = {
+            let values = values.as_ref().expect("simulated above");
+            generate_candidates(nl, &covers, values, &config.candidates)
+        };
+        phase.candidates += t.elapsed().as_secs_f64();
         if cands.is_empty() {
             break;
         }
         // Score once per round by the re-estimation-free PG_A + PG_B.
+        let t = Instant::now();
         let mut scored: Vec<(Substitution, f64)> = cands
             .into_iter()
             .map(|s| {
@@ -125,6 +163,7 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
             })
             .collect();
         scored.sort_by(|x, y| y.1.total_cmp(&x.1));
+        phase.gain += t.elapsed().as_secs_f64();
         let mut consumed = vec![false; scored.len()];
 
         let mut progress = false;
@@ -157,11 +196,13 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
                 break 'inner;
             }
             // Full PG analysis on the pre-selected set.
+            let t = Instant::now();
             let best = pre
                 .iter()
                 .map(|&i| (i, analyze_full(nl, &est, &scored[i].0).total()))
                 .max_by(|x, y| x.1.total_cmp(&y.1))
                 .expect("pre-selection is non-empty");
+            phase.gain += t.elapsed().as_secs_f64();
             let (idx, gain) = best;
             if gain <= config.min_gain {
                 // The most promising candidates no longer reduce power;
@@ -173,8 +214,11 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
 
             // check_delay (Section 3.4).
             if let Some(sta_ref) = &sta {
+                let t = Instant::now();
                 let timing = substitution_timing(nl, sta_ref, &sub, output_load);
-                if !sta_ref.check_substitution(&timing) {
+                let ok = sta_ref.check_substitution(&timing);
+                phase.timing += t.elapsed().as_secs_f64();
+                if !ok {
                     delay_rejections += 1;
                     rejections_this_round += 1;
                     continue 'inner;
@@ -183,22 +227,70 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
 
             // check_candidate (exact ATPG).
             atpg_checks += 1;
-            match check_substitution(nl, &sub, config.backtrack_limit) {
+            let t = Instant::now();
+            let outcome = check_substitution(nl, &sub, config.backtrack_limit);
+            phase.atpg += t.elapsed().as_secs_f64();
+            match outcome {
                 CheckOutcome::Permissible => {
-                    let power_before = est.circuit_power(nl);
+                    let t_apply = Instant::now();
+                    let power_before = if config.incremental {
+                        est.total_power()
+                    } else {
+                        inc.full_power_rescans += 1;
+                        est.circuit_power(nl)
+                    };
                     let area_before = nl.area();
-                    let result = apply_substitution(nl, &sub);
-                    let cone = update_cone(nl, &result.added, &result.sinks);
+                    apply_substitution(nl, &sub);
+                    // One shared dirty region drives every analysis
+                    // refresh below.
+                    let region = nl.drain_dirty();
+                    cone.clear();
+                    cone_scratch.cone_topo(nl, region.touched().iter().copied(), &mut cone);
+                    est.retire_gates(region.removed());
                     est.update_cone(nl, &cone);
-                    let power_after = est.circuit_power(nl);
+                    let power_after = if config.incremental {
+                        inc.incremental_power_updates += 1;
+                        est.total_power()
+                    } else {
+                        inc.full_power_rescans += 1;
+                        est.circuit_power(nl)
+                    };
+                    phase.apply += t_apply.elapsed().as_secs_f64();
                     applied.push(AppliedSubstitution {
                         substitution: sub,
                         class: SubClass::of(&sub),
                         power_saved: power_before - power_after,
                         area_delta: nl.area() - area_before,
                     });
-                    if sta.is_some() {
-                        sta = Some(TimingAnalysis::new(nl, &sta_cfg));
+                    if config.incremental {
+                        let t = Instant::now();
+                        if let Some(v) = values.as_mut() {
+                            resimulate_cone(nl, &covers, v, &cone);
+                            inc.incremental_resims += 1;
+                        }
+                        phase.simulation += t.elapsed().as_secs_f64();
+                    }
+                    if let Some(sta_ref) = sta.as_mut() {
+                        let t = Instant::now();
+                        if config.incremental {
+                            sta_ref.update(nl, &region);
+                            inc.incremental_sta_updates += 1;
+                        } else {
+                            *sta_ref = TimingAnalysis::new(nl, &sta_cfg);
+                            inc.full_sta_rebuilds += 1;
+                        }
+                        phase.timing += t.elapsed().as_secs_f64();
+                    }
+                    if config.cross_check {
+                        inc.cross_checks += 1;
+                        cross_check_state(
+                            nl,
+                            &covers,
+                            &patterns,
+                            &est,
+                            config.incremental.then_some(values.as_ref()).flatten(),
+                            sta.as_ref(),
+                        );
                     }
                     repeat_left -= 1;
                     progress = true;
@@ -210,6 +302,7 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
                     // so adding it to the pattern set kills this candidate
                     // class in future rounds.
                     patterns.push_pattern(&witness);
+                    patterns_stale = true;
                     learned = true;
                 }
                 CheckOutcome::Aborted => {
@@ -240,6 +333,8 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
         atpg_rejections,
         delay_rejections,
         cpu_seconds: t0.elapsed().as_secs_f64(),
+        phase,
+        incremental: inc,
     }
 }
 
@@ -257,23 +352,75 @@ fn candidate_alive(nl: &Netlist, sub: &Substitution) -> bool {
     }
 }
 
-/// Gates whose probability must be refreshed after a committed
-/// substitution, in topological order: the new gates, the rewired sinks,
-/// and everything downstream.
-fn update_cone(nl: &Netlist, added: &[GateId], sinks: &[GateId]) -> Vec<GateId> {
-    let mut member = vec![false; nl.id_bound()];
-    for &g in added.iter().chain(sinks) {
-        if nl.is_live(g) {
-            member[g.0 as usize] = true;
-            for t in nl.tfo(g) {
-                member[t.0 as usize] = true;
-            }
+/// Compares every piece of incrementally maintained state against a
+/// from-scratch recomputation, panicking on divergence. `values` is only
+/// supplied in incremental mode — the baseline deliberately leaves the
+/// retained buffer stale between rounds.
+fn cross_check_state(
+    nl: &Netlist,
+    covers: &CellCovers,
+    patterns: &Patterns,
+    est: &PowerEstimator,
+    values: Option<&SimValues>,
+    sta: Option<&TimingAnalysis>,
+) {
+    let close = |x: f64, y: f64| (x == y) || (x - y).abs() <= 1e-9;
+
+    let scan = est.circuit_power(nl);
+    let total = est.total_power();
+    let tol = 1e-6 * scan.abs().max(1.0);
+    assert!(
+        (total - scan).abs() <= tol,
+        "running power total {total} diverged from scan {scan}"
+    );
+    let fresh = PowerEstimator::new(nl, est.config());
+    for g in nl.iter_live() {
+        assert!(
+            close(est.probability(g), fresh.probability(g)),
+            "probability of {} drifted: {} vs fresh {}",
+            nl.gate_name(g),
+            est.probability(g),
+            fresh.probability(g)
+        );
+    }
+
+    if let Some(values) = values {
+        let full = simulate(nl, covers, patterns);
+        for g in nl.iter_live() {
+            assert_eq!(
+                values.get(g),
+                full.get(g),
+                "retained simulation of {} is stale",
+                nl.gate_name(g)
+            );
         }
     }
-    nl.topo_order()
-        .into_iter()
-        .filter(|g| member[g.0 as usize])
-        .collect()
+
+    if let Some(sta) = sta {
+        let fresh = TimingAnalysis::new(nl, &sta.config());
+        for g in nl.iter_live() {
+            assert!(
+                close(sta.arrival(g), fresh.arrival(g)),
+                "arrival of {} drifted: {} vs fresh {}",
+                nl.gate_name(g),
+                sta.arrival(g),
+                fresh.arrival(g)
+            );
+            assert!(
+                close(sta.required(g), fresh.required(g)),
+                "required of {} drifted: {} vs fresh {}",
+                nl.gate_name(g),
+                sta.required(g),
+                fresh.required(g)
+            );
+        }
+        assert!(
+            close(sta.circuit_delay(), fresh.circuit_delay()),
+            "circuit delay drifted: {} vs fresh {}",
+            sta.circuit_delay(),
+            fresh.circuit_delay()
+        );
+    }
 }
 
 /// Prepares the what-if timing description of a substitution (Section 3.4).
@@ -475,5 +622,112 @@ mod tests {
         nl.validate().unwrap();
         assert_eq!(po_sigs(&nl), before_sigs);
         assert!(report.final_power < report.initial_power, "{report}");
+    }
+
+    /// Incremental and full-rebuild modes share all decision code, so they
+    /// must commit the same substitutions and land on the same power.
+    #[test]
+    fn incremental_mode_matches_full_rebuild_baseline() {
+        let mut nl_inc = redundant_circuit();
+        let mut nl_full = redundant_circuit();
+        let cfg_inc = OptimizeConfig {
+            delay_limit: Some(DelayLimit::Factor(1.5)),
+            ..OptimizeConfig::default()
+        };
+        let cfg_full = OptimizeConfig {
+            incremental: false,
+            ..cfg_inc.clone()
+        };
+        let r_inc = optimize(&mut nl_inc, &cfg_inc);
+        let r_full = optimize(&mut nl_full, &cfg_full);
+        assert_eq!(r_inc.applied.len(), r_full.applied.len());
+        assert!(
+            (r_inc.final_power - r_full.final_power).abs() < 1e-9,
+            "modes diverged: {} vs {}",
+            r_inc.final_power,
+            r_full.final_power
+        );
+        assert!((r_inc.final_area - r_full.final_area).abs() < 1e-9);
+    }
+
+    /// ISSUE acceptance: in steady state no full STA rebuild and no O(n)
+    /// power rescan happens after a committed substitution.
+    #[test]
+    fn steady_state_commits_use_only_incremental_refreshes() {
+        let mut nl = redundant_circuit();
+        let cfg = OptimizeConfig {
+            delay_limit: Some(DelayLimit::Factor(2.0)),
+            ..OptimizeConfig::default()
+        };
+        let report = optimize(&mut nl, &cfg);
+        assert!(
+            !report.applied.is_empty(),
+            "test needs at least one commit to be meaningful"
+        );
+        assert_eq!(report.incremental.full_sta_rebuilds, 0, "{report}");
+        assert_eq!(report.incremental.full_power_rescans, 0, "{report}");
+        assert!(report.incremental.incremental_sta_updates > 0);
+        assert!(report.incremental.incremental_power_updates > 0);
+        assert!(report.incremental.incremental_resims > 0);
+    }
+
+    /// With cross-checking on, every commit verifies the incremental state
+    /// against from-scratch recomputation (and panics on divergence).
+    #[test]
+    fn cross_check_mode_passes_on_examples() {
+        let mut nl = redundant_circuit();
+        let cfg = OptimizeConfig {
+            cross_check: true,
+            delay_limit: Some(DelayLimit::Factor(1.5)),
+            ..OptimizeConfig::default()
+        };
+        let report = optimize(&mut nl, &cfg);
+        nl.validate().unwrap();
+        assert_eq!(report.incremental.cross_checks, report.applied.len());
+        // The Figure 2 circuit exercises the IS2 branch-rewiring path.
+        let lib = Arc::new(lib2());
+        let xor2 = lib.find_by_name("xor2").unwrap();
+        let and2 = lib.find_by_name("and2").unwrap();
+        let mut nl = Netlist::new("fig2", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let e = nl.add_cell("e", and2, &[a, b]);
+        let d = nl.add_cell("d", xor2, &[a, c]);
+        let f = nl.add_cell("f", and2, &[d, b]);
+        nl.add_output("fe", e);
+        nl.add_output("ff", f);
+        let cfg = OptimizeConfig {
+            cross_check: true,
+            ..OptimizeConfig::default()
+        };
+        let report = optimize(&mut nl, &cfg);
+        nl.validate().unwrap();
+        assert_eq!(report.incremental.cross_checks, report.applied.len());
+    }
+
+    /// The per-phase breakdown accounts for (most of) the wall clock and
+    /// every tracked phase is non-negative.
+    #[test]
+    fn phase_times_are_sane() {
+        let mut nl = redundant_circuit();
+        let report = optimize(&mut nl, &OptimizeConfig::default());
+        let p = report.phase;
+        for t in [
+            p.simulation,
+            p.candidates,
+            p.gain,
+            p.timing,
+            p.atpg,
+            p.apply,
+        ] {
+            assert!(t >= 0.0);
+        }
+        assert!(
+            p.total() <= report.cpu_seconds + 1e-6,
+            "phases {} exceed wall clock {}",
+            p.total(),
+            report.cpu_seconds
+        );
     }
 }

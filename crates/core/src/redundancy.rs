@@ -56,10 +56,7 @@ pub fn remove_redundancies(nl: &mut Netlist, backtrack_limit: usize) -> Redundan
                     let const_gate = match consts[usize::from(value)] {
                         Some(k) if nl.is_live(k) => k,
                         _ => {
-                            let k = nl.add_const(
-                                format!("tie{}", u8::from(value)),
-                                value,
-                            );
+                            let k = nl.add_const(format!("tie{}", u8::from(value)), value);
                             consts[usize::from(value)] = Some(k);
                             k
                         }
@@ -73,9 +70,7 @@ pub fn remove_redundancies(nl: &mut Netlist, backtrack_limit: usize) -> Redundan
                     if !sub.is_structurally_valid(nl) {
                         continue;
                     }
-                    if check_substitution(nl, &sub, backtrack_limit)
-                        == CheckOutcome::Permissible
-                    {
+                    if check_substitution(nl, &sub, backtrack_limit) == CheckOutcome::Permissible {
                         let result = apply_substitution(nl, &sub);
                         report.pins_tied += 1;
                         report.gates_removed += result.removed.len();

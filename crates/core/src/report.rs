@@ -69,6 +69,58 @@ pub struct ClassStats {
     pub area_delta: f64,
 }
 
+/// Wall-clock seconds the optimizer spent in each phase of its loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Logic simulation: initial/full passes plus post-commit cone
+    /// resimulation.
+    pub simulation: f64,
+    /// Candidate generation (fault-simulation filtering).
+    pub candidates: f64,
+    /// Power-gain analysis: `PG_A + PG_B` scoring and full `PG_C`
+    /// what-if re-estimation of pre-selected candidates.
+    pub gain: f64,
+    /// Static timing: per-candidate §3.4 checks plus post-commit
+    /// arrival/required refreshes.
+    pub timing: f64,
+    /// Exact ATPG permissibility checks.
+    pub atpg: f64,
+    /// Committing substitutions: netlist edits, dirty-region drains,
+    /// cone computation, and power bookkeeping.
+    pub apply: f64,
+}
+
+impl PhaseTimes {
+    /// Total seconds across all tracked phases.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.simulation + self.candidates + self.gain + self.timing + self.atpg + self.apply
+    }
+}
+
+/// How often each analysis was refreshed incrementally (over the dirty
+/// cone of the committed edit) versus rebuilt from scratch. Only in-loop
+/// refreshes are counted; the one-time initial constructions are not.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IncrementalStats {
+    /// Full STA rebuilds after a committed substitution.
+    pub full_sta_rebuilds: usize,
+    /// Incremental STA updates over the dirty region.
+    pub incremental_sta_updates: usize,
+    /// Whole-netlist simulation passes.
+    pub full_resims: usize,
+    /// Post-commit cone resimulations into the retained value buffer.
+    pub incremental_resims: usize,
+    /// O(n) circuit-power scans performed for commit bookkeeping.
+    pub full_power_rescans: usize,
+    /// Incremental power updates (running-total adjustment over the
+    /// dirty cone).
+    pub incremental_power_updates: usize,
+    /// Cross-checks of incremental state against from-scratch
+    /// recomputation (only in `cross_check` mode).
+    pub cross_checks: usize,
+}
+
 /// The result of running the optimizer on one circuit.
 #[derive(Clone, Debug)]
 pub struct OptimizeReport {
@@ -96,6 +148,10 @@ pub struct OptimizeReport {
     pub delay_rejections: usize,
     /// Wall-clock seconds spent.
     pub cpu_seconds: f64,
+    /// Per-phase wall-clock breakdown of `cpu_seconds`.
+    pub phase: PhaseTimes,
+    /// Incremental-versus-full refresh counters.
+    pub incremental: IncrementalStats,
 }
 
 impl OptimizeReport {
@@ -151,7 +207,7 @@ impl fmt::Display for OptimizeReport {
             self.initial_delay,
             self.final_delay,
         )?;
-        write!(
+        writeln!(
             f,
             "{} substitutions in {} rounds ({} ATPG checks, {} rejected, {} delay-rejected), {:.1}s",
             self.applied.len(),
@@ -160,6 +216,16 @@ impl fmt::Display for OptimizeReport {
             self.atpg_rejections,
             self.delay_rejections,
             self.cpu_seconds,
+        )?;
+        write!(
+            f,
+            "refreshes: sta {}i/{}f, sim {}i/{}f, power {}i/{}f",
+            self.incremental.incremental_sta_updates,
+            self.incremental.full_sta_rebuilds,
+            self.incremental.incremental_resims,
+            self.incremental.full_resims,
+            self.incremental.incremental_power_updates,
+            self.incremental.full_power_rescans,
         )
     }
 }
@@ -218,6 +284,8 @@ mod tests {
             atpg_rejections: 0,
             delay_rejections: 0,
             cpu_seconds: 0.1,
+            phase: PhaseTimes::default(),
+            incremental: IncrementalStats::default(),
         };
         assert!((r.power_reduction_percent() - 40.0).abs() < 1e-12);
         assert!((r.area_reduction_percent() - 5.0).abs() < 1e-12);

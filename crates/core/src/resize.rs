@@ -66,10 +66,7 @@ pub fn resize_for_power(
         };
         let mut best: Option<(powder_library::CellId, f64)> = None;
         for (cid, cand) in lib.iter() {
-            if cid == current
-                || cand.inputs() != cell.inputs()
-                || cand.function != cell.function
-            {
+            if cid == current || cand.inputs() != cell.inputs() || cand.function != cell.function {
                 continue;
             }
             // Timing legality: the gate's delay change must fit its slack,
@@ -93,9 +90,7 @@ pub fn resize_for_power(
                 continue;
             }
             let cost = pin_cost(cid);
-            if cost < pin_cost(current) - 1e-12
-                && best.as_ref().is_none_or(|&(_, c)| cost < c)
-            {
+            if cost < pin_cost(current) - 1e-12 && best.as_ref().is_none_or(|&(_, c)| cost < c) {
                 best = Some((cid, cost));
             }
         }

@@ -87,7 +87,10 @@ pub fn parse_genlib(name: &str, src: &str) -> Result<Library, ParseGenlibError> 
                 .find(|p| &p.name == input)
                 .or_else(|| pins.iter().find(|p| p.name == "*"));
             let spec = spec.ok_or_else(|| {
-                err(line, &format!("gate {gname}: no PIN entry for input {input}"))
+                err(
+                    line,
+                    &format!("gate {gname}: no PIN entry for input {input}"),
+                )
             })?;
             cell_pins.push(Pin {
                 name: input.clone(),
@@ -154,8 +157,7 @@ pub fn parse_genlib(name: &str, src: &str) -> Result<Library, ParseGenlibError> 
                 let Some(gate) = pending.as_mut() else {
                     return Err(err(lineno, "PIN before any GATE"));
                 };
-                let toks: Vec<&str> =
-                    std::iter::once("PIN").chain(tokens).collect();
+                let toks: Vec<&str> = std::iter::once("PIN").chain(tokens).collect();
                 parse_pin_tokens(&toks, lineno, &mut gate.4)?;
             }
             Some(other) => {

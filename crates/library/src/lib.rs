@@ -34,5 +34,5 @@ pub mod genlib;
 mod lib2_def;
 
 pub use cell::{Cell, CellId, Library, Match, Pin};
-pub use lib2_def::lib2x;
 pub use lib2_def::lib2;
+pub use lib2_def::lib2x;

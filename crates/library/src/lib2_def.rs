@@ -125,7 +125,11 @@ mod tests {
     #[test]
     fn functions_are_correct() {
         let lib = lib2();
-        let f = |name: &str| lib.cell_ref(lib.find_by_name(name).unwrap()).function.clone();
+        let f = |name: &str| {
+            lib.cell_ref(lib.find_by_name(name).unwrap())
+                .function
+                .clone()
+        };
         let a2 = TruthTable::var(0, 2);
         let b2 = TruthTable::var(1, 2);
         assert_eq!(f("nand2"), !(a2.clone() & b2.clone()));

@@ -48,7 +48,11 @@ impl Cube {
     /// The minterm cube for assignment `m` over `vars` variables.
     #[must_use]
     pub fn minterm(m: u64, vars: usize) -> Self {
-        let mask = if vars >= 64 { u64::MAX } else { (1u64 << vars) - 1 };
+        let mask = if vars >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << vars) - 1
+        };
         Cube {
             pos: m & mask,
             neg: !m & mask,
@@ -306,7 +310,9 @@ mod tests {
 
     #[test]
     fn with_without_literal() {
-        let c = Cube::universe().with_literal(3, true).with_literal(5, false);
+        let c = Cube::universe()
+            .with_literal(3, true)
+            .with_literal(5, false);
         assert_eq!(c.literal(3), Some(true));
         assert_eq!(c.literal(5), Some(false));
         let c2 = c.without_literal(3);

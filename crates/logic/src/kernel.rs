@@ -143,7 +143,8 @@ pub fn factoring_value(sop: &Sop, kernel: &Sop) -> i64 {
     let before = i64::from(sop.literal_count());
     // after: quotient cubes each gain one literal (the new signal), plus the
     // kernel body implemented once, plus the remainder.
-    let after = i64::from(quot.literal_count()) + quot.cube_count() as i64
+    let after = i64::from(quot.literal_count())
+        + quot.cube_count() as i64
         + i64::from(kernel.literal_count())
         + i64::from(rest.literal_count());
     before - after
@@ -195,8 +196,14 @@ mod tests {
         // (c + d) and (a + b) must both appear as kernels.
         let cd = Sop::from_cubes(5, vec![Cube::new(0b00100, 0), Cube::new(0b01000, 0)]);
         let ab = Sop::from_cubes(5, vec![Cube::new(0b00001, 0), Cube::new(0b00010, 0)]);
-        assert!(ks.iter().any(|k| k.kernel == cd), "missing kernel c+d: {ks:?}");
-        assert!(ks.iter().any(|k| k.kernel == ab), "missing kernel a+b: {ks:?}");
+        assert!(
+            ks.iter().any(|k| k.kernel == cd),
+            "missing kernel c+d: {ks:?}"
+        );
+        assert!(
+            ks.iter().any(|k| k.kernel == ab),
+            "missing kernel a+b: {ks:?}"
+        );
     }
 
     #[test]

@@ -31,10 +31,10 @@
 
 mod cube;
 pub mod kernel;
-#[cfg(test)]
-mod proptests;
 pub mod minimize;
 pub mod pla;
+#[cfg(test)]
+mod proptests;
 mod sop;
 mod tt;
 

@@ -139,9 +139,7 @@ fn cover_greedy(tt: &TruthTable, primes: Vec<Cube>) -> Sop {
             let better = match best {
                 None => true,
                 Some((bi, bg)) => {
-                    gain > bg
-                        || (gain == bg
-                            && p.literal_count() < primes[bi].literal_count())
+                    gain > bg || (gain == bg && p.literal_count() < primes[bi].literal_count())
                 }
             };
             if better {
@@ -323,7 +321,9 @@ mod tests {
                 state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let seed = state;
                 let tt = TruthTable::from_fn(vars, |m| {
-                    (seed.rotate_left((m % 63) as u32) ^ m).count_ones() % 2 == 0
+                    (seed.rotate_left((m % 63) as u32) ^ m)
+                        .count_ones()
+                        .is_multiple_of(2)
                 });
                 let sop = quine_mccluskey(&tt);
                 check_exact_cover(&tt, &sop);

@@ -97,9 +97,7 @@ pub fn parse_pla(src: &str) -> Result<Pla, ParsePlaError> {
                 Some("ob") => ob = Some(toks.map(str::to_string).collect()),
                 Some("p") | Some("type") | Some("phase") | Some("pair") => {}
                 Some("e") | Some("end") => break,
-                Some(other) => {
-                    return Err(err(lineno, format!("unsupported directive .{other}")))
-                }
+                Some(other) => return Err(err(lineno, format!("unsupported directive .{other}"))),
                 None => return Err(err(lineno, "bare '.'".into())),
             }
         } else {
@@ -119,12 +117,18 @@ pub fn parse_pla(src: &str) -> Result<Pla, ParsePlaError> {
     let ni = ni.ok_or_else(|| err(0, "missing .i".into()))?;
     let no = no.ok_or_else(|| err(0, "missing .o".into()))?;
     if ni > 64 {
-        return Err(err(0, format!("{ni} inputs exceed the 64-variable cube limit")));
+        return Err(err(
+            0,
+            format!("{ni} inputs exceed the 64-variable cube limit"),
+        ));
     }
     let inputs = match ilb {
         Some(v) if v.len() == ni => v,
         Some(v) => {
-            return Err(err(0, format!(".ilb lists {} names, .i says {ni}", v.len())))
+            return Err(err(
+                0,
+                format!(".ilb lists {} names, .i says {ni}", v.len()),
+            ))
         }
         None => (0..ni).map(|i| format!("x{i}")).collect(),
     };
@@ -140,7 +144,10 @@ pub fn parse_pla(src: &str) -> Result<Pla, ParsePlaError> {
             return Err(err(lineno, format!("input plane {inp:?} is not {ni} wide")));
         }
         if out.len() != no {
-            return Err(err(lineno, format!("output plane {out:?} is not {no} wide")));
+            return Err(err(
+                lineno,
+                format!("output plane {out:?} is not {no} wide"),
+            ));
         }
         let mut cube = Cube::universe();
         for (v, ch) in inp.chars().enumerate() {
@@ -148,18 +155,14 @@ pub fn parse_pla(src: &str) -> Result<Pla, ParsePlaError> {
                 '1' => cube = cube.with_literal(v, true),
                 '0' => cube = cube.with_literal(v, false),
                 '-' | '2' => {}
-                other => {
-                    return Err(err(lineno, format!("bad input-plane character {other:?}")))
-                }
+                other => return Err(err(lineno, format!("bad input-plane character {other:?}"))),
             }
         }
         for (o, ch) in out.chars().enumerate() {
             match ch {
                 '1' | '4' => on_sets[o].push(cube),
                 '0' | '~' | '-' | '2' => {}
-                other => {
-                    return Err(err(lineno, format!("bad output-plane character {other:?}")))
-                }
+                other => return Err(err(lineno, format!("bad output-plane character {other:?}"))),
             }
         }
     }
@@ -261,7 +264,10 @@ mod tests {
         assert!(parse_pla("11 1\n").is_err(), "missing .i/.o");
         assert!(parse_pla(".i 2\n.o 1\n111 1\n.e").is_err(), "row width");
         assert!(parse_pla(".i 2\n.o 1\n1x 1\n.e").is_err(), "bad char");
-        assert!(parse_pla(".i 2\n.o 1\n.ilb a\n11 1\n.e").is_err(), "ilb arity");
+        assert!(
+            parse_pla(".i 2\n.o 1\n.ilb a\n11 1\n.e").is_err(),
+            "ilb arity"
+        );
         assert!(parse_pla(".i 2\n.o 1\n.bogus\n.e").is_err(), "directive");
     }
 }

@@ -21,7 +21,11 @@ fn arb_tt(vars: usize) -> impl Strategy<Value = TruthTable> {
 }
 
 fn arb_cube(vars: usize) -> impl Strategy<Value = Cube> {
-    let mask = if vars >= 64 { u64::MAX } else { (1u64 << vars) - 1 };
+    let mask = if vars >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << vars) - 1
+    };
     (any::<u64>(), any::<u64>()).prop_map(move |(p, n)| {
         let pos = p & mask;
         let neg = n & mask & !pos;

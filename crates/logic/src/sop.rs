@@ -165,11 +165,7 @@ impl Sop {
         // For each divisor cube, the candidate quotient cubes.
         let mut candidates: Vec<Vec<Cube>> = Vec::with_capacity(divisor.cubes.len());
         for d in &divisor.cubes {
-            let quots: Vec<Cube> = self
-                .cubes
-                .iter()
-                .filter_map(|c| c.divide(d))
-                .collect();
+            let quots: Vec<Cube> = self.cubes.iter().filter_map(|c| c.divide(d)).collect();
             if quots.is_empty() {
                 return (Sop::zero(self.vars), self.clone());
             }
@@ -263,10 +259,10 @@ mod tests {
         let mut f = Sop::from_cubes(
             3,
             vec![
-                Cube::new(0b001, 0),        // x0
-                Cube::new(0b011, 0),        // x0·x1  (contained)
-                Cube::new(0b011, 0),        // duplicate (contained)
-                Cube::new(0b100, 0b010),    // x2·!x1
+                Cube::new(0b001, 0),     // x0
+                Cube::new(0b011, 0),     // x0·x1  (contained)
+                Cube::new(0b011, 0),     // duplicate (contained)
+                Cube::new(0b100, 0b010), // x2·!x1
             ],
         );
         let tt = f.to_tt();

@@ -101,14 +101,15 @@ impl TruthTable {
     #[must_use]
     pub fn var(index: usize, vars: usize) -> Self {
         Self::assert_vars(vars);
-        assert!(index < vars, "variable {index} out of range for {vars} vars");
+        assert!(
+            index < vars,
+            "variable {index} out of range for {vars} vars"
+        );
         let n = Self::word_count(vars);
         let mut words = vec![0u64; n];
         if index < 6 {
             let pat = VAR_MASKS[index] & Self::used_mask(vars);
-            for w in &mut words {
-                *w = pat;
-            }
+            words.fill(pat);
             if vars < 6 {
                 words[0] = VAR_MASKS[index] & Self::used_mask(vars);
             }
@@ -438,7 +439,7 @@ macro_rules! impl_binop {
             fn $method(mut self, rhs: TruthTable) -> TruthTable {
                 assert_eq!(self.vars, rhs.vars, "truth table arity mismatch");
                 for (a, b) in self.words.iter_mut().zip(rhs.words.iter()) {
-                    *a = *a $op *b;
+                    *a $op *b;
                 }
                 self
             }
@@ -449,7 +450,7 @@ macro_rules! impl_binop {
                 assert_eq!(self.vars, rhs.vars, "truth table arity mismatch");
                 let mut out = self.clone();
                 for (a, b) in out.words.iter_mut().zip(rhs.words.iter()) {
-                    *a = *a $op *b;
+                    *a $op *b;
                 }
                 out
             }
@@ -457,9 +458,9 @@ macro_rules! impl_binop {
     };
 }
 
-impl_binop!(BitAnd, bitand, &);
-impl_binop!(BitOr, bitor, |);
-impl_binop!(BitXor, bitxor, ^);
+impl_binop!(BitAnd, bitand, &=);
+impl_binop!(BitOr, bitor, |=);
+impl_binop!(BitXor, bitxor, ^=);
 
 #[cfg(test)]
 mod tests {
@@ -492,9 +493,9 @@ mod tests {
         let b = TruthTable::var(2, 4);
         let f = (a.clone() & b.clone()) | (!a.clone() ^ b.clone());
         for m in 0..16u64 {
-            let av = (m >> 0) & 1 == 1;
+            let av = m & 1 == 1;
             let bv = (m >> 2) & 1 == 1;
-            assert_eq!(f.eval(m), (av && bv) || (!av != bv));
+            assert_eq!(f.eval(m), (av && bv) || (av == bv));
         }
     }
 
@@ -518,7 +519,11 @@ mod tests {
             for val in [false, true] {
                 let c = f.cofactor(idx, val);
                 for m in 0..256u64 {
-                    let fixed = if val { m | (1 << idx) } else { m & !(1u64 << idx) };
+                    let fixed = if val {
+                        m | (1 << idx)
+                    } else {
+                        m & !(1u64 << idx)
+                    };
                     assert_eq!(c.eval(m), f.eval(fixed), "idx={idx} val={val} m={m}");
                 }
             }

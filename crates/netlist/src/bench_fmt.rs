@@ -167,8 +167,8 @@ pub fn read_bench(src: &str, library: Arc<Library>) -> Result<Netlist, ParseBenc
             let id = nl.add_input(orig.clone());
             nets.insert(orig, id);
         } else if upper.starts_with("OUTPUT") {
-            let orig = line[line.find('(').map(|i| i + 1).unwrap_or(0)
-                ..line.rfind(')').unwrap_or(line.len())]
+            let orig = line
+                [line.find('(').map(|i| i + 1).unwrap_or(0)..line.rfind(')').unwrap_or(line.len())]
                 .trim()
                 .to_string();
             if orig.is_empty() {
@@ -407,7 +407,10 @@ f = AND(a, b, c, d, e, g)
     #[test]
     fn rejects_dff_and_garbage() {
         let lib = Arc::new(lib2());
-        assert!(read_bench("q = DFF(d)", lib.clone()).unwrap_err().message.contains("DFF"));
+        assert!(read_bench("q = DFF(d)", lib.clone())
+            .unwrap_err()
+            .message
+            .contains("DFF"));
         assert!(read_bench("nonsense line", lib.clone()).is_err());
         assert!(read_bench("f = FROB(a)", lib.clone()).is_err());
         assert!(read_bench("OUTPUT(f)\n", lib).is_err());

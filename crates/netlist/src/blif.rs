@@ -68,12 +68,7 @@ pub fn write_blif(nl: &Netlist) -> String {
                 let cell = nl.library().cell_ref(c);
                 let mut line = format!(".gate {}", cell.name);
                 for (pin, &src) in nl.fanins(id).iter().enumerate() {
-                    let _ = write!(
-                        line,
-                        " {}={}",
-                        cell.pins[pin].name,
-                        name_of(src, &net_name)
-                    );
+                    let _ = write!(line, " {}={}", cell.pins[pin].name, name_of(src, &net_name));
                 }
                 let _ = writeln!(s, "{line} O={}", name_of(id, &net_name));
             }
@@ -177,13 +172,14 @@ pub fn read_blif(src: &str, library: Arc<Library>) -> Result<Netlist, ParseBlifE
             Some(".names") => {
                 // Only constant .names (zero inputs) are supported.
                 if toks.len() != 2 {
-                    return Err(err(lineno, ".names with inputs unsupported in mapped blif".into()));
+                    return Err(err(
+                        lineno,
+                        ".names with inputs unsupported in mapped blif".into(),
+                    ));
                 }
                 let net = toks[1].to_string();
                 // A following "1" line marks constant one.
-                let one = logical
-                    .get(idx + 1)
-                    .is_some_and(|(_, l)| l.trim() == "1");
+                let one = logical.get(idx + 1).is_some_and(|(_, l)| l.trim() == "1");
                 if one {
                     idx += 1;
                 }
@@ -218,9 +214,9 @@ pub fn read_blif(src: &str, library: Arc<Library>) -> Result<Netlist, ParseBlifE
         let mut progressed = false;
         let mut still: Vec<GateLine> = Vec::new();
         for g in remaining {
-            let cell_id = library.find_by_name(&g.cell).ok_or_else(|| {
-                err(g.line, format!("unknown cell {:?}", g.cell))
-            })?;
+            let cell_id = library
+                .find_by_name(&g.cell)
+                .ok_or_else(|| err(g.line, format!("unknown cell {:?}", g.cell)))?;
             let cell = library.cell_ref(cell_id);
             let out_net = g
                 .conns
@@ -332,8 +328,11 @@ mod tests {
     #[test]
     fn unknown_cell_errors() {
         let lib = Arc::new(lib2());
-        let e = read_blif(".model t\n.inputs a\n.outputs f\n.gate bogus a=a O=f\n.end", lib)
-            .unwrap_err();
+        let e = read_blif(
+            ".model t\n.inputs a\n.outputs f\n.gate bogus a=a O=f\n.end",
+            lib,
+        )
+        .unwrap_err();
         assert!(e.message.contains("unknown cell"));
     }
 

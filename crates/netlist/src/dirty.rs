@@ -1,0 +1,347 @@
+//! Edit journal and dirty-region bookkeeping.
+//!
+//! Every structural mutation of a [`Netlist`] records the gate ids it
+//! touched in an internal journal and bumps a generation counter.
+//! Analyses that cache per-gate state (simulation values, signal
+//! probabilities, arrival/required times) call [`Netlist::drain_dirty`]
+//! after a batch of edits and re-derive state only over
+//! [`Netlist::dirty_cone`] — the touched gates plus their transitive
+//! fanout, in topological order — instead of rebuilding from scratch.
+
+use crate::netlist::{GateId, Netlist};
+
+/// Internal per-netlist edit journal. Records are appended by the
+/// editing primitives in `netlist.rs` and consumed via
+/// [`Netlist::drain_dirty`].
+#[derive(Clone, Debug, Default)]
+pub(crate) struct EditJournal {
+    /// Gates whose function, fanins, or fanout load may have changed.
+    pub(crate) touched: Vec<GateId>,
+    /// Gates removed (tombstoned) since the last drain.
+    pub(crate) removed: Vec<GateId>,
+    /// Monotone counter, bumped once per mutating operation.
+    pub(crate) generation: u64,
+}
+
+impl EditJournal {
+    pub(crate) fn touch(&mut self, id: GateId) {
+        self.touched.push(id);
+    }
+}
+
+/// The set of gates affected by the edits since the previous
+/// [`Netlist::drain_dirty`] call.
+///
+/// `touched` holds every gate whose local state (logic function, fanin
+/// wiring, or capacitive load) may have changed — including drivers that
+/// merely gained or lost a fanout branch, since their load (and hence
+/// delay and power contribution) changed. `removed` holds tombstoned
+/// ids. Both lists are sorted and deduplicated.
+#[derive(Clone, Debug, Default)]
+pub struct DirtyRegion {
+    touched: Vec<GateId>,
+    removed: Vec<GateId>,
+    generation: u64,
+}
+
+impl DirtyRegion {
+    /// Gates whose local state may have changed (sorted, deduplicated).
+    /// May include ids that were subsequently removed.
+    #[must_use]
+    pub fn touched(&self) -> &[GateId] {
+        &self.touched
+    }
+
+    /// Gates tombstoned by the journaled edits (sorted, deduplicated).
+    #[must_use]
+    pub fn removed(&self) -> &[GateId] {
+        &self.removed
+    }
+
+    /// Value of the netlist's generation counter when this region was
+    /// drained.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the region records no edits at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Reusable scratch space for cone-in-topological-order queries.
+///
+/// The committed-edit path ([`Netlist::dirty_cone`]) and per-candidate
+/// what-if analyses both need "these roots plus their transitive fanout,
+/// topologically ordered, restricted to the cone". Holding a
+/// `ConeScratch` across calls makes repeated queries allocation-free in
+/// the steady state: membership is tracked with a stamp array instead of
+/// a freshly zeroed bitset, and the indegree/work vectors are reused.
+#[derive(Clone, Debug, Default)]
+pub struct ConeScratch {
+    stamp: Vec<u32>,
+    indeg: Vec<u32>,
+    members: Vec<GateId>,
+    stack: Vec<GateId>,
+    round: u32,
+}
+
+impl ConeScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends to `out` the live gates of `roots` plus their transitive
+    /// fanout, in an order that is topological within the cone
+    /// (every gate appears after all its in-cone fanins). Dead root ids
+    /// and duplicates are skipped. Runs in `O(|cone| + fanout edges)`.
+    pub fn cone_topo(
+        &mut self,
+        nl: &Netlist,
+        roots: impl IntoIterator<Item = GateId>,
+        out: &mut Vec<GateId>,
+    ) {
+        let bound = nl.id_bound();
+        if self.stamp.len() < bound {
+            self.stamp.resize(bound, 0);
+            self.indeg.resize(bound, 0);
+        }
+        if self.round == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.round = 0;
+        }
+        self.round += 1;
+        let r = self.round;
+
+        // Membership: BFS over fanouts from the live roots.
+        self.members.clear();
+        for root in roots {
+            if nl.is_live(root) && self.stamp[root.0 as usize] != r {
+                self.stamp[root.0 as usize] = r;
+                self.members.push(root);
+            }
+        }
+        let mut head = 0;
+        while head < self.members.len() {
+            let g = self.members[head];
+            head += 1;
+            for conn in nl.fanouts(g) {
+                let s = conn.gate.0 as usize;
+                if self.stamp[s] != r {
+                    self.stamp[s] = r;
+                    self.members.push(conn.gate);
+                }
+            }
+        }
+
+        // In-cone indegree, counted per fanin pin (a gate fed twice by
+        // the same in-cone source counts two edges, matching the one
+        // fanout record kept per pin).
+        for &m in &self.members {
+            self.indeg[m.0 as usize] = nl
+                .fanins(m)
+                .iter()
+                .filter(|f| self.stamp[f.0 as usize] == r)
+                .count() as u32;
+        }
+
+        // Kahn's algorithm restricted to the cone.
+        let before = out.len();
+        self.stack.clear();
+        self.stack.extend(
+            self.members
+                .iter()
+                .copied()
+                .filter(|m| self.indeg[m.0 as usize] == 0),
+        );
+        while let Some(g) = self.stack.pop() {
+            out.push(g);
+            for conn in nl.fanouts(g) {
+                let s = conn.gate.0 as usize;
+                if self.stamp[s] == r {
+                    self.indeg[s] -= 1;
+                    if self.indeg[s] == 0 {
+                        self.stack.push(conn.gate);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            out.len() - before,
+            self.members.len(),
+            "cycle inside dirty cone"
+        );
+    }
+}
+
+impl Netlist {
+    /// Monotone edit counter: bumped once per mutating operation
+    /// (`add_*`, [`Netlist::replace_fanin`],
+    /// [`Netlist::replace_all_fanouts`], [`Netlist::sweep_from`]).
+    /// Analyses snapshot it to detect staleness.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.journal.generation
+    }
+
+    /// Whether any mutation has been journaled since the last
+    /// [`Netlist::drain_dirty`].
+    #[must_use]
+    pub fn has_pending_edits(&self) -> bool {
+        !self.journal.touched.is_empty() || !self.journal.removed.is_empty()
+    }
+
+    /// Takes the set of gates affected by edits since the previous
+    /// drain, leaving the journal empty. The returned lists are sorted
+    /// and deduplicated.
+    pub fn drain_dirty(&mut self) -> DirtyRegion {
+        let mut touched = std::mem::take(&mut self.journal.touched);
+        let mut removed = std::mem::take(&mut self.journal.removed);
+        touched.sort_unstable();
+        touched.dedup();
+        removed.sort_unstable();
+        removed.dedup();
+        DirtyRegion {
+            touched,
+            removed,
+            generation: self.journal.generation,
+        }
+    }
+
+    /// The live gates of `region.touched()` plus their transitive
+    /// fanout, in topological order — the set every cached analysis must
+    /// re-derive after the journaled edits. Allocates its own scratch;
+    /// hot paths issuing many cone queries should hold a [`ConeScratch`]
+    /// and call [`ConeScratch::cone_topo`] directly.
+    #[must_use]
+    pub fn dirty_cone(&self, region: &DirtyRegion) -> Vec<GateId> {
+        let mut out = Vec::new();
+        ConeScratch::new().cone_topo(self, region.touched().iter().copied(), &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+    use std::sync::Arc;
+
+    fn diamond() -> (Netlist, Vec<GateId>) {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let or2 = lib.find_by_name("or2").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_cell("g1", and2, &[a, b]);
+        let g2 = nl.add_cell("g2", or2, &[a, g1]);
+        let g3 = nl.add_cell("g3", and2, &[g1, b]);
+        let g4 = nl.add_cell("g4", or2, &[g2, g3]);
+        nl.add_output("f", g4);
+        (nl, vec![a, b, g1, g2, g3, g4])
+    }
+
+    #[test]
+    fn construction_journals_every_gate() {
+        let (mut nl, ids) = diamond();
+        assert!(nl.has_pending_edits());
+        let region = nl.drain_dirty();
+        assert!(!nl.has_pending_edits());
+        for &id in &ids {
+            assert!(region.touched().contains(&id), "{id} missing");
+        }
+        assert!(region.removed().is_empty());
+        assert_eq!(region.generation(), nl.generation());
+        // A drained journal yields an empty region.
+        assert!(nl.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn generation_bumps_on_every_edit() {
+        let (mut nl, ids) = diamond();
+        let g0 = nl.generation();
+        nl.replace_fanin(ids[3], 1, ids[0]); // g2 pin1: g1 -> a
+        assert_eq!(nl.generation(), g0 + 1);
+        // No-op rewire (same driver) does not bump.
+        nl.replace_fanin(ids[3], 1, ids[0]);
+        assert_eq!(nl.generation(), g0 + 1);
+    }
+
+    #[test]
+    fn replace_fanin_touches_sink_and_both_drivers() {
+        let (mut nl, ids) = diamond();
+        let (a, g1, g2) = (ids[0], ids[2], ids[3]);
+        nl.drain_dirty();
+        nl.replace_fanin(g2, 1, a);
+        let region = nl.drain_dirty();
+        assert_eq!(region.touched(), &[a, g1, g2]);
+    }
+
+    #[test]
+    fn sweep_records_removed_and_touches_sources() {
+        let (mut nl, ids) = diamond();
+        let (a, b, g1, g2, g3) = (ids[0], ids[1], ids[2], ids[3], ids[4]);
+        nl.replace_fanin(g2, 1, a);
+        nl.replace_fanin(g3, 0, b);
+        nl.drain_dirty();
+        let removed = nl.sweep_from(g1);
+        assert_eq!(removed, vec![g1]);
+        let region = nl.drain_dirty();
+        assert_eq!(region.removed(), &[g1]);
+        // The dead gate's sources lost load and must be marked touched.
+        assert!(region.touched().contains(&a));
+        assert!(region.touched().contains(&b));
+    }
+
+    #[test]
+    fn dirty_cone_is_touched_plus_tfo_in_topo_order() {
+        let (mut nl, ids) = diamond();
+        let (g1, g2, g3, g4) = (ids[2], ids[3], ids[4], ids[5]);
+        nl.drain_dirty();
+        nl.replace_fanin(g2, 1, ids[0]);
+        let region = nl.drain_dirty();
+        let cone = nl.dirty_cone(&region);
+        // g1 touched (lost load) -> cone contains g1, g2, g3, g4, PO.
+        for g in [g1, g2, g3, g4] {
+            assert!(cone.contains(&g), "{g} missing from cone");
+        }
+        let pos = |g: GateId| cone.iter().position(|&x| x == g).unwrap();
+        // Remaining in-cone edges: g1->g3 (g2 now reads `a` twice),
+        // g2->g4, g3->g4.
+        assert!(pos(g1) < pos(g3));
+        assert!(pos(g2) < pos(g4));
+        assert!(pos(g3) < pos(g4));
+    }
+
+    #[test]
+    fn dirty_cone_skips_dead_touched_gates() {
+        let (mut nl, ids) = diamond();
+        let (a, b, g2, g3) = (ids[0], ids[1], ids[3], ids[4]);
+        nl.drain_dirty();
+        nl.replace_fanin(g2, 1, a);
+        nl.replace_fanin(g3, 0, b);
+        nl.sweep_from(ids[2]);
+        let region = nl.drain_dirty();
+        let cone = nl.dirty_cone(&region);
+        assert!(!cone.contains(&ids[2]), "dead gate in cone");
+    }
+
+    #[test]
+    fn cone_scratch_is_reusable_across_netlists() {
+        let (nl, ids) = diamond();
+        let mut scratch = ConeScratch::new();
+        let mut out = Vec::new();
+        scratch.cone_topo(&nl, [ids[2]], &mut out);
+        let first = out.len();
+        assert!(first >= 4); // g1 + g2 + g3 + g4 + PO
+        out.clear();
+        scratch.cone_topo(&nl, [ids[5]], &mut out);
+        assert_eq!(out.len(), 2); // g4 + PO
+    }
+}

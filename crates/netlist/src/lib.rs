@@ -40,11 +40,13 @@
 mod analysis;
 pub mod bench_fmt;
 pub mod blif;
-mod stats;
-pub mod verilog;
+mod dirty;
 mod netlist;
 #[cfg(test)]
 mod proptests;
+mod stats;
+pub mod verilog;
 
+pub use dirty::{ConeScratch, DirtyRegion};
 pub use netlist::{Conn, GateId, GateKind, Netlist, NetlistError};
 pub use stats::NetlistStats;

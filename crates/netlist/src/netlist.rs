@@ -1,5 +1,6 @@
 //! The netlist data structure and its editing operations.
 
+use crate::dirty::EditJournal;
 use powder_library::{CellId, Library};
 use std::collections::HashMap;
 use std::fmt;
@@ -72,6 +73,7 @@ pub struct Netlist {
     outputs: Vec<GateId>,
     names: HashMap<String, GateId>,
     live: usize,
+    pub(crate) journal: EditJournal,
 }
 
 impl fmt::Debug for Netlist {
@@ -99,6 +101,7 @@ impl Netlist {
             outputs: Vec::new(),
             names: HashMap::new(),
             live: 0,
+            journal: EditJournal::default(),
         }
     }
 
@@ -130,12 +133,16 @@ impl Netlist {
             alive: true,
         });
         self.live += 1;
+        self.journal.generation += 1;
+        self.journal.touch(id);
         for (pin, &src) in fanins.iter().enumerate() {
             assert!(self.gates[src.0 as usize].alive, "fanin {src} is dead");
             self.gates[src.0 as usize].fanouts.push(Conn {
                 gate: id,
                 pin: pin as u32,
             });
+            // The source gained a fanout branch: its load changed.
+            self.journal.touch(src);
         }
         id
     }
@@ -193,9 +200,7 @@ impl Netlist {
     /// Whether `id` refers to a live (not removed) gate.
     #[must_use]
     pub fn is_live(&self, id: GateId) -> bool {
-        self.gates
-            .get(id.0 as usize)
-            .is_some_and(|gate| gate.alive)
+        self.gates.get(id.0 as usize).is_some_and(|gate| gate.alive)
     }
 
     /// Number of live gates (including input/output/const pseudo-gates).
@@ -337,6 +342,10 @@ impl Netlist {
         // attach to the new driver
         self.gates[new_src.0 as usize].fanouts.push(conn);
         self.gates[sink.0 as usize].fanins[pin as usize] = new_src;
+        self.journal.generation += 1;
+        self.journal.touch(old);
+        self.journal.touch(new_src);
+        self.journal.touch(sink);
         old
     }
 
@@ -350,8 +359,12 @@ impl Netlist {
         assert_ne!(a, b, "cannot substitute a signal by itself");
         assert!(self.gate(b).alive);
         let moved = std::mem::take(&mut self.gates[a.0 as usize].fanouts);
+        self.journal.generation += 1;
+        self.journal.touch(a);
+        self.journal.touch(b);
         for conn in &moved {
             self.gates[conn.gate.0 as usize].fanins[conn.pin as usize] = b;
+            self.journal.touch(conn.gate);
         }
         self.gates[b.0 as usize].fanouts.extend(moved);
     }
@@ -423,13 +436,19 @@ impl Netlist {
                 if let Some(idx) = fo.iter().position(|c| *c == conn) {
                     fo.swap_remove(idx);
                 }
+                // The source lost a fanout branch: its load changed.
+                self.journal.touch(src);
                 stack.push(src);
             }
             let gate = &mut self.gates[id.0 as usize];
             gate.alive = false;
             gate.fanins.clear();
             self.live -= 1;
+            self.journal.removed.push(id);
             removed.push(id);
+        }
+        if !removed.is_empty() {
+            self.journal.generation += 1;
         }
         removed
     }
@@ -459,12 +478,9 @@ impl Netlist {
                     }
                 }
                 GateKind::Cell(c) => {
-                    let cell = self
-                        .library
-                        .cell(c)
-                        .ok_or(NetlistError {
-                            message: format!("{id} references invalid cell {c}"),
-                        })?;
+                    let cell = self.library.cell(c).ok_or(NetlistError {
+                        message: format!("{id} references invalid cell {c}"),
+                    })?;
                     if cell.inputs() != g.fanins.len() {
                         return fail(format!(
                             "{id} ({}) has {} fanins, cell wants {}",

@@ -48,7 +48,8 @@
 
 pub mod glitch;
 
-use powder_netlist::{GateId, GateKind, Netlist};
+use powder_netlist::{ConeScratch, GateId, GateKind, Netlist};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Configuration of the power model.
@@ -100,15 +101,37 @@ pub struct WhatIfEdit {
     pub source: WhatIfSource,
 }
 
+/// Reusable buffers for [`PowerEstimator::whatif_foreach`], making the
+/// per-candidate what-if query allocation-free in the steady state.
+/// Overlay probabilities are tracked with a stamp array so no per-query
+/// clearing is needed.
+#[derive(Clone, Debug, Default)]
+struct WhatIfScratch {
+    cone: ConeScratch,
+    region: Vec<GateId>,
+    overlay: Vec<f64>,
+    stamp: Vec<u32>,
+    round: u32,
+    fanin_probs: Vec<f64>,
+}
+
 /// Signal-probability and switched-capacitance estimator.
 ///
-/// Probabilities are stored per raw gate id and kept consistent with the
-/// netlist through [`PowerEstimator::update_cone`] after each committed
-/// edit.
+/// Probabilities and per-stem switched-capacitance contributions are
+/// stored per raw gate id and kept consistent with the netlist through
+/// [`PowerEstimator::update_cone`] / [`PowerEstimator::retire_gates`]
+/// after each committed edit; the circuit total is maintained as a
+/// running sum readable in O(1) via [`PowerEstimator::total_power`].
 #[derive(Clone, Debug)]
 pub struct PowerEstimator {
     config: PowerConfig,
     probs: Vec<f64>,
+    /// Cached per-gate `C(i)·E(i)` as last folded into `total`; zero for
+    /// primary outputs and dead gates.
+    contrib: Vec<f64>,
+    /// Running `Σ C(i)·E(i)` over live non-output gates.
+    total: f64,
+    scratch: RefCell<WhatIfScratch>,
 }
 
 impl PowerEstimator {
@@ -119,6 +142,9 @@ impl PowerEstimator {
         let mut est = PowerEstimator {
             config: config.clone(),
             probs: vec![0.0; nl.id_bound()],
+            contrib: vec![0.0; nl.id_bound()],
+            total: 0.0,
+            scratch: RefCell::new(WhatIfScratch::default()),
         };
         for (i, &pi) in nl.inputs().iter().enumerate() {
             est.probs[pi.0 as usize] = config.input_prob(i);
@@ -154,7 +180,9 @@ impl PowerEstimator {
     }
 
     /// The circuit's total switched capacitance `Σ_i C(i)·E(i)` — the
-    /// "power" the paper reports and POWDER minimises.
+    /// "power" the paper reports and POWDER minimises — recomputed from
+    /// scratch by scanning every live gate. Serves as the reference for
+    /// the running total kept by [`PowerEstimator::total_power`].
     #[must_use]
     pub fn circuit_power(&self, nl: &Netlist) -> f64 {
         nl.iter_live()
@@ -163,20 +191,36 @@ impl PowerEstimator {
             .sum()
     }
 
-    /// Recomputes the probabilities of `cone` (must be topologically
-    /// ordered) from the current netlist state — the incremental
-    /// `power_estimate_update` of Fig. 5. Newly added gates (ids beyond the
-    /// estimator's previous bound) are accommodated automatically.
+    /// The running `Σ C(i)·E(i)` total, maintained incrementally by
+    /// [`PowerEstimator::update_cone`] and
+    /// [`PowerEstimator::retire_gates`]. O(1); agrees with
+    /// [`PowerEstimator::circuit_power`] up to floating-point
+    /// accumulation order.
+    #[must_use]
+    pub fn total_power(&self) -> f64 {
+        self.total
+    }
+
+    /// Recomputes the probabilities *and* switched-capacitance
+    /// contributions of `cone` (must be topologically ordered) from the
+    /// current netlist state, adjusting the running total — the
+    /// incremental `power_estimate_update` of Fig. 5. The cone must
+    /// include every gate whose load changed (drivers that gained or
+    /// lost fanout branches), which [`Netlist::dirty_cone`] guarantees.
+    /// Newly added gates (ids beyond the estimator's previous bound) are
+    /// accommodated automatically.
     pub fn update_cone(&mut self, nl: &Netlist, cone: &[GateId]) {
         if self.probs.len() < nl.id_bound() {
             self.probs.resize(nl.id_bound(), 0.5);
+            self.contrib.resize(nl.id_bound(), 0.0);
         }
         for &id in cone {
+            let i = id.0 as usize;
             match nl.kind(id) {
                 GateKind::Input => {}
-                GateKind::Const(v) => self.probs[id.0 as usize] = f64::from(u8::from(v)),
+                GateKind::Const(v) => self.probs[i] = f64::from(u8::from(v)),
                 GateKind::Output => {
-                    self.probs[id.0 as usize] = self.probs[nl.fanins(id)[0].0 as usize];
+                    self.probs[i] = self.probs[nl.fanins(id)[0].0 as usize];
                 }
                 GateKind::Cell(c) => {
                     let cell = nl.library().cell_ref(c);
@@ -185,9 +229,105 @@ impl PowerEstimator {
                         .iter()
                         .map(|f| self.probs[f.0 as usize])
                         .collect();
-                    self.probs[id.0 as usize] = cell_output_prob(&cell.function, &fanin_probs);
+                    self.probs[i] = cell_output_prob(&cell.function, &fanin_probs);
                 }
             }
+            let c_new = if matches!(nl.kind(id), GateKind::Output) {
+                0.0
+            } else {
+                self.switched_cap(nl, id)
+            };
+            self.total += c_new - self.contrib[i];
+            self.contrib[i] = c_new;
+        }
+    }
+
+    /// Drops the contributions of removed gates from the running total.
+    /// Call with [`powder_netlist::DirtyRegion::removed`] after a sweep.
+    pub fn retire_gates(&mut self, removed: &[GateId]) {
+        for &id in removed {
+            if let Some(slot) = self.contrib.get_mut(id.0 as usize) {
+                self.total -= *slot;
+                *slot = 0.0;
+            }
+        }
+    }
+
+    /// Visits every gate whose probability would change if the given
+    /// pins were rewired — the edit sinks plus their joint transitive
+    /// fanout, in topological order — calling `visit(gate, new_prob)`
+    /// for each, without modifying the netlist.
+    ///
+    /// This is the per-candidate hot path behind the paper's `PG_C`
+    /// term: all bookkeeping lives in reusable scratch buffers held by
+    /// the estimator, so repeated queries perform no allocation in the
+    /// steady state and touch only the affected region (no global
+    /// topological sort).
+    pub fn whatif_foreach(
+        &self,
+        nl: &Netlist,
+        edits: &[WhatIfEdit],
+        mut visit: impl FnMut(GateId, f64),
+    ) {
+        if edits.is_empty() {
+            return;
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        let s = &mut *scratch;
+        let bound = nl.id_bound();
+        if s.overlay.len() < bound {
+            s.overlay.resize(bound, 0.0);
+            s.stamp.resize(bound, 0);
+        }
+        if s.round == u32::MAX {
+            s.stamp.iter_mut().for_each(|t| *t = 0);
+            s.round = 0;
+        }
+        s.round += 1;
+        let r = s.round;
+
+        s.region.clear();
+        s.cone
+            .cone_topo(nl, edits.iter().map(|e| e.sink), &mut s.region);
+
+        for &g in &s.region {
+            // Hypothetical probability of a fanin: the overlay value if
+            // this query already recomputed it, the committed one
+            // otherwise.
+            let lookup = |src: GateId, stamp: &[u32], overlay: &[f64]| {
+                let i = src.0 as usize;
+                if stamp[i] == r {
+                    overlay[i]
+                } else {
+                    self.probs[i]
+                }
+            };
+            let p = match nl.kind(g) {
+                GateKind::Input | GateKind::Const(_) => self.probs[g.0 as usize],
+                GateKind::Output => {
+                    let src = nl.fanins(g)[0];
+                    lookup(src, &s.stamp, &s.overlay)
+                }
+                GateKind::Cell(c) => {
+                    let cell = nl.library().cell_ref(c);
+                    s.fanin_probs.clear();
+                    for (pin, &f) in nl.fanins(g).iter().enumerate() {
+                        let edit = edits.iter().find(|e| e.sink == g && e.pin == pin as u32);
+                        let p = match edit {
+                            Some(e) => match e.source {
+                                WhatIfSource::Gate(src) => lookup(src, &s.stamp, &s.overlay),
+                                WhatIfSource::Prob(p) => p,
+                            },
+                            None => lookup(f, &s.stamp, &s.overlay),
+                        };
+                        s.fanin_probs.push(p);
+                    }
+                    cell_output_prob(&cell.function, &s.fanin_probs)
+                }
+            };
+            s.overlay[g.0 as usize] = p;
+            s.stamp[g.0 as usize] = r;
+            visit(g, p);
         }
     }
 
@@ -195,79 +335,15 @@ impl PowerEstimator {
     /// take if the given pins were rewired — without modifying the netlist.
     ///
     /// Returns the changed gates and their hypothetical probabilities
-    /// (gates whose probability is unchanged may be omitted).
+    /// (gates whose probability is unchanged may be omitted). Convenience
+    /// wrapper over [`PowerEstimator::whatif_foreach`]; hot paths should
+    /// use the latter to avoid the map allocation.
     #[must_use]
-    pub fn whatif_probabilities(
-        &self,
-        nl: &Netlist,
-        edits: &[WhatIfEdit],
-    ) -> HashMap<GateId, f64> {
+    pub fn whatif_probabilities(&self, nl: &Netlist, edits: &[WhatIfEdit]) -> HashMap<GateId, f64> {
         let mut changed: HashMap<GateId, f64> = HashMap::new();
-        if edits.is_empty() {
-            return changed;
-        }
-        // Region to re-evaluate: the edit sinks plus their joint TFO, in
-        // topological order.
-        let topo = nl.topo_order();
-        let mut pos = vec![u32::MAX; nl.id_bound()];
-        for (i, &g) in topo.iter().enumerate() {
-            pos[g.0 as usize] = i as u32;
-        }
-        let mut region: Vec<GateId> = Vec::new();
-        let mut seen = vec![false; nl.id_bound()];
-        for e in edits {
-            if !seen[e.sink.0 as usize] {
-                seen[e.sink.0 as usize] = true;
-                region.push(e.sink);
-            }
-            for g in nl.tfo(e.sink) {
-                if !seen[g.0 as usize] {
-                    seen[g.0 as usize] = true;
-                    region.push(g);
-                }
-            }
-        }
-        region.sort_by_key(|g| pos[g.0 as usize]);
-
-        let edit_for = |sink: GateId, pin: u32| -> Option<&WhatIfEdit> {
-            edits.iter().find(|e| e.sink == sink && e.pin == pin)
-        };
-        for &g in &region {
-            match nl.kind(g) {
-                GateKind::Input | GateKind::Const(_) => {}
-                GateKind::Output => {
-                    let src = nl.fanins(g)[0];
-                    let p = changed
-                        .get(&src)
-                        .copied()
-                        .unwrap_or_else(|| self.probability(src));
-                    changed.insert(g, p);
-                }
-                GateKind::Cell(c) => {
-                    let cell = nl.library().cell_ref(c);
-                    let fanin_probs: Vec<f64> = nl
-                        .fanins(g)
-                        .iter()
-                        .enumerate()
-                        .map(|(pin, f)| match edit_for(g, pin as u32) {
-                            Some(e) => match e.source {
-                                WhatIfSource::Gate(src) => changed
-                                    .get(&src)
-                                    .copied()
-                                    .unwrap_or_else(|| self.probability(src)),
-                                WhatIfSource::Prob(p) => p,
-                            },
-                            None => changed
-                                .get(f)
-                                .copied()
-                                .unwrap_or_else(|| self.probability(*f)),
-                        })
-                        .collect();
-                    let p = cell_output_prob(&cell.function, &fanin_probs);
-                    changed.insert(g, p);
-                }
-            }
-        }
+        self.whatif_foreach(nl, edits, |g, p| {
+            changed.insert(g, p);
+        });
         changed
     }
 }
@@ -407,6 +483,56 @@ mod tests {
         for id in nl.iter_live() {
             assert!((est.probability(id) - fresh.probability(id)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn running_total_matches_scan() {
+        let (nl, _ids) = fig2_circuit_a();
+        let est = PowerEstimator::new(&nl, &PowerConfig::default());
+        assert!((est.total_power() - est.circuit_power(&nl)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_total_tracks_edits_and_retirement() {
+        let (mut nl, ids) = fig2_circuit_a();
+        let mut est = PowerEstimator::new(&nl, &PowerConfig::default());
+        nl.drain_dirty();
+        // Rewire f's pin0 from d to a; d becomes dangling and is swept.
+        nl.replace_fanin(ids[4], 0, ids[0]);
+        nl.sweep_from(ids[3]);
+        let region = nl.drain_dirty();
+        est.retire_gates(region.removed());
+        let cone = nl.dirty_cone(&region);
+        est.update_cone(&nl, &cone);
+        assert!(
+            (est.total_power() - est.circuit_power(&nl)).abs() < 1e-12,
+            "running {} vs scan {}",
+            est.total_power(),
+            est.circuit_power(&nl)
+        );
+        let fresh = PowerEstimator::new(&nl, &PowerConfig::default());
+        for id in nl.iter_live() {
+            assert!((est.probability(id) - fresh.probability(id)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn whatif_foreach_is_repeatable() {
+        let (nl, ids) = fig2_circuit_a();
+        let est = PowerEstimator::new(&nl, &PowerConfig::default());
+        let edits = [WhatIfEdit {
+            sink: ids[4],
+            pin: 0,
+            source: WhatIfSource::Gate(ids[0]),
+        }];
+        let mut first = Vec::new();
+        est.whatif_foreach(&nl, &edits, |g, p| first.push((g, p)));
+        // A second query reuses the scratch and must see no residue.
+        let mut second = Vec::new();
+        est.whatif_foreach(&nl, &edits, |g, p| second.push((g, p)));
+        assert_eq!(first, second);
+        assert!(first.iter().any(|&(g, _)| g == ids[4]));
+        assert!(first.iter().any(|&(g, _)| g == ids[5]));
     }
 
     #[test]

@@ -91,10 +91,7 @@ fn propagate_difference(
     // modified[g] = packed values under the forced difference, only for
     // gates whose value actually changed.
     let mut modified: HashMap<GateId, Vec<u64>> = HashMap::new();
-    let changed_any = forced
-        .iter()
-        .zip(values.get(source))
-        .any(|(f, o)| f != o);
+    let changed_any = forced.iter().zip(values.get(source)).any(|(f, o)| f != o);
     if !changed_any {
         return obs;
     }

@@ -23,7 +23,11 @@ impl Patterns {
         let bits = (0..inputs)
             .map(|_| (0..words).map(|_| rng.gen()).collect())
             .collect();
-        Patterns { words, bits, tail_used: 0 }
+        Patterns {
+            words,
+            bits,
+            tail_used: 0,
+        }
     }
 
     /// Random patterns where input `i` is 1 with probability `probs[i]`.
@@ -49,7 +53,11 @@ impl Patterns {
                     .collect()
             })
             .collect();
-        Patterns { words, bits, tail_used: 0 }
+        Patterns {
+            words,
+            bits,
+            tail_used: 0,
+        }
     }
 
     /// All `2^inputs` exhaustive patterns (padded to whole words by
@@ -73,7 +81,11 @@ impl Patterns {
                 }
             }
         }
-        Patterns { words, bits, tail_used: 0 }
+        Patterns {
+            words,
+            bits,
+            tail_used: 0,
+        }
     }
 
     /// Builds patterns from explicit per-input words (testing hook).
@@ -85,7 +97,11 @@ impl Patterns {
     pub fn from_words(bits: Vec<Vec<u64>>) -> Self {
         let words = bits.first().map_or(0, Vec::len);
         assert!(bits.iter().all(|b| b.len() == words), "ragged pattern rows");
-        Patterns { words, bits, tail_used: 0 }
+        Patterns {
+            words,
+            bits,
+            tail_used: 0,
+        }
     }
 
     /// Number of 64-pattern words.
@@ -159,7 +175,10 @@ mod tests {
     fn biased_probability_converges() {
         let p = Patterns::random_biased(&[0.1, 0.9], 64, 42);
         let frac = |i: usize| {
-            p.input_bits(i).iter().map(|w| w.count_ones() as f64).sum::<f64>()
+            p.input_bits(i)
+                .iter()
+                .map(|w| w.count_ones() as f64)
+                .sum::<f64>()
                 / p.count() as f64
         };
         assert!((frac(0) - 0.1).abs() < 0.03, "{}", frac(0));

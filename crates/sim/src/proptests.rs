@@ -11,7 +11,9 @@ use std::sync::Arc;
 
 fn build(inputs: usize, ops: &[(u8, u8, u8)]) -> Netlist {
     let lib = Arc::new(lib2());
-    let names = ["and2", "or2", "nand2", "nor2", "xor2", "xnor2", "inv1", "aoi21"];
+    let names = [
+        "and2", "or2", "nand2", "nor2", "xor2", "xnor2", "inv1", "aoi21",
+    ];
     let cells: Vec<_> = names
         .iter()
         .map(|n| lib.find_by_name(n).expect("cell"))

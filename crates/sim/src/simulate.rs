@@ -31,6 +31,21 @@ impl SimValues {
         &mut self.data[s..s + self.words]
     }
 
+    /// Number of gate ids the store currently covers.
+    #[must_use]
+    pub fn id_bound(&self) -> usize {
+        self.data.len().checked_div(self.words).unwrap_or(0)
+    }
+
+    /// Extends the store to cover ids up to `id_bound` (exclusive),
+    /// zero-filling the signatures of newly covered ids. Lets a value
+    /// buffer be retained across netlist edits that allocate new gates.
+    pub fn grow(&mut self, id_bound: usize) {
+        if id_bound * self.words > self.data.len() {
+            self.data.resize(id_bound * self.words, 0);
+        }
+    }
+
     /// True if two signals have identical signatures.
     #[must_use]
     pub fn identical(&self, a: GateId, b: GateId) -> bool {
@@ -91,12 +106,8 @@ pub fn simulate(nl: &Netlist, covers: &CellCovers, patterns: &Patterns) -> SimVa
 /// Re-simulates only the gates in `cone` (which must be in topological
 /// order), updating `values` in place. Used after a netlist edit to refresh
 /// the transitive fanout of the substituted signal.
-pub fn resimulate_cone(
-    nl: &Netlist,
-    covers: &CellCovers,
-    values: &mut SimValues,
-    cone: &[GateId],
-) {
+pub fn resimulate_cone(nl: &Netlist, covers: &CellCovers, values: &mut SimValues, cone: &[GateId]) {
+    values.grow(nl.id_bound());
     let words = values.words();
     let mut fanin_words: Vec<u64> = Vec::with_capacity(8);
     for &id in cone {
@@ -129,7 +140,12 @@ pub fn ones_fraction(nl: &Netlist, values: &SimValues) -> Vec<f64> {
         .map(|raw| {
             let id = GateId(raw as u32);
             if nl.is_live(id) {
-                values.get(id).iter().map(|w| f64::from(w.count_ones())).sum::<f64>() / total
+                values
+                    .get(id)
+                    .iter()
+                    .map(|w| f64::from(w.count_ones()))
+                    .sum::<f64>()
+                    / total
             } else {
                 0.0
             }
@@ -199,6 +215,28 @@ mod tests {
             let (a, b) = (m & 1 != 0, m & 2 != 0);
             assert_eq!(bit(ids[4]), a && b);
             assert_eq!(bit(ids[5]), a && b);
+        }
+    }
+
+    #[test]
+    fn resimulate_cone_grows_over_new_gates() {
+        let (mut nl, ids) = xor_and_netlist();
+        let covers = CellCovers::new(nl.library());
+        let p = Patterns::exhaustive(3);
+        let mut v = simulate(&nl, &covers, &p);
+        // Add a new gate (id beyond the original bound) and rewire the
+        // PO through it; the retained buffer must grow transparently.
+        let lib = nl.library().clone();
+        let inv = lib.find_by_name("inv1").unwrap();
+        let g = nl.add_cell("late", inv, &[ids[4]]);
+        nl.replace_fanin(ids[5], 0, g);
+        assert!(g.0 as usize >= v.id_bound());
+        resimulate_cone(&nl, &covers, &mut v, &[g, ids[5]]);
+        for m in 0..8usize {
+            let bit = |id: GateId| (v.get(id)[m / 64] >> (m % 64)) & 1 == 1;
+            let (a, b, c) = (m & 1 != 0, m & 2 != 0, m & 4 != 0);
+            assert_eq!(bit(g), !((a ^ c) && b));
+            assert_eq!(bit(ids[5]), !((a ^ c) && b));
         }
     }
 

@@ -8,6 +8,7 @@
 use powder_library::{CellId, Library};
 use powder_netlist::{GateId, Netlist};
 use std::collections::HashMap;
+use std::ops::Not;
 use std::sync::Arc;
 
 /// A signal handle inside a [`SubjectBuilder`]: a gate plus polarity.
@@ -20,10 +21,11 @@ pub struct SubjectRef {
     inverted: bool,
 }
 
-impl SubjectRef {
+impl std::ops::Not for SubjectRef {
+    type Output = Self;
+
     /// The complemented signal.
-    #[must_use]
-    pub fn not(self) -> Self {
+    fn not(self) -> Self {
         SubjectRef {
             gate: self.gate,
             inverted: !self.inverted,
@@ -223,7 +225,11 @@ impl SubjectBuilder {
                 // that ordering meaningful.
                 let mut acc = refs[0];
                 for &r in &refs[1..] {
-                    acc = if is_and { self.and(acc, r) } else { self.or(acc, r) };
+                    acc = if is_and {
+                        self.and(acc, r)
+                    } else {
+                        self.or(acc, r)
+                    };
                 }
                 acc
             }
@@ -255,7 +261,11 @@ mod tests {
     use powder_library::lib2;
     use powder_sim::{simulate, CellCovers, Patterns};
 
-    fn check_output(build: impl FnOnce(&mut SubjectBuilder) -> SubjectRef, f: impl Fn(u64) -> bool, inputs: usize) {
+    fn check_output(
+        build: impl FnOnce(&mut SubjectBuilder) -> SubjectRef,
+        f: impl Fn(u64) -> bool,
+        inputs: usize,
+    ) {
         let lib = Arc::new(lib2());
         let mut b = SubjectBuilder::new("t", lib);
         let _ins: Vec<SubjectRef> = (0..inputs).map(|i| b.input(format!("x{i}"))).collect();

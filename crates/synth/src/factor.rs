@@ -9,6 +9,7 @@
 
 use crate::builder::{SubjectBuilder, SubjectRef};
 use powder_logic::{kernel, Cube, Sop};
+use std::ops::Not;
 
 /// Activity-ordering context: `activity[i]` is the transition probability
 /// of input variable `i` (defaults to uniform when unknown).

@@ -229,7 +229,14 @@ pub fn map_netlist(subject: &Netlist, mode: MapMode) -> Result<Netlist, MapError
 
     for &po in subject.outputs() {
         let driver = subject.fanins(po)[0];
-        let m = extract(driver, subject, &best_choice, &mut out, &mut mapped, &mut consts);
+        let m = extract(
+            driver,
+            subject,
+            &best_choice,
+            &mut out,
+            &mut mapped,
+            &mut consts,
+        );
         out.add_output(subject.gate_name(po), m);
     }
     debug_assert!(out.validate().is_ok());
@@ -243,7 +250,12 @@ fn cut_function(nl: &Netlist, root: GateId, cut: &[GateId]) -> TruthTable {
     for (i, &l) in cut.iter().enumerate() {
         memo.insert(l, TruthTable::var(i, k));
     }
-    fn rec(nl: &Netlist, g: GateId, k: usize, memo: &mut HashMap<GateId, TruthTable>) -> TruthTable {
+    fn rec(
+        nl: &Netlist,
+        g: GateId,
+        k: usize,
+        memo: &mut HashMap<GateId, TruthTable>,
+    ) -> TruthTable {
         if let Some(t) = memo.get(&g) {
             return t.clone();
         }
@@ -260,11 +272,8 @@ fn cut_function(nl: &Netlist, root: GateId, cut: &[GateId]) -> TruthTable {
             }
             GateKind::Output => rec(nl, nl.fanins(g)[0], k, memo),
             GateKind::Cell(c) => {
-                let subs: Vec<TruthTable> = nl
-                    .fanins(g)
-                    .iter()
-                    .map(|&f| rec(nl, f, k, memo))
-                    .collect();
+                let subs: Vec<TruthTable> =
+                    nl.fanins(g).iter().map(|&f| rec(nl, f, k, memo)).collect();
                 nl.library().cell_ref(c).function.compose(&subs)
             }
         };
@@ -280,6 +289,7 @@ mod tests {
     use crate::builder::{SubjectBuilder, SubjectRef};
     use powder_library::lib2;
     use powder_sim::{simulate, CellCovers, Patterns};
+    use std::ops::Not;
     use std::sync::Arc;
 
     fn po_sigs(nl: &Netlist) -> Vec<Vec<u64>> {
@@ -330,7 +340,10 @@ mod tests {
             let mapped = map_netlist(&subject, mode).unwrap();
             mapped.validate().unwrap();
             assert_eq!(po_sigs(&mapped), po_sigs(&subject), "{mode:?}");
-            assert!(mapped.area() <= subject.area(), "{mode:?} should not inflate");
+            assert!(
+                mapped.area() <= subject.area(),
+                "{mode:?} should not inflate"
+            );
         }
     }
 

@@ -36,7 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use powder_netlist::{GateId, GateKind, Netlist};
+use powder_netlist::{DirtyRegion, GateId, GateKind, Netlist};
 
 /// Configuration of the timing model.
 #[derive(Clone, Debug)]
@@ -85,6 +85,12 @@ pub struct TimingAnalysis {
     drive_res: Vec<f64>,
     circuit_delay: f64,
     required_time: f64,
+    output_load: f64,
+    /// Whether the required time was fixed by the caller (`Some` in the
+    /// config). Only a fixed required time survives incremental updates:
+    /// a floating one tracks the circuit delay and would rescale every
+    /// required time on each edit.
+    fixed_required: bool,
 }
 
 impl TimingAnalysis {
@@ -156,7 +162,146 @@ impl TimingAnalysis {
             drive_res,
             circuit_delay,
             required_time,
+            output_load: config.output_load,
+            fixed_required: config.required_time.is_some(),
         }
+    }
+
+    /// The configuration this analysis was built with.
+    #[must_use]
+    pub fn config(&self) -> TimingConfig {
+        TimingConfig {
+            output_load: self.output_load,
+            required_time: self.fixed_required.then_some(self.required_time),
+        }
+    }
+
+    /// Incrementally refreshes the analysis after the journaled edits in
+    /// `region`: arrivals (and gate delays) are recomputed over the
+    /// dirty cone — the touched gates plus their transitive fanout —
+    /// and required times over the cone plus its transitive fanin,
+    /// reusing the stored values at the unaffected frontier. Runs in
+    /// time proportional to the affected region, not the netlist.
+    ///
+    /// Only valid when the required time is fixed
+    /// (`TimingConfig::required_time` was `Some`); with a floating
+    /// required time every slack depends on the global circuit delay, so
+    /// this falls back to a full rebuild.
+    pub fn update(&mut self, nl: &Netlist, region: &DirtyRegion) {
+        if !self.fixed_required {
+            *self = Self::new(nl, &self.config());
+            return;
+        }
+        let bound = nl.id_bound();
+        if self.arrivals.len() < bound {
+            self.arrivals.resize(bound, 0.0);
+            self.requireds.resize(bound, f64::INFINITY);
+            self.gate_delay.resize(bound, 0.0);
+            self.drive_res.resize(bound, 0.0);
+        }
+        for &id in region.removed() {
+            let i = id.0 as usize;
+            self.arrivals[i] = 0.0;
+            self.requireds[i] = f64::INFINITY;
+            self.gate_delay[i] = 0.0;
+            self.drive_res[i] = 0.0;
+        }
+
+        // Forward: arrivals over the dirty cone, in topological order.
+        // Fanins outside the cone have valid stored arrivals.
+        let cone = nl.dirty_cone(region);
+        for &id in &cone {
+            match nl.kind(id) {
+                GateKind::Input | GateKind::Const(_) => {
+                    self.arrivals[id.0 as usize] = 0.0;
+                }
+                GateKind::Output => {
+                    self.arrivals[id.0 as usize] = self.arrivals[nl.fanins(id)[0].0 as usize];
+                }
+                GateKind::Cell(c) => {
+                    let cell = nl.library().cell_ref(c);
+                    let load = nl.load_cap(id, self.output_load);
+                    let d = cell.delay(load);
+                    self.gate_delay[id.0 as usize] = d;
+                    self.drive_res[id.0 as usize] = cell.drive_res;
+                    let arr_in = nl
+                        .fanins(id)
+                        .iter()
+                        .map(|f| self.arrivals[f.0 as usize])
+                        .fold(0.0, f64::max);
+                    self.arrivals[id.0 as usize] = arr_in + d;
+                }
+            }
+        }
+        self.circuit_delay = nl
+            .outputs()
+            .iter()
+            .map(|o| self.arrivals[o.0 as usize])
+            .fold(0.0, f64::max);
+
+        // Backward: required times change only inside the cone and its
+        // transitive fanin. Collect that closure (it is closed under
+        // fanins), seed each member from its unaffected sinks, and
+        // propagate in reverse topological order via Kahn's algorithm on
+        // the member-internal fanout counts.
+        let mut in_region = vec![false; bound];
+        let mut members = cone;
+        for &id in &members {
+            in_region[id.0 as usize] = true;
+        }
+        let mut head = 0;
+        while head < members.len() {
+            let g = members[head];
+            head += 1;
+            for &f in nl.fanins(g) {
+                if !in_region[f.0 as usize] {
+                    in_region[f.0 as usize] = true;
+                    members.push(f);
+                }
+            }
+        }
+        let mut outdeg = vec![0u32; bound];
+        for &g in &members {
+            let i = g.0 as usize;
+            outdeg[i] = nl
+                .fanouts(g)
+                .iter()
+                .filter(|c| in_region[c.gate.0 as usize])
+                .count() as u32;
+            self.requireds[i] = if matches!(nl.kind(g), GateKind::Output) {
+                self.required_time
+            } else {
+                nl.fanouts(g)
+                    .iter()
+                    .filter(|c| !in_region[c.gate.0 as usize])
+                    .map(|c| {
+                        let s = c.gate.0 as usize;
+                        self.requireds[s] - self.gate_delay[s]
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            };
+        }
+        let mut stack: Vec<GateId> = members
+            .iter()
+            .copied()
+            .filter(|g| outdeg[g.0 as usize] == 0)
+            .collect();
+        let mut processed = 0usize;
+        while let Some(g) = stack.pop() {
+            processed += 1;
+            let r = self.requireds[g.0 as usize];
+            let d = self.gate_delay[g.0 as usize];
+            for &f in nl.fanins(g) {
+                let i = f.0 as usize;
+                let slot = &mut self.requireds[i];
+                *slot = slot.min(r - d);
+                outdeg[i] -= 1;
+                if outdeg[i] == 0 {
+                    stack.push(f);
+                }
+            }
+        }
+        debug_assert_eq!(processed, members.len(), "cycle in required-time region");
     }
 
     /// Arrival time at the output of `id`.
@@ -282,7 +427,11 @@ mod tests {
         let (nl, ids) = chain();
         let sta = TimingAnalysis::new(&nl, &TimingConfig::default());
         for id in [ids[0], ids[2], ids[3], ids[4]] {
-            assert!(sta.slack(id).abs() < 1e-9, "gate {id} slack {}", sta.slack(id));
+            assert!(
+                sta.slack(id).abs() < 1e-9,
+                "gate {id} slack {}",
+                sta.slack(id)
+            );
         }
         // b is off-critical: slack = required(b) − 0 = (4.25−1.85)
         assert!(sta.slack(ids[1]) > 1.0);
@@ -360,6 +509,82 @@ mod tests {
             c: None,
         });
         assert!(!bad);
+    }
+
+    fn assert_matches_full(nl: &Netlist, sta: &TimingAnalysis) {
+        let full = TimingAnalysis::new(nl, &sta.config());
+        assert!(
+            (sta.circuit_delay() - full.circuit_delay()).abs() < 1e-9,
+            "circuit delay {} vs {}",
+            sta.circuit_delay(),
+            full.circuit_delay()
+        );
+        for id in nl.iter_live() {
+            assert!(
+                (sta.arrival(id) - full.arrival(id)).abs() < 1e-9,
+                "arrival mismatch at {id}: {} vs {}",
+                sta.arrival(id),
+                full.arrival(id)
+            );
+            let (ri, rf) = (sta.required(id), full.required(id));
+            assert!(
+                (ri - rf).abs() < 1e-9 || (ri.is_infinite() && rf.is_infinite()),
+                "required mismatch at {id}: {ri} vs {rf}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_full_rebuild() {
+        let (mut nl, ids) = chain();
+        let cfg = TimingConfig {
+            output_load: 1.0,
+            required_time: Some(10.0),
+        };
+        let mut sta = TimingAnalysis::new(&nl, &cfg);
+        nl.drain_dirty();
+        // Rewire g3's first pin from g2 to g1, sweep the dangling g2.
+        nl.replace_fanin(ids[4], 0, ids[2]);
+        nl.sweep_from(ids[3]);
+        let region = nl.drain_dirty();
+        sta.update(&nl, &region);
+        assert_matches_full(&nl, &sta);
+    }
+
+    #[test]
+    fn incremental_update_covers_new_gates() {
+        let (mut nl, ids) = chain();
+        let cfg = TimingConfig {
+            output_load: 1.0,
+            required_time: Some(20.0),
+        };
+        let mut sta = TimingAnalysis::new(&nl, &cfg);
+        nl.drain_dirty();
+        // Insert a fresh inverter between g1 and g2 (new id past the
+        // original bound).
+        let lib = nl.library().clone();
+        let inv = lib.find_by_name("inv1").unwrap();
+        let g = nl.add_cell("late", inv, &[ids[2]]);
+        nl.replace_fanin(ids[3], 0, g);
+        let region = nl.drain_dirty();
+        sta.update(&nl, &region);
+        assert_matches_full(&nl, &sta);
+        assert!(sta.arrival(g) > sta.arrival(ids[2]));
+    }
+
+    #[test]
+    fn update_with_floating_required_falls_back_to_full() {
+        let (mut nl, ids) = chain();
+        let mut sta = TimingAnalysis::new(&nl, &TimingConfig::default());
+        nl.drain_dirty();
+        nl.replace_fanin(ids[4], 0, ids[2]);
+        nl.sweep_from(ids[3]);
+        let region = nl.drain_dirty();
+        sta.update(&nl, &region);
+        // Floating required time tracks the (now shorter) circuit delay.
+        let full = TimingAnalysis::new(&nl, &TimingConfig::default());
+        assert!((sta.required_time() - full.required_time()).abs() < 1e-9);
+        assert_matches_full(&nl, &sta);
     }
 
     #[test]

@@ -29,8 +29,12 @@ fn main() {
         let report = optimize(&mut nl, &OptimizeConfig::default());
         nl.validate().expect("optimized netlist is consistent");
         let stats = report.class_stats();
-        let count =
-            |c: SubClass| stats.iter().find(|(k, _)| *k == c).map_or(0, |(_, s)| s.count);
+        let count = |c: SubClass| {
+            stats
+                .iter()
+                .find(|(k, _)| *k == c)
+                .map_or(0, |(_, s)| s.count)
+        };
         println!(
             "{:<8} {:<12} {:>6} {:>9.3} {:>7.1} | {:>4} {:>4} {:>4} {:>4}",
             name,

@@ -14,24 +14,31 @@ use powder_timing::{TimingAnalysis, TimingConfig};
 use std::sync::Arc;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "rd84".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "rd84".to_string());
     let lib = Arc::new(lib2());
     let original = match powder_benchmarks::build(&name, lib) {
         Ok(nl) => nl,
         Err(e) => {
-            eprintln!("{e}; known circuits: {:?}", powder_benchmarks::table1_names());
+            eprintln!(
+                "{e}; known circuits: {:?}",
+                powder_benchmarks::table1_names()
+            );
             std::process::exit(1);
         }
     };
     let est = PowerEstimator::new(&original, &PowerConfig::default());
     let init_power = est.circuit_power(&original);
-    let init_delay =
-        TimingAnalysis::new(&original, &TimingConfig::default()).circuit_delay();
+    let init_delay = TimingAnalysis::new(&original, &TimingConfig::default()).circuit_delay();
     println!(
         "{name}: {} cells, power {init_power:.3}, delay {init_delay:.2}",
         original.cell_count()
     );
-    println!("{:>9} {:>12} {:>12} {:>6}", "allow %", "rel power", "rel delay", "subs");
+    println!(
+        "{:>9} {:>12} {:>12} {:>6}",
+        "allow %", "rel power", "rel delay", "subs"
+    );
 
     for allow in [0.0, 10.0, 20.0, 30.0, 50.0, 80.0, 100.0, 150.0, 200.0] {
         let mut work = original.clone();

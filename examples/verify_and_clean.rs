@@ -50,5 +50,8 @@ fn main() {
         EquivOutcome::Unknown => println!("formal check: inconclusive (budget)"),
     }
 
-    println!("\n// final netlist as structural Verilog\n{}", verilog::write_verilog(&nl));
+    println!(
+        "\n// final netlist as structural Verilog\n{}",
+        verilog::write_verilog(&nl)
+    );
 }

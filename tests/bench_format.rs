@@ -42,7 +42,10 @@ fn roundtrip_equivalent(nl: &Netlist) {
                 );
             }
         }
-        other => panic!("{}: round-trip not equivalent: {other:?}\n{text}", nl.name()),
+        other => panic!(
+            "{}: round-trip not equivalent: {other:?}\n{text}",
+            nl.name()
+        ),
     }
 }
 

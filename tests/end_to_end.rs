@@ -50,8 +50,7 @@ fn families_round_trip_through_powder() {
 fn delay_constraints_are_hard_limits() {
     let lib = Arc::new(lib2());
     let original = powder_benchmarks::build("rd84", lib).expect("rd84 builds");
-    let init_delay =
-        TimingAnalysis::new(&original, &TimingConfig::default()).circuit_delay();
+    let init_delay = TimingAnalysis::new(&original, &TimingConfig::default()).circuit_delay();
     let mut last_power = f64::INFINITY;
     for factor in [1.0, 1.3, 2.0] {
         let mut nl = original.clone();

@@ -29,9 +29,16 @@ fn full_pipeline_composes() {
 
     let red = remove_redundancies(&mut nl, 5_000);
     nl.validate().unwrap();
-    assert_eq!(po_sigs(&nl, &pats), reference, "redundancy pass broke function");
+    assert_eq!(
+        po_sigs(&nl, &pats),
+        reference,
+        "redundancy pass broke function"
+    );
     let p1 = PowerEstimator::new(&nl, &PowerConfig::default()).circuit_power(&nl);
-    assert!(p1 <= p0 + 1e-9, "redundancy removal must not increase power");
+    assert!(
+        p1 <= p0 + 1e-9,
+        "redundancy removal must not increase power"
+    );
 
     let cfg = OptimizeConfig {
         sim_words: 8,

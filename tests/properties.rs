@@ -18,14 +18,14 @@ use std::sync::Arc;
 /// a cell and two (or one) fanins among earlier signals.
 fn random_netlist(inputs: usize, ops: &[(u8, u8, u8)]) -> Netlist {
     let lib = Arc::new(lib2());
-    let cells: Vec<_> = ["and2", "or2", "nand2", "nor2", "xor2", "xnor2", "inv1", "andn2"]
-        .iter()
-        .map(|n| lib.find_by_name(n).expect("lib2 cell"))
-        .collect();
+    let cells: Vec<_> = [
+        "and2", "or2", "nand2", "nor2", "xor2", "xnor2", "inv1", "andn2",
+    ]
+    .iter()
+    .map(|n| lib.find_by_name(n).expect("lib2 cell"))
+    .collect();
     let mut nl = Netlist::new("prop", lib);
-    let mut signals: Vec<GateId> = (0..inputs)
-        .map(|i| nl.add_input(format!("x{i}")))
-        .collect();
+    let mut signals: Vec<GateId> = (0..inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
     for (k, (op, a, b)) in ops.iter().enumerate() {
         let cell = cells[*op as usize % cells.len()];
         let ca = signals[*a as usize % signals.len()];

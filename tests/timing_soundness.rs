@@ -83,6 +83,45 @@ fn timing_of(nl: &Netlist, sta: &TimingAnalysis, sub: &Substitution) -> Substitu
     }
 }
 
+/// Runs the soundness check for one generated circuit; returns a
+/// description of the first accepted-but-violating substitution, if any.
+fn soundness_violation(inputs: usize, ops: &[(u8, u8, u8)], slack_pct: u8) -> Option<String> {
+    let nl = build(inputs, ops);
+    if nl.validate().is_err() {
+        return None;
+    }
+    let base = TimingAnalysis::new(&nl, &TimingConfig::default());
+    let required = base.circuit_delay() * (1.0 + f64::from(slack_pct) / 100.0);
+    let cfg = TimingConfig {
+        output_load: 1.0,
+        required_time: Some(required),
+    };
+    let sta = TimingAnalysis::new(&nl, &cfg);
+    let covers = CellCovers::new(nl.library());
+    let pats = Patterns::exhaustive(inputs);
+    let vals = simulate(&nl, &covers, &pats);
+    for cand in generate_candidates(&nl, &covers, &vals, &CandidateConfig::default())
+        .into_iter()
+        .take(16)
+    {
+        let what_if = timing_of(&nl, &sta, &cand);
+        if sta.check_substitution(&what_if) {
+            let mut work = nl.clone();
+            apply_substitution(&mut work, &cand);
+            let after = TimingAnalysis::new(&work, &TimingConfig::default());
+            if after.circuit_delay() > required + 1e-9 {
+                return Some(format!(
+                    "{:?}: accepted but delay {} > required {}",
+                    cand,
+                    after.circuit_delay(),
+                    required
+                ));
+            }
+        }
+    }
+    None
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -92,33 +131,37 @@ proptest! {
         inputs in 2usize..5,
         slack_pct in 0u8..40,
     ) {
-        let nl = build(inputs, &ops);
-        prop_assume!(nl.validate().is_ok());
-        let base = TimingAnalysis::new(&nl, &TimingConfig::default());
-        let required = base.circuit_delay() * (1.0 + f64::from(slack_pct) / 100.0);
-        let cfg = TimingConfig {
-            output_load: 1.0,
-            required_time: Some(required),
-        };
-        let sta = TimingAnalysis::new(&nl, &cfg);
-        let covers = CellCovers::new(nl.library());
-        let pats = Patterns::exhaustive(inputs);
-        let vals = simulate(&nl, &covers, &pats);
-        for cand in generate_candidates(&nl, &covers, &vals, &CandidateConfig::default())
-            .into_iter()
-            .take(16)
-        {
-            let what_if = timing_of(&nl, &sta, &cand);
-            if sta.check_substitution(&what_if) {
-                let mut work = nl.clone();
-                apply_substitution(&mut work, &cand);
-                let after = TimingAnalysis::new(&work, &TimingConfig::default());
-                prop_assert!(
-                    after.circuit_delay() <= required + 1e-9,
-                    "{:?}: accepted but delay {} > required {}",
-                    cand, after.circuit_delay(), required
-                );
-            }
+        if let Some(violation) = soundness_violation(inputs, &ops, slack_pct) {
+            prop_assert!(false, "{}", violation);
         }
+    }
+}
+
+/// Pinned shrink recorded in `timing_soundness.proptest-regressions`
+/// (the vendored proptest shim does not replay regression files, so the
+/// case is replayed here explicitly). The circuit it builds contains
+/// several candidates whose commit would push the delay 30–80 % past the
+/// limit; all of them must be rejected by the §3.4 check, and every
+/// accepted candidate must stay within the required time.
+#[test]
+fn regression_accepted_substitution_violated_timing() {
+    let ops = [
+        (0, 0, 4),
+        (19, 15, 7),
+        (35, 29, 0),
+        (0, 0, 7),
+        (174, 226, 219),
+        (24, 39, 234),
+        (33, 181, 39),
+        (38, 124, 49),
+        (225, 183, 99),
+        (156, 216, 248),
+        (223, 102, 159),
+        (200, 120, 104),
+        (166, 170, 66),
+        (141, 255, 36),
+    ];
+    if let Some(violation) = soundness_violation(4, &ops, 5) {
+        panic!("{violation}");
     }
 }

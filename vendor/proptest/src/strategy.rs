@@ -1,0 +1,143 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking; a strategy is
+/// just a deterministic function of the runner's RNG state.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` over its whole value range.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + (rng.below(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$i:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/0);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+    (A/0, B/1, C/2, D/3, E/4, F/5);
+}

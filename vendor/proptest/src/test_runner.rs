@@ -1,0 +1,153 @@
+//! The case-generation loop behind the [`crate::proptest!`] macro.
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before the test errors
+    /// out as too restrictive.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single test case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — draw another case.
+    Reject(String),
+    /// An assertion failed — the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection (assumption not met) with the given message.
+    #[must_use]
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Result type the generated test-case closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic RNG driving strategy generation (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)` (rejection sampled; `n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// FNV-1a hash of the test name, for a stable per-test base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `config.cases` generated cases of `strategy` through `test`.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first case whose
+/// closure returns [`TestCaseError::Fail`], printing the generated input,
+/// or when `prop_assume!` rejects more than
+/// [`Config::max_global_rejects`] candidate cases.
+pub fn run<S, F>(config: &Config, name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let base = std::env::var("PROPTEST_SHIM_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0)
+        .wrapping_add(name_seed(name));
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut case: u64 = 0;
+    while passed < config.cases {
+        let mut rng = TestRng::new(base.wrapping_add(case));
+        case += 1;
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "property `{name}`: too many prop_assume! rejections \
+                     ({rejected}) before reaching {} cases",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "property `{name}` failed at case #{case} \
+                     (seed {base}):\n{message}\ninput: {shown}"
+                );
+            }
+        }
+    }
+}

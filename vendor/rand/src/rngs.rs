@@ -1,0 +1,35 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: SplitMix64 over a Weyl sequence.
+///
+/// Deterministic per seed; passes the statistical smoke tests the
+/// workspace relies on (uniformity of bits, unit-interval floats).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+#[inline]
+fn splitmix_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix_mix(self.state)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Scramble the seed so that nearby seeds yield unrelated streams.
+        StdRng {
+            state: splitmix_mix(seed ^ 0x5851_F42D_4C95_7F2D),
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Slice sampling helpers (`rand::seq::SliceRandom`).
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// One uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements chosen uniformly without replacement
+    /// (all elements if `amount` exceeds the length). Order is random.
+    fn choose_multiple<R: RngCore>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        // Partial Fisher–Yates: the first `amount` positions end up
+        // uniformly chosen without replacement.
+        for i in 0..amount {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx.truncate(amount);
+        idx.into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<&T>>()
+            .into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v: Vec<u32> = (0..20).collect();
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 8).copied().collect();
+        assert_eq!(picked.len(), 8);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8, "no duplicates");
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let v: Vec<u32> = Vec::new();
+        assert!(v.choose(&mut rng).is_none());
+    }
+}
