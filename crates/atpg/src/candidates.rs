@@ -19,7 +19,11 @@ use crate::Substitution;
 use powder_library::CellId;
 use powder_netlist::{Conn, GateId, GateKind, Netlist};
 use powder_sim::{branch_observability, stem_observability_all, CellCovers, SimValues};
-use std::collections::HashMap;
+// Ordered maps throughout: candidate generation must be a pure function
+// of the netlist and simulation values with no dependence on hash-map
+// iteration order, because the optimizer's commit arbiter identifies
+// candidates by their position in this function's output.
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Tuning knobs for candidate generation.
 #[derive(Clone, Debug)]
@@ -138,7 +142,7 @@ pub fn generate_candidates(
         .collect();
 
     // Exact-signature index for XOR/XNOR partner lookup.
-    let mut sig_index: HashMap<Vec<u64>, Vec<GateId>> = HashMap::new();
+    let mut sig_index: BTreeMap<Vec<u64>, Vec<GateId>> = BTreeMap::new();
     for &s in &sources {
         sig_index.entry(values.get(s).to_vec()).or_default().push(s);
     }
@@ -147,8 +151,8 @@ pub fn generate_candidates(
 
     // TFO bitsets, computed lazily per substituted stem / sink.
     let bound = nl.id_bound();
-    let mut tfo_cache: HashMap<GateId, Vec<u64>> = HashMap::new();
-    let tfo_bits = |nl: &Netlist, root: GateId, cache: &mut HashMap<GateId, Vec<u64>>| {
+    let mut tfo_cache: BTreeMap<GateId, Vec<u64>> = BTreeMap::new();
+    let tfo_bits = |nl: &Netlist, root: GateId, cache: &mut BTreeMap<GateId, Vec<u64>>| {
         cache
             .entry(root)
             .or_insert_with(|| {
@@ -491,8 +495,9 @@ pub fn generate_candidates(
         }
     }
 
-    // Keep only structurally valid, deduplicated candidates.
-    let mut seen = std::collections::HashSet::new();
+    // Keep only structurally valid, deduplicated candidates (dedup
+    // preserves first-occurrence order, so ids stay stable).
+    let mut seen = BTreeSet::new();
     out.retain(|s| seen.insert(*s) && s.is_structurally_valid(nl));
     out
 }

@@ -18,7 +18,7 @@ use std::collections::{HashMap, HashSet};
 /// Output/input substitutions *with inverted `b`* (the paper's analogous
 /// definitions) are expressed with `invert: true`, which inserts an
 /// inverter.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Substitution {
     /// Substitute stem `a` by `b` (or `!b`).
     Os2 {
@@ -172,140 +172,214 @@ pub enum CheckOutcome {
     Aborted,
 }
 
+/// Reusable solver arena for permissibility checks.
+///
+/// Building the miter's "original circuit" half — one SAT node per
+/// live gate — is `O(netlist)` work that is identical for every
+/// candidate checked against the same netlist state. The arena caches
+/// that base node table keyed on the netlist's edit-journal
+/// generation; per-candidate nodes (the rewired duplicate region,
+/// difference XORs, activation conjunct) are appended on top and
+/// rolled back with a truncate after each query. Since the builder
+/// performs no hash-consing, truncate-and-rebuild produces a node
+/// table identical to a from-scratch construction, so arena-backed
+/// checks return bit-identical outcomes to [`check_substitution`].
+///
+/// An arena is tied to one netlist instance; the parallel evaluation
+/// engine keeps one per worker, which is what makes ATPG state
+/// effectively `Send`: workers own their arenas, and only `&Netlist`
+/// is shared.
+#[derive(Debug, Default)]
+pub struct CheckArena {
+    builder: SatBuilder,
+    base_len: usize,
+    orig: HashMap<GateId, NodeId>,
+    topo: Vec<GateId>,
+    /// `(journal generation, id bound)` the base table was built for.
+    key: Option<(u64, usize)>,
+    region: HashSet<GateId>,
+    dup: HashMap<GateId, NodeId>,
+}
+
+impl CheckArena {
+    /// A fresh arena with no cached base.
+    #[must_use]
+    pub fn new() -> Self {
+        CheckArena::default()
+    }
+
+    /// Rebuilds the base node table if the netlist changed since the
+    /// last check; otherwise just rolls back the previous query's
+    /// appended nodes.
+    fn refresh(&mut self, nl: &Netlist) {
+        let key = (nl.generation(), nl.id_bound());
+        if self.key == Some(key) {
+            self.builder.truncate(self.base_len);
+            return;
+        }
+        self.builder = SatBuilder::default();
+        self.orig.clear();
+        // Original-circuit nodes for every live gate (outputs use the
+        // driver's node); the solver's cone extraction prunes what the
+        // miter never reads.
+        self.topo = nl.topo_order();
+        let mut pi_index: HashMap<GateId, usize> = HashMap::new();
+        for (i, &pi) in nl.inputs().iter().enumerate() {
+            pi_index.insert(pi, i);
+        }
+        for &g in &self.topo {
+            let node = match nl.kind(g) {
+                GateKind::Input => self.builder.pi(pi_index[&g]),
+                GateKind::Const(v) => self.builder.constant(v),
+                GateKind::Output => self.orig[&nl.fanins(g)[0]],
+                GateKind::Cell(c) => {
+                    let cell = nl.library().cell_ref(c);
+                    let fanins = nl.fanins(g).iter().map(|f| self.orig[f]).collect();
+                    self.builder.gate(cell.function.clone(), fanins)
+                }
+            };
+            self.orig.insert(g, node);
+        }
+        self.base_len = self.builder.len();
+        self.key = Some(key);
+    }
+
+    /// Exact permissibility check for `sub` on `nl`, reusing the cached
+    /// base circuit when the netlist is unchanged. Outcomes are
+    /// bit-identical to [`check_substitution`].
+    #[must_use]
+    pub fn check(
+        &mut self,
+        nl: &Netlist,
+        sub: &Substitution,
+        backtrack_limit: usize,
+    ) -> CheckOutcome {
+        if !sub.is_structurally_valid(nl) {
+            return CheckOutcome::NotPermissible(vec![false; nl.inputs().len()]);
+        }
+        self.refresh(nl);
+        let builder = &mut self.builder;
+        let orig = &self.orig;
+
+        // The substituting node.
+        let (b, c) = sub.sources();
+        let new_src = match *sub {
+            Substitution::Os2 { invert, .. } | Substitution::Is2 { invert, .. } => {
+                if invert {
+                    builder.not(orig[&b])
+                } else {
+                    orig[&b]
+                }
+            }
+            Substitution::Os3 { cell, .. } | Substitution::Is3 { cell, .. } => {
+                let f = nl.library().cell_ref(cell).function.clone();
+                builder.gate(f, vec![orig[&b], orig[&c.expect("3-sub has c")]])
+            }
+        };
+
+        // Duplicate the affected region with the rewiring applied.
+        let rewired: HashSet<(GateId, u32)> = sub.rewired_branches(nl).into_iter().collect();
+        self.region.clear();
+        for &(sink, _) in &rewired {
+            self.region.insert(sink);
+            for g in nl.tfo(sink) {
+                self.region.insert(g);
+            }
+        }
+        self.dup.clear();
+        // Differences tagged with the primary-output gate that observes
+        // them; folded in sorted gate-id order so the miter's shape does
+        // not depend on the netlist's current (edit-history-sensitive)
+        // topological ordering.
+        let mut diffs: Vec<(GateId, NodeId)> = Vec::new();
+        for &g in &self.topo {
+            if !self.region.contains(&g) {
+                continue;
+            }
+            match nl.kind(g) {
+                GateKind::Input | GateKind::Const(_) => {}
+                GateKind::Output => {
+                    let src = nl.fanins(g)[0];
+                    let new_node = if rewired.contains(&(g, 0)) {
+                        new_src
+                    } else {
+                        self.dup.get(&src).copied().unwrap_or(orig[&src])
+                    };
+                    let old_node = orig[&src];
+                    if new_node != old_node {
+                        diffs.push((g, builder.xor2(old_node, new_node)));
+                    }
+                }
+                GateKind::Cell(cid) => {
+                    let cell = nl.library().cell_ref(cid);
+                    let fanins: Vec<NodeId> = nl
+                        .fanins(g)
+                        .iter()
+                        .enumerate()
+                        .map(|(pin, f)| {
+                            if rewired.contains(&(g, pin as u32)) {
+                                new_src
+                            } else {
+                                self.dup.get(f).copied().unwrap_or(orig[f])
+                            }
+                        })
+                        .collect();
+                    let node = builder.gate(cell.function.clone(), fanins);
+                    self.dup.insert(g, node);
+                }
+            }
+        }
+
+        if diffs.is_empty() {
+            // No primary output can observe the change.
+            return CheckOutcome::Permissible;
+        }
+        diffs.sort_unstable_by_key(|&(g, _)| g);
+        let mut acc = diffs[0].1;
+        for &(_, d) in &diffs[1..] {
+            acc = builder.or2(acc, d);
+        }
+        // Fault-activation conjunct: a primary output can only differ when
+        // the substituted signal and its replacement differ.
+        let stem = sub.substituted_stem(nl);
+        let activation = builder.xor2(orig[&stem], new_src);
+        // First try to refute the activation alone: if the substituting
+        // signal is functionally *equivalent* to the substituted one, the
+        // substitution is permissible outright, and the activation cone is
+        // typically far smaller than the full miter (it skips the
+        // transitive fanout entirely). This is the workhorse for
+        // redundancy-removal merges of duplicated logic.
+        let num_pis = nl.inputs().len();
+        if crate::sat::solve_miter_nodes(builder.nodes(), num_pis, activation, backtrack_limit)
+            == SatOutcome::Unsat
+        {
+            return CheckOutcome::Permissible;
+        }
+        // Otherwise decide the real question: can a difference reach an
+        // output? The activation conjunct stays as an early conflict
+        // detector and backtrace guide.
+        let top = builder.and2(activation, acc);
+        match crate::sat::solve_miter_nodes(builder.nodes(), num_pis, top, backtrack_limit) {
+            SatOutcome::Unsat => CheckOutcome::Permissible,
+            SatOutcome::Sat(witness) => CheckOutcome::NotPermissible(witness),
+            SatOutcome::Aborted => CheckOutcome::Aborted,
+        }
+    }
+}
+
 /// Exact permissibility check for `sub` on `nl` (the paper's
 /// `check_candidate`): builds a cone-local miter between the original and
 /// rewired transitive fanout and runs the PODEM solver with the given
-/// backtrack budget.
+/// backtrack budget. One-shot convenience over [`CheckArena`]; callers
+/// checking many candidates against the same netlist should hold an
+/// arena to amortize the base-circuit construction.
 #[must_use]
 pub fn check_substitution(
     nl: &Netlist,
     sub: &Substitution,
     backtrack_limit: usize,
 ) -> CheckOutcome {
-    if !sub.is_structurally_valid(nl) {
-        return CheckOutcome::NotPermissible(vec![false; nl.inputs().len()]);
-    }
-
-    let mut builder = SatBuilder::default();
-    // Original-circuit nodes for every live gate (outputs use the driver's
-    // node); the solver's cone extraction prunes what the miter never reads.
-    let mut orig: HashMap<GateId, NodeId> = HashMap::new();
-    let topo = nl.topo_order();
-    let mut pi_index: HashMap<GateId, usize> = HashMap::new();
-    for (i, &pi) in nl.inputs().iter().enumerate() {
-        pi_index.insert(pi, i);
-    }
-    for &g in &topo {
-        let node = match nl.kind(g) {
-            GateKind::Input => builder.pi(pi_index[&g]),
-            GateKind::Const(v) => builder.constant(v),
-            GateKind::Output => orig[&nl.fanins(g)[0]],
-            GateKind::Cell(c) => {
-                let cell = nl.library().cell_ref(c);
-                let fanins = nl.fanins(g).iter().map(|f| orig[f]).collect();
-                builder.gate(cell.function.clone(), fanins)
-            }
-        };
-        orig.insert(g, node);
-    }
-
-    // The substituting node.
-    let (b, c) = sub.sources();
-    let new_src = match *sub {
-        Substitution::Os2 { invert, .. } | Substitution::Is2 { invert, .. } => {
-            if invert {
-                builder.not(orig[&b])
-            } else {
-                orig[&b]
-            }
-        }
-        Substitution::Os3 { cell, .. } | Substitution::Is3 { cell, .. } => {
-            let f = nl.library().cell_ref(cell).function.clone();
-            builder.gate(f, vec![orig[&b], orig[&c.expect("3-sub has c")]])
-        }
-    };
-
-    // Duplicate the affected region with the rewiring applied.
-    let rewired: HashSet<(GateId, u32)> = sub.rewired_branches(nl).into_iter().collect();
-    let mut region: HashSet<GateId> = HashSet::new();
-    for &(sink, _) in &rewired {
-        region.insert(sink);
-        for g in nl.tfo(sink) {
-            region.insert(g);
-        }
-    }
-    let mut dup: HashMap<GateId, NodeId> = HashMap::new();
-    let mut diffs: Vec<NodeId> = Vec::new();
-    for &g in &topo {
-        if !region.contains(&g) {
-            continue;
-        }
-        match nl.kind(g) {
-            GateKind::Input | GateKind::Const(_) => {}
-            GateKind::Output => {
-                let src = nl.fanins(g)[0];
-                let new_node = if rewired.contains(&(g, 0)) {
-                    new_src
-                } else {
-                    dup.get(&src).copied().unwrap_or(orig[&src])
-                };
-                let old_node = orig[&src];
-                if new_node != old_node {
-                    diffs.push(builder.xor2(old_node, new_node));
-                }
-            }
-            GateKind::Cell(cid) => {
-                let cell = nl.library().cell_ref(cid);
-                let fanins: Vec<NodeId> = nl
-                    .fanins(g)
-                    .iter()
-                    .enumerate()
-                    .map(|(pin, f)| {
-                        if rewired.contains(&(g, pin as u32)) {
-                            new_src
-                        } else {
-                            dup.get(f).copied().unwrap_or(orig[f])
-                        }
-                    })
-                    .collect();
-                let node = builder.gate(cell.function.clone(), fanins);
-                dup.insert(g, node);
-            }
-        }
-    }
-
-    if diffs.is_empty() {
-        // No primary output can observe the change.
-        return CheckOutcome::Permissible;
-    }
-    let mut acc = diffs[0];
-    for &d in &diffs[1..] {
-        acc = builder.or2(acc, d);
-    }
-    // Fault-activation conjunct: a primary output can only differ when the
-    // substituted signal and its replacement differ.
-    let stem = sub.substituted_stem(nl);
-    let activation = builder.xor2(orig[&stem], new_src);
-    // First try to refute the activation alone: if the substituting signal
-    // is functionally *equivalent* to the substituted one, the
-    // substitution is permissible outright, and the activation cone is
-    // typically far smaller than the full miter (it skips the transitive
-    // fanout entirely). This is the workhorse for redundancy-removal
-    // merges of duplicated logic.
-    let act_circuit = builder.snapshot(nl.inputs().len(), activation);
-    if crate::sat::solve_miter(&act_circuit, backtrack_limit) == SatOutcome::Unsat {
-        return CheckOutcome::Permissible;
-    }
-    // Otherwise decide the real question: can a difference reach an output?
-    // The activation conjunct stays as an early conflict detector and
-    // backtrace guide.
-    let top = builder.and2(activation, acc);
-    let circuit = builder.finish(nl.inputs().len(), top);
-    match crate::sat::solve_miter(&circuit, backtrack_limit) {
-        SatOutcome::Unsat => CheckOutcome::Permissible,
-        SatOutcome::Sat(witness) => CheckOutcome::NotPermissible(witness),
-        SatOutcome::Aborted => CheckOutcome::Aborted,
-    }
+    CheckArena::new().check(nl, sub, backtrack_limit)
 }
 
 #[cfg(test)]

@@ -60,5 +60,5 @@ mod sat;
 mod tests_support;
 
 pub use candidates::{generate_candidates, CandidateConfig};
-pub use check::{check_substitution, CheckOutcome, Substitution};
+pub use check::{check_substitution, CheckArena, CheckOutcome, Substitution};
 pub use sat::{solve_miter, SatCircuit, SatOutcome};

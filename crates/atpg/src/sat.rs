@@ -57,13 +57,19 @@ enum Val {
     X,
 }
 
-impl SatCircuit {
-    /// Number of nodes (for tests and diagnostics).
-    #[must_use]
-    pub fn node_count(&self) -> usize {
-        self.nodes.len()
-    }
+/// Borrowed view of a node table rooted at one output: the shape the
+/// solver actually works on. [`SatCircuit`] owns its nodes; the
+/// miter-check arena in `check.rs` instead solves directly against its
+/// builder's node table through this view, avoiding a full clone of
+/// the base circuit for every query.
+#[derive(Clone, Copy)]
+struct View<'a> {
+    nodes: &'a [Node],
+    num_pis: usize,
+    output: NodeId,
+}
 
+impl View<'_> {
     /// Topological order of the cone of influence of the output, plus the
     /// set of PIs in that cone.
     fn cone(&self) -> (Vec<NodeId>, Vec<NodeId>) {
@@ -95,6 +101,14 @@ impl SatCircuit {
             }
         }
         (order, pis)
+    }
+}
+
+impl SatCircuit {
+    /// Number of nodes (for tests and diagnostics).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Three-valued evaluation of one gate given fanin values.
@@ -150,6 +164,35 @@ const EXHAUSTIVE_SUPPORT_LIMIT: usize = 18;
 /// `backtrack_limit`, and exhaustion yields [`SatOutcome::Aborted`].
 #[must_use]
 pub fn solve_miter(circuit: &SatCircuit, backtrack_limit: usize) -> SatOutcome {
+    solve_view(
+        View {
+            nodes: &circuit.nodes,
+            num_pis: circuit.num_pis,
+            output: circuit.output,
+        },
+        backtrack_limit,
+    )
+}
+
+/// Solves a borrowed node table rooted at `output` (see [`View`]);
+/// used by the check arena to query without cloning the base circuit.
+pub(crate) fn solve_miter_nodes(
+    nodes: &[Node],
+    num_pis: usize,
+    output: NodeId,
+    backtrack_limit: usize,
+) -> SatOutcome {
+    solve_view(
+        View {
+            nodes,
+            num_pis,
+            output,
+        },
+        backtrack_limit,
+    )
+}
+
+fn solve_view(circuit: View<'_>, backtrack_limit: usize) -> SatOutcome {
     let (order, cone_pis) = circuit.cone();
     if cone_pis.len() <= EXHAUSTIVE_SUPPORT_LIMIT && !cone_pis.is_empty() {
         return solve_exhaustive(circuit, &order, &cone_pis);
@@ -218,7 +261,7 @@ pub fn solve_miter(circuit: &SatCircuit, backtrack_limit: usize) -> SatOutcome {
 /// over all `2^k` assignments of its `k` support inputs. Intermediate
 /// values are freed as soon as their last cone fanout has consumed them,
 /// bounding peak memory by the cone's width.
-fn solve_exhaustive(circuit: &SatCircuit, order: &[NodeId], cone_pis: &[NodeId]) -> SatOutcome {
+fn solve_exhaustive(circuit: View<'_>, order: &[NodeId], cone_pis: &[NodeId]) -> SatOutcome {
     let k = cone_pis.len();
     let words = (1usize << k).div_ceil(64);
     let mut pi_pos: HashMap<NodeId, usize> = HashMap::new();
@@ -324,7 +367,7 @@ fn solve_exhaustive(circuit: &SatCircuit, order: &[NodeId], cone_pis: &[NodeId])
 
 /// Walks from `(start, want)` through X-valued gates to an unassigned PI,
 /// propagating the objective value through input unateness.
-fn backtrace(circuit: &SatCircuit, vals: &[Val], start: NodeId, want: bool) -> (NodeId, bool) {
+fn backtrace(circuit: View<'_>, vals: &[Val], start: NodeId, want: bool) -> (NodeId, bool) {
     let mut node = start;
     let mut value = want;
     loop {
@@ -361,7 +404,7 @@ fn backtrace(circuit: &SatCircuit, vals: &[Val], start: NodeId, want: bool) -> (
 }
 
 /// Forward three-valued implication over `order` with the given PI values.
-fn implicate(circuit: &SatCircuit, order: &[NodeId], assigned: &[(NodeId, bool)]) -> Vec<Val> {
+fn implicate(circuit: View<'_>, order: &[NodeId], assigned: &[(NodeId, bool)]) -> Vec<Val> {
     let mut vals = vec![Val::X; circuit.nodes.len()];
     for &(node, b) in assigned {
         vals[node as usize] = if b { Val::One } else { Val::Zero };
@@ -421,6 +464,23 @@ impl SatBuilder {
         self.nodes.push(node);
         id
     }
+    /// Number of nodes built so far (a rollback point for [`Self::truncate`]).
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+    /// Rolls the node table back to a prior [`Self::len`] mark, discarding
+    /// everything built since. The check arena uses this to reuse the
+    /// netlist's base node table across queries.
+    pub(crate) fn truncate(&mut self, len: usize) {
+        self.nodes.truncate(len);
+    }
+    /// Borrowed view of the node table, for [`solve_miter_nodes`].
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+    /// Consumes the builder into an owned circuit (solver tests; the
+    /// check arena solves borrowed nodes via [`solve_miter_nodes`]).
+    #[cfg(test)]
     pub(crate) fn finish(self, num_pis: usize, output: NodeId) -> SatCircuit {
         SatCircuit {
             nodes: self.nodes,

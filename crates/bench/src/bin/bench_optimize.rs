@@ -1,7 +1,10 @@
-//! Benchmarks the incremental analysis engine: runs POWDER twice per
-//! circuit — incremental refreshes versus full-rebuild baseline — and
+//! Benchmarks the incremental analysis engine and the parallel
+//! candidate-evaluation pipeline: runs POWDER per circuit as
+//! incremental-vs-full-rebuild (`jobs = 1`) and as sequential-vs-
+//! pipelined candidate evaluation (`jobs = 1` vs `jobs = 4`), and
 //! emits a machine-readable `BENCH_optimize.json` with per-circuit
-//! wall-clock, per-phase breakdown, and refresh counters.
+//! wall-clock, per-phase breakdown, refresh counters, and per-stage
+//! engine counters.
 //!
 //! Usage:
 //!
@@ -94,11 +97,12 @@ fn replay_refresh(
     (best_inc, best_full)
 }
 
-fn run_mode(nl: &Netlist, incremental: bool) -> Run {
+fn run_mode(nl: &Netlist, incremental: bool, jobs: usize) -> Run {
     let mut work = nl.clone();
     // Delay-constrained mode so STA refreshes are part of the measurement.
     let cfg = OptimizeConfig {
         incremental,
+        jobs,
         ..experiment_config(Some(DelayLimit::Factor(1.0)))
     };
     let t = Instant::now();
@@ -107,21 +111,44 @@ fn run_mode(nl: &Netlist, incremental: bool) -> Run {
     Run { report, seconds }
 }
 
+/// The candidate-evaluation phase of a run: full-gain analysis plus
+/// ATPG proofs — the work the `jobs > 1` pipeline parallelizes and
+/// deduplicates.
+fn eval_seconds(run: &Run) -> f64 {
+    run.report.phase.gain + run.report.phase.atpg
+}
+
+/// Best-of-`reps` eval-phase wall clock. Optimizer decisions are a
+/// deterministic function of the netlist, so repeat runs differ only
+/// in timing; the minimum strips scheduler and cache interference the
+/// same way the refresh columns do.
+fn best_eval(nl: &Netlist, incremental: bool, jobs: usize, first: &Run, reps: usize) -> f64 {
+    let mut best = eval_seconds(first);
+    for _ in 1..reps {
+        best = best.min(eval_seconds(&run_mode(nl, incremental, jobs)));
+    }
+    best
+}
+
 fn json_run(out: &mut String, indent: &str, run: &Run) {
     let r = &run.report;
     let p = &r.phase;
     let i = &r.incremental;
+    let e = &r.engine;
     let _ = write!(
         out,
         "{indent}{{\n\
          {indent}  \"seconds\": {:.6},\n\
+         {indent}  \"jobs\": {},\n\
          {indent}  \"applied\": {},\n\
          {indent}  \"rounds\": {},\n\
          {indent}  \"final_power\": {:.9},\n\
          {indent}  \"phase\": {{ \"simulation\": {:.6}, \"candidates\": {:.6}, \"gain\": {:.6}, \"timing\": {:.6}, \"atpg\": {:.6}, \"apply\": {:.6} }},\n\
-         {indent}  \"refreshes\": {{ \"sta_incremental\": {}, \"sta_full\": {}, \"sim_incremental\": {}, \"sim_full\": {}, \"power_incremental\": {}, \"power_full\": {} }}\n\
+         {indent}  \"refreshes\": {{ \"sta_incremental\": {}, \"sta_full\": {}, \"sim_incremental\": {}, \"sim_full\": {}, \"power_incremental\": {}, \"power_full\": {} }},\n\
+         {indent}  \"engine\": {{ \"evaluated\": {}, \"filtered\": {}, \"full_gains\": {}, \"proved\": {}, \"speculative_hits\": {}, \"invalidated\": {}, \"retried\": {}, \"filter_seconds\": {:.6}, \"gain_seconds\": {:.6}, \"proof_seconds\": {:.6}, \"arbiter_seconds\": {:.6} }}\n\
          {indent}}}",
         run.seconds,
+        r.jobs,
         r.applied.len(),
         r.rounds,
         r.final_power,
@@ -137,6 +164,17 @@ fn json_run(out: &mut String, indent: &str, run: &Run) {
         i.full_resims,
         i.incremental_power_updates,
         i.full_power_rescans,
+        e.evaluated,
+        e.filtered,
+        e.full_gains,
+        e.proved,
+        e.speculative_hits,
+        e.invalidated,
+        e.retried,
+        e.filter_seconds,
+        e.gain_seconds,
+        e.proof_seconds,
+        e.arbiter_seconds,
     );
 }
 
@@ -170,10 +208,18 @@ fn main() {
     let mut total_refresh_inc = 0.0f64;
     let mut total_refresh_full = 0.0f64;
 
-    println!("# bench_optimize — incremental vs full-rebuild POWDER");
+    let mut total_eval_seq = 0.0f64;
+    let mut total_eval_par = 0.0f64;
+
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("# bench_optimize — incremental vs full-rebuild, jobs=1 vs jobs=4 POWDER");
     println!("# refresh columns: per-commit analysis resync replayed in isolation (best of 3)");
     println!(
-        "{:<9} {:>6} | {:>9} {:>9} | {:>10} {:>10} {:>8} | {:>5} {:>5}",
+        "# eval columns: candidate-evaluation phase (gain + ATPG) at jobs=1 vs jobs=4 (best of 3)"
+    );
+    println!("# hardware threads available: {hw} (proof-stage parallelism is bounded by this)");
+    println!(
+        "{:<9} {:>6} | {:>9} {:>9} | {:>10} {:>10} {:>8} | {:>8} {:>8} {:>7} | {:>5} {:>5}",
         "circuit",
         "gates",
         "inc(s)",
@@ -181,6 +227,9 @@ fn main() {
         "refr-i(ms)",
         "refr-f(ms)",
         "speedup",
+        "ev-1(s)",
+        "ev-4(s)",
+        "evalx",
         "subs",
         "eq?"
     );
@@ -195,15 +244,26 @@ fn main() {
             }
         };
         let gates = nl.cell_count();
-        let inc = run_mode(&nl, true);
-        let full = run_mode(&nl, false);
-        // Both modes share all decision code; diverging results would mean
-        // the incremental state drifted.
+        let inc = run_mode(&nl, true, 1);
+        let full = run_mode(&nl, false, 1);
+        let par = run_mode(&nl, true, 4);
+        // All modes share the decision sequence; divergence would mean the
+        // incremental state drifted or the parallel arbiter mis-replayed.
+        let seq_subs: Vec<Substitution> =
+            inc.report.applied.iter().map(|a| a.substitution).collect();
+        let par_subs: Vec<Substitution> =
+            par.report.applied.iter().map(|a| a.substitution).collect();
         let same = inc.report.applied.len() == full.report.applied.len()
-            && (inc.report.final_power - full.report.final_power).abs() < 1e-6;
+            && (inc.report.final_power - full.report.final_power).abs() < 1e-6
+            && seq_subs == par_subs
+            && inc.report.final_power == par.report.final_power;
+        let eval_seq = best_eval(&nl, true, 1, &inc, 3);
+        let eval_par = best_eval(&nl, true, 4, &par, 3);
+        total_eval_seq += eval_seq;
+        total_eval_par += eval_par;
         total_inc += inc.seconds;
         total_full += full.seconds;
-        let subs: Vec<Substitution> = inc.report.applied.iter().map(|a| a.substitution).collect();
+        let subs = seq_subs;
         let cfg = OptimizeConfig {
             ..experiment_config(Some(DelayLimit::Factor(1.0)))
         };
@@ -215,7 +275,7 @@ fn main() {
         total_refresh_inc += refresh_inc;
         total_refresh_full += refresh_full;
         println!(
-            "{:<9} {:>6} | {:>9.3} {:>9.3} | {:>10.3} {:>10.3} {:>7.2}x | {:>5} {:>5}",
+            "{:<9} {:>6} | {:>9.3} {:>9.3} | {:>10.3} {:>10.3} {:>7.2}x | {:>8.3} {:>8.3} {:>6.2}x | {:>5} {:>5}",
             name,
             gates,
             inc.seconds,
@@ -223,6 +283,9 @@ fn main() {
             refresh_inc * 1e3,
             refresh_full * 1e3,
             refresh_full / refresh_inc.max(1e-12),
+            eval_seq,
+            eval_par,
+            eval_seq / eval_par.max(1e-12),
             subs.len(),
             if same { "ok" } else { "DIFF" },
         );
@@ -237,14 +300,19 @@ fn main() {
         json_run(&mut rows, "      ", &inc);
         rows.push_str(",\n      \"full_rebuild\":\n");
         json_run(&mut rows, "      ", &full);
+        rows.push_str(",\n      \"jobs4\":\n");
+        json_run(&mut rows, "      ", &par);
         let _ = write!(
             rows,
-            ",\n      \"end_to_end_speedup\": {:.4},\n      \"refresh\": {{ \"commits\": {}, \"incremental_seconds\": {:.6}, \"full_seconds\": {:.6}, \"speedup\": {:.4} }}\n    }}",
+            ",\n      \"end_to_end_speedup\": {:.4},\n      \"refresh\": {{ \"commits\": {}, \"incremental_seconds\": {:.6}, \"full_seconds\": {:.6}, \"speedup\": {:.4} }},\n      \"eval\": {{ \"jobs1_seconds\": {:.6}, \"jobs4_seconds\": {:.6}, \"speedup\": {:.4} }}\n    }}",
             full.seconds / inc.seconds.max(1e-12),
             subs.len(),
             refresh_inc,
             refresh_full,
             refresh_full / refresh_inc.max(1e-12),
+            eval_seq,
+            eval_par,
+            eval_seq / eval_par.max(1e-12),
         );
     }
 
@@ -254,9 +322,10 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"experiment\": \"bench_optimize\",\n  \"delay_limit\": \"factor 1.0\",\n  \"circuits\": [\n{rows}\n  ],\n  \"totals\": {{ \"incremental_seconds\": {total_inc:.6}, \"full_rebuild_seconds\": {total_full:.6}, \"end_to_end_speedup\": {:.4}, \"refresh_incremental_seconds\": {total_refresh_inc:.6}, \"refresh_full_seconds\": {total_refresh_full:.6}, \"refresh_speedup\": {:.4} }}\n}}\n",
+        "{{\n  \"experiment\": \"bench_optimize\",\n  \"delay_limit\": \"factor 1.0\",\n  \"hardware_threads\": {hw},\n  \"circuits\": [\n{rows}\n  ],\n  \"totals\": {{ \"incremental_seconds\": {total_inc:.6}, \"full_rebuild_seconds\": {total_full:.6}, \"end_to_end_speedup\": {:.4}, \"refresh_incremental_seconds\": {total_refresh_inc:.6}, \"refresh_full_seconds\": {total_refresh_full:.6}, \"refresh_speedup\": {:.4}, \"eval_jobs1_seconds\": {total_eval_seq:.6}, \"eval_jobs4_seconds\": {total_eval_par:.6}, \"eval_speedup\": {:.4} }}\n}}\n",
         total_full / total_inc.max(1e-12),
         total_refresh_full / total_refresh_inc.max(1e-12),
+        total_eval_seq / total_eval_par.max(1e-12),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_optimize.json");
     println!(
@@ -264,9 +333,13 @@ fn main() {
         total_full / total_inc.max(1e-12)
     );
     println!(
-        "refresh-only: incremental {:.1}ms vs full {:.1}ms ({:.1}x); wrote {out_path}",
+        "refresh-only: incremental {:.1}ms vs full {:.1}ms ({:.1}x)",
         total_refresh_inc * 1e3,
         total_refresh_full * 1e3,
         total_refresh_full / total_refresh_inc.max(1e-12)
+    );
+    println!(
+        "candidate evaluation: jobs=1 {total_eval_seq:.3}s vs jobs=4 {total_eval_par:.3}s ({:.2}x); wrote {out_path}",
+        total_eval_seq / total_eval_par.max(1e-12)
     );
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! powder optimize <in.blif> [-o out.blif] [--delay-limit PCT] [--library lib.genlib]
-//!                 [--repeat N] [--patterns N] [--seed S] [--resize] [--redundancy]
+//!                 [--repeat N] [--patterns N] [--seed S] [--jobs N]
+//!                 [--resize] [--redundancy]
 //! powder synth    <in.pla>  [-o out.blif] [--library lib.genlib]   # two-level → mapped
 //! powder stats    <in.blif> [--library lib.genlib]
 //! powder bench    <name>    [-o out.blif]      # dump a suite circuit as BLIF
@@ -28,6 +29,9 @@ struct Options {
     repeat: usize,
     patterns: usize,
     seed: u64,
+    /// Evaluation worker threads; 0 = auto (`POWDER_JOBS` env, else
+    /// available parallelism). Any value gives identical results.
+    jobs: usize,
     resize: bool,
     redundancy: bool,
 }
@@ -41,6 +45,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         repeat: 10,
         patterns: 1024,
         seed: 0xB0D1E5,
+        jobs: 0,
         resize: false,
         redundancy: false,
     };
@@ -75,6 +80,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 o.seed = val("--seed")?
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--jobs" => {
+                o.jobs = val("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?
             }
             "--resize" => o.resize = true,
             "--redundancy" => o.redundancy = true,
@@ -205,6 +215,7 @@ fn run() -> Result<(), String> {
                 delay_limit: opts
                     .delay_limit
                     .map(|pct| DelayLimit::Factor(1.0 + pct / 100.0)),
+                jobs: opts.jobs,
                 ..OptimizeConfig::default()
             };
             if opts.redundancy {
@@ -267,6 +278,8 @@ mod tests {
             "512",
             "--seed",
             "7",
+            "--jobs",
+            "4",
             "--resize",
         ]))
         .unwrap();
@@ -276,8 +289,16 @@ mod tests {
         assert_eq!(o.repeat, 5);
         assert_eq!(o.patterns, 512);
         assert_eq!(o.seed, 7);
+        assert_eq!(o.jobs, 4);
         assert!(o.resize);
         assert!(!o.redundancy);
+    }
+
+    #[test]
+    fn jobs_defaults_to_auto() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.jobs, 0, "0 means auto-resolve");
+        assert!(parse_args(&args(&["--jobs", "x"])).is_err());
     }
 
     #[test]

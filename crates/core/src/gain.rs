@@ -16,8 +16,8 @@
 
 use powder_atpg::Substitution;
 use powder_netlist::{GateId, GateKind, Netlist};
-use powder_power::{PowerEstimator, WhatIfEdit, WhatIfSource};
-use std::collections::{HashMap, HashSet};
+use powder_power::{PowerEstimator, WhatIfEdit, WhatIfScratch, WhatIfSource};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// The decomposed power gain of a substitution. Positive totals reduce
 /// circuit power.
@@ -112,8 +112,11 @@ pub fn analyze_fast(nl: &Netlist, est: &PowerEstimator, sub: &Substitution) -> P
     for &g in &removed {
         pg_a += nl.load_cap(g, output_load) * est.transition(g);
     }
-    // Load relief on inputs of the removed region.
-    let mut relief: HashMap<GateId, f64> = HashMap::new();
+    // Load relief on inputs of the removed region. Ordered map: the
+    // relief terms are summed in iteration order below, and float
+    // summation order must not depend on hash-map layout — the parallel
+    // engine's arbiter compares these totals bit-for-bit.
+    let mut relief: BTreeMap<GateId, f64> = BTreeMap::new();
     for &g in &removed {
         for (pin, &f) in nl.fanins(g).iter().enumerate() {
             if !removed_set.contains(&f) {
@@ -179,8 +182,27 @@ pub fn analyze_fast(nl: &Netlist, est: &PowerEstimator, sub: &Substitution) -> P
 
 /// Computes the complete power gain, including `PG_C` via a what-if
 /// re-estimation of the substituted signal's transitive fanout.
+///
+/// Convenience over [`analyze_full_with`] with a throwaway scratch;
+/// hot paths (the optimizer loop, parallel evaluation workers) hold a
+/// [`WhatIfScratch`] per evaluation context instead.
 #[must_use]
 pub fn analyze_full(nl: &Netlist, est: &PowerEstimator, sub: &Substitution) -> PowerGain {
+    analyze_full_with(nl, est, sub, &mut WhatIfScratch::default())
+}
+
+/// [`analyze_full`] with a caller-owned what-if scratch, making the
+/// query allocation-free in the steady state. The result is a pure
+/// function of `(nl, est, sub)` — the scratch's prior contents never
+/// influence it — so sequential and parallel callers agree
+/// bit-for-bit.
+#[must_use]
+pub fn analyze_full_with(
+    nl: &Netlist,
+    est: &PowerEstimator,
+    sub: &Substitution,
+    scratch: &mut WhatIfScratch,
+) -> PowerGain {
     let mut gain = analyze_fast(nl, est, sub);
     let output_load = est.config().output_load;
 
@@ -212,7 +234,7 @@ pub fn analyze_full(nl: &Netlist, est: &PowerEstimator, sub: &Substitution) -> P
 
     let removed: HashSet<GateId> = removal_set(nl, sub).into_iter().collect();
     let mut pg_c = 0.0;
-    est.whatif_foreach(nl, &edits, |g, p_new| {
+    est.whatif_foreach_with(nl, &edits, scratch, |g, p_new| {
         if matches!(nl.kind(g), GateKind::Output) || removed.contains(&g) {
             return;
         }

@@ -53,12 +53,14 @@
 pub mod apply;
 pub mod gain;
 mod optimizer;
+mod parallel;
 pub mod redundancy;
 pub mod report;
 pub mod resize;
 
 pub use optimizer::{optimize, DelayLimit, OptimizeConfig};
 pub use powder_atpg::{CandidateConfig, Substitution};
+pub use powder_engine::EngineStats;
 pub use report::{
     AppliedSubstitution, ClassStats, IncrementalStats, OptimizeReport, PhaseTimes, SubClass,
 };

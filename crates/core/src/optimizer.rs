@@ -1,13 +1,14 @@
 //! The `power_optimize` main loop of the paper's Figure 5.
 
 use crate::apply::apply_substitution;
-use crate::gain::{analyze_fast, analyze_full};
+use crate::gain::{analyze_fast, analyze_full_with};
 use crate::report::{AppliedSubstitution, IncrementalStats, OptimizeReport, PhaseTimes, SubClass};
 use powder_atpg::{
     check_substitution, generate_candidates, CandidateConfig, CheckOutcome, Substitution,
 };
+use powder_engine::EngineStats;
 use powder_netlist::{ConeScratch, GateId, Netlist};
-use powder_power::{PowerConfig, PowerEstimator};
+use powder_power::{PowerConfig, PowerEstimator, WhatIfScratch};
 use powder_sim::{resimulate_cone, simulate, CellCovers, Patterns, SimValues};
 use powder_timing::{SubstitutionTiming, TimingAnalysis, TimingConfig};
 use std::time::Instant;
@@ -56,6 +57,11 @@ pub struct OptimizeConfig {
     /// state against a from-scratch recomputation and panic on
     /// divergence. Test/debug aid; expensive.
     pub cross_check: bool,
+    /// Worker threads for the candidate-evaluation pipeline. `0` means
+    /// auto: the `POWDER_JOBS` environment variable if set, else the
+    /// machine's available parallelism. `1` runs the sequential path;
+    /// any value yields bit-identical substitution sequences.
+    pub jobs: usize,
     /// Candidate-generation knobs.
     pub candidates: CandidateConfig,
     /// Power model (output load, input probabilities).
@@ -76,6 +82,7 @@ impl Default for OptimizeConfig {
             max_rejections_per_round: 250,
             incremental: true,
             cross_check: false,
+            jobs: 0,
             candidates: CandidateConfig::default(),
             power: PowerConfig::default(),
         }
@@ -91,6 +98,17 @@ impl Default for OptimizeConfig {
 /// prove the survivor permissible by ATPG, commit it, and incrementally
 /// re-estimate — until no power-reducing substitution remains.
 pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
+    let jobs = powder_engine::resolve_jobs(config.jobs);
+    if jobs > 1 {
+        return crate::parallel::optimize_parallel(nl, config, jobs);
+    }
+    optimize_sequential(nl, config)
+}
+
+/// The sequential reference path (`jobs = 1`): the parallel engine's
+/// commit arbiter replays exactly these decisions, so every behavioural
+/// change here must be mirrored in `crate::parallel`.
+pub(crate) fn optimize_sequential(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
     let t0 = Instant::now();
     let covers = CellCovers::new(nl.library());
     let mut est = PowerEstimator::new(nl, &config.power);
@@ -126,6 +144,11 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
     let mut delay_rejections = 0usize;
     let mut phase = PhaseTimes::default();
     let mut inc = IncrementalStats::default();
+    let mut engine = EngineStats {
+        jobs: 1,
+        ..EngineStats::default()
+    };
+    let mut whatif_scratch = WhatIfScratch::default();
 
     // Retained across rounds in incremental mode: refreshed over dirty
     // cones after commits, fully regenerated only when the pattern set
@@ -164,6 +187,7 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
             .collect();
         scored.sort_by(|x, y| y.1.total_cmp(&x.1));
         phase.gain += t.elapsed().as_secs_f64();
+        engine.evaluated += scored.len();
         let mut consumed = vec![false; scored.len()];
 
         let mut progress = false;
@@ -186,6 +210,7 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
                     let s = &scored[i].0;
                     if !candidate_alive(nl, s) || !s.is_structurally_valid(nl) {
                         consumed[i] = true;
+                        engine.filtered += 1;
                     } else {
                         pre.push(i);
                     }
@@ -199,9 +224,13 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
             let t = Instant::now();
             let best = pre
                 .iter()
-                .map(|&i| (i, analyze_full(nl, &est, &scored[i].0).total()))
+                .map(|&i| {
+                    let g = analyze_full_with(nl, &est, &scored[i].0, &mut whatif_scratch);
+                    (i, g.total())
+                })
                 .max_by(|x, y| x.1.total_cmp(&y.1))
                 .expect("pre-selection is non-empty");
+            engine.full_gains += pre.len();
             phase.gain += t.elapsed().as_secs_f64();
             let (idx, gain) = best;
             if gain <= config.min_gain {
@@ -227,6 +256,7 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
 
             // check_candidate (exact ATPG).
             atpg_checks += 1;
+            engine.proved += 1;
             let t = Instant::now();
             let outcome = check_substitution(nl, &sub, config.backtrack_limit);
             phase.atpg += t.elapsed().as_secs_f64();
@@ -335,11 +365,13 @@ pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
         cpu_seconds: t0.elapsed().as_secs_f64(),
         phase,
         incremental: inc,
+        jobs: 1,
+        engine,
     }
 }
 
 /// All gates referenced by a candidate are still live.
-fn candidate_alive(nl: &Netlist, sub: &Substitution) -> bool {
+pub(crate) fn candidate_alive(nl: &Netlist, sub: &Substitution) -> bool {
     let (b, c) = sub.sources();
     if !nl.is_live(b) || c.is_some_and(|c| !nl.is_live(c)) {
         return false;
@@ -356,7 +388,7 @@ fn candidate_alive(nl: &Netlist, sub: &Substitution) -> bool {
 /// from-scratch recomputation, panicking on divergence. `values` is only
 /// supplied in incremental mode — the baseline deliberately leaves the
 /// retained buffer stale between rounds.
-fn cross_check_state(
+pub(crate) fn cross_check_state(
     nl: &Netlist,
     covers: &CellCovers,
     patterns: &Patterns,
@@ -424,7 +456,7 @@ fn cross_check_state(
 }
 
 /// Prepares the what-if timing description of a substitution (Section 3.4).
-fn substitution_timing(
+pub(crate) fn substitution_timing(
     nl: &Netlist,
     sta: &TimingAnalysis,
     sub: &Substitution,

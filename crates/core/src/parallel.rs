@@ -1,0 +1,690 @@
+//! The parallel candidate-evaluation pipeline (`jobs > 1`).
+//!
+//! POWDER's inner loop spends almost all of its time on three pure
+//! functions of the current netlist: fast `PG_A + PG_B` scoring, full
+//! `PG_C` what-if analysis, and ATPG permissibility proofs. This module
+//! runs those on a work-stealing [`WorkerPool`] against an immutable
+//! netlist snapshot while a sequential *commit arbiter* replays exactly
+//! the decision sequence of [`crate::optimizer::optimize_sequential`]:
+//!
+//! 1. **Filter** — every surviving candidate is fast-scored in
+//!    parallel, sharded into per-stem batches, then stable-sorted by
+//!    score (the candidate's position in this ordering is its stable
+//!    id for the round).
+//! 2. **Gain** — full what-if gains for the arbiter's pre-selection
+//!    window plus a speculative lookahead are computed in parallel;
+//!    each result is stored in a [`SpecCache`] together with the
+//!    [`Footprint`] of gates the computation read.
+//! 3. **Proof** — when the arbiter needs an ATPG verdict it predicts
+//!    the candidates that will reach ATPG next (assuming rejections,
+//!    the common case) and proves the whole batch in parallel on
+//!    per-worker [`CheckArena`]s.
+//! 4. **Arbitration** — the arbiter consumes cached results in the
+//!    sequential decision order: same pre-selection scan, same
+//!    last-max tie-break, same `min_gain` cut-off, same live delay
+//!    checks. Because every cached value is a pure function of the
+//!    netlist and bit-identical to what the sequential path would
+//!    compute in place, any `jobs` value commits the same
+//!    substitutions in the same order.
+//!
+//! After each commit the edit journal's dirty region is widened to
+//! [`DirtyBits`] and cached entries whose footprints intersect it are
+//! dropped; disjoint speculative work survives the commit and is
+//! consumed later without recomputation. Gains are invalidated by the
+//! full write set (touched ∪ removed ∪ refreshed cone — probabilities
+//! shift all the way downstream), proofs by the structural subset
+//! (touched ∪ removed) only. Results additionally persist in
+//! cross-round memo tables keyed by [`Substitution`], so a candidate
+//! regenerated in a later round reuses its verdict as long as its
+//! footprint stayed clean. Speculation depth tracks the hardware
+//! threads actually available, not the requested worker count — extra
+//! in-flight proofs only pay for themselves on idle cores.
+
+use crate::apply::apply_substitution;
+use crate::gain::{analyze_fast, analyze_full_with};
+use crate::optimizer::{
+    candidate_alive, cross_check_state, substitution_timing, DelayLimit, OptimizeConfig,
+};
+use crate::report::{AppliedSubstitution, IncrementalStats, OptimizeReport, PhaseTimes, SubClass};
+use powder_atpg::{generate_candidates, CheckArena, CheckOutcome, Substitution};
+use powder_engine::{
+    pool::batch_by_key, DirtyBits, EngineStats, Footprint, FootprintScratch, SpecCache, WorkerPool,
+};
+use powder_netlist::{ConeScratch, GateId, Netlist};
+use powder_power::{PowerEstimator, WhatIfScratch};
+use powder_sim::{resimulate_cone, simulate, CellCovers, Patterns, SimValues};
+use powder_timing::{TimingAnalysis, TimingConfig};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Per-stem batch ceiling for the cheap fast-scoring stage.
+const FAST_BATCH: usize = 64;
+/// Per-stem batch ceiling for full what-if gain evaluation.
+const GAIN_BATCH: usize = 4;
+
+/// The read footprint of one candidate: inclusive TFO of the rewired
+/// sinks plus the stem and replacement sources, closed under TFI. This
+/// covers every gate whose state `analyze_fast`, `analyze_full_with`,
+/// or `CheckArena::check` consult for the candidate.
+fn footprint_of(fs: &mut FootprintScratch, nl: &Netlist, sub: &Substitution) -> Footprint {
+    let sinks = sub.rewired_branches(nl).into_iter().map(|(g, _)| g);
+    let (b, c) = sub.sources();
+    let stem = sub.substituted_stem(nl);
+    let extras = [Some(stem), Some(b), c].into_iter().flatten();
+    fs.candidate_footprint(nl, sinks, extras)
+}
+
+/// Predicts the candidate ids the arbiter will send to ATPG after
+/// `first`, assuming every check rejects (rejection is the common case
+/// and the only assumption under which the loop state — `consumed`
+/// flags and the rejection budget — evolves without a netlist edit).
+/// The prediction replays the arbiter's own scan on a cloned `consumed`
+/// and stops as soon as a window member's gain is not cached, the best
+/// gain drops below `min_gain`, or the rejection budget runs out —
+/// under-prediction only shortens the speculative batch.
+#[allow(clippy::too_many_arguments)]
+fn plan_proof_batch(
+    nl: &Netlist,
+    scored: &[(Substitution, f64)],
+    gains: &SpecCache<f64>,
+    consumed: &[bool],
+    cursor: usize,
+    first: usize,
+    rejections: usize,
+    sta: Option<&TimingAnalysis>,
+    output_load: f64,
+    config: &OptimizeConfig,
+    max_batch: usize,
+) -> Vec<usize> {
+    let mut plan = vec![first];
+    let mut pred_consumed = consumed.to_vec();
+    let mut pred_cursor = cursor;
+    let mut pred_rej = rejections + 1;
+    while plan.len() < max_batch && pred_rej < config.max_rejections_per_round {
+        while pred_cursor < scored.len() && pred_consumed[pred_cursor] {
+            pred_cursor += 1;
+        }
+        let mut pre: Vec<usize> = Vec::with_capacity(config.preselect);
+        let mut i = pred_cursor;
+        while i < scored.len() && pre.len() < config.preselect {
+            if !pred_consumed[i] {
+                let s = &scored[i].0;
+                if !candidate_alive(nl, s) || !s.is_structurally_valid(nl) {
+                    pred_consumed[i] = true;
+                } else {
+                    pre.push(i);
+                }
+            }
+            i += 1;
+        }
+        if pre.is_empty() {
+            break;
+        }
+        // Same selection rule as the arbiter: maximum gain, last
+        // window member wins ties.
+        let mut best: Option<(usize, f64)> = None;
+        let mut complete = true;
+        for &i in &pre {
+            match gains.get(i) {
+                Some(&g) => {
+                    if best.is_none_or(|(_, bg)| g.total_cmp(&bg).is_ge()) {
+                        best = Some((i, g));
+                    }
+                }
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if !complete {
+            break;
+        }
+        let (bi, bg) = best.expect("window is non-empty");
+        if bg <= config.min_gain {
+            break;
+        }
+        pred_consumed[bi] = true;
+        if let Some(sta_ref) = sta {
+            let timing = substitution_timing(nl, sta_ref, &scored[bi].0, output_load);
+            if !sta_ref.check_substitution(&timing) {
+                pred_rej += 1;
+                continue;
+            }
+        }
+        plan.push(bi);
+        pred_rej += 1;
+    }
+    plan
+}
+
+/// Runs POWDER with the speculative work-stealing pipeline. Decision
+/// sequence and all committed substitutions are bit-identical to
+/// [`crate::optimizer::optimize_sequential`].
+pub(crate) fn optimize_parallel(
+    nl: &mut Netlist,
+    config: &OptimizeConfig,
+    jobs: usize,
+) -> OptimizeReport {
+    let t0 = Instant::now();
+    let pool = WorkerPool::new(jobs);
+    // A speculative proof batch covers the next few ATPG decisions; a
+    // gain lookahead keeps those predictions computable. Depth tracks
+    // the hardware threads actually available (capped by `jobs`):
+    // speculation is free only while it fills otherwise-idle cores, so
+    // an oversubscribed pool speculates as if it had `hardware`
+    // workers instead of queueing proofs a commit then invalidates.
+    let spec_workers = jobs.min(powder_engine::hardware_threads());
+    let proof_batch = if spec_workers > 1 {
+        (2 * spec_workers).max(4)
+    } else {
+        1
+    };
+    let lookahead = config.preselect + proof_batch + jobs;
+
+    let covers = CellCovers::new(nl.library());
+    let mut est = PowerEstimator::new(nl, &config.power);
+    let initial_power = est.circuit_power(nl);
+    let initial_area = nl.area();
+    let output_load = config.power.output_load;
+
+    let probe_cfg = TimingConfig {
+        output_load,
+        required_time: None,
+    };
+    let initial_delay = TimingAnalysis::new(nl, &probe_cfg).circuit_delay();
+    let required_time = config.delay_limit.map(|dl| match dl {
+        DelayLimit::Absolute(t) => t,
+        DelayLimit::Factor(f) => f * initial_delay,
+    });
+    let sta_cfg = TimingConfig {
+        output_load,
+        required_time,
+    };
+    let mut sta = required_time.map(|_| TimingAnalysis::new(nl, &sta_cfg));
+
+    nl.drain_dirty();
+
+    let mut patterns = Patterns::random(nl.inputs().len(), config.sim_words.max(1), config.seed);
+    let mut applied: Vec<AppliedSubstitution> = Vec::new();
+    let mut rounds = 0usize;
+    let mut atpg_checks = 0usize;
+    let mut atpg_rejections = 0usize;
+    let mut delay_rejections = 0usize;
+    let mut phase = PhaseTimes::default();
+    let mut inc = IncrementalStats::default();
+    let mut engine = EngineStats {
+        jobs,
+        ..EngineStats::default()
+    };
+
+    let mut values: Option<SimValues> = None;
+    let mut patterns_stale = true;
+    let mut cone_scratch = ConeScratch::new();
+    let mut cone: Vec<GateId> = Vec::new();
+
+    // Cross-round memoization. Gains and proofs are pure functions of
+    // the netlist restricted to their footprint: the estimator's
+    // analytic probabilities never read the pattern set, and neither
+    // does the permissibility miter. Candidate generation regenerates
+    // largely the same substitutions every round, so without a memo
+    // each round re-proves candidates whose checks aborted earlier —
+    // burning the full backtrack budget again for a verdict that
+    // cannot have changed. Entries survive round boundaries and are
+    // dropped by the same footprint-vs-dirty test as the per-round
+    // caches, which keeps every consumed value bit-identical to an
+    // in-place recomputation.
+    let mut gain_memo: BTreeMap<Substitution, (Footprint, f64)> = BTreeMap::new();
+    let mut proof_memo: BTreeMap<Substitution, (Footprint, CheckOutcome)> = BTreeMap::new();
+
+    for _round in 0..config.max_rounds {
+        rounds += 1;
+        let t = Instant::now();
+        if !config.incremental || patterns_stale || values.is_none() {
+            values = Some(simulate(nl, &covers, &patterns));
+            patterns_stale = false;
+            inc.full_resims += 1;
+        }
+        phase.simulation += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let cands = {
+            let values = values.as_ref().expect("simulated above");
+            generate_candidates(nl, &covers, values, &config.candidates)
+        };
+        phase.candidates += t.elapsed().as_secs_f64();
+        if cands.is_empty() {
+            break;
+        }
+
+        // --- Stage 1: parallel fast scoring, sharded per stem. ---
+        let t = Instant::now();
+        let fast: Vec<Option<f64>> = {
+            let nl_snap: &Netlist = &*nl;
+            let est_ref = &est;
+            let batches = batch_by_key(
+                (0..cands.len() as u32).map(|i| (i, cands[i as usize].substituted_stem(nl_snap))),
+                FAST_BATCH,
+            );
+            pool.run_batches(
+                &cands,
+                &batches,
+                || (),
+                |_, _, s| analyze_fast(nl_snap, est_ref, s).fast(),
+            )
+        };
+        let mut scored: Vec<(Substitution, f64)> = cands
+            .into_iter()
+            .zip(fast)
+            .map(|(s, f)| (s, f.expect("every candidate is batched")))
+            .collect();
+        scored.sort_by(|x, y| y.1.total_cmp(&x.1));
+        let wall = t.elapsed().as_secs_f64();
+        phase.gain += wall;
+        engine.filter_seconds += wall;
+        engine.evaluated += scored.len();
+
+        let n = scored.len();
+        let mut consumed = vec![false; n];
+        let mut gains: SpecCache<f64> = SpecCache::new(n);
+        let mut proofs: SpecCache<CheckOutcome> = SpecCache::new(n);
+        // Seed this round's caches with every memoized result that is
+        // still footprint-clean; re-generated candidates skip straight
+        // to arbitration.
+        for (id, (s, _)) in scored.iter().enumerate() {
+            if let Some((fp, g)) = gain_memo.get(s) {
+                gains.insert(id, fp.clone(), *g);
+            }
+            if let Some((fp, outcome)) = proof_memo.get(s) {
+                proofs.insert(id, fp.clone(), outcome.clone());
+            }
+        }
+        // Candidates whose cached results a commit discarded; counted
+        // as retried when they are re-evaluated on demand.
+        let mut dropped_mark = vec![false; n];
+
+        let mut progress = false;
+        let mut learned = false;
+        let mut repeat_left = config.repeat;
+        let mut rejections_this_round = 0usize;
+        let mut cursor = 0usize;
+        let t_inner = Instant::now();
+        let mut round_parallel_wall = 0.0f64;
+        'inner: while repeat_left > 0 && rejections_this_round < config.max_rejections_per_round {
+            while cursor < n && consumed[cursor] {
+                cursor += 1;
+            }
+            // Pre-select the next `preselect` live candidates — the
+            // same scan, in the same order, as the sequential path.
+            let mut pre: Vec<usize> = Vec::with_capacity(config.preselect);
+            let mut i = cursor;
+            while i < n && pre.len() < config.preselect {
+                if !consumed[i] {
+                    let s = &scored[i].0;
+                    if !candidate_alive(nl, s) || !s.is_structurally_valid(nl) {
+                        consumed[i] = true;
+                        engine.filtered += 1;
+                    } else {
+                        pre.push(i);
+                    }
+                }
+                i += 1;
+            }
+            if pre.is_empty() {
+                break 'inner;
+            }
+
+            // --- Stage 2: ensure gains for the window, speculate on
+            // the candidates behind it. ---
+            let mut want: Vec<u32> = pre
+                .iter()
+                .filter(|&&id| gains.get(id).is_none())
+                .map(|&id| id as u32)
+                .collect();
+            {
+                let mut seen_live = 0usize;
+                let mut j = i;
+                while j < n && seen_live < lookahead {
+                    if !consumed[j] {
+                        let s = &scored[j].0;
+                        if candidate_alive(nl, s) && s.is_structurally_valid(nl) {
+                            seen_live += 1;
+                            if gains.get(j).is_none() {
+                                want.push(j as u32);
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            if !want.is_empty() {
+                let t = Instant::now();
+                let results = {
+                    let nl_snap: &Netlist = &*nl;
+                    let est_ref = &est;
+                    let scored_ref = &scored;
+                    let batches = batch_by_key(
+                        want.iter()
+                            .map(|&id| (id, scored_ref[id as usize].0.substituted_stem(nl_snap))),
+                        GAIN_BATCH,
+                    );
+                    pool.run_batches(
+                        scored_ref.as_slice(),
+                        &batches,
+                        || (WhatIfScratch::default(), FootprintScratch::default()),
+                        |ctx, _, (sub, _)| {
+                            let (ws, fs) = ctx;
+                            let fp = footprint_of(fs, nl_snap, sub);
+                            let g = analyze_full_with(nl_snap, est_ref, sub, ws).total();
+                            (fp, g)
+                        },
+                    )
+                };
+                for (id, r) in results.into_iter().enumerate() {
+                    if let Some((fp, g)) = r {
+                        if dropped_mark[id] {
+                            dropped_mark[id] = false;
+                            engine.retried += 1;
+                        }
+                        gain_memo.insert(scored[id].0, (fp.clone(), g));
+                        gains.insert(id, fp, g);
+                    }
+                }
+                engine.full_gains += want.len();
+                let wall = t.elapsed().as_secs_f64();
+                phase.gain += wall;
+                engine.gain_seconds += wall;
+                round_parallel_wall += wall;
+            }
+
+            let best = pre
+                .iter()
+                .map(|&id| (id, *gains.get(id).expect("window gains ensured above")))
+                .max_by(|x, y| x.1.total_cmp(&y.1))
+                .expect("pre-selection is non-empty");
+            let (idx, gain) = best;
+            if gain <= config.min_gain {
+                break 'inner;
+            }
+            let sub = scored[idx].0;
+            consumed[idx] = true;
+
+            // check_delay (Section 3.4) — always live: timing state is
+            // cheap to query and changes with every commit.
+            if let Some(sta_ref) = &sta {
+                let t = Instant::now();
+                let timing = substitution_timing(nl, sta_ref, &sub, output_load);
+                let ok = sta_ref.check_substitution(&timing);
+                phase.timing += t.elapsed().as_secs_f64();
+                if !ok {
+                    delay_rejections += 1;
+                    rejections_this_round += 1;
+                    continue 'inner;
+                }
+            }
+
+            // --- Stage 3: ATPG proofs, speculatively batched. ---
+            atpg_checks += 1;
+            if proofs.get(idx).is_some() {
+                engine.speculative_hits += 1;
+            } else {
+                let t = Instant::now();
+                let plan = plan_proof_batch(
+                    nl,
+                    &scored,
+                    &gains,
+                    &consumed,
+                    cursor,
+                    idx,
+                    rejections_this_round,
+                    sta.as_ref(),
+                    output_load,
+                    config,
+                    proof_batch,
+                );
+                let todo: Vec<u32> = plan
+                    .iter()
+                    .filter(|&&id| proofs.get(id).is_none())
+                    .map(|&id| id as u32)
+                    .collect();
+                let results = {
+                    let nl_snap: &Netlist = &*nl;
+                    let scored_ref = &scored;
+                    let bl = config.backtrack_limit;
+                    // One proof per batch: proofs dominate the
+                    // pipeline, so maximal stealing wins.
+                    let batches: Vec<Vec<u32>> = todo.iter().map(|&id| vec![id]).collect();
+                    pool.run_batches(
+                        scored_ref.as_slice(),
+                        &batches,
+                        CheckArena::new,
+                        |arena, _, (s, _)| arena.check(nl_snap, s, bl),
+                    )
+                };
+                engine.proved += todo.len();
+                for (id, r) in results.into_iter().enumerate() {
+                    if let Some(outcome) = r {
+                        if dropped_mark[id] {
+                            dropped_mark[id] = false;
+                            engine.retried += 1;
+                        }
+                        let fp = gains
+                            .footprint(id)
+                            .cloned()
+                            .expect("planned proofs have cached gains");
+                        proof_memo.insert(scored[id].0, (fp.clone(), outcome.clone()));
+                        proofs.insert(id, fp, outcome);
+                    }
+                }
+                let wall = t.elapsed().as_secs_f64();
+                phase.atpg += wall;
+                engine.proof_seconds += wall;
+                round_parallel_wall += wall;
+            }
+            let outcome = proofs.take(idx).expect("proof ensured above");
+
+            match outcome {
+                CheckOutcome::Permissible => {
+                    let t_apply = Instant::now();
+                    let power_before = if config.incremental {
+                        est.total_power()
+                    } else {
+                        inc.full_power_rescans += 1;
+                        est.circuit_power(nl)
+                    };
+                    let area_before = nl.area();
+                    apply_substitution(nl, &sub);
+                    let region = nl.drain_dirty();
+                    cone.clear();
+                    cone_scratch.cone_topo(nl, region.touched().iter().copied(), &mut cone);
+                    est.retire_gates(region.removed());
+                    est.update_cone(nl, &cone);
+                    let power_after = if config.incremental {
+                        inc.incremental_power_updates += 1;
+                        est.total_power()
+                    } else {
+                        inc.full_power_rescans += 1;
+                        est.circuit_power(nl)
+                    };
+                    phase.apply += t_apply.elapsed().as_secs_f64();
+                    applied.push(AppliedSubstitution {
+                        substitution: sub,
+                        class: SubClass::of(&sub),
+                        power_saved: power_before - power_after,
+                        area_delta: nl.area() - area_before,
+                    });
+                    if config.incremental {
+                        let t = Instant::now();
+                        if let Some(v) = values.as_mut() {
+                            resimulate_cone(nl, &covers, v, &cone);
+                            inc.incremental_resims += 1;
+                        }
+                        phase.simulation += t.elapsed().as_secs_f64();
+                    }
+                    if let Some(sta_ref) = sta.as_mut() {
+                        let t = Instant::now();
+                        if config.incremental {
+                            sta_ref.update(nl, &region);
+                            inc.incremental_sta_updates += 1;
+                        } else {
+                            *sta_ref = TimingAnalysis::new(nl, &sta_cfg);
+                            inc.full_sta_rebuilds += 1;
+                        }
+                        phase.timing += t.elapsed().as_secs_f64();
+                    }
+                    if config.cross_check {
+                        inc.cross_checks += 1;
+                        cross_check_state(
+                            nl,
+                            &covers,
+                            &patterns,
+                            &est,
+                            config.incremental.then_some(values.as_ref()).flatten(),
+                            sta.as_ref(),
+                        );
+                    }
+                    // Invalidate exactly the in-flight results that
+                    // read what this commit wrote. Gains read the
+                    // estimator's probabilities, which shift all the
+                    // way down the refreshed cone; proofs read only
+                    // netlist *structure*, which changes at the
+                    // touched and removed gates alone — every mutator
+                    // journals each gate whose fanin or fanout list it
+                    // edits, so a proof whose footprint misses that
+                    // set would re-derive the identical miter and
+                    // verdict, and keeps its cached outcome.
+                    let dirty = DirtyBits::from_commit(
+                        region.touched().iter().copied(),
+                        region.removed(),
+                        &cone,
+                    );
+                    let structural = DirtyBits::from_commit(
+                        region.touched().iter().copied(),
+                        region.removed(),
+                        &[],
+                    );
+                    let mut mark = |id: usize| {
+                        if !consumed[id] {
+                            dropped_mark[id] = true;
+                        }
+                    };
+                    engine.invalidated += gains.invalidate(&dirty, &mut mark);
+                    engine.invalidated += proofs.invalidate(&structural, &mut mark);
+                    gain_memo.retain(|_, (fp, _)| !fp.intersects(&dirty));
+                    proof_memo.retain(|_, (fp, _)| !fp.intersects(&structural));
+                    repeat_left -= 1;
+                    progress = true;
+                }
+                CheckOutcome::NotPermissible(witness) => {
+                    atpg_rejections += 1;
+                    rejections_this_round += 1;
+                    // Pattern learning only affects the next round's
+                    // candidate generation; cached gains and proofs do
+                    // not read the pattern set, so nothing invalidates.
+                    patterns.push_pattern(&witness);
+                    patterns_stale = true;
+                    learned = true;
+                }
+                CheckOutcome::Aborted => {
+                    atpg_rejections += 1;
+                    rejections_this_round += 1;
+                }
+            }
+        }
+        engine.arbiter_seconds += (t_inner.elapsed().as_secs_f64() - round_parallel_wall).max(0.0);
+        if !progress && !learned {
+            break;
+        }
+    }
+
+    let final_delay = TimingAnalysis::new(nl, &probe_cfg).circuit_delay();
+    OptimizeReport {
+        initial_power,
+        final_power: est.circuit_power(nl),
+        initial_area,
+        final_area: nl.area(),
+        initial_delay,
+        final_delay,
+        applied,
+        rounds,
+        atpg_checks,
+        atpg_rejections,
+        delay_rejections,
+        cpu_seconds: t0.elapsed().as_secs_f64(),
+        phase,
+        incremental: inc,
+        jobs,
+        engine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::optimizer::{optimize, DelayLimit, OptimizeConfig};
+    use powder_library::lib2;
+    use powder_netlist::Netlist;
+    use std::sync::Arc;
+
+    fn redundant_circuit() -> Netlist {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let or2 = lib.find_by_name("or2").unwrap();
+        let xor2 = lib.find_by_name("xor2").unwrap();
+        let mut nl = Netlist::new("redundant", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl.add_cell("g1", and2, &[a, b]);
+        let g2 = nl.add_cell("g2", and2, &[b, a]);
+        let g3 = nl.add_cell("g3", or2, &[g1, g2]);
+        let g4 = nl.add_cell("g4", xor2, &[g3, c]);
+        nl.add_output("f", g4);
+        nl
+    }
+
+    /// The pipeline commits the exact substitution sequence of the
+    /// sequential path and lands on the same power, area, and delay.
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        for delay_limit in [None, Some(DelayLimit::Factor(1.5))] {
+            let mut nl_seq = redundant_circuit();
+            let mut nl_par = redundant_circuit();
+            let cfg_seq = OptimizeConfig {
+                jobs: 1,
+                delay_limit,
+                ..OptimizeConfig::default()
+            };
+            let cfg_par = OptimizeConfig {
+                jobs: 4,
+                ..cfg_seq.clone()
+            };
+            let r_seq = optimize(&mut nl_seq, &cfg_seq);
+            let r_par = optimize(&mut nl_par, &cfg_par);
+            nl_par.validate().unwrap();
+            assert_eq!(r_par.jobs, 4);
+            assert_eq!(r_seq.jobs, 1);
+            let subs_seq: Vec<_> = r_seq.applied.iter().map(|a| a.substitution).collect();
+            let subs_par: Vec<_> = r_par.applied.iter().map(|a| a.substitution).collect();
+            assert_eq!(subs_seq, subs_par, "decision sequences diverged");
+            assert_eq!(r_seq.final_power, r_par.final_power, "power diverged");
+            assert_eq!(r_seq.final_area, r_par.final_area);
+            assert_eq!(r_seq.final_delay, r_par.final_delay);
+            assert_eq!(r_seq.atpg_checks, r_par.atpg_checks);
+        }
+    }
+
+    /// Speculation pays off on the example: at least one proof is
+    /// consumed from the cache without recomputation.
+    #[test]
+    fn pipeline_counters_are_populated() {
+        let mut nl = redundant_circuit();
+        let cfg = OptimizeConfig {
+            jobs: 2,
+            ..OptimizeConfig::default()
+        };
+        let report = optimize(&mut nl, &cfg);
+        assert!(!report.applied.is_empty());
+        assert!(report.engine.evaluated > 0);
+        assert!(report.engine.full_gains > 0);
+        assert!(report.engine.proved + report.engine.speculative_hits >= report.atpg_checks);
+    }
+}

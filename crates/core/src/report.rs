@@ -1,6 +1,7 @@
 //! Optimization reports and the per-class statistics behind Table 2.
 
 use powder_atpg::Substitution;
+use powder_engine::EngineStats;
 use std::fmt;
 
 /// The four substitution classes of the paper (inverted variants count
@@ -152,6 +153,10 @@ pub struct OptimizeReport {
     pub phase: PhaseTimes,
     /// Incremental-versus-full refresh counters.
     pub incremental: IncrementalStats,
+    /// Resolved worker count the run used (1 = sequential path).
+    pub jobs: usize,
+    /// Candidate-evaluation pipeline counters and stage wall times.
+    pub engine: EngineStats,
 }
 
 impl OptimizeReport {
@@ -217,7 +222,7 @@ impl fmt::Display for OptimizeReport {
             self.delay_rejections,
             self.cpu_seconds,
         )?;
-        write!(
+        writeln!(
             f,
             "refreshes: sta {}i/{}f, sim {}i/{}f, power {}i/{}f",
             self.incremental.incremental_sta_updates,
@@ -226,6 +231,19 @@ impl fmt::Display for OptimizeReport {
             self.incremental.full_resims,
             self.incremental.incremental_power_updates,
             self.incremental.full_power_rescans,
+        )?;
+        write!(
+            f,
+            "engine: jobs {}, {} scored, {} filtered, {} full gains, {} proofs \
+             ({} speculative hits), {} invalidated, {} retried",
+            self.jobs,
+            self.engine.evaluated,
+            self.engine.filtered,
+            self.engine.full_gains,
+            self.engine.proved,
+            self.engine.speculative_hits,
+            self.engine.invalidated,
+            self.engine.retried,
         )
     }
 }
@@ -286,6 +304,8 @@ mod tests {
             cpu_seconds: 0.1,
             phase: PhaseTimes::default(),
             incremental: IncrementalStats::default(),
+            jobs: 1,
+            engine: EngineStats::default(),
         };
         assert!((r.power_reduction_percent() - 40.0).abs() < 1e-12);
         assert!((r.area_reduction_percent() - 5.0).abs() < 1e-12);

@@ -1,0 +1,145 @@
+//! Speculative result cache with footprint-based invalidation.
+//!
+//! One slot per candidate (indexed by the candidate's stable id — its
+//! position in the round's scored ordering). Each occupied slot pairs
+//! the computed value with the [`Footprint`] the computation read.
+//! After a commit, [`SpecCache::invalidate`] drops exactly the slots
+//! whose footprints intersect the commit's [`DirtyBits`]; disjoint
+//! results survive and remain bit-identical to what a recomputation
+//! against the edited netlist would produce.
+
+use crate::footprint::{DirtyBits, Footprint};
+
+/// Per-candidate speculative results for one optimizer round.
+#[derive(Clone, Debug)]
+pub struct SpecCache<V> {
+    slots: Vec<Option<(Footprint, V)>>,
+}
+
+impl<V> SpecCache<V> {
+    /// A cache with `n` empty slots (candidate ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        SpecCache { slots }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the cache has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The cached value for candidate `id`, if present and valid.
+    pub fn get(&self, id: usize) -> Option<&V> {
+        self.slots.get(id).and_then(|s| s.as_ref()).map(|(_, v)| v)
+    }
+
+    /// The footprint recorded for candidate `id`, if present.
+    pub fn footprint(&self, id: usize) -> Option<&Footprint> {
+        self.slots.get(id).and_then(|s| s.as_ref()).map(|(f, _)| f)
+    }
+
+    /// Stores a result for candidate `id`, replacing any prior entry.
+    pub fn insert(&mut self, id: usize, footprint: Footprint, value: V) {
+        self.slots[id] = Some((footprint, value));
+    }
+
+    /// Removes and returns the value for candidate `id`.
+    pub fn take(&mut self, id: usize) -> Option<V> {
+        self.slots
+            .get_mut(id)
+            .and_then(|s| s.take())
+            .map(|(_, v)| v)
+    }
+
+    /// Drops every slot whose footprint intersects `dirty`, calling
+    /// `dropped` with each victim's candidate id, and returns how many
+    /// entries were discarded. Disjoint entries are untouched.
+    pub fn invalidate(&mut self, dirty: &DirtyBits, mut dropped: impl FnMut(usize)) -> usize {
+        if dirty.is_empty() {
+            return 0;
+        }
+        let mut n = 0;
+        for (id, slot) in self.slots.iter_mut().enumerate() {
+            if let Some((fp, _)) = slot {
+                if fp.intersects(dirty) {
+                    *slot = None;
+                    dropped(id);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::FootprintScratch;
+    use powder_library::lib2;
+    use powder_netlist::Netlist;
+    use std::sync::Arc;
+
+    /// Conflict-invalidation contract (ISSUE 2 satellite): an in-flight
+    /// result whose support/fanout cone intersects a committed dirty
+    /// region is discarded and re-enqueued; one outside the region
+    /// survives. Two disjoint cones: (x0,x1)→a→n→f and x2→m→g.
+    #[test]
+    fn commit_drops_conflicting_entries_and_spares_disjoint_ones() {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let inv = lib.find_by_name("inv1").unwrap();
+        let mut nl = Netlist::new("spec", lib);
+        let x0 = nl.add_input("x0");
+        let x1 = nl.add_input("x1");
+        let x2 = nl.add_input("x2");
+        let a = nl.add_cell("a", and2, &[x0, x1]);
+        let n = nl.add_cell("n", inv, &[a]);
+        let m = nl.add_cell("m", inv, &[x2]);
+        nl.add_output("f", n);
+        nl.add_output("g", m);
+        nl.drain_dirty();
+
+        let mut scratch = FootprintScratch::default();
+        let mut cache: SpecCache<u32> = SpecCache::new(2);
+        // Candidate 0 read the a/n cone; candidate 1 read the m cone.
+        cache.insert(0, scratch.candidate_footprint(&nl, [n], [a]), 10);
+        cache.insert(1, scratch.candidate_footprint(&nl, [m], [x2]), 20);
+
+        // Commit an edit inside candidate 0's cone: rewire n's fanin
+        // (a → x0) and sweep the now-dangling AND gate.
+        nl.replace_fanin(n, 0, x0);
+        nl.sweep_from(a);
+        let region = nl.drain_dirty();
+        let cone = nl.dirty_cone(&region);
+        let dirty =
+            DirtyBits::from_commit(region.touched().iter().copied(), region.removed(), &cone);
+
+        let mut requeued = Vec::new();
+        let invalidated = cache.invalidate(&dirty, |id| requeued.push(id));
+        assert_eq!(invalidated, 1);
+        assert_eq!(requeued, vec![0], "conflicting result must be re-enqueued");
+        assert!(cache.get(0).is_none(), "conflicting result must be dropped");
+        assert_eq!(
+            cache.get(1),
+            Some(&20),
+            "result outside the dirty region must survive"
+        );
+    }
+
+    #[test]
+    fn take_consumes_and_insert_replaces() {
+        let mut cache: SpecCache<&str> = SpecCache::new(1);
+        cache.insert(0, Footprint::default(), "a");
+        cache.insert(0, Footprint::default(), "b");
+        assert_eq!(cache.take(0), Some("b"));
+        assert_eq!(cache.take(0), None);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Scoped work-stealing worker pool.
+//!
+//! Each parallel phase hands the pool a slice of items plus a batch
+//! plan (lists of item indices — the optimizer batches candidates per
+//! stem so one worker keeps cache-warm state for a stem's variants).
+//! Batches are dealt round-robin onto per-worker deques; a worker pops
+//! from the front of its own deque and steals from the back of others
+//! when it runs dry. Results are returned positionally, so callers see
+//! a deterministic layout regardless of which worker computed what.
+//!
+//! The pool uses [`std::thread::scope`], so tasks may borrow from the
+//! caller's stack (the shared netlist snapshot, estimator, etc.).
+//! Per-worker mutable context (solver arenas, what-if scratch) is
+//! created inside each worker via `make_ctx`, which keeps those
+//! structures out of the `Send`/`Sync` bounds entirely.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-width work-stealing pool. Threads are spawned per call and
+/// joined before it returns; the type only carries the worker count.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerPool {
+    jobs: usize,
+}
+
+impl WorkerPool {
+    /// A pool that runs phases on `jobs` workers (minimum 1).
+    pub fn new(jobs: usize) -> Self {
+        WorkerPool { jobs: jobs.max(1) }
+    }
+
+    /// Configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `work` over every index in `batches`, stealing across
+    /// workers, and scatters results back by item index: slot `i` of
+    /// the returned vector holds the result for `items[i]` (or `None`
+    /// if no batch named `i`).
+    ///
+    /// `make_ctx` builds one mutable context per worker; `work`
+    /// receives it together with the item index and item. With one
+    /// worker (or one batch) everything runs inline on the caller's
+    /// thread — no spawn, identical results.
+    pub fn run_batches<T, R, C>(
+        &self,
+        items: &[T],
+        batches: &[Vec<u32>],
+        make_ctx: impl Fn() -> C + Sync,
+        work: impl Fn(&mut C, u32, &T) -> R + Sync,
+    ) -> Vec<Option<R>>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+        out.resize_with(items.len(), || None);
+        let workers = self.jobs.min(batches.len().max(1));
+        if workers <= 1 {
+            let mut ctx = make_ctx();
+            for batch in batches {
+                for &i in batch {
+                    out[i as usize] = Some(work(&mut ctx, i, &items[i as usize]));
+                }
+            }
+            return out;
+        }
+
+        // Deal batches round-robin; workers pop their own front and
+        // steal others' backs. `pending` counts undealt batches so
+        // idle workers know when to exit.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                Mutex::new(
+                    (0..batches.len())
+                        .filter(|b| b % workers == w)
+                        .collect::<VecDeque<_>>(),
+                )
+            })
+            .collect();
+        let pending = AtomicUsize::new(batches.len());
+
+        let results: Vec<Vec<(u32, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let pending = &pending;
+                    let make_ctx = &make_ctx;
+                    let work = &work;
+                    s.spawn(move || {
+                        let mut ctx = make_ctx();
+                        let mut local: Vec<(u32, R)> = Vec::new();
+                        loop {
+                            let grabbed = {
+                                let own = queues[w].lock().expect("pool queue").pop_front();
+                                own.or_else(|| {
+                                    (1..workers).find_map(|d| {
+                                        queues[(w + d) % workers]
+                                            .lock()
+                                            .expect("pool queue")
+                                            .pop_back()
+                                    })
+                                })
+                            };
+                            match grabbed {
+                                Some(b) => {
+                                    pending.fetch_sub(1, Ordering::Relaxed);
+                                    for &i in &batches[b] {
+                                        local.push((i, work(&mut ctx, i, &items[i as usize])));
+                                    }
+                                }
+                                None => {
+                                    if pending.load(Ordering::Relaxed) == 0 {
+                                        break;
+                                    }
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        });
+
+        for worker_results in results {
+            for (i, r) in worker_results {
+                out[i as usize] = Some(r);
+            }
+        }
+        out
+    }
+}
+
+/// Groups item indices into batches by a key (e.g. the candidate's
+/// stem gate), preserving first-seen key order and the item order
+/// within each batch. Oversized groups are split at `max_batch`.
+pub fn batch_by_key<K: PartialEq + Copy>(
+    keys: impl IntoIterator<Item = (u32, K)>,
+    max_batch: usize,
+) -> Vec<Vec<u32>> {
+    let max_batch = max_batch.max(1);
+    let mut batches: Vec<(K, Vec<u32>)> = Vec::new();
+    for (idx, key) in keys {
+        match batches.last_mut() {
+            Some((k, b)) if *k == key && b.len() < max_batch => b.push(idx),
+            _ => batches.push((key, vec![idx])),
+        }
+    }
+    batches.into_iter().map(|(_, b)| b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn results_are_positional_and_complete() {
+        let items: Vec<u64> = (0..97).collect();
+        let batches = batch_by_key(items.iter().map(|&i| (i as u32, i / 5)), 4);
+        for jobs in [1, 4] {
+            let pool = WorkerPool::new(jobs);
+            let out = pool.run_batches(&items, &batches, || (), |_, _, &x| x * x);
+            for (i, r) in out.iter().enumerate() {
+                assert_eq!(*r, Some((i as u64) * (i as u64)), "jobs={jobs} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_batches_leave_unnamed_slots_empty() {
+        let items = [10u32, 20, 30];
+        let pool = WorkerPool::new(4);
+        let out = pool.run_batches(&items, &[vec![2], vec![0]], || (), |_, _, &x| x + 1);
+        assert_eq!(out, vec![Some(11), None, Some(31)]);
+    }
+
+    #[test]
+    fn per_worker_context_is_reused_within_a_worker() {
+        // Single worker: the same context visits every item, so the
+        // counter observes all of them in order.
+        let items = [0u8; 6];
+        let pool = WorkerPool::new(1);
+        let out = pool.run_batches(
+            &items,
+            &[vec![0, 1, 2], vec![3, 4, 5]],
+            || Cell::new(0u32),
+            |ctx, _, _| {
+                ctx.set(ctx.get() + 1);
+                ctx.get()
+            },
+        );
+        let seen: Vec<u32> = out.into_iter().flatten().collect();
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn batch_by_key_groups_runs_and_splits_large_ones() {
+        let keys = [(0u32, 7u32), (1, 7), (2, 7), (3, 9), (4, 7)];
+        let batches = batch_by_key(keys, 2);
+        assert_eq!(batches, vec![vec![0, 1], vec![2], vec![3], vec![4]]);
+    }
+}

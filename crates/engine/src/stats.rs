@@ -1,0 +1,65 @@
+//! Per-stage counters and wall times for the evaluation pipeline.
+
+/// Counters describing one optimizer run's trip through the engine.
+///
+/// Wall times are measured on the arbiter thread around each parallel
+/// phase, so they nest inside the run's total CPU time even when many
+/// workers are active.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// Resolved worker count the run used.
+    pub jobs: usize,
+    /// Candidates fast-scored (signature/ODC-filtered survivors that
+    /// received a PG_A+PG_B estimate).
+    pub evaluated: usize,
+    /// Candidates dropped by the arbiter's liveness/validity scan
+    /// before any expensive evaluation (dead stem, stale structure).
+    pub filtered: usize,
+    /// Full what-if gain evaluations (PG_C) computed, including
+    /// speculative ones.
+    pub full_gains: usize,
+    /// ATPG permissibility proofs executed, including speculative ones.
+    pub proved: usize,
+    /// Proof results that were computed ahead of arbiter demand and
+    /// later consumed from the cache without recomputation.
+    pub speculative_hits: usize,
+    /// Cached results (gains or proofs) discarded because a commit's
+    /// dirty region intersected their read footprint.
+    pub invalidated: usize,
+    /// Previously invalidated candidates that were re-evaluated after
+    /// being re-enqueued.
+    pub retried: usize,
+    /// Wall seconds in the parallel fast-scoring (filter) stage.
+    pub filter_seconds: f64,
+    /// Wall seconds in the parallel full-gain stage.
+    pub gain_seconds: f64,
+    /// Wall seconds in the parallel ATPG proof stage.
+    pub proof_seconds: f64,
+    /// Wall seconds in the sequential commit arbiter (decision replay,
+    /// commits, invalidation).
+    pub arbiter_seconds: f64,
+}
+
+impl EngineStats {
+    /// Sum of all pipeline stage wall times.
+    pub fn stage_seconds(&self) -> f64 {
+        self.filter_seconds + self.gain_seconds + self.proof_seconds + self.arbiter_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::EngineStats;
+
+    #[test]
+    fn stage_seconds_sums_all_stages() {
+        let stats = EngineStats {
+            filter_seconds: 0.5,
+            gain_seconds: 1.0,
+            proof_seconds: 2.0,
+            arbiter_seconds: 0.25,
+            ..EngineStats::default()
+        };
+        assert!((stats.stage_seconds() - 3.75).abs() < 1e-12);
+    }
+}

@@ -49,7 +49,6 @@
 pub mod glitch;
 
 use powder_netlist::{ConeScratch, GateId, GateKind, Netlist};
-use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Configuration of the power model.
@@ -101,12 +100,18 @@ pub struct WhatIfEdit {
     pub source: WhatIfSource,
 }
 
-/// Reusable buffers for [`PowerEstimator::whatif_foreach`], making the
-/// per-candidate what-if query allocation-free in the steady state.
+/// Reusable buffers for [`PowerEstimator::whatif_foreach_with`], making
+/// the per-candidate what-if query allocation-free in the steady state.
 /// Overlay probabilities are tracked with a stamp array so no per-query
 /// clearing is needed.
+///
+/// The scratch is owned by the caller (one per evaluation context —
+/// the sequential optimizer holds one, each parallel worker holds its
+/// own), which keeps [`PowerEstimator`] free of interior mutability
+/// and therefore `Sync`: an immutable estimator can serve what-if
+/// queries from many threads concurrently.
 #[derive(Clone, Debug, Default)]
-struct WhatIfScratch {
+pub struct WhatIfScratch {
     cone: ConeScratch,
     region: Vec<GateId>,
     overlay: Vec<f64>,
@@ -131,7 +136,6 @@ pub struct PowerEstimator {
     contrib: Vec<f64>,
     /// Running `Σ C(i)·E(i)` over live non-output gates.
     total: f64,
-    scratch: RefCell<WhatIfScratch>,
 }
 
 impl PowerEstimator {
@@ -144,7 +148,6 @@ impl PowerEstimator {
             probs: vec![0.0; nl.id_bound()],
             contrib: vec![0.0; nl.id_bound()],
             total: 0.0,
-            scratch: RefCell::new(WhatIfScratch::default()),
         };
         for (i, &pi) in nl.inputs().iter().enumerate() {
             est.probs[pi.0 as usize] = config.input_prob(i);
@@ -259,21 +262,22 @@ impl PowerEstimator {
     /// for each, without modifying the netlist.
     ///
     /// This is the per-candidate hot path behind the paper's `PG_C`
-    /// term: all bookkeeping lives in reusable scratch buffers held by
-    /// the estimator, so repeated queries perform no allocation in the
-    /// steady state and touch only the affected region (no global
-    /// topological sort).
-    pub fn whatif_foreach(
+    /// term: all bookkeeping lives in the caller-owned
+    /// [`WhatIfScratch`], so repeated queries perform no allocation in
+    /// the steady state and touch only the affected region (no global
+    /// topological sort). Results do not depend on the scratch's prior
+    /// contents, so any scratch — fresh or reused, shared or
+    /// per-worker — yields bit-identical visits.
+    pub fn whatif_foreach_with(
         &self,
         nl: &Netlist,
         edits: &[WhatIfEdit],
+        s: &mut WhatIfScratch,
         mut visit: impl FnMut(GateId, f64),
     ) {
         if edits.is_empty() {
             return;
         }
-        let mut scratch = self.scratch.borrow_mut();
-        let s = &mut *scratch;
         let bound = nl.id_bound();
         if s.overlay.len() < bound {
             s.overlay.resize(bound, 0.0);
@@ -329,6 +333,18 @@ impl PowerEstimator {
             s.stamp[g.0 as usize] = r;
             visit(g, p);
         }
+    }
+
+    /// [`PowerEstimator::whatif_foreach_with`] with a throwaway scratch.
+    /// Convenience for one-off queries and tests; hot paths should hold
+    /// a [`WhatIfScratch`] and use the `_with` form.
+    pub fn whatif_foreach(
+        &self,
+        nl: &Netlist,
+        edits: &[WhatIfEdit],
+        visit: impl FnMut(GateId, f64),
+    ) {
+        self.whatif_foreach_with(nl, edits, &mut WhatIfScratch::default(), visit);
     }
 
     /// Probabilities the gates in the transitive fanout of the edits would
@@ -533,6 +549,15 @@ mod tests {
         assert_eq!(first, second);
         assert!(first.iter().any(|&(g, _)| g == ids[4]));
         assert!(first.iter().any(|&(g, _)| g == ids[5]));
+    }
+
+    /// The parallel evaluation engine shares one immutable estimator
+    /// across workers; this must stay a compile-time guarantee.
+    #[test]
+    fn estimator_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PowerEstimator>();
+        assert_send_sync::<PowerConfig>();
     }
 
     #[test]

@@ -159,6 +159,16 @@ mod tests {
     use powder_library::lib2;
     use std::sync::Arc;
 
+    /// The parallel evaluation engine shares simulation state across
+    /// worker threads by reference; these bounds are part of the API.
+    #[test]
+    fn simulation_state_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimValues>();
+        assert_send_sync::<CellCovers>();
+        assert_send_sync::<Patterns>();
+    }
+
     fn xor_and_netlist() -> (Netlist, Vec<GateId>) {
         // Figure 2, circuit A: d = a XOR c; f = d AND b
         let lib = Arc::new(lib2());

@@ -395,6 +395,16 @@ mod tests {
     use powder_library::lib2;
     use std::sync::Arc;
 
+    /// The parallel evaluation engine may consult timing analysis from
+    /// worker threads by shared reference; these bounds are part of
+    /// the API.
+    #[test]
+    fn timing_analysis_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TimingAnalysis>();
+        assert_send_sync::<TimingConfig>();
+    }
+
     fn chain() -> (Netlist, Vec<GateId>) {
         let lib = Arc::new(lib2());
         let inv = lib.find_by_name("inv1").unwrap();

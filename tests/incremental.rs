@@ -1,9 +1,12 @@
-//! Property test of the incremental analysis engine: after a randomized
-//! sequence of netlist edits, the incrementally maintained power totals,
-//! signal probabilities, retained simulation values, and STA
+//! Property tests of the incremental analysis engine and the parallel
+//! candidate-evaluation pipeline: after a randomized sequence of netlist
+//! edits, the incrementally maintained power totals, signal
+//! probabilities, retained simulation values, and STA
 //! arrivals/requireds/slacks must match a from-scratch recomputation
-//! within 1e-9.
+//! within 1e-9 — and a full optimizer run must commit bit-identical
+//! substitution sequences at any worker count.
 
+use powder::{optimize, DelayLimit, OptimizeConfig, Substitution};
 use powder_library::lib2;
 use powder_netlist::{GateId, GateKind, Netlist};
 use powder_power::{PowerConfig, PowerEstimator};
@@ -169,5 +172,50 @@ proptest! {
 
             check_against_scratch(nl, &covers, &pats, &est, &values, &sta)?;
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Engine determinism (ISSUE 2): the parallel pipeline's commit
+    /// arbiter must replay the sequential decision order exactly, so
+    /// `jobs = 1` and `jobs = 4` runs on the same circuit commit the
+    /// same substitutions in the same order and land on identical
+    /// final power and delay — bit-for-bit, not just within epsilon.
+    #[test]
+    fn parallel_jobs_commit_identical_substitution_sequences(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 8..32),
+        inputs in 2usize..5,
+        constrain_delay in any::<bool>(),
+    ) {
+        let seed_nl = random_netlist(inputs, &ops);
+        prop_assume!(seed_nl.validate().is_ok());
+        let base = OptimizeConfig {
+            jobs: 1,
+            sim_words: 2,
+            max_rounds: 8,
+            delay_limit: constrain_delay.then_some(DelayLimit::Factor(1.2)),
+            ..OptimizeConfig::default()
+        };
+
+        let mut nl_seq = seed_nl.clone();
+        let r_seq = optimize(&mut nl_seq, &base);
+        let mut nl_par = seed_nl.clone();
+        let r_par = optimize(&mut nl_par, &OptimizeConfig { jobs: 4, ..base.clone() });
+
+        prop_assert_eq!(r_seq.jobs, 1);
+        prop_assert_eq!(r_par.jobs, 4);
+        let subs_seq: Vec<Substitution> =
+            r_seq.applied.iter().map(|a| a.substitution).collect();
+        let subs_par: Vec<Substitution> =
+            r_par.applied.iter().map(|a| a.substitution).collect();
+        prop_assert_eq!(subs_seq, subs_par, "committed sequences diverged");
+        prop_assert_eq!(r_seq.final_power, r_par.final_power, "final power diverged");
+        prop_assert_eq!(r_seq.final_delay, r_par.final_delay, "final delay diverged");
+        prop_assert_eq!(r_seq.final_area, r_par.final_area, "final area diverged");
+        prop_assert_eq!(r_seq.atpg_checks, r_par.atpg_checks);
+        prop_assert_eq!(r_seq.delay_rejections, r_par.delay_rejections);
+        nl_par.validate().unwrap();
     }
 }
