@@ -16,16 +16,25 @@
 //! By default the medium `--quick` (trade-off) suite is used; pass
 //! `--circuits=` for an explicit list or `--all` for the full Table 1
 //! suite.
+//!
+//! Each circuit additionally runs the full pass pipeline
+//! (`sweep,powder,resize,redundancy`) through a shared
+//! `AnalysisSession`; the JSON gains one row per executed pass with
+//! its power delta and session refresh counters.
 
 use powder::apply::apply_substitution;
 use powder::{optimize, DelayLimit, OptimizeConfig, OptimizeReport, Substitution};
 use powder_bench::{experiment_config, library};
 use powder_netlist::Netlist;
+use powder_passes::{build_pipeline, AnalysisSession, PipelineReport, SessionConfig};
 use powder_power::PowerEstimator;
 use powder_sim::{resimulate_cone, simulate, CellCovers, Patterns};
 use powder_timing::{TimingAnalysis, TimingConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Pass sequence benchmarked per circuit.
+const PIPELINE_SPEC: &str = "sweep,powder,resize,redundancy";
 
 /// One optimizer run, timed externally for the headline number.
 struct Run {
@@ -178,6 +187,58 @@ fn json_run(out: &mut String, indent: &str, run: &Run) {
     );
 }
 
+/// Runs the benchmark pass pipeline on a fresh session over `nl`.
+fn run_pipeline(nl: &Netlist) -> PipelineReport {
+    let cfg = OptimizeConfig {
+        jobs: 1,
+        ..experiment_config(Some(DelayLimit::Factor(1.0)))
+    };
+    let mut sess = AnalysisSession::new(nl.clone(), SessionConfig::from_optimize(&cfg));
+    let mut pipeline = build_pipeline(PIPELINE_SPEC, &cfg, None).expect("valid pipeline spec");
+    pipeline.run(&mut sess)
+}
+
+fn json_pipeline(out: &mut String, indent: &str, report: &PipelineReport) {
+    let _ = write!(
+        out,
+        "{indent}{{\n\
+         {indent}  \"spec\": \"{PIPELINE_SPEC}\",\n\
+         {indent}  \"seconds\": {:.6},\n\
+         {indent}  \"iterations\": {},\n\
+         {indent}  \"initial_power\": {:.9},\n\
+         {indent}  \"final_power\": {:.9},\n\
+         {indent}  \"total_edits\": {},\n\
+         {indent}  \"passes\": [\n",
+        report.seconds,
+        report.iterations,
+        report.initial_power,
+        report.final_power,
+        report.total_edits(),
+    );
+    for (i, pass) in report.passes.iter().enumerate() {
+        let s = &pass.session;
+        let _ = writeln!(
+            out,
+            "{indent}    {{ \"name\": \"{}\", \"seconds\": {:.6}, \"power_before\": {:.9}, \"power_after\": {:.9}, \"edits\": {}, \
+             \"session\": {{ \"sim_full\": {}, \"sim_incremental\": {}, \"power_full\": {}, \"power_incremental\": {}, \"sta_full\": {}, \"sta_incremental\": {}, \"refreshes\": {} }} }}{}",
+            pass.name,
+            pass.seconds,
+            pass.power_before,
+            pass.power_after,
+            pass.edits,
+            s.full_resims,
+            s.incremental_resims,
+            s.full_power_builds,
+            s.incremental_power_updates,
+            s.full_sta_builds,
+            s.incremental_sta_updates,
+            s.refreshes,
+            if i + 1 < report.passes.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(out, "{indent}  ]\n{indent}}}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_path = args
@@ -210,6 +271,9 @@ fn main() {
 
     let mut total_eval_seq = 0.0f64;
     let mut total_eval_par = 0.0f64;
+
+    let mut total_pipeline_seconds = 0.0f64;
+    let mut total_pipeline_edits = 0usize;
 
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("# bench_optimize — incremental vs full-rebuild, jobs=1 vs jobs=4 POWDER");
@@ -274,6 +338,9 @@ fn main() {
         };
         total_refresh_inc += refresh_inc;
         total_refresh_full += refresh_full;
+        let pipe = run_pipeline(&nl);
+        total_pipeline_seconds += pipe.seconds;
+        total_pipeline_edits += pipe.total_edits();
         println!(
             "{:<9} {:>6} | {:>9.3} {:>9.3} | {:>10.3} {:>10.3} {:>7.2}x | {:>8.3} {:>8.3} {:>6.2}x | {:>5} {:>5}",
             name,
@@ -302,6 +369,8 @@ fn main() {
         json_run(&mut rows, "      ", &full);
         rows.push_str(",\n      \"jobs4\":\n");
         json_run(&mut rows, "      ", &par);
+        rows.push_str(",\n      \"pipeline\":\n");
+        json_pipeline(&mut rows, "      ", &pipe);
         let _ = write!(
             rows,
             ",\n      \"end_to_end_speedup\": {:.4},\n      \"refresh\": {{ \"commits\": {}, \"incremental_seconds\": {:.6}, \"full_seconds\": {:.6}, \"speedup\": {:.4} }},\n      \"eval\": {{ \"jobs1_seconds\": {:.6}, \"jobs4_seconds\": {:.6}, \"speedup\": {:.4} }}\n    }}",
@@ -341,5 +410,8 @@ fn main() {
     println!(
         "candidate evaluation: jobs=1 {total_eval_seq:.3}s vs jobs=4 {total_eval_par:.3}s ({:.2}x); wrote {out_path}",
         total_eval_seq / total_eval_par.max(1e-12)
+    );
+    println!(
+        "pipeline ({PIPELINE_SPEC}): {total_pipeline_edits} edits in {total_pipeline_seconds:.3}s across {ran} circuits"
     );
 }

@@ -3,19 +3,27 @@
 //! ```text
 //! powder optimize <in.blif> [-o out.blif] [--delay-limit PCT] [--library lib.genlib]
 //!                 [--repeat N] [--patterns N] [--seed S] [--jobs N]
-//!                 [--resize] [--redundancy]
+//!                 [--passes LIST] [--fixpoint N] [--resize] [--redundancy]
 //! powder synth    <in.pla>  [-o out.blif] [--library lib.genlib]   # two-level → mapped
 //! powder stats    <in.blif> [--library lib.genlib]
 //! powder bench    <name>    [-o out.blif]      # dump a suite circuit as BLIF
 //! powder list                                  # list suite circuits
 //! ```
 //!
+//! `--passes` takes a comma-separated pipeline over `sweep`, `powder`,
+//! `resize`, and `redundancy` (default: `powder`); `--fixpoint N`
+//! repeats the whole sequence up to `N` times, stopping early once an
+//! iteration changes nothing. The standalone `--resize`/`--redundancy`
+//! flags are deprecated aliases that prepend/append the corresponding
+//! passes around `powder`.
+//!
 //! Exit code 0 on success, 1 on DRC/IO/parse errors.
 
-use powder::{optimize, DelayLimit, OptimizeConfig};
+use powder::{DelayLimit, OptimizeConfig};
 use powder_library::{genlib::parse_genlib, lib2, Library};
 use powder_netlist::blif::{read_blif, write_blif};
 use powder_netlist::Netlist;
+use powder_passes::{build_pipeline, AnalysisSession, SessionConfig};
 use powder_power::{PowerConfig, PowerEstimator};
 use powder_timing::{TimingAnalysis, TimingConfig};
 use std::process::ExitCode;
@@ -32,6 +40,10 @@ struct Options {
     /// Evaluation worker threads; 0 = auto (`POWDER_JOBS` env, else
     /// available parallelism). Any value gives identical results.
     jobs: usize,
+    /// Comma-separated pass pipeline (`sweep,powder,resize,redundancy`).
+    passes: Option<String>,
+    /// Fixpoint iterations of the whole pass sequence.
+    fixpoint: usize,
     resize: bool,
     redundancy: bool,
 }
@@ -46,6 +58,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         patterns: 1024,
         seed: 0xB0D1E5,
         jobs: 0,
+        passes: None,
+        fixpoint: 1,
         resize: false,
         redundancy: false,
     };
@@ -86,6 +100,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --jobs: {e}"))?
             }
+            "--passes" => o.passes = Some(val("--passes")?),
+            "--fixpoint" => {
+                o.fixpoint = val("--fixpoint")?
+                    .parse()
+                    .map_err(|e| format!("bad --fixpoint: {e}"))?
+            }
             "--resize" => o.resize = true,
             "--redundancy" => o.redundancy = true,
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
@@ -93,6 +113,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     }
     Ok(o)
+}
+
+/// Resolves the pass pipeline: an explicit `--passes` list wins;
+/// otherwise the deprecated `--resize`/`--redundancy` flags expand
+/// around the default `powder` pass in legacy order (redundancy
+/// removal first, resizing as the epilogue).
+fn pass_spec(opts: &Options) -> Result<String, String> {
+    if let Some(spec) = &opts.passes {
+        if opts.resize || opts.redundancy {
+            return Err("--passes cannot be combined with --resize/--redundancy; \
+                 schedule those passes in the list instead"
+                .into());
+        }
+        return Ok(spec.clone());
+    }
+    let mut seq = Vec::new();
+    if opts.redundancy {
+        seq.push("redundancy");
+    }
+    seq.push("powder");
+    if opts.resize {
+        seq.push("resize");
+    }
+    Ok(seq.join(","))
 }
 
 fn load_library(opts: &Options) -> Result<Arc<Library>, String> {
@@ -207,7 +251,7 @@ fn run() -> Result<(), String> {
                 .first()
                 .ok_or("optimize requires an input file")?;
             let lib = load_library(&opts)?;
-            let mut nl = load_netlist(path, lib)?;
+            let nl = load_netlist(path, lib)?;
             let cfg = OptimizeConfig {
                 repeat: opts.repeat,
                 sim_words: opts.patterns.div_ceil(64).max(1),
@@ -218,27 +262,36 @@ fn run() -> Result<(), String> {
                 jobs: opts.jobs,
                 ..OptimizeConfig::default()
             };
-            if opts.redundancy {
-                let r = powder::redundancy::remove_redundancies(&mut nl, cfg.backtrack_limit);
-                eprintln!(
-                    "redundancy removal: {} pins tied, {} gates removed",
-                    r.pins_tied, r.gates_removed
-                );
+            let spec = pass_spec(&opts)?;
+            if opts.passes.is_none() {
+                if opts.redundancy {
+                    eprintln!("powder: --redundancy is deprecated; use --passes redundancy,powder");
+                }
+                if opts.resize {
+                    eprintln!("powder: --resize is deprecated; use --passes powder,resize");
+                }
             }
-            let report = optimize(&mut nl, &cfg);
+            // The resize pass's slack budget is anchored to the delay of
+            // the *input* circuit, like the legacy --resize epilogue.
+            let resize_required = opts.delay_limit.map(|pct| {
+                let probe = TimingConfig {
+                    output_load: cfg.power.output_load,
+                    required_time: None,
+                };
+                (1.0 + pct / 100.0) * TimingAnalysis::new(&nl, &probe).circuit_delay()
+            });
+            let mut pipeline = build_pipeline(&spec, &cfg, resize_required)
+                .map_err(|e| format!("bad --passes: {e}"))?
+                .with_fixpoint(opts.fixpoint);
+            let mut sess = AnalysisSession::new(nl, SessionConfig::from_optimize(&cfg));
+            let report = pipeline.run(&mut sess);
+            for pass in &report.passes {
+                if let Some(opt) = &pass.optimize {
+                    eprintln!("{opt}");
+                }
+            }
             eprintln!("{report}");
-            if opts.resize {
-                let r = powder::resize::resize_for_power(
-                    &mut nl,
-                    &cfg.power,
-                    opts.delay_limit
-                        .map(|pct| (1.0 + pct / 100.0) * report.initial_delay),
-                );
-                eprintln!(
-                    "resize: {} gates exchanged, {:.4} additional power saved",
-                    r.gates_resized, r.power_saved
-                );
-            }
+            let nl = sess.into_netlist();
             nl.validate().map_err(|e| e.to_string())?;
             emit(&nl, opts.output.as_deref())
         }
@@ -292,6 +345,31 @@ mod tests {
         assert_eq!(o.jobs, 4);
         assert!(o.resize);
         assert!(!o.redundancy);
+    }
+
+    #[test]
+    fn parses_pass_pipeline_flags() {
+        let o = parse_args(&args(&[
+            "--passes",
+            "sweep,powder,resize",
+            "--fixpoint",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(o.passes.as_deref(), Some("sweep,powder,resize"));
+        assert_eq!(o.fixpoint, 3);
+        assert_eq!(pass_spec(&o).unwrap(), "sweep,powder,resize");
+        assert!(parse_args(&args(&["--fixpoint", "x"])).is_err());
+    }
+
+    #[test]
+    fn legacy_flags_expand_to_passes() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(pass_spec(&o).unwrap(), "powder");
+        let o = parse_args(&args(&["--resize", "--redundancy"])).unwrap();
+        assert_eq!(pass_spec(&o).unwrap(), "redundancy,powder,resize");
+        let o = parse_args(&args(&["--passes", "powder", "--resize"])).unwrap();
+        assert!(pass_spec(&o).is_err(), "aliases conflict with --passes");
     }
 
     #[test]

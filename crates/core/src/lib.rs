@@ -58,7 +58,7 @@ pub mod redundancy;
 pub mod report;
 pub mod resize;
 
-pub use optimizer::{optimize, DelayLimit, OptimizeConfig};
+pub use optimizer::{optimize, optimize_with, DelayLimit, OptimizeConfig, SharedAnalyses};
 pub use powder_atpg::{CandidateConfig, Substitution};
 pub use powder_engine::EngineStats;
 pub use report::{

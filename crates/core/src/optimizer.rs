@@ -89,6 +89,48 @@ impl Default for OptimizeConfig {
     }
 }
 
+/// The analyses POWDER shares with the other passes of a pipeline: the
+/// per-cell cube covers, the power estimator, the simulation pattern
+/// set, and (optionally) retained simulation values under those
+/// patterns.
+///
+/// A fresh bundle from [`SharedAnalyses::new`] reproduces the
+/// standalone [`optimize`] entry point bit for bit. A bundle carried
+/// across passes (by `powder_passes::AnalysisSession`) lets the
+/// optimizer skip its initial full simulation when the owner kept
+/// `values` refreshed over every intervening edit — the contract is
+/// that `est` always matches the netlist and `values`, when `Some`,
+/// matches `patterns` exactly; [`optimize_with`] upholds the same
+/// contract on return (it sets `values` to `None` when the retained
+/// buffer went stale, e.g. after a learned ATPG counterexample grew the
+/// pattern set).
+pub struct SharedAnalyses {
+    /// Per-cell cube covers for word-parallel simulation.
+    pub covers: CellCovers,
+    /// Power estimator, kept consistent with the netlist by the owner.
+    pub est: PowerEstimator,
+    /// Simulation pattern set; grows by learned ATPG counterexamples.
+    pub patterns: Patterns,
+    /// Retained simulation values under `patterns`; `None` when stale.
+    pub values: Option<SimValues>,
+}
+
+impl SharedAnalyses {
+    /// Builds the bundle [`optimize`] would construct internally:
+    /// estimator from the current netlist, `sim_words × 64` random
+    /// patterns from `seed`, and no retained values (the first round
+    /// simulates from scratch).
+    #[must_use]
+    pub fn new(nl: &Netlist, power: &PowerConfig, sim_words: usize, seed: u64) -> Self {
+        SharedAnalyses {
+            covers: CellCovers::new(nl.library()),
+            est: PowerEstimator::new(nl, power),
+            patterns: Patterns::random(nl.inputs().len(), sim_words.max(1), seed),
+            values: None,
+        }
+    }
+}
+
 /// Runs POWDER on `nl` in place and reports what happened.
 ///
 /// This is the paper's `power_optimize(netlist, repeat, delay_limit)`:
@@ -98,20 +140,42 @@ impl Default for OptimizeConfig {
 /// prove the survivor permissible by ATPG, commit it, and incrementally
 /// re-estimate — until no power-reducing substitution remains.
 pub fn optimize(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
+    let mut shared = SharedAnalyses::new(nl, &config.power, config.sim_words, config.seed);
+    optimize_with(nl, config, &mut shared)
+}
+
+/// [`optimize`] against caller-owned [`SharedAnalyses`] — the
+/// pass-pipeline entry point. The caller must hand over a bundle whose
+/// estimator (and retained values, if any) reflect the current netlist;
+/// on return the bundle is consistent again and reusable by the next
+/// pass.
+pub fn optimize_with(
+    nl: &mut Netlist,
+    config: &OptimizeConfig,
+    shared: &mut SharedAnalyses,
+) -> OptimizeReport {
     let jobs = powder_engine::resolve_jobs(config.jobs);
     if jobs > 1 {
-        return crate::parallel::optimize_parallel(nl, config, jobs);
+        return crate::parallel::optimize_parallel(nl, config, jobs, shared);
     }
-    optimize_sequential(nl, config)
+    optimize_sequential(nl, config, shared)
 }
 
 /// The sequential reference path (`jobs = 1`): the parallel engine's
 /// commit arbiter replays exactly these decisions, so every behavioural
 /// change here must be mirrored in `crate::parallel`.
-pub(crate) fn optimize_sequential(nl: &mut Netlist, config: &OptimizeConfig) -> OptimizeReport {
+pub(crate) fn optimize_sequential(
+    nl: &mut Netlist,
+    config: &OptimizeConfig,
+    shared: &mut SharedAnalyses,
+) -> OptimizeReport {
     let t0 = Instant::now();
-    let covers = CellCovers::new(nl.library());
-    let mut est = PowerEstimator::new(nl, &config.power);
+    let SharedAnalyses {
+        covers,
+        est,
+        patterns,
+        values,
+    } = shared;
     let initial_power = est.circuit_power(nl);
     let initial_area = nl.area();
     let output_load = config.power.output_load;
@@ -132,11 +196,11 @@ pub(crate) fn optimize_sequential(nl: &mut Netlist, config: &OptimizeConfig) -> 
     let mut sta = required_time.map(|_| TimingAnalysis::new(nl, &sta_cfg));
 
     // The journal may hold records from netlist construction or earlier
-    // caller edits; every analysis above was just built from the current
-    // state, so incremental tracking starts from a clean slate.
+    // caller edits; the shared analyses reflect the current state (fresh
+    // from `SharedAnalyses::new` or refreshed by the owning session), so
+    // incremental tracking starts from a clean slate.
     nl.drain_dirty();
 
-    let mut patterns = Patterns::random(nl.inputs().len(), config.sim_words.max(1), config.seed);
     let mut applied: Vec<AppliedSubstitution> = Vec::new();
     let mut rounds = 0usize;
     let mut atpg_checks = 0usize;
@@ -150,11 +214,11 @@ pub(crate) fn optimize_sequential(nl: &mut Netlist, config: &OptimizeConfig) -> 
     };
     let mut whatif_scratch = WhatIfScratch::default();
 
-    // Retained across rounds in incremental mode: refreshed over dirty
-    // cones after commits, fully regenerated only when the pattern set
-    // itself changes (a learned ATPG counterexample).
-    let mut values: Option<SimValues> = None;
-    let mut patterns_stale = true;
+    // Retained values (possibly carried in from an earlier pass) are
+    // refreshed over dirty cones after commits and fully regenerated
+    // only when the pattern set itself changes (a learned ATPG
+    // counterexample).
+    let mut patterns_stale = false;
     let mut cone_scratch = ConeScratch::new();
     let mut cone: Vec<GateId> = Vec::new();
 
@@ -162,7 +226,7 @@ pub(crate) fn optimize_sequential(nl: &mut Netlist, config: &OptimizeConfig) -> 
         rounds += 1;
         let t = Instant::now();
         if !config.incremental || patterns_stale || values.is_none() {
-            values = Some(simulate(nl, &covers, &patterns));
+            *values = Some(simulate(nl, covers, patterns));
             patterns_stale = false;
             inc.full_resims += 1;
         }
@@ -170,7 +234,7 @@ pub(crate) fn optimize_sequential(nl: &mut Netlist, config: &OptimizeConfig) -> 
         let t = Instant::now();
         let cands = {
             let values = values.as_ref().expect("simulated above");
-            generate_candidates(nl, &covers, values, &config.candidates)
+            generate_candidates(nl, covers, values, &config.candidates)
         };
         phase.candidates += t.elapsed().as_secs_f64();
         if cands.is_empty() {
@@ -181,7 +245,7 @@ pub(crate) fn optimize_sequential(nl: &mut Netlist, config: &OptimizeConfig) -> 
         let mut scored: Vec<(Substitution, f64)> = cands
             .into_iter()
             .map(|s| {
-                let fast = analyze_fast(nl, &est, &s).fast();
+                let fast = analyze_fast(nl, est, &s).fast();
                 (s, fast)
             })
             .collect();
@@ -225,7 +289,7 @@ pub(crate) fn optimize_sequential(nl: &mut Netlist, config: &OptimizeConfig) -> 
             let best = pre
                 .iter()
                 .map(|&i| {
-                    let g = analyze_full_with(nl, &est, &scored[i].0, &mut whatif_scratch);
+                    let g = analyze_full_with(nl, est, &scored[i].0, &mut whatif_scratch);
                     (i, g.total())
                 })
                 .max_by(|x, y| x.1.total_cmp(&y.1))
@@ -295,7 +359,7 @@ pub(crate) fn optimize_sequential(nl: &mut Netlist, config: &OptimizeConfig) -> 
                     if config.incremental {
                         let t = Instant::now();
                         if let Some(v) = values.as_mut() {
-                            resimulate_cone(nl, &covers, v, &cone);
+                            resimulate_cone(nl, covers, v, &cone);
                             inc.incremental_resims += 1;
                         }
                         phase.simulation += t.elapsed().as_secs_f64();
@@ -315,9 +379,9 @@ pub(crate) fn optimize_sequential(nl: &mut Netlist, config: &OptimizeConfig) -> 
                         inc.cross_checks += 1;
                         cross_check_state(
                             nl,
-                            &covers,
-                            &patterns,
-                            &est,
+                            covers,
+                            patterns,
+                            est,
                             config.incremental.then_some(values.as_ref()).flatten(),
                             sta.as_ref(),
                         );
@@ -347,6 +411,14 @@ pub(crate) fn optimize_sequential(nl: &mut Netlist, config: &OptimizeConfig) -> 
         if !progress && !learned {
             break;
         }
+    }
+
+    // Uphold the shared-analyses contract: retained values must match
+    // the pattern set exactly. Learned counterexamples grew `patterns`
+    // past the buffer, and the full-rebuild baseline deliberately leaves
+    // the buffer stale between rounds.
+    if patterns_stale || !config.incremental {
+        *values = None;
     }
 
     let final_delay = TimingAnalysis::new(nl, &probe_cfg).circuit_delay();

@@ -44,6 +44,7 @@ use crate::apply::apply_substitution;
 use crate::gain::{analyze_fast, analyze_full_with};
 use crate::optimizer::{
     candidate_alive, cross_check_state, substitution_timing, DelayLimit, OptimizeConfig,
+    SharedAnalyses,
 };
 use crate::report::{AppliedSubstitution, IncrementalStats, OptimizeReport, PhaseTimes, SubClass};
 use powder_atpg::{generate_candidates, CheckArena, CheckOutcome, Substitution};
@@ -52,7 +53,7 @@ use powder_engine::{
 };
 use powder_netlist::{ConeScratch, GateId, Netlist};
 use powder_power::{PowerEstimator, WhatIfScratch};
-use powder_sim::{resimulate_cone, simulate, CellCovers, Patterns, SimValues};
+use powder_sim::{resimulate_cone, simulate};
 use powder_timing::{TimingAnalysis, TimingConfig};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -165,8 +166,15 @@ pub(crate) fn optimize_parallel(
     nl: &mut Netlist,
     config: &OptimizeConfig,
     jobs: usize,
+    shared: &mut SharedAnalyses,
 ) -> OptimizeReport {
     let t0 = Instant::now();
+    let SharedAnalyses {
+        covers,
+        est,
+        patterns,
+        values,
+    } = shared;
     let pool = WorkerPool::new(jobs);
     // A speculative proof batch covers the next few ATPG decisions; a
     // gain lookahead keeps those predictions computable. Depth tracks
@@ -182,8 +190,6 @@ pub(crate) fn optimize_parallel(
     };
     let lookahead = config.preselect + proof_batch + jobs;
 
-    let covers = CellCovers::new(nl.library());
-    let mut est = PowerEstimator::new(nl, &config.power);
     let initial_power = est.circuit_power(nl);
     let initial_area = nl.area();
     let output_load = config.power.output_load;
@@ -205,7 +211,6 @@ pub(crate) fn optimize_parallel(
 
     nl.drain_dirty();
 
-    let mut patterns = Patterns::random(nl.inputs().len(), config.sim_words.max(1), config.seed);
     let mut applied: Vec<AppliedSubstitution> = Vec::new();
     let mut rounds = 0usize;
     let mut atpg_checks = 0usize;
@@ -218,8 +223,7 @@ pub(crate) fn optimize_parallel(
         ..EngineStats::default()
     };
 
-    let mut values: Option<SimValues> = None;
-    let mut patterns_stale = true;
+    let mut patterns_stale = false;
     let mut cone_scratch = ConeScratch::new();
     let mut cone: Vec<GateId> = Vec::new();
 
@@ -241,7 +245,7 @@ pub(crate) fn optimize_parallel(
         rounds += 1;
         let t = Instant::now();
         if !config.incremental || patterns_stale || values.is_none() {
-            values = Some(simulate(nl, &covers, &patterns));
+            *values = Some(simulate(nl, covers, patterns));
             patterns_stale = false;
             inc.full_resims += 1;
         }
@@ -249,7 +253,7 @@ pub(crate) fn optimize_parallel(
         let t = Instant::now();
         let cands = {
             let values = values.as_ref().expect("simulated above");
-            generate_candidates(nl, &covers, values, &config.candidates)
+            generate_candidates(nl, covers, values, &config.candidates)
         };
         phase.candidates += t.elapsed().as_secs_f64();
         if cands.is_empty() {
@@ -260,7 +264,7 @@ pub(crate) fn optimize_parallel(
         let t = Instant::now();
         let fast: Vec<Option<f64>> = {
             let nl_snap: &Netlist = &*nl;
-            let est_ref = &est;
+            let est_ref: &PowerEstimator = est;
             let batches = batch_by_key(
                 (0..cands.len() as u32).map(|i| (i, cands[i as usize].substituted_stem(nl_snap))),
                 FAST_BATCH,
@@ -360,7 +364,7 @@ pub(crate) fn optimize_parallel(
                 let t = Instant::now();
                 let results = {
                     let nl_snap: &Netlist = &*nl;
-                    let est_ref = &est;
+                    let est_ref: &PowerEstimator = est;
                     let scored_ref = &scored;
                     let batches = batch_by_key(
                         want.iter()
@@ -515,7 +519,7 @@ pub(crate) fn optimize_parallel(
                     if config.incremental {
                         let t = Instant::now();
                         if let Some(v) = values.as_mut() {
-                            resimulate_cone(nl, &covers, v, &cone);
+                            resimulate_cone(nl, covers, v, &cone);
                             inc.incremental_resims += 1;
                         }
                         phase.simulation += t.elapsed().as_secs_f64();
@@ -535,9 +539,9 @@ pub(crate) fn optimize_parallel(
                         inc.cross_checks += 1;
                         cross_check_state(
                             nl,
-                            &covers,
-                            &patterns,
-                            &est,
+                            covers,
+                            patterns,
+                            est,
                             config.incremental.then_some(values.as_ref()).flatten(),
                             sta.as_ref(),
                         );
@@ -594,6 +598,12 @@ pub(crate) fn optimize_parallel(
         if !progress && !learned {
             break;
         }
+    }
+
+    // Same contract as the sequential path: retained values either
+    // match the pattern set exactly or are dropped.
+    if patterns_stale || !config.incremental {
+        *values = None;
     }
 
     let final_delay = TimingAnalysis::new(nl, &probe_cfg).circuit_delay();

@@ -33,7 +33,6 @@ pub fn resize_for_power(
     config: &PowerConfig,
     required_time: Option<f64>,
 ) -> ResizeReport {
-    let lib = nl.library().clone();
     let est0 = PowerEstimator::new(nl, config);
     let before_power = est0.circuit_power(nl);
     let tcfg = TimingConfig {
@@ -48,53 +47,12 @@ pub fn resize_for_power(
         .collect();
     for g in gates {
         // Recompute timing/power views fresh enough for a legality check;
-        // STA per gate keeps the pass simple and is still O(n²) worst case,
-        // acceptable for a cleanup pass.
+        // STA per gate keeps the pass simple and is still O(n²) worst case.
+        // The `resize` pipeline pass maintains both views incrementally
+        // over a shared session instead.
         let sta = TimingAnalysis::new(nl, &tcfg);
         let est = PowerEstimator::new(nl, config);
-        let current = nl.cell_id(g).expect("cell gate");
-        let cell = lib.cell_ref(current);
-        let load = nl.load_cap(g, config.output_load);
-        // Cost: switched cap on the gate's input pins.
-        let pin_cost = |cid: powder_library::CellId| -> f64 {
-            let c = lib.cell_ref(cid);
-            nl.fanins(g)
-                .iter()
-                .enumerate()
-                .map(|(pin, &f)| c.pin_cap(pin) * est.transition(f))
-                .sum()
-        };
-        let mut best: Option<(powder_library::CellId, f64)> = None;
-        for (cid, cand) in lib.iter() {
-            if cid == current || cand.inputs() != cell.inputs() || cand.function != cell.function {
-                continue;
-            }
-            // Timing legality: the gate's delay change must fit its slack,
-            // and each driver's delay change (from the pin-cap delta) must
-            // fit that driver's slack.
-            let delay_delta = cand.delay(load) - cell.delay(load);
-            if delay_delta > sta.slack(g) + 1e-9 {
-                continue;
-            }
-            let drivers_ok = nl.fanins(g).iter().enumerate().all(|(pin, &f)| {
-                let cap_delta = cand.pin_cap(pin) - cell.pin_cap(pin);
-                match nl.kind(f) {
-                    GateKind::Cell(fc) => {
-                        let extra = lib.cell_ref(fc).drive_res * cap_delta;
-                        extra <= sta.slack(f) + 1e-9
-                    }
-                    _ => true,
-                }
-            });
-            if !drivers_ok {
-                continue;
-            }
-            let cost = pin_cost(cid);
-            if cost < pin_cost(current) - 1e-12 && best.as_ref().is_none_or(|&(_, c)| cost < c) {
-                best = Some((cid, cost));
-            }
-        }
-        if let Some((cid, _)) = best {
+        if let Some(cid) = best_swap(nl, &est, &sta, g) {
             swap_cell(nl, g, cid);
             report.gates_resized += 1;
         }
@@ -104,8 +62,66 @@ pub fn resize_for_power(
     report
 }
 
+/// The lowest-switched-capacitance legal replacement cell for `g`, if
+/// any improves on the current one: same function and pin order, the
+/// gate's own delay change fits its slack, and each driver's delay
+/// change (from the pin-capacitance delta) fits that driver's slack.
+///
+/// `est` and `sta` must reflect the current netlist; the estimator's
+/// output-load convention (`est.config().output_load`) is used for the
+/// gate's load.
+#[must_use]
+pub fn best_swap(
+    nl: &Netlist,
+    est: &PowerEstimator,
+    sta: &TimingAnalysis,
+    g: GateId,
+) -> Option<powder_library::CellId> {
+    let lib = nl.library();
+    let current = nl.cell_id(g).expect("cell gate");
+    let cell = lib.cell_ref(current);
+    let load = nl.load_cap(g, est.config().output_load);
+    // Cost: switched cap on the gate's input pins.
+    let pin_cost = |cid: powder_library::CellId| -> f64 {
+        let c = lib.cell_ref(cid);
+        nl.fanins(g)
+            .iter()
+            .enumerate()
+            .map(|(pin, &f)| c.pin_cap(pin) * est.transition(f))
+            .sum()
+    };
+    let mut best: Option<(powder_library::CellId, f64)> = None;
+    for (cid, cand) in lib.iter() {
+        if cid == current || cand.inputs() != cell.inputs() || cand.function != cell.function {
+            continue;
+        }
+        let delay_delta = cand.delay(load) - cell.delay(load);
+        if delay_delta > sta.slack(g) + 1e-9 {
+            continue;
+        }
+        let drivers_ok = nl.fanins(g).iter().enumerate().all(|(pin, &f)| {
+            let cap_delta = cand.pin_cap(pin) - cell.pin_cap(pin);
+            match nl.kind(f) {
+                GateKind::Cell(fc) => {
+                    let extra = lib.cell_ref(fc).drive_res * cap_delta;
+                    extra <= sta.slack(f) + 1e-9
+                }
+                _ => true,
+            }
+        });
+        if !drivers_ok {
+            continue;
+        }
+        let cost = pin_cost(cid);
+        if cost < pin_cost(current) - 1e-12 && best.as_ref().is_none_or(|&(_, c)| cost < c) {
+            best = Some((cid, cost));
+        }
+    }
+    best.map(|(cid, _)| cid)
+}
+
 /// Replaces the cell of `g` in place (same function, same pin order).
-fn swap_cell(nl: &mut Netlist, g: GateId, new_cell: powder_library::CellId) {
+pub fn swap_cell(nl: &mut Netlist, g: GateId, new_cell: powder_library::CellId) {
     // The netlist has no direct "swap cell" primitive; rebuild the gate and
     // move the fanouts over.
     let fanins = nl.fanins(g).to_vec();

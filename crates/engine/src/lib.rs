@@ -42,7 +42,7 @@ pub mod stats;
 pub use cache::SpecCache;
 pub use footprint::{DirtyBits, Footprint, FootprintScratch};
 pub use pool::WorkerPool;
-pub use stats::EngineStats;
+pub use stats::{EngineStats, SessionStats};
 
 /// Resolves the worker count for an optimizer run.
 ///

@@ -1,0 +1,63 @@
+//! Pass-pipeline architecture over the POWDER optimizer stack.
+//!
+//! The paper's flow (power-driven permissible substitutions after
+//! technology mapping) is one transformation among several that read
+//! the same expensive analyses: logic-simulation signatures, the
+//! switched-capacitance power estimator, and static timing. This crate
+//! factors that observation into three pieces:
+//!
+//! | type | role |
+//! |------|------|
+//! | [`AnalysisSession`] | owns the netlist plus every analysis, kept consistent through the edit journal (lazy, cone-local repair) |
+//! | [`Transform`] | a pass: reads analyses through the session, commits edits through it |
+//! | [`Pipeline`] | runs a scripted pass sequence, optionally to a fixpoint, and accounts per-pass effects |
+//!
+//! Four passes ship with the crate — [`PowderPass`] (the paper's
+//! Fig. 5 loop), [`SweepPass`] (constant propagation and duplicate
+//! merging keyed on simulation signatures), [`ResizePass`]
+//! (slack-constrained cell downsizing), and [`RedundancyPass`]
+//! (ATPG redundancy removal) — all sharing one invariant: between
+//! passes, no analysis is ever rebuilt from scratch. The session's
+//! [`SessionStats`](powder_engine::SessionStats) counters prove it.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use powder_library::lib2;
+//! use powder_netlist::Netlist;
+//! use powder::OptimizeConfig;
+//! use powder_passes::{build_pipeline, AnalysisSession, SessionConfig};
+//!
+//! let lib = Arc::new(lib2());
+//! let and2 = lib.find_by_name("and2").unwrap();
+//! let or2 = lib.find_by_name("or2").unwrap();
+//! let andn2 = lib.find_by_name("andn2").unwrap();
+//! let mut nl = Netlist::new("demo", lib);
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let g1 = nl.add_cell("g1", and2, &[a, b]);
+//! let g2 = nl.add_cell("g2", andn2, &[a, b]);
+//! let g3 = nl.add_cell("g3", or2, &[g1, g2]); // g3 == a
+//! nl.add_output("f", g3);
+//!
+//! let config = OptimizeConfig::default();
+//! let mut sess = AnalysisSession::new(nl, SessionConfig::from_optimize(&config));
+//! let mut pipeline = build_pipeline("sweep,powder,resize", &config, None).unwrap();
+//! let report = pipeline.run(&mut sess);
+//! assert!(report.final_power <= report.initial_power);
+//! sess.into_netlist().validate().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod passes;
+mod pipeline;
+mod session;
+mod transform;
+
+pub use passes::{PowderPass, RedundancyPass, ResizePass, SweepPass};
+pub use pipeline::{build_pipeline, Pipeline, PipelineReport};
+pub use session::{AnalysisSession, SessionConfig};
+pub use transform::{PassBudget, PassReport, Transform};

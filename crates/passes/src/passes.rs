@@ -1,0 +1,391 @@
+//! The built-in passes: `powder`, `sweep`, `resize`, `redundancy`.
+//!
+//! Every pass is a [`Transform`] over the shared [`AnalysisSession`]:
+//! it consults the session's maintained analyses (power estimator,
+//! simulation signatures, timing) and commits edits through the
+//! session, which repairs those analyses over the dirty cone. None of
+//! the passes rebuilds an analysis from scratch — the pipeline asserts
+//! as much through the per-pass [`SessionStats`] deltas.
+//!
+//! [`SessionStats`]: powder_engine::SessionStats
+
+use crate::session::AnalysisSession;
+use crate::transform::{instrumented, PassBudget, PassReport, Transform};
+use powder::gain::analyze_full;
+use powder::resize::best_swap;
+use powder::{OptimizeConfig, Substitution};
+use powder_atpg::{check_substitution, CheckOutcome};
+use powder_netlist::{GateId, GateKind, Netlist};
+use std::collections::{BTreeMap, HashSet};
+
+/// The POWDER permissible-substitution loop (the paper's Fig. 5),
+/// run against the session's shared analyses.
+#[derive(Clone, Debug, Default)]
+pub struct PowderPass {
+    /// Optimizer configuration for this invocation.
+    pub config: OptimizeConfig,
+}
+
+impl PowderPass {
+    /// A powder pass with the given optimizer configuration.
+    #[must_use]
+    pub fn new(config: OptimizeConfig) -> Self {
+        PowderPass { config }
+    }
+}
+
+impl Transform for PowderPass {
+    fn name(&self) -> &str {
+        "powder"
+    }
+
+    fn run(&mut self, sess: &mut AnalysisSession, budget: &PassBudget) -> PassReport {
+        let mut config = self.config.clone();
+        config.backtrack_limit = config.backtrack_limit.min(budget.backtrack_limit);
+        instrumented("powder", sess, |sess| {
+            let report = sess.run_powder(&config);
+            (report.applied.len(), Some(report))
+        })
+    }
+}
+
+/// Lazily-created constant drivers shared by the constant-tying passes.
+#[derive(Default)]
+struct TieConsts {
+    gates: [Option<GateId>; 2],
+}
+
+impl TieConsts {
+    /// The live constant-`value` driver, creating one on first use.
+    fn get(&mut self, sess: &mut AnalysisSession, value: bool) -> GateId {
+        match self.gates[usize::from(value)] {
+            Some(k) if sess.netlist().is_live(k) => k,
+            _ => {
+                let name = format!("tie{}", u8::from(value));
+                let k = sess.netlist_mut().add_const(name, value);
+                self.gates[usize::from(value)] = Some(k);
+                k
+            }
+        }
+    }
+
+    /// Sweeps whichever constants ended up with no fanout.
+    fn sweep_unused(self, sess: &mut AnalysisSession) {
+        for k in self.gates.into_iter().flatten() {
+            if sess.netlist().is_live(k) && sess.netlist().fanouts(k).is_empty() {
+                sess.sweep_dangling(k);
+            }
+        }
+    }
+}
+
+/// Proves `sub` power-saving and permissible against the session's
+/// analyses, applying it if so. Returns whether it was committed.
+fn try_commit(sess: &mut AnalysisSession, sub: &Substitution, backtrack_limit: usize) -> bool {
+    let (nl, est) = sess.analyses();
+    if !sub.is_structurally_valid(nl) {
+        return false;
+    }
+    // Monotonicity gate: passes in a pipeline never increase Σ C·E.
+    if analyze_full(nl, est, sub).total() < -1e-12 {
+        return false;
+    }
+    if check_substitution(nl, sub, backtrack_limit) != CheckOutcome::Permissible {
+        return false;
+    }
+    sess.apply(sub);
+    true
+}
+
+/// Netlist cleanup: removes dangling logic, then uses the session's
+/// simulation signatures to find constant and duplicate gates, proving
+/// each suspicion exactly (ATPG) before rewiring. Iterates to a
+/// fixpoint — merging duplicates can strand more logic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepPass;
+
+/// What a signature class suggests doing with one victim gate.
+#[derive(Clone, Copy)]
+enum SweepAction {
+    /// The victim's signature is constant: tie its fanout to `value`.
+    TieConst(GateId, bool),
+    /// The victim's signature equals an earlier gate's: merge into it.
+    Merge(GateId, GateId),
+}
+
+impl SweepPass {
+    /// Live cell/const gates with no fanout (dangling roots). The tie
+    /// constants are exempt while the pass runs: sweeping one after a
+    /// failed tie attempt would register as progress and re-arm the
+    /// same doomed suspicion, so the fixpoint loop would never exit.
+    fn dangling(nl: &Netlist, keep: &TieConsts) -> Vec<GateId> {
+        nl.iter_live()
+            .filter(|&g| matches!(nl.kind(g), GateKind::Cell(_) | GateKind::Const(_)))
+            .filter(|&g| nl.fanouts(g).is_empty() && !keep.gates.contains(&Some(g)))
+            .collect()
+    }
+
+    /// Groups live non-output gates by simulation signature and plans
+    /// one action per provable-looking victim. Deterministic: classes
+    /// iterate in signature order, members in gate-id order.
+    fn plan(nl: &Netlist, values: &powder_sim::SimValues, words: usize) -> Vec<SweepAction> {
+        let mut classes: BTreeMap<&[u64], Vec<GateId>> = BTreeMap::new();
+        for g in nl.iter_live() {
+            if matches!(nl.kind(g), GateKind::Output) {
+                continue;
+            }
+            classes.entry(values.get(g)).or_default().push(g);
+        }
+        let zeros = vec![0u64; words];
+        let ones = vec![!0u64; words];
+        let mut plan = Vec::new();
+        for (sig, members) in &classes {
+            let constant = if *sig == zeros.as_slice() {
+                Some(false)
+            } else if *sig == ones.as_slice() {
+                Some(true)
+            } else {
+                None
+            };
+            if let Some(value) = constant {
+                for &g in members {
+                    if matches!(nl.kind(g), GateKind::Cell(_)) {
+                        plan.push(SweepAction::TieConst(g, value));
+                    }
+                }
+            } else if members.len() > 1 {
+                let canon = members[0];
+                for &g in &members[1..] {
+                    if matches!(nl.kind(g), GateKind::Cell(_)) {
+                        plan.push(SweepAction::Merge(g, canon));
+                    }
+                }
+            }
+        }
+        plan
+    }
+}
+
+impl Transform for SweepPass {
+    fn name(&self) -> &str {
+        "sweep"
+    }
+
+    fn run(&mut self, sess: &mut AnalysisSession, budget: &PassBudget) -> PassReport {
+        instrumented("sweep", sess, |sess| {
+            let mut edits = 0usize;
+            let mut consts = TieConsts::default();
+            // Suspicions that failed their exact proof. A signature
+            // match that ATPG refuted will be suggested again verbatim
+            // on the next iteration (the patterns don't change), so
+            // re-checking it is pure waste — and re-arming a failed
+            // constant tie is what used to keep the loop alive forever.
+            let mut failed_const: HashSet<(GateId, bool)> = HashSet::new();
+            let mut failed_merge: HashSet<(GateId, GateId)> = HashSet::new();
+            loop {
+                let mut changed = false;
+                for g in Self::dangling(sess.netlist(), &consts) {
+                    if edits >= budget.max_edits {
+                        break;
+                    }
+                    if sess.netlist().is_live(g) {
+                        let removed = sess.sweep_dangling(g).len();
+                        if removed > 0 {
+                            edits += removed;
+                            changed = true;
+                        }
+                    }
+                }
+                let (nl, values) = sess.signatures();
+                let words = values.words();
+                let plan = Self::plan(nl, values, words);
+                for action in plan {
+                    if edits >= budget.max_edits {
+                        break;
+                    }
+                    let sub = match action {
+                        SweepAction::TieConst(victim, value) => {
+                            if !sess.netlist().is_live(victim)
+                                || failed_const.contains(&(victim, value))
+                            {
+                                continue;
+                            }
+                            let b = consts.get(sess, value);
+                            Substitution::Os2 {
+                                a: victim,
+                                b,
+                                invert: false,
+                            }
+                        }
+                        SweepAction::Merge(victim, canon) => {
+                            if !sess.netlist().is_live(victim)
+                                || !sess.netlist().is_live(canon)
+                                || failed_merge.contains(&(victim, canon))
+                            {
+                                continue;
+                            }
+                            Substitution::Os2 {
+                                a: victim,
+                                b: canon,
+                                invert: false,
+                            }
+                        }
+                    };
+                    if try_commit(sess, &sub, budget.backtrack_limit) {
+                        edits += 1;
+                        changed = true;
+                    } else {
+                        match action {
+                            SweepAction::TieConst(victim, value) => {
+                                failed_const.insert((victim, value));
+                            }
+                            SweepAction::Merge(victim, canon) => {
+                                failed_merge.insert((victim, canon));
+                            }
+                        }
+                    }
+                }
+                if !changed || edits >= budget.max_edits {
+                    break;
+                }
+            }
+            consts.sweep_unused(sess);
+            (edits, None)
+        })
+    }
+}
+
+/// ATPG redundancy removal through the shared session: ties provably
+/// redundant gate-input pins to constants (each tie is an IS2 whose
+/// source is a constant driver, proven by the same cone-local miter as
+/// POWDER's substitutions) and sweeps the logic that dangles.
+///
+/// Unlike the standalone [`powder::redundancy::remove_redundancies`],
+/// this pass also requires each tie to be non-increasing in `Σ C·E`,
+/// keeping any pipeline ordering monotone in power.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RedundancyPass;
+
+impl Transform for RedundancyPass {
+    fn name(&self) -> &str {
+        "redundancy"
+    }
+
+    fn run(&mut self, sess: &mut AnalysisSession, budget: &PassBudget) -> PassReport {
+        instrumented("redundancy", sess, |sess| {
+            let mut edits = 0usize;
+            let mut consts = TieConsts::default();
+            // Pins whose tie was refuted. Later edits could in
+            // principle make such a pin redundant, but re-paying the
+            // ATPG budget for every refuted pin on every re-scan is
+            // what the cache avoids; skipping only forgoes an optional
+            // tie, never correctness.
+            let mut failed: HashSet<(GateId, u32, bool)> = HashSet::new();
+            loop {
+                let mut changed = false;
+                let gates: Vec<GateId> = sess
+                    .netlist()
+                    .iter_live()
+                    .filter(|&g| matches!(sess.netlist().kind(g), GateKind::Cell(_)))
+                    .collect();
+                'gates: for g in gates {
+                    if edits >= budget.max_edits {
+                        break;
+                    }
+                    if !sess.netlist().is_live(g) {
+                        continue;
+                    }
+                    for pin in 0..sess.netlist().fanins(g).len() as u32 {
+                        let driver = sess.netlist().fanins(g)[pin as usize];
+                        if matches!(sess.netlist().kind(driver), GateKind::Const(_)) {
+                            continue;
+                        }
+                        for value in [false, true] {
+                            if failed.contains(&(g, pin, value)) {
+                                continue;
+                            }
+                            let b = consts.get(sess, value);
+                            let sub = Substitution::Is2 {
+                                sink: g,
+                                pin,
+                                b,
+                                invert: false,
+                            };
+                            if try_commit(sess, &sub, budget.backtrack_limit) {
+                                edits += 1;
+                                changed = true;
+                                continue 'gates;
+                            }
+                            failed.insert((g, pin, value));
+                        }
+                    }
+                }
+                if !changed || edits >= budget.max_edits {
+                    break;
+                }
+            }
+            consts.sweep_unused(sess);
+            (edits, None)
+        })
+    }
+}
+
+/// Gate resizing for power through the shared session: for each cell
+/// gate, picks the functionally identical library cell with the lowest
+/// input-pin switched capacitance whose extra delay fits the slack at
+/// a fixed required time.
+///
+/// Where the standalone [`powder::resize::resize_for_power`] rebuilds
+/// timing and power from scratch per gate, this pass reads both from
+/// the session: timing is built once (pinned to the required time) and
+/// repaired incrementally after each swap.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResizePass {
+    /// Absolute required time for the slack computation; `None` pins it
+    /// to the circuit delay measured when the pass starts (resizing
+    /// then never degrades the critical path).
+    pub required_time: Option<f64>,
+}
+
+impl ResizePass {
+    /// A resize pass constrained to the given required time.
+    #[must_use]
+    pub fn new(required_time: Option<f64>) -> Self {
+        ResizePass { required_time }
+    }
+}
+
+impl Transform for ResizePass {
+    fn name(&self) -> &str {
+        "resize"
+    }
+
+    fn run(&mut self, sess: &mut AnalysisSession, budget: &PassBudget) -> PassReport {
+        instrumented("resize", sess, |sess| {
+            let required = match self.required_time {
+                Some(t) => t,
+                None => sess.delay(),
+            };
+            let gates: Vec<GateId> = sess
+                .netlist()
+                .iter_live()
+                .filter(|&g| matches!(sess.netlist().kind(g), GateKind::Cell(_)))
+                .collect();
+            let mut edits = 0usize;
+            for g in gates {
+                if edits >= budget.max_edits {
+                    break;
+                }
+                if !sess.netlist().is_live(g) {
+                    continue;
+                }
+                let (nl, est, sta) = sess.timed_analyses(required);
+                if let Some(cell) = best_swap(nl, est, sta, g) {
+                    sess.swap_gate_cell(g, cell);
+                    edits += 1;
+                }
+            }
+            (edits, None)
+        })
+    }
+}

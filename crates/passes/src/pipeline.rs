@@ -1,0 +1,218 @@
+//! Scripted pass sequences with optional fixpoint iteration.
+
+use crate::passes::{PowderPass, RedundancyPass, ResizePass, SweepPass};
+use crate::session::AnalysisSession;
+use crate::transform::{PassBudget, PassReport, Transform};
+use powder::OptimizeConfig;
+use powder_engine::{EngineStats, SessionStats};
+use std::fmt;
+use std::time::Instant;
+
+/// An ordered sequence of passes run against one shared
+/// [`AnalysisSession`].
+pub struct Pipeline {
+    passes: Vec<Box<dyn Transform>>,
+    /// Budget handed to every pass.
+    pub budget: PassBudget,
+    /// How many times to repeat the whole sequence (the driver stops
+    /// early once an iteration commits no edits).
+    pub fixpoint: usize,
+}
+
+impl Pipeline {
+    /// A pipeline over the given passes, run once with default budget.
+    #[must_use]
+    pub fn new(passes: Vec<Box<dyn Transform>>) -> Self {
+        Pipeline {
+            passes,
+            budget: PassBudget::default(),
+            fixpoint: 1,
+        }
+    }
+
+    /// Replaces the per-pass budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: PassBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Repeats the sequence up to `n` times (at least once), stopping
+    /// early at a fixpoint.
+    #[must_use]
+    pub fn with_fixpoint(mut self, n: usize) -> Self {
+        self.fixpoint = n.max(1);
+        self
+    }
+
+    /// Names of the scheduled passes, in order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every scheduled pass (repeating per `fixpoint`) against the
+    /// session and reports the accumulated effect.
+    pub fn run(&mut self, sess: &mut AnalysisSession) -> PipelineReport {
+        let t0 = Instant::now();
+        let stats_before = sess.stats();
+        let initial_power = sess.power();
+        let initial_area = sess.netlist().area();
+        let initial_delay = sess.delay();
+        let mut passes = Vec::new();
+        let mut engine = EngineStats::default();
+        let mut iterations = 0usize;
+        for _ in 0..self.fixpoint {
+            iterations += 1;
+            let mut iteration_edits = 0usize;
+            for pass in &mut self.passes {
+                let report = pass.run(sess, &self.budget);
+                iteration_edits += report.edits;
+                if let Some(opt) = &report.optimize {
+                    engine.merge(&opt.engine);
+                }
+                passes.push(report);
+            }
+            if iteration_edits == 0 {
+                break;
+            }
+        }
+        let final_power = sess.power();
+        let final_area = sess.netlist().area();
+        let final_delay = sess.delay();
+        PipelineReport {
+            passes,
+            iterations,
+            initial_power,
+            final_power,
+            initial_area,
+            final_area,
+            initial_delay,
+            final_delay,
+            seconds: t0.elapsed().as_secs_f64(),
+            session: sess.stats().delta(&stats_before),
+            engine,
+        }
+    }
+}
+
+/// The accumulated result of a [`Pipeline::run`].
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// One report per executed pass, in execution order (a fixpoint
+    /// iteration contributes one entry per scheduled pass).
+    pub passes: Vec<PassReport>,
+    /// Fixpoint iterations actually executed.
+    pub iterations: usize,
+    /// `Σ C·E` before the first pass.
+    pub initial_power: f64,
+    /// `Σ C·E` after the last pass.
+    pub final_power: f64,
+    /// Gate area before.
+    pub initial_area: f64,
+    /// Gate area after.
+    pub final_area: f64,
+    /// Circuit delay before.
+    pub initial_delay: f64,
+    /// Circuit delay after.
+    pub final_delay: f64,
+    /// Wall-clock seconds for the whole pipeline.
+    pub seconds: f64,
+    /// Session refresh counters accumulated across every pass.
+    pub session: SessionStats,
+    /// Candidate-evaluation engine counters merged over every POWDER
+    /// pass in the pipeline.
+    pub engine: EngineStats,
+}
+
+impl PipelineReport {
+    /// Total edits committed across all passes.
+    #[must_use]
+    pub fn total_edits(&self) -> usize {
+        self.passes.iter().map(|p| p.edits).sum()
+    }
+
+    /// Power reduction as a percentage of the initial power.
+    #[must_use]
+    pub fn power_reduction_percent(&self) -> f64 {
+        if self.initial_power <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.initial_power - self.final_power) / self.initial_power
+        }
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline: power {:.3} -> {:.3} ({:+.1}%), area {:.0} -> {:.0}, \
+             delay {:.2} -> {:.2}, {} edits, {} iteration(s), {:.1}s",
+            self.initial_power,
+            self.final_power,
+            -self.power_reduction_percent(),
+            self.initial_area,
+            self.final_area,
+            self.initial_delay,
+            self.final_delay,
+            self.total_edits(),
+            self.iterations,
+            self.seconds,
+        )?;
+        for pass in &self.passes {
+            writeln!(f, "  {pass}")?;
+        }
+        write!(
+            f,
+            "  session: resim {}i/{}f, power {}i/{}f, sta {}i/{}f, {} refreshes",
+            self.session.incremental_resims,
+            self.session.full_resims,
+            self.session.incremental_power_updates,
+            self.session.full_power_builds,
+            self.session.incremental_sta_updates,
+            self.session.full_sta_builds,
+            self.session.refreshes,
+        )
+    }
+}
+
+/// Builds a pipeline from the comma-separated pass language used by
+/// `powder optimize --passes`.
+///
+/// Recognised passes: `sweep`, `powder`, `resize`, `redundancy`. A
+/// pass may appear any number of times. `powder_config` parameterizes
+/// every `powder` pass (and supplies the ATPG budget for the others);
+/// `resize_required` pins the resize slack computation to an absolute
+/// required time (`None` = the circuit delay when the pass starts).
+pub fn build_pipeline(
+    spec: &str,
+    powder_config: &OptimizeConfig,
+    resize_required: Option<f64>,
+) -> Result<Pipeline, String> {
+    let mut passes: Vec<Box<dyn Transform>> = Vec::new();
+    for name in spec.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        match name {
+            "sweep" => passes.push(Box::new(SweepPass)),
+            "powder" => passes.push(Box::new(PowderPass::new(powder_config.clone()))),
+            "resize" => passes.push(Box::new(ResizePass::new(resize_required))),
+            "redundancy" => passes.push(Box::new(RedundancyPass)),
+            other => {
+                return Err(format!(
+                    "unknown pass '{other}' (expected sweep, powder, resize, redundancy)"
+                ))
+            }
+        }
+    }
+    if passes.is_empty() {
+        return Err("empty pass list".to_string());
+    }
+    let budget = PassBudget {
+        backtrack_limit: powder_config.backtrack_limit,
+        ..PassBudget::default()
+    };
+    Ok(Pipeline::new(passes).with_budget(budget))
+}

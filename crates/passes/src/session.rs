@@ -1,0 +1,388 @@
+//! The shared analysis context every pass runs against.
+
+use powder::{optimize_with, OptimizeConfig, OptimizeReport, SharedAnalyses};
+use powder_atpg::Substitution;
+use powder_engine::SessionStats;
+use powder_netlist::{ConeScratch, GateId, Netlist};
+use powder_power::{PowerConfig, PowerEstimator};
+use powder_sim::{resimulate_cone, simulate, SimValues};
+use powder_timing::{TimingAnalysis, TimingConfig};
+
+/// Configuration of an [`AnalysisSession`]: the power model plus the
+/// simulation volume and seed shared by every pass. For bit-identity
+/// with a standalone [`powder::optimize`] run, derive it from the same
+/// [`OptimizeConfig`] via [`SessionConfig::from_optimize`].
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Power model (output load, input probabilities).
+    pub power: PowerConfig,
+    /// Random simulation volume: `sim_words × 64` patterns.
+    pub sim_words: usize,
+    /// Seed for the random pattern generator.
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig::from_optimize(&OptimizeConfig::default())
+    }
+}
+
+impl SessionConfig {
+    /// The session parameters a standalone [`powder::optimize`] run with
+    /// `config` would use internally.
+    #[must_use]
+    pub fn from_optimize(config: &OptimizeConfig) -> Self {
+        SessionConfig {
+            power: config.power.clone(),
+            sim_words: config.sim_words,
+            seed: config.seed,
+        }
+    }
+}
+
+/// Owns a netlist together with every analysis the passes consult —
+/// simulation signatures, the power estimator, and timing — and keeps
+/// them consistent through the netlist's edit journal: any edit made
+/// via [`AnalysisSession::netlist_mut`] (or the mutating helpers) is
+/// repaired lazily, over the dirty cone only, by the next analysis
+/// access. Passes therefore never rebuild an analysis from scratch
+/// between edits; [`AnalysisSession::stats`] counts exactly how often
+/// each analysis was fully rebuilt versus incrementally refreshed.
+pub struct AnalysisSession {
+    nl: Netlist,
+    config: SessionConfig,
+    shared: SharedAnalyses,
+    /// Cached fixed-required-time timing view; `None` until a pass asks
+    /// for one, invalidated when the required time changes or POWDER
+    /// (which drains the journal internally) runs.
+    sta: Option<TimingAnalysis>,
+    cone_scratch: ConeScratch,
+    cone: Vec<GateId>,
+    stats: SessionStats,
+}
+
+impl AnalysisSession {
+    /// Takes ownership of `nl` and builds the initial analyses from its
+    /// current state (one full power propagation; simulation values and
+    /// timing stay lazy until a pass needs them).
+    #[must_use]
+    pub fn new(mut nl: Netlist, config: SessionConfig) -> Self {
+        // The journal may hold construction records; the analyses below
+        // are built from the current state, so tracking starts clean.
+        nl.drain_dirty();
+        let shared = SharedAnalyses::new(&nl, &config.power, config.sim_words, config.seed);
+        AnalysisSession {
+            nl,
+            config,
+            shared,
+            sta: None,
+            cone_scratch: ConeScratch::new(),
+            cone: Vec::new(),
+            stats: SessionStats {
+                full_power_builds: 1,
+                ..SessionStats::default()
+            },
+        }
+    }
+
+    /// Read access to the netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+
+    /// Mutable access to the netlist. Edit freely — every mutator
+    /// journals what it touches, and the next analysis access repairs
+    /// the analyses over exactly that dirty region.
+    pub fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.nl
+    }
+
+    /// Dissolves the session, returning the optimized netlist.
+    #[must_use]
+    pub fn into_netlist(self) -> Netlist {
+        self.nl
+    }
+
+    /// The session configuration.
+    #[must_use]
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Cumulative analysis-refresh counters since the session was built.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Drains the edit journal and repairs every materialized analysis
+    /// over the dirty cone: power probabilities and the running total,
+    /// retained simulation values, and the cached timing view. No-op
+    /// when the journal is empty. All analysis accessors call this
+    /// first, so passes rarely need to invoke it directly.
+    pub fn refresh(&mut self) {
+        if !self.nl.has_pending_edits() {
+            return;
+        }
+        self.stats.refreshes += 1;
+        let region = self.nl.drain_dirty();
+        self.cone.clear();
+        self.cone_scratch
+            .cone_topo(&self.nl, region.touched().iter().copied(), &mut self.cone);
+        self.shared.est.retire_gates(region.removed());
+        self.shared.est.update_cone(&self.nl, &self.cone);
+        self.stats.incremental_power_updates += 1;
+        if let Some(values) = self.shared.values.as_mut() {
+            resimulate_cone(&self.nl, &self.shared.covers, values, &self.cone);
+            self.stats.incremental_resims += 1;
+        }
+        if let Some(sta) = self.sta.as_mut() {
+            sta.update(&self.nl, &region);
+            self.stats.incremental_sta_updates += 1;
+        }
+    }
+
+    /// The circuit's current switched capacitance `Σ C·E` (the metric
+    /// POWDER minimises), read from the maintained estimator.
+    pub fn power(&mut self) -> f64 {
+        self.refresh();
+        self.shared.est.circuit_power(&self.nl)
+    }
+
+    /// The current circuit delay, from a throwaway unconstrained STA
+    /// (required time floating at the circuit delay).
+    pub fn delay(&mut self) -> f64 {
+        self.refresh();
+        self.stats.full_sta_builds += 1;
+        let probe = TimingConfig {
+            output_load: self.config.power.output_load,
+            required_time: None,
+        };
+        TimingAnalysis::new(&self.nl, &probe).circuit_delay()
+    }
+
+    /// The netlist together with its refreshed power estimator — the
+    /// borrow most passes need for gain analysis.
+    pub fn analyses(&mut self) -> (&Netlist, &PowerEstimator) {
+        self.refresh();
+        (&self.nl, &self.shared.est)
+    }
+
+    /// The netlist, estimator, and a timing analysis pinned to the given
+    /// absolute required time. The timing view is cached: it is built in
+    /// full only when the required time changes, and repaired
+    /// incrementally over dirty regions otherwise.
+    pub fn timed_analyses(
+        &mut self,
+        required_time: f64,
+    ) -> (&Netlist, &PowerEstimator, &TimingAnalysis) {
+        self.refresh();
+        let rebuild = match &self.sta {
+            Some(sta) => (sta.required_time() - required_time).abs() > 1e-12,
+            None => true,
+        };
+        if rebuild {
+            self.stats.full_sta_builds += 1;
+            let cfg = TimingConfig {
+                output_load: self.config.power.output_load,
+                required_time: Some(required_time),
+            };
+            self.sta = Some(TimingAnalysis::new(&self.nl, &cfg));
+        }
+        (
+            &self.nl,
+            &self.shared.est,
+            self.sta.as_ref().expect("built above"),
+        )
+    }
+
+    /// The netlist with its simulation signatures under the session's
+    /// pattern set, materializing them (one full simulation) on first
+    /// use and refreshing them incrementally afterwards.
+    pub fn signatures(&mut self) -> (&Netlist, &SimValues) {
+        self.refresh();
+        if self.shared.values.is_none() {
+            self.stats.full_resims += 1;
+            self.shared.values = Some(simulate(
+                &self.nl,
+                &self.shared.covers,
+                &self.shared.patterns,
+            ));
+        }
+        (
+            &self.nl,
+            self.shared.values.as_ref().expect("materialized above"),
+        )
+    }
+
+    /// Applies a proven substitution and repairs the analyses over its
+    /// dirty cone.
+    pub fn apply(&mut self, sub: &Substitution) -> powder::apply::ApplyResult {
+        let result = powder::apply::apply_substitution(&mut self.nl, sub);
+        self.refresh();
+        result
+    }
+
+    /// Exchanges the cell of `g` (same function, same pin order) and
+    /// repairs the analyses over the dirty cone.
+    pub fn swap_gate_cell(&mut self, g: GateId, cell: powder_library::CellId) {
+        powder::resize::swap_cell(&mut self.nl, g, cell);
+        self.refresh();
+    }
+
+    /// Sweeps `seed` and everything upstream that becomes dangling,
+    /// repairing the analyses; returns the removed gates.
+    pub fn sweep_dangling(&mut self, seed: GateId) -> Vec<GateId> {
+        let removed = self.nl.sweep_from(seed);
+        if !removed.is_empty() {
+            self.refresh();
+        }
+        removed
+    }
+
+    /// Runs the POWDER substitution loop against the session's shared
+    /// analyses: the optimizer reuses the session's estimator, pattern
+    /// set, and (when fresh) retained simulation values, and hands them
+    /// back consistent with the edited netlist. On a session whose
+    /// values were never materialized this is bit-identical to the
+    /// standalone [`powder::optimize`] entry point.
+    pub fn run_powder(&mut self, config: &OptimizeConfig) -> OptimizeReport {
+        self.refresh();
+        let report = optimize_with(&mut self.nl, config, &mut self.shared);
+        // POWDER drains the journal internally after each commit, so a
+        // cached timing view cannot be repaired across its edits.
+        self.sta = None;
+        self.stats.merge(&SessionStats {
+            full_resims: report.incremental.full_resims,
+            incremental_resims: report.incremental.incremental_resims,
+            full_power_builds: report.incremental.full_power_rescans,
+            incremental_power_updates: report.incremental.incremental_power_updates,
+            full_sta_builds: report.incremental.full_sta_rebuilds,
+            incremental_sta_updates: report.incremental.incremental_sta_updates,
+            refreshes: report.applied.len(),
+        });
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+    use powder_sim::CellCovers;
+    use std::sync::Arc;
+
+    fn small_circuit() -> Netlist {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let or2 = lib.find_by_name("or2").unwrap();
+        let mut nl = Netlist::new("t", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl.add_cell("g1", and2, &[a, b]);
+        let g2 = nl.add_cell("g2", or2, &[g1, c]);
+        nl.add_output("f", g2);
+        nl
+    }
+
+    #[test]
+    fn refresh_repairs_analyses_after_manual_edit() {
+        let mut sess = AnalysisSession::new(small_circuit(), SessionConfig::default());
+        let before = sess.power();
+        let (_, values) = sess.signatures();
+        assert!(values.words() > 0);
+
+        // Rewire g2's second pin from c (probability 0.5) to g1
+        // (probability 0.25), then compare every maintained analysis
+        // against a from-scratch rebuild.
+        let nl = sess.netlist_mut();
+        let g2 = nl
+            .iter_live()
+            .find(|&g| nl.gate_name(g) == "g2")
+            .expect("g2 exists");
+        let g1 = nl
+            .iter_live()
+            .find(|&g| nl.gate_name(g) == "g1")
+            .expect("g1 exists");
+        nl.replace_fanin(g2, 1, g1);
+        let after = sess.power();
+        assert_ne!(before, after, "the rewiring changes Σ C·E");
+
+        let fresh = PowerEstimator::new(sess.netlist(), &sess.config().power.clone());
+        let (nl, est) = sess.analyses();
+        for g in nl.iter_live() {
+            assert!(
+                (est.probability(g) - fresh.probability(g)).abs() < 1e-12,
+                "probability of {} drifted",
+                nl.gate_name(g)
+            );
+        }
+        let covers = CellCovers::new(sess.netlist().library());
+        let pats = powder_sim::Patterns::random(
+            sess.netlist().inputs().len(),
+            sess.config().sim_words,
+            sess.config().seed,
+        );
+        let full = simulate(sess.netlist(), &covers, &pats);
+        let (nl, values) = sess.signatures();
+        for g in nl.iter_live() {
+            assert_eq!(values.get(g), full.get(g), "retained values stale at {g}");
+        }
+        let stats = sess.stats();
+        assert_eq!(stats.full_resims, 1, "one lazy materialization only");
+        assert!(stats.incremental_resims >= 1);
+        assert_eq!(stats.full_power_builds, 1, "initial build only");
+    }
+
+    #[test]
+    fn timed_analyses_cache_by_required_time() {
+        let mut sess = AnalysisSession::new(small_circuit(), SessionConfig::default());
+        let d = sess.delay();
+        let builds_before = sess.stats().full_sta_builds;
+        sess.timed_analyses(d);
+        sess.timed_analyses(d);
+        assert_eq!(
+            sess.stats().full_sta_builds,
+            builds_before + 1,
+            "second query with the same required time hits the cache"
+        );
+        sess.timed_analyses(d * 2.0);
+        assert_eq!(sess.stats().full_sta_builds, builds_before + 2);
+    }
+
+    #[test]
+    fn run_powder_matches_standalone_optimize() {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let or2 = lib.find_by_name("or2").unwrap();
+        let xor2 = lib.find_by_name("xor2").unwrap();
+        let build = || {
+            let mut nl = Netlist::new("redundant", lib.clone());
+            let a = nl.add_input("a");
+            let b = nl.add_input("b");
+            let c = nl.add_input("c");
+            let g1 = nl.add_cell("g1", and2, &[a, b]);
+            let g2 = nl.add_cell("g2", and2, &[b, a]);
+            let g3 = nl.add_cell("g3", or2, &[g1, g2]);
+            let g4 = nl.add_cell("g4", xor2, &[g3, c]);
+            nl.add_output("f", g4);
+            nl
+        };
+        let cfg = OptimizeConfig {
+            jobs: 1,
+            ..OptimizeConfig::default()
+        };
+        let mut standalone_nl = build();
+        let standalone = powder::optimize(&mut standalone_nl, &cfg);
+
+        let mut sess = AnalysisSession::new(build(), SessionConfig::from_optimize(&cfg));
+        let report = sess.run_powder(&cfg);
+        let subs: Vec<_> = report.applied.iter().map(|s| s.substitution).collect();
+        let subs_standalone: Vec<_> = standalone.applied.iter().map(|s| s.substitution).collect();
+        assert_eq!(subs, subs_standalone, "decision sequences diverged");
+        assert_eq!(report.final_power, standalone.final_power);
+    }
+}

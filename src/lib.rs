@@ -9,6 +9,8 @@
 //!   model;
 //! * [`powder_sim`], [`powder_power`], [`powder_timing`], [`powder_atpg`]
 //!   — the engines;
+//! * [`powder_passes`] — the pass pipeline (shared analysis session,
+//!   `Transform` trait, scripted pass sequences);
 //! * [`powder_synth`], [`powder_benchmarks`] — the POSE-substitute flow and
 //!   the benchmark suite.
 
@@ -21,6 +23,7 @@ pub use powder_benchmarks;
 pub use powder_library;
 pub use powder_logic;
 pub use powder_netlist;
+pub use powder_passes;
 pub use powder_power;
 pub use powder_sim;
 pub use powder_synth;

@@ -1,0 +1,218 @@
+//! Integration tests of the pass pipeline: bit-identity of the
+//! `powder` pass with the standalone optimizer entry point, the
+//! zero-full-refresh guarantee for session-driven passes, and
+//! order-independence of the function/power invariants under arbitrary
+//! pass permutations.
+
+use powder::{optimize, OptimizeConfig};
+use powder_library::lib2;
+use powder_netlist::{blif::write_blif, GateId, Netlist};
+use powder_passes::{build_pipeline, AnalysisSession, SessionConfig};
+use powder_sim::{simulate, CellCovers, Patterns};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn bench_netlist(name: &str) -> Netlist {
+    powder_benchmarks::build(name, Arc::new(lib2())).expect("known benchmark")
+}
+
+/// Builds a random mapped netlist from a recipe of bytes: `ops[i]` selects
+/// a cell and two (or one) fanins among earlier signals.
+fn random_netlist(inputs: usize, ops: &[(u8, u8, u8)]) -> Netlist {
+    let lib = Arc::new(lib2());
+    let cells: Vec<_> = [
+        "and2", "or2", "nand2", "nor2", "xor2", "xnor2", "inv1", "andn2",
+    ]
+    .iter()
+    .map(|n| lib.find_by_name(n).expect("lib2 cell"))
+    .collect();
+    let mut nl = Netlist::new("prop", lib);
+    let mut signals: Vec<GateId> = (0..inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
+    for (k, (op, a, b)) in ops.iter().enumerate() {
+        let cell = cells[*op as usize % cells.len()];
+        let ca = signals[*a as usize % signals.len()];
+        let cb = signals[*b as usize % signals.len()];
+        let lib = nl.library().clone();
+        let g = if lib.cell_ref(cell).inputs() == 1 {
+            nl.add_cell(format!("g{k}"), cell, &[ca])
+        } else {
+            nl.add_cell(format!("g{k}"), cell, &[ca, cb])
+        };
+        signals.push(g);
+    }
+    let n = signals.len();
+    for (i, &s) in signals[n.saturating_sub(3)..].iter().enumerate() {
+        nl.add_output(format!("f{i}"), s);
+    }
+    nl
+}
+
+fn po_signatures(nl: &Netlist, pats: &Patterns) -> Vec<Vec<u64>> {
+    let covers = CellCovers::new(nl.library());
+    let vals = simulate(nl, &covers, pats);
+    nl.outputs().iter().map(|&o| vals.get(o).to_vec()).collect()
+}
+
+/// The `k`-th permutation of the four pass names, via the factorial
+/// number system (deterministic for a given index).
+fn pass_order(k: usize) -> [&'static str; 4] {
+    let names = ["sweep", "powder", "resize", "redundancy"];
+    let mut avail: Vec<&str> = names.to_vec();
+    let mut k = k % 24;
+    let mut out = [""; 4];
+    for (i, f) in [6usize, 2, 1, 1].into_iter().enumerate() {
+        out[i] = avail.remove(k / f);
+        k %= f;
+    }
+    out
+}
+
+/// A debug-build-friendly optimizer config (same trimming as
+/// `tests/incremental.rs`): identical decision machinery, smaller
+/// pattern volume and round budget.
+fn small_config(jobs: usize) -> OptimizeConfig {
+    OptimizeConfig {
+        jobs,
+        sim_words: 2,
+        max_rounds: 8,
+        repeat: 2,
+        ..OptimizeConfig::default()
+    }
+}
+
+/// `--passes powder` must reproduce the standalone `optimize()` run
+/// bit for bit — same substitution decision sequence, same final
+/// netlist — on both the sequential and the parallel engine.
+#[test]
+fn powder_pass_is_bit_identical_to_standalone_optimize() {
+    for jobs in [1usize, 4] {
+        let cfg = small_config(jobs);
+        let mut standalone_nl = bench_netlist("c8");
+        let standalone = optimize(&mut standalone_nl, &cfg);
+
+        let mut sess =
+            AnalysisSession::new(bench_netlist("c8"), SessionConfig::from_optimize(&cfg));
+        let mut pipeline = build_pipeline("powder", &cfg, None).expect("valid spec");
+        let report = pipeline.run(&mut sess);
+        let opt = report.passes[0].optimize.as_ref().expect("powder report");
+
+        let subs: Vec<_> = opt.applied.iter().map(|a| a.substitution).collect();
+        let subs_standalone: Vec<_> = standalone.applied.iter().map(|a| a.substitution).collect();
+        assert_eq!(
+            subs, subs_standalone,
+            "decision sequence diverged at jobs={jobs}"
+        );
+        assert_eq!(opt.final_power, standalone.final_power, "jobs={jobs}");
+        assert_eq!(
+            write_blif(&sess.into_netlist()),
+            write_blif(&standalone_nl),
+            "final netlist diverged at jobs={jobs}"
+        );
+    }
+}
+
+/// Session-driven resize and redundancy must ride the maintained
+/// analyses: zero whole-netlist re-simulations and zero from-scratch
+/// power-estimator builds between passes. This is the structural fix
+/// over the legacy epilogues, which rebuilt both per call (resize even
+/// per gate).
+#[test]
+fn pipeline_resize_and_redundancy_never_fully_refresh() {
+    let cfg = small_config(1);
+    let mut sess = AnalysisSession::new(bench_netlist("c8"), SessionConfig::from_optimize(&cfg));
+    let mut pipeline =
+        build_pipeline("sweep,powder,resize,redundancy", &cfg, None).expect("valid spec");
+    let report = pipeline.run(&mut sess);
+    for pass in &report.passes {
+        if pass.name == "resize" || pass.name == "redundancy" {
+            assert_eq!(
+                pass.session.full_resims, 0,
+                "{} performed a full re-simulation",
+                pass.name
+            );
+            assert_eq!(
+                pass.session.full_power_builds, 0,
+                "{} rebuilt the power estimator",
+                pass.name
+            );
+        }
+    }
+    assert_eq!(
+        report.session.full_power_builds, 0,
+        "no pass may rebuild the estimator; the session owns it"
+    );
+    sess.into_netlist()
+        .validate()
+        .expect("valid after pipeline");
+}
+
+/// Sweep must terminate on circuits with *false* constant suspicions —
+/// gates whose random-pattern signature is all-zeros without the gate
+/// being constant (k2's PLA terms are rarely-true, so plenty alias).
+/// Regression: a failed tie left the scratch constant dangling, the
+/// next iteration swept it as "progress", and the fixpoint loop
+/// re-armed the same refuted suspicion forever.
+#[test]
+fn sweep_terminates_on_false_constant_suspicions() {
+    let cfg = small_config(1);
+    let nl = bench_netlist("k2");
+    let pats = Patterns::random(nl.inputs().len(), cfg.sim_words, cfg.seed);
+    let before = po_signatures(&nl, &pats);
+    let mut sess = AnalysisSession::new(nl, SessionConfig::from_optimize(&cfg));
+    let mut pipeline = build_pipeline("sweep", &cfg, None).expect("valid spec");
+    let report = pipeline.run(&mut sess);
+    assert!(
+        report.final_power <= report.initial_power + 1e-9,
+        "sweep increased power"
+    );
+    let out = sess.into_netlist();
+    out.validate().expect("valid after sweep");
+    assert_eq!(po_signatures(&out, &pats), before, "sweep broke function");
+}
+
+/// An empty or unknown pass list is a configuration error.
+#[test]
+fn pipeline_spec_errors_are_reported() {
+    let cfg = OptimizeConfig::default();
+    assert!(build_pipeline("", &cfg, None).is_err());
+    assert!(build_pipeline("powder,unknown", &cfg, None).is_err());
+    assert!(
+        build_pipeline("sweep, powder ,resize", &cfg, None).is_ok(),
+        "whitespace tolerated"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any permutation of the four passes over a random netlist must
+    /// preserve every primary-output signature (exhaustive patterns)
+    /// and never increase `Σ C·E`.
+    #[test]
+    fn any_pass_order_preserves_function_and_power(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..16),
+        inputs in 2usize..5,
+        perm in 0usize..24,
+    ) {
+        let nl = random_netlist(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let pats = Patterns::exhaustive(inputs);
+        let before = po_signatures(&nl, &pats);
+        let cfg = small_config(1);
+        let order = pass_order(perm);
+        let mut sess = AnalysisSession::new(nl, SessionConfig::from_optimize(&cfg));
+        let mut pipeline = build_pipeline(&order.join(","), &cfg, None).expect("valid spec");
+        let report = pipeline.run(&mut sess);
+        let out = sess.into_netlist();
+        out.validate().expect("pipeline keeps netlist consistent");
+        prop_assert_eq!(
+            po_signatures(&out, &pats), before,
+            "function broken by order {:?}", order
+        );
+        prop_assert!(
+            report.final_power <= report.initial_power + 1e-9,
+            "power increased {} -> {} under order {:?}",
+            report.initial_power, report.final_power, order
+        );
+    }
+}
