@@ -3,8 +3,9 @@
 //! incremental-vs-full-rebuild (`jobs = 1`) and as sequential-vs-
 //! pipelined candidate evaluation (`jobs = 1` vs `jobs = 4`), and
 //! emits a machine-readable `BENCH_optimize.json` with per-circuit
-//! wall-clock, per-phase breakdown, refresh counters, and per-stage
-//! engine counters.
+//! wall-clock, per-phase breakdown, refresh counters, per-stage
+//! engine counters, and a whole-process `powder-obs` metric snapshot
+//! under the top-level `"metrics"` key.
 //!
 //! Usage:
 //!
@@ -390,8 +391,12 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Whole-process registry snapshot: every run above fed the same
+    // counters, so this is the benchmark's aggregate observability view.
+    let metrics = powder_obs::snapshot().to_json();
+    let metrics = metrics.trim_end();
     let json = format!(
-        "{{\n  \"experiment\": \"bench_optimize\",\n  \"delay_limit\": \"factor 1.0\",\n  \"hardware_threads\": {hw},\n  \"circuits\": [\n{rows}\n  ],\n  \"totals\": {{ \"incremental_seconds\": {total_inc:.6}, \"full_rebuild_seconds\": {total_full:.6}, \"end_to_end_speedup\": {:.4}, \"refresh_incremental_seconds\": {total_refresh_inc:.6}, \"refresh_full_seconds\": {total_refresh_full:.6}, \"refresh_speedup\": {:.4}, \"eval_jobs1_seconds\": {total_eval_seq:.6}, \"eval_jobs4_seconds\": {total_eval_par:.6}, \"eval_speedup\": {:.4} }}\n}}\n",
+        "{{\n  \"experiment\": \"bench_optimize\",\n  \"delay_limit\": \"factor 1.0\",\n  \"hardware_threads\": {hw},\n  \"circuits\": [\n{rows}\n  ],\n  \"totals\": {{ \"incremental_seconds\": {total_inc:.6}, \"full_rebuild_seconds\": {total_full:.6}, \"end_to_end_speedup\": {:.4}, \"refresh_incremental_seconds\": {total_refresh_inc:.6}, \"refresh_full_seconds\": {total_refresh_full:.6}, \"refresh_speedup\": {:.4}, \"eval_jobs1_seconds\": {total_eval_seq:.6}, \"eval_jobs4_seconds\": {total_eval_par:.6}, \"eval_speedup\": {:.4} }},\n  \"metrics\": {metrics}\n}}\n",
         total_full / total_inc.max(1e-12),
         total_refresh_full / total_refresh_inc.max(1e-12),
         total_eval_seq / total_eval_par.max(1e-12),

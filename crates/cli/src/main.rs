@@ -4,6 +4,7 @@
 //! powder optimize <in.blif> [-o out.blif] [--delay-limit PCT] [--library lib.genlib]
 //!                 [--repeat N] [--patterns N] [--seed S] [--jobs N]
 //!                 [--passes LIST] [--fixpoint N] [--resize] [--redundancy]
+//!                 [--trace-out trace.json] [--metrics-out metrics.json]
 //! powder synth    <in.pla>  [-o out.blif] [--library lib.genlib]   # two-level → mapped
 //! powder stats    <in.blif> [--library lib.genlib]
 //! powder bench    <name>    [-o out.blif]      # dump a suite circuit as BLIF
@@ -16,6 +17,11 @@
 //! iteration changes nothing. The standalone `--resize`/`--redundancy`
 //! flags are deprecated aliases that prepend/append the corresponding
 //! passes around `powder`.
+//!
+//! `--trace-out` enables span tracing and writes a Chrome/Perfetto
+//! `trace_event` JSON file when the command finishes; `--metrics-out`
+//! writes a flat JSON snapshot of the metric registry. Both work with
+//! any command but only `optimize` produces interesting data.
 //!
 //! Exit code 0 on success, 1 on DRC/IO/parse errors.
 
@@ -46,6 +52,10 @@ struct Options {
     fixpoint: usize,
     resize: bool,
     redundancy: bool,
+    /// Write a Chrome/Perfetto trace of the run here (enables tracing).
+    trace_out: Option<String>,
+    /// Write a JSON snapshot of the metric registry here.
+    metrics_out: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -62,6 +72,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         fixpoint: 1,
         resize: false,
         redundancy: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -108,6 +120,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--resize" => o.resize = true,
             "--redundancy" => o.redundancy = true,
+            "--trace-out" => o.trace_out = Some(val("--trace-out")?),
+            "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => o.positional.push(other.to_string()),
         }
@@ -192,13 +206,31 @@ fn emit(nl: &Netlist, output: Option<&str>) -> Result<(), String> {
     }
 }
 
+/// Writes the `--trace-out` / `--metrics-out` files once the command
+/// body has finished. The snapshot/drain run on the main thread, which
+/// sees its own live buffers plus everything worker threads flushed.
+fn write_observability(opts: &Options) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        let json = powder_obs::export::chrome_trace_json(&powder_obs::drain());
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.metrics_out {
+        let json = powder_obs::snapshot().to_json();
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
         return Err("usage: powder <optimize|synth|stats|bench|list> ...".into());
     };
     let opts = parse_args(&args[1..])?;
-    match command.as_str() {
+    if opts.trace_out.is_some() {
+        powder_obs::set_tracing_enabled(true);
+    }
+    let result = match command.as_str() {
         "list" => {
             for name in powder_benchmarks::table1_names() {
                 let info = powder_benchmarks::info(name).expect("known");
@@ -296,7 +328,11 @@ fn run() -> Result<(), String> {
             emit(&nl, opts.output.as_deref())
         }
         other => Err(format!("unknown command {other:?}")),
+    };
+    if result.is_ok() {
+        write_observability(&opts)?;
     }
+    result
 }
 
 fn main() -> ExitCode {
@@ -370,6 +406,22 @@ mod tests {
         assert_eq!(pass_spec(&o).unwrap(), "redundancy,powder,resize");
         let o = parse_args(&args(&["--passes", "powder", "--resize"])).unwrap();
         assert!(pass_spec(&o).is_err(), "aliases conflict with --passes");
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let o = parse_args(&args(&[
+            "--trace-out",
+            "trace.json",
+            "--metrics-out",
+            "metrics.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("trace.json"));
+        assert_eq!(o.metrics_out.as_deref(), Some("metrics.json"));
+        let o = parse_args(&[]).unwrap();
+        assert!(o.trace_out.is_none() && o.metrics_out.is_none());
+        assert!(parse_args(&args(&["--trace-out"])).is_err());
     }
 
     #[test]

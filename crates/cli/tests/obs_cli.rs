@@ -1,0 +1,88 @@
+//! End-to-end test of the CLI observability flags: `--trace-out` and
+//! `--metrics-out` must produce files that parse as JSON and carry the
+//! span names and metric keys the docs promise (phase, pass, and
+//! per-worker pool-stage spans; versioned metric snapshot).
+
+use powder_obs::json;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_powder")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("powder-obs-cli-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn trace_and_metrics_outputs_are_valid_and_complete() {
+    let input = tmp("in.blif");
+    let output = tmp("out.blif");
+    let trace = tmp("trace.json");
+    let metrics = tmp("metrics.json");
+
+    let st = Command::new(bin())
+        .args(["bench", "alu4tl", "-o"])
+        .arg(&input)
+        .output()
+        .expect("run powder bench");
+    assert!(
+        st.status.success(),
+        "bench failed: {}",
+        String::from_utf8_lossy(&st.stderr)
+    );
+
+    let st = Command::new(bin())
+        .arg("optimize")
+        .arg(&input)
+        .arg("-o")
+        .arg(&output)
+        .args(["--repeat", "1", "--patterns", "64", "--jobs", "2"])
+        .args(["--passes", "powder"])
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .expect("run powder optimize");
+    assert!(
+        st.status.success(),
+        "optimize failed: {}",
+        String::from_utf8_lossy(&st.stderr)
+    );
+
+    let trace_text = std::fs::read_to_string(&trace).expect("trace file written");
+    let v = json::parse(&trace_text).expect("trace parses as JSON");
+    let events = v.as_array().expect("trace is a trace_event array");
+    assert!(!events.is_empty(), "trace has no events");
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for prefix in ["passes.pass.", "core.phase.", "engine.stage."] {
+        assert!(
+            names.iter().any(|n| n.starts_with(prefix)),
+            "no {prefix} span in trace"
+        );
+    }
+
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let v = json::parse(&metrics_text).expect("metrics parse as JSON");
+    assert_eq!(v.get("version").and_then(|x| x.as_f64()), Some(1.0));
+    let m = v.get("metrics").expect("metrics object");
+    for key in [
+        powder_obs::names::ANALYSIS_SIM_FULL,
+        powder_obs::names::OPTIMIZER_ROUNDS,
+        powder_obs::names::ENGINE_EVALUATED,
+    ] {
+        assert!(m.get(key).is_some(), "metrics snapshot missing {key}");
+    }
+
+    for p in [input, output, trace, metrics] {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -8,6 +8,7 @@ use powder_atpg::{
 };
 use powder_engine::EngineStats;
 use powder_netlist::{ConeScratch, GateId, Netlist};
+use powder_obs as obs;
 use powder_power::{PowerConfig, PowerEstimator, WhatIfScratch};
 use powder_sim::{resimulate_cone, simulate, CellCovers, Patterns, SimValues};
 use powder_timing::{SubstitutionTiming, TimingAnalysis, TimingConfig};
@@ -224,15 +225,20 @@ pub(crate) fn optimize_sequential(
 
     for _round in 0..config.max_rounds {
         rounds += 1;
+        let _round_span = obs::span!(obs::names::span::ROUND);
+        obs::counter!(obs::names::OPTIMIZER_ROUNDS).inc();
         let t = Instant::now();
         if !config.incremental || patterns_stale || values.is_none() {
+            let _span = obs::span!(obs::names::span::PHASE_SIMULATION);
             *values = Some(simulate(nl, covers, patterns));
             patterns_stale = false;
             inc.full_resims += 1;
+            obs::counter!(obs::names::ANALYSIS_SIM_FULL).inc();
         }
         phase.simulation += t.elapsed().as_secs_f64();
         let t = Instant::now();
         let cands = {
+            let _span = obs::span!(obs::names::span::PHASE_CANDIDATES);
             let values = values.as_ref().expect("simulated above");
             generate_candidates(nl, covers, values, &config.candidates)
         };
@@ -242,6 +248,7 @@ pub(crate) fn optimize_sequential(
         }
         // Score once per round by the re-estimation-free PG_A + PG_B.
         let t = Instant::now();
+        let fast_span = obs::span!(obs::names::span::PHASE_GAIN);
         let mut scored: Vec<(Substitution, f64)> = cands
             .into_iter()
             .map(|s| {
@@ -250,8 +257,10 @@ pub(crate) fn optimize_sequential(
             })
             .collect();
         scored.sort_by(|x, y| y.1.total_cmp(&x.1));
+        drop(fast_span);
         phase.gain += t.elapsed().as_secs_f64();
         engine.evaluated += scored.len();
+        obs::counter!(obs::names::ENGINE_EVALUATED).add(scored.len() as u64);
         let mut consumed = vec![false; scored.len()];
 
         let mut progress = false;
@@ -275,6 +284,7 @@ pub(crate) fn optimize_sequential(
                     if !candidate_alive(nl, s) || !s.is_structurally_valid(nl) {
                         consumed[i] = true;
                         engine.filtered += 1;
+                        obs::counter!(obs::names::ENGINE_FILTERED).inc();
                     } else {
                         pre.push(i);
                     }
@@ -286,6 +296,7 @@ pub(crate) fn optimize_sequential(
             }
             // Full PG analysis on the pre-selected set.
             let t = Instant::now();
+            let gain_span = obs::span!(obs::names::span::PHASE_GAIN);
             let best = pre
                 .iter()
                 .map(|&i| {
@@ -295,6 +306,8 @@ pub(crate) fn optimize_sequential(
                 .max_by(|x, y| x.1.total_cmp(&y.1))
                 .expect("pre-selection is non-empty");
             engine.full_gains += pre.len();
+            obs::counter!(obs::names::ENGINE_FULL_GAINS).add(pre.len() as u64);
+            drop(gain_span);
             phase.gain += t.elapsed().as_secs_f64();
             let (idx, gain) = best;
             if gain <= config.min_gain {
@@ -308,12 +321,16 @@ pub(crate) fn optimize_sequential(
             // check_delay (Section 3.4).
             if let Some(sta_ref) = &sta {
                 let t = Instant::now();
-                let timing = substitution_timing(nl, sta_ref, &sub, output_load);
-                let ok = sta_ref.check_substitution(&timing);
+                let ok = {
+                    let _span = obs::span!(obs::names::span::PHASE_TIMING);
+                    let timing = substitution_timing(nl, sta_ref, &sub, output_load);
+                    sta_ref.check_substitution(&timing)
+                };
                 phase.timing += t.elapsed().as_secs_f64();
                 if !ok {
                     delay_rejections += 1;
                     rejections_this_round += 1;
+                    obs::counter!(obs::names::OPTIMIZER_DELAY_REJECTIONS).inc();
                     continue 'inner;
                 }
             }
@@ -321,16 +338,24 @@ pub(crate) fn optimize_sequential(
             // check_candidate (exact ATPG).
             atpg_checks += 1;
             engine.proved += 1;
+            obs::counter!(obs::names::OPTIMIZER_ATPG_CHECKS).inc();
+            obs::counter!(obs::names::ENGINE_PROVED).inc();
             let t = Instant::now();
-            let outcome = check_substitution(nl, &sub, config.backtrack_limit);
+            let outcome = {
+                let _span = obs::span!(obs::names::span::PHASE_ATPG);
+                check_substitution(nl, &sub, config.backtrack_limit)
+            };
             phase.atpg += t.elapsed().as_secs_f64();
             match outcome {
                 CheckOutcome::Permissible => {
                     let t_apply = Instant::now();
+                    let apply_span = obs::span!(obs::names::span::PHASE_APPLY);
+                    obs::counter!(obs::names::OPTIMIZER_COMMITS).inc();
                     let power_before = if config.incremental {
                         est.total_power()
                     } else {
                         inc.full_power_rescans += 1;
+                        obs::counter!(obs::names::ANALYSIS_POWER_FULL).inc();
                         est.circuit_power(nl)
                     };
                     let area_before = nl.area();
@@ -340,15 +365,24 @@ pub(crate) fn optimize_sequential(
                     let region = nl.drain_dirty();
                     cone.clear();
                     cone_scratch.cone_topo(nl, region.touched().iter().copied(), &mut cone);
+                    obs::counter!(obs::names::ANALYSIS_REFRESHES).inc();
+                    obs::histogram!(
+                        obs::names::ANALYSIS_CONE_GATES,
+                        obs::names::CONE_GATES_BOUNDS
+                    )
+                    .observe(cone.len() as u64);
                     est.retire_gates(region.removed());
                     est.update_cone(nl, &cone);
                     let power_after = if config.incremental {
                         inc.incremental_power_updates += 1;
+                        obs::counter!(obs::names::ANALYSIS_POWER_INCREMENTAL).inc();
                         est.total_power()
                     } else {
                         inc.full_power_rescans += 1;
+                        obs::counter!(obs::names::ANALYSIS_POWER_FULL).inc();
                         est.circuit_power(nl)
                     };
+                    drop(apply_span);
                     phase.apply += t_apply.elapsed().as_secs_f64();
                     applied.push(AppliedSubstitution {
                         substitution: sub,
@@ -359,19 +393,24 @@ pub(crate) fn optimize_sequential(
                     if config.incremental {
                         let t = Instant::now();
                         if let Some(v) = values.as_mut() {
+                            let _span = obs::span!(obs::names::span::PHASE_SIMULATION);
                             resimulate_cone(nl, covers, v, &cone);
                             inc.incremental_resims += 1;
+                            obs::counter!(obs::names::ANALYSIS_SIM_INCREMENTAL).inc();
                         }
                         phase.simulation += t.elapsed().as_secs_f64();
                     }
                     if let Some(sta_ref) = sta.as_mut() {
                         let t = Instant::now();
+                        let _span = obs::span!(obs::names::span::PHASE_TIMING);
                         if config.incremental {
                             sta_ref.update(nl, &region);
                             inc.incremental_sta_updates += 1;
+                            obs::counter!(obs::names::ANALYSIS_STA_INCREMENTAL).inc();
                         } else {
                             *sta_ref = TimingAnalysis::new(nl, &sta_cfg);
                             inc.full_sta_rebuilds += 1;
+                            obs::counter!(obs::names::ANALYSIS_STA_FULL).inc();
                         }
                         phase.timing += t.elapsed().as_secs_f64();
                     }
@@ -392,6 +431,7 @@ pub(crate) fn optimize_sequential(
                 CheckOutcome::NotPermissible(witness) => {
                     atpg_rejections += 1;
                     rejections_this_round += 1;
+                    obs::counter!(obs::names::OPTIMIZER_ATPG_REJECTIONS).inc();
                     // Teach the filter: the witness distinguishes circuits,
                     // so adding it to the pattern set kills this candidate
                     // class in future rounds.
@@ -402,6 +442,7 @@ pub(crate) fn optimize_sequential(
                 CheckOutcome::Aborted => {
                     atpg_rejections += 1;
                     rejections_this_round += 1;
+                    obs::counter!(obs::names::OPTIMIZER_ATPG_REJECTIONS).inc();
                 }
             }
         }

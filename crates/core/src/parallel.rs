@@ -52,6 +52,7 @@ use powder_engine::{
     pool::batch_by_key, DirtyBits, EngineStats, Footprint, FootprintScratch, SpecCache, WorkerPool,
 };
 use powder_netlist::{ConeScratch, GateId, Netlist};
+use powder_obs as obs;
 use powder_power::{PowerEstimator, WhatIfScratch};
 use powder_sim::{resimulate_cone, simulate};
 use powder_timing::{TimingAnalysis, TimingConfig};
@@ -176,6 +177,7 @@ pub(crate) fn optimize_parallel(
         values,
     } = shared;
     let pool = WorkerPool::new(jobs);
+    obs::gauge!(obs::names::ENGINE_JOBS).set(jobs as f64);
     // A speculative proof batch covers the next few ATPG decisions; a
     // gain lookahead keeps those predictions computable. Depth tracks
     // the hardware threads actually available (capped by `jobs`):
@@ -243,15 +245,20 @@ pub(crate) fn optimize_parallel(
 
     for _round in 0..config.max_rounds {
         rounds += 1;
+        let _round_span = obs::span!(obs::names::span::ROUND);
+        obs::counter!(obs::names::OPTIMIZER_ROUNDS).inc();
         let t = Instant::now();
         if !config.incremental || patterns_stale || values.is_none() {
+            let _span = obs::span!(obs::names::span::PHASE_SIMULATION);
             *values = Some(simulate(nl, covers, patterns));
             patterns_stale = false;
             inc.full_resims += 1;
+            obs::counter!(obs::names::ANALYSIS_SIM_FULL).inc();
         }
         phase.simulation += t.elapsed().as_secs_f64();
         let t = Instant::now();
         let cands = {
+            let _span = obs::span!(obs::names::span::PHASE_CANDIDATES);
             let values = values.as_ref().expect("simulated above");
             generate_candidates(nl, covers, values, &config.candidates)
         };
@@ -263,6 +270,7 @@ pub(crate) fn optimize_parallel(
         // --- Stage 1: parallel fast scoring, sharded per stem. ---
         let t = Instant::now();
         let fast: Vec<Option<f64>> = {
+            let _span = obs::span!(obs::names::span::PHASE_GAIN);
             let nl_snap: &Netlist = &*nl;
             let est_ref: &PowerEstimator = est;
             let batches = batch_by_key(
@@ -270,6 +278,7 @@ pub(crate) fn optimize_parallel(
                 FAST_BATCH,
             );
             pool.run_batches(
+                obs::names::span::STAGE_FILTER,
                 &cands,
                 &batches,
                 || (),
@@ -286,6 +295,8 @@ pub(crate) fn optimize_parallel(
         phase.gain += wall;
         engine.filter_seconds += wall;
         engine.evaluated += scored.len();
+        obs::counter!(obs::names::ENGINE_FILTER_NS).add((wall * 1e9) as u64);
+        obs::counter!(obs::names::ENGINE_EVALUATED).add(scored.len() as u64);
 
         let n = scored.len();
         let mut consumed = vec![false; n];
@@ -327,6 +338,7 @@ pub(crate) fn optimize_parallel(
                     if !candidate_alive(nl, s) || !s.is_structurally_valid(nl) {
                         consumed[i] = true;
                         engine.filtered += 1;
+                        obs::counter!(obs::names::ENGINE_FILTERED).inc();
                     } else {
                         pre.push(i);
                     }
@@ -362,6 +374,7 @@ pub(crate) fn optimize_parallel(
             }
             if !want.is_empty() {
                 let t = Instant::now();
+                let _span = obs::span!(obs::names::span::PHASE_GAIN);
                 let results = {
                     let nl_snap: &Netlist = &*nl;
                     let est_ref: &PowerEstimator = est;
@@ -372,6 +385,7 @@ pub(crate) fn optimize_parallel(
                         GAIN_BATCH,
                     );
                     pool.run_batches(
+                        obs::names::span::STAGE_GAIN,
                         scored_ref.as_slice(),
                         &batches,
                         || (WhatIfScratch::default(), FootprintScratch::default()),
@@ -388,6 +402,7 @@ pub(crate) fn optimize_parallel(
                         if dropped_mark[id] {
                             dropped_mark[id] = false;
                             engine.retried += 1;
+                            obs::counter!(obs::names::ENGINE_RETRIED).inc();
                         }
                         gain_memo.insert(scored[id].0, (fp.clone(), g));
                         gains.insert(id, fp, g);
@@ -398,6 +413,8 @@ pub(crate) fn optimize_parallel(
                 phase.gain += wall;
                 engine.gain_seconds += wall;
                 round_parallel_wall += wall;
+                obs::counter!(obs::names::ENGINE_FULL_GAINS).add(want.len() as u64);
+                obs::counter!(obs::names::ENGINE_GAIN_NS).add((wall * 1e9) as u64);
             }
 
             let best = pre
@@ -416,22 +433,29 @@ pub(crate) fn optimize_parallel(
             // cheap to query and changes with every commit.
             if let Some(sta_ref) = &sta {
                 let t = Instant::now();
-                let timing = substitution_timing(nl, sta_ref, &sub, output_load);
-                let ok = sta_ref.check_substitution(&timing);
+                let ok = {
+                    let _span = obs::span!(obs::names::span::PHASE_TIMING);
+                    let timing = substitution_timing(nl, sta_ref, &sub, output_load);
+                    sta_ref.check_substitution(&timing)
+                };
                 phase.timing += t.elapsed().as_secs_f64();
                 if !ok {
                     delay_rejections += 1;
                     rejections_this_round += 1;
+                    obs::counter!(obs::names::OPTIMIZER_DELAY_REJECTIONS).inc();
                     continue 'inner;
                 }
             }
 
             // --- Stage 3: ATPG proofs, speculatively batched. ---
             atpg_checks += 1;
+            obs::counter!(obs::names::OPTIMIZER_ATPG_CHECKS).inc();
             if proofs.get(idx).is_some() {
                 engine.speculative_hits += 1;
+                obs::counter!(obs::names::ENGINE_SPECULATIVE_HITS).inc();
             } else {
                 let t = Instant::now();
+                let _span = obs::span!(obs::names::span::PHASE_ATPG);
                 let plan = plan_proof_batch(
                     nl,
                     &scored,
@@ -458,6 +482,7 @@ pub(crate) fn optimize_parallel(
                     // pipeline, so maximal stealing wins.
                     let batches: Vec<Vec<u32>> = todo.iter().map(|&id| vec![id]).collect();
                     pool.run_batches(
+                        obs::names::span::STAGE_PROOF,
                         scored_ref.as_slice(),
                         &batches,
                         CheckArena::new,
@@ -470,6 +495,7 @@ pub(crate) fn optimize_parallel(
                         if dropped_mark[id] {
                             dropped_mark[id] = false;
                             engine.retried += 1;
+                            obs::counter!(obs::names::ENGINE_RETRIED).inc();
                         }
                         let fp = gains
                             .footprint(id)
@@ -483,16 +509,21 @@ pub(crate) fn optimize_parallel(
                 phase.atpg += wall;
                 engine.proof_seconds += wall;
                 round_parallel_wall += wall;
+                obs::counter!(obs::names::ENGINE_PROVED).add(todo.len() as u64);
+                obs::counter!(obs::names::ENGINE_PROOF_NS).add((wall * 1e9) as u64);
             }
             let outcome = proofs.take(idx).expect("proof ensured above");
 
             match outcome {
                 CheckOutcome::Permissible => {
                     let t_apply = Instant::now();
+                    let apply_span = obs::span!(obs::names::span::PHASE_APPLY);
+                    obs::counter!(obs::names::OPTIMIZER_COMMITS).inc();
                     let power_before = if config.incremental {
                         est.total_power()
                     } else {
                         inc.full_power_rescans += 1;
+                        obs::counter!(obs::names::ANALYSIS_POWER_FULL).inc();
                         est.circuit_power(nl)
                     };
                     let area_before = nl.area();
@@ -500,15 +531,24 @@ pub(crate) fn optimize_parallel(
                     let region = nl.drain_dirty();
                     cone.clear();
                     cone_scratch.cone_topo(nl, region.touched().iter().copied(), &mut cone);
+                    obs::counter!(obs::names::ANALYSIS_REFRESHES).inc();
+                    obs::histogram!(
+                        obs::names::ANALYSIS_CONE_GATES,
+                        obs::names::CONE_GATES_BOUNDS
+                    )
+                    .observe(cone.len() as u64);
                     est.retire_gates(region.removed());
                     est.update_cone(nl, &cone);
                     let power_after = if config.incremental {
                         inc.incremental_power_updates += 1;
+                        obs::counter!(obs::names::ANALYSIS_POWER_INCREMENTAL).inc();
                         est.total_power()
                     } else {
                         inc.full_power_rescans += 1;
+                        obs::counter!(obs::names::ANALYSIS_POWER_FULL).inc();
                         est.circuit_power(nl)
                     };
+                    drop(apply_span);
                     phase.apply += t_apply.elapsed().as_secs_f64();
                     applied.push(AppliedSubstitution {
                         substitution: sub,
@@ -519,19 +559,24 @@ pub(crate) fn optimize_parallel(
                     if config.incremental {
                         let t = Instant::now();
                         if let Some(v) = values.as_mut() {
+                            let _span = obs::span!(obs::names::span::PHASE_SIMULATION);
                             resimulate_cone(nl, covers, v, &cone);
                             inc.incremental_resims += 1;
+                            obs::counter!(obs::names::ANALYSIS_SIM_INCREMENTAL).inc();
                         }
                         phase.simulation += t.elapsed().as_secs_f64();
                     }
                     if let Some(sta_ref) = sta.as_mut() {
                         let t = Instant::now();
+                        let _span = obs::span!(obs::names::span::PHASE_TIMING);
                         if config.incremental {
                             sta_ref.update(nl, &region);
                             inc.incremental_sta_updates += 1;
+                            obs::counter!(obs::names::ANALYSIS_STA_INCREMENTAL).inc();
                         } else {
                             *sta_ref = TimingAnalysis::new(nl, &sta_cfg);
                             inc.full_sta_rebuilds += 1;
+                            obs::counter!(obs::names::ANALYSIS_STA_FULL).inc();
                         }
                         phase.timing += t.elapsed().as_secs_f64();
                     }
@@ -571,8 +616,10 @@ pub(crate) fn optimize_parallel(
                             dropped_mark[id] = true;
                         }
                     };
-                    engine.invalidated += gains.invalidate(&dirty, &mut mark);
-                    engine.invalidated += proofs.invalidate(&structural, &mut mark);
+                    let inv = gains.invalidate(&dirty, &mut mark)
+                        + proofs.invalidate(&structural, &mut mark);
+                    engine.invalidated += inv;
+                    obs::counter!(obs::names::ENGINE_INVALIDATED).add(inv as u64);
                     gain_memo.retain(|_, (fp, _)| !fp.intersects(&dirty));
                     proof_memo.retain(|_, (fp, _)| !fp.intersects(&structural));
                     repeat_left -= 1;
@@ -581,6 +628,7 @@ pub(crate) fn optimize_parallel(
                 CheckOutcome::NotPermissible(witness) => {
                     atpg_rejections += 1;
                     rejections_this_round += 1;
+                    obs::counter!(obs::names::OPTIMIZER_ATPG_REJECTIONS).inc();
                     // Pattern learning only affects the next round's
                     // candidate generation; cached gains and proofs do
                     // not read the pattern set, so nothing invalidates.
@@ -591,10 +639,13 @@ pub(crate) fn optimize_parallel(
                 CheckOutcome::Aborted => {
                     atpg_rejections += 1;
                     rejections_this_round += 1;
+                    obs::counter!(obs::names::OPTIMIZER_ATPG_REJECTIONS).inc();
                 }
             }
         }
-        engine.arbiter_seconds += (t_inner.elapsed().as_secs_f64() - round_parallel_wall).max(0.0);
+        let arbiter_wall = (t_inner.elapsed().as_secs_f64() - round_parallel_wall).max(0.0);
+        engine.arbiter_seconds += arbiter_wall;
+        obs::counter!(obs::names::ENGINE_ARBITER_NS).add((arbiter_wall * 1e9) as u64);
         if !progress && !learned {
             break;
         }

@@ -14,6 +14,7 @@
 //! created inside each worker via `make_ctx`, which keeps those
 //! structures out of the `Send`/`Sync` bounds entirely.
 
+use powder_obs as obs;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -41,12 +42,18 @@ impl WorkerPool {
     /// the returned vector holds the result for `items[i]` (or `None`
     /// if no batch named `i`).
     ///
+    /// `label` names the stage in observability output: every executed
+    /// batch records one span under it (on the executing worker's own
+    /// track, so pool phases render as parallel lanes) plus a
+    /// batch-size histogram sample.
+    ///
     /// `make_ctx` builds one mutable context per worker; `work`
     /// receives it together with the item index and item. With one
     /// worker (or one batch) everything runs inline on the caller's
     /// thread — no spawn, identical results.
     pub fn run_batches<T, R, C>(
         &self,
+        label: &'static str,
         items: &[T],
         batches: &[Vec<u32>],
         make_ctx: impl Fn() -> C + Sync,
@@ -56,12 +63,18 @@ impl WorkerPool {
         T: Sync,
         R: Send,
     {
+        let batch_hist = obs::histogram!(
+            obs::names::ENGINE_BATCH_ITEMS,
+            obs::names::BATCH_ITEMS_BOUNDS
+        );
         let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
         out.resize_with(items.len(), || None);
         let workers = self.jobs.min(batches.len().max(1));
         if workers <= 1 {
             let mut ctx = make_ctx();
             for batch in batches {
+                let _span = obs::span!(label);
+                batch_hist.observe(batch.len() as u64);
                 for &i in batch {
                     out[i as usize] = Some(work(&mut ctx, i, &items[i as usize]));
                 }
@@ -91,6 +104,7 @@ impl WorkerPool {
                     let make_ctx = &make_ctx;
                     let work = &work;
                     s.spawn(move || {
+                        obs::set_track_name(format!("worker-{w}"));
                         let mut ctx = make_ctx();
                         let mut local: Vec<(u32, R)> = Vec::new();
                         loop {
@@ -108,6 +122,8 @@ impl WorkerPool {
                             match grabbed {
                                 Some(b) => {
                                     pending.fetch_sub(1, Ordering::Relaxed);
+                                    let _span = obs::span!(label);
+                                    batch_hist.observe(batches[b].len() as u64);
                                     for &i in &batches[b] {
                                         local.push((i, work(&mut ctx, i, &items[i as usize])));
                                     }
@@ -120,6 +136,10 @@ impl WorkerPool {
                                 }
                             }
                         }
+                        // Fold this worker's observability buffers
+                        // before the join: scrapes right after
+                        // run_batches must see every worker's counts.
+                        obs::flush_thread();
                         local
                     })
                 })
@@ -168,7 +188,13 @@ mod tests {
         let batches = batch_by_key(items.iter().map(|&i| (i as u32, i / 5)), 4);
         for jobs in [1, 4] {
             let pool = WorkerPool::new(jobs);
-            let out = pool.run_batches(&items, &batches, || (), |_, _, &x| x * x);
+            let out = pool.run_batches(
+                "engine.stage.test",
+                &items,
+                &batches,
+                || (),
+                |_, _, &x| x * x,
+            );
             for (i, r) in out.iter().enumerate() {
                 assert_eq!(*r, Some((i as u64) * (i as u64)), "jobs={jobs} item {i}");
             }
@@ -179,7 +205,13 @@ mod tests {
     fn sparse_batches_leave_unnamed_slots_empty() {
         let items = [10u32, 20, 30];
         let pool = WorkerPool::new(4);
-        let out = pool.run_batches(&items, &[vec![2], vec![0]], || (), |_, _, &x| x + 1);
+        let out = pool.run_batches(
+            "engine.stage.test",
+            &items,
+            &[vec![2], vec![0]],
+            || (),
+            |_, _, &x| x + 1,
+        );
         assert_eq!(out, vec![Some(11), None, Some(31)]);
     }
 
@@ -190,6 +222,7 @@ mod tests {
         let items = [0u8; 6];
         let pool = WorkerPool::new(1);
         let out = pool.run_batches(
+            "engine.stage.test",
             &items,
             &[vec![0, 1, 2], vec![3, 4, 5]],
             || Cell::new(0u32),

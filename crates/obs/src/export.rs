@@ -1,0 +1,124 @@
+//! Exporters: Chrome/Perfetto `trace_event` JSON for span dumps.
+//!
+//! The trace document is a plain JSON array of `trace_event` objects —
+//! the legacy Chrome format, loadable by both `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev). Each completed span becomes a
+//! complete event (`"ph": "X"`) with microsecond timestamps; tracks
+//! map to `tid` lanes under one `pid`, and named tracks additionally
+//! emit `thread_name` metadata events so Perfetto labels the lanes.
+
+use crate::span::{TraceDump, TraceEvent};
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_event(out: &mut String, e: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"powder\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+        json_escape(&e.name),
+        e.track,
+        e.start_ns as f64 / 1_000.0,
+        e.dur_ns as f64 / 1_000.0,
+        e.id,
+        e.parent,
+    );
+}
+
+/// Serializes a [`TraceDump`] as a Chrome `trace_event` JSON array.
+pub fn chrome_trace_json(dump: &TraceDump) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+    };
+    for (track, name) in &dump.track_names {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{track},\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        );
+    }
+    if dump.dropped > 0 {
+        // Surface overflow in the trace itself: an instant event at t=0.
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"obs.trace.dropped\",\"cat\":\"powder\",\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":0,\"s\":\"g\",\"args\":{{\"dropped\":{}}}}}",
+            dump.dropped
+        );
+    }
+    for e in &dump.events {
+        sep(&mut out);
+        write_event(&mut out, e);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn event(name: &'static str, track: u32, start: u64, dur: u64, id: u64) -> TraceEvent {
+        TraceEvent {
+            name: Cow::Borrowed(name),
+            track,
+            start_ns: start,
+            dur_ns: dur,
+            id,
+            parent: 0,
+        }
+    }
+
+    #[test]
+    fn trace_json_is_a_valid_event_array() {
+        let dump = TraceDump {
+            events: vec![event("phase \"x\"", 1, 1_500, 2_000, 7)],
+            track_names: vec![(1, "arbiter".to_string())],
+            dropped: 3,
+        };
+        let json = chrome_trace_json(&dump);
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let arr = v.as_array().expect("trace_event array");
+        assert_eq!(arr.len(), 3, "metadata + overflow marker + event");
+        let meta = &arr[0];
+        assert_eq!(meta.get("ph").and_then(|p| p.as_str()), Some("M"));
+        let ev = &arr[2];
+        assert_eq!(ev.get("ph").and_then(|p| p.as_str()), Some("X"));
+        assert_eq!(ev.get("name").and_then(|p| p.as_str()), Some("phase \"x\""));
+        assert_eq!(ev.get("ts").and_then(|p| p.as_f64()), Some(1.5));
+        assert_eq!(ev.get("dur").and_then(|p| p.as_f64()), Some(2.0));
+        assert_eq!(ev.get("tid").and_then(|p| p.as_f64()), Some(1.0));
+    }
+
+    #[test]
+    fn empty_dump_is_an_empty_array() {
+        let json = chrome_trace_json(&TraceDump::default());
+        let v = crate::json::parse(&json).expect("valid JSON");
+        assert_eq!(v.as_array().map(Vec::len), Some(0));
+    }
+}

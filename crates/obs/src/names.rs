@@ -1,0 +1,138 @@
+//! The unified metric naming scheme: `<crate>.<subsystem>.<metric>`.
+//!
+//! Every counter the stack reports lives here as one constant, so the
+//! same concept carries the same name no matter which code path
+//! increments it — the optimizer's inner loop and the pass pipeline's
+//! `AnalysisSession` both report analysis refreshes under the
+//! `core.analysis.*` names, ending the `full_power_rescans` /
+//! `full_power_builds` drift between the old ad-hoc counter structs.
+//!
+//! Wall-clock-derived metrics end in `_ns` (or `_seconds`); everything
+//! else is a deterministic function of the input netlist and
+//! configuration, and is required to be bit-identical across repeat
+//! runs at a fixed `--jobs` (see [`is_duration`]).
+
+/// Whether a metric name denotes a wall-clock-derived quantity
+/// (excluded from determinism comparisons).
+pub fn is_duration(name: &str) -> bool {
+    name.ends_with("_ns") || name.ends_with("_seconds")
+}
+
+// --- core.analysis.* — analysis refreshes (shared by the optimizer's
+// inner loop and the pass pipeline's AnalysisSession) ---
+
+/// Whole-netlist simulations (initial materialization or stale patterns).
+pub const ANALYSIS_SIM_FULL: &str = "core.analysis.sim_full";
+/// Cone-local simulation refreshes after journaled edits.
+pub const ANALYSIS_SIM_INCREMENTAL: &str = "core.analysis.sim_incremental";
+/// Power estimators built by a full topological propagation.
+pub const ANALYSIS_POWER_FULL: &str = "core.analysis.power_full";
+/// Cone-local probability/contribution refreshes.
+pub const ANALYSIS_POWER_INCREMENTAL: &str = "core.analysis.power_incremental";
+/// Timing analyses built by a full forward/backward pass.
+pub const ANALYSIS_STA_FULL: &str = "core.analysis.sta_full";
+/// Incremental arrival/required repairs over dirty regions.
+pub const ANALYSIS_STA_INCREMENTAL: &str = "core.analysis.sta_incremental";
+/// Journal drains that triggered any refresh work.
+pub const ANALYSIS_REFRESHES: &str = "core.analysis.refreshes";
+/// Histogram of dirty-cone sizes (gates) per refresh.
+pub const ANALYSIS_CONE_GATES: &str = "core.analysis.cone_gates";
+/// Bucket bounds for [`ANALYSIS_CONE_GATES`].
+pub const CONE_GATES_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+// --- core.optimizer.* — the POWDER loop itself ---
+
+/// Candidate-generation rounds executed.
+pub const OPTIMIZER_ROUNDS: &str = "core.optimizer.rounds";
+/// Substitutions committed.
+pub const OPTIMIZER_COMMITS: &str = "core.optimizer.commits";
+/// ATPG permissibility checks demanded by the decision loop.
+pub const OPTIMIZER_ATPG_CHECKS: &str = "core.optimizer.atpg_checks";
+/// Candidates rejected by ATPG (counterexample or abort).
+pub const OPTIMIZER_ATPG_REJECTIONS: &str = "core.optimizer.atpg_rejections";
+/// Candidates rejected by the delay constraint.
+pub const OPTIMIZER_DELAY_REJECTIONS: &str = "core.optimizer.delay_rejections";
+
+// --- engine.* — the parallel candidate-evaluation engine ---
+
+/// Candidates fast-scored (PG_A + PG_B).
+pub const ENGINE_EVALUATED: &str = "engine.eval.evaluated";
+/// Candidates dropped by the liveness/validity scan.
+pub const ENGINE_FILTERED: &str = "engine.eval.filtered";
+/// Full what-if gain evaluations (PG_C), incl. speculative.
+pub const ENGINE_FULL_GAINS: &str = "engine.eval.full_gains";
+/// ATPG proofs executed, incl. speculative.
+pub const ENGINE_PROVED: &str = "engine.proof.proved";
+/// Proofs consumed from the speculative cache without recomputation.
+pub const ENGINE_SPECULATIVE_HITS: &str = "engine.proof.speculative_hits";
+/// Cached results discarded by commit-footprint invalidation.
+pub const ENGINE_INVALIDATED: &str = "engine.cache.invalidated";
+/// Invalidated candidates re-evaluated after re-enqueue.
+pub const ENGINE_RETRIED: &str = "engine.cache.retried";
+/// Resolved worker count (gauge; max across runs).
+pub const ENGINE_JOBS: &str = "engine.pool.jobs";
+/// Histogram of pool batch sizes (items per batch).
+pub const ENGINE_BATCH_ITEMS: &str = "engine.pool.batch_items";
+/// Bucket bounds for [`ENGINE_BATCH_ITEMS`].
+pub const BATCH_ITEMS_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+/// Wall nanoseconds in the parallel fast-scoring stage.
+pub const ENGINE_FILTER_NS: &str = "engine.stage.filter_ns";
+/// Wall nanoseconds in the parallel full-gain stage.
+pub const ENGINE_GAIN_NS: &str = "engine.stage.gain_ns";
+/// Wall nanoseconds in the parallel ATPG proof stage.
+pub const ENGINE_PROOF_NS: &str = "engine.stage.proof_ns";
+/// Wall nanoseconds in the sequential commit arbiter.
+pub const ENGINE_ARBITER_NS: &str = "engine.stage.arbiter_ns";
+
+// --- passes.* — the pass pipeline ---
+
+/// Passes executed (one per pass per fixpoint iteration).
+pub const PIPELINE_PASSES_RUN: &str = "passes.pipeline.passes_run";
+/// Fixpoint iterations executed.
+pub const PIPELINE_ITERATIONS: &str = "passes.pipeline.iterations";
+/// Netlist edits committed by passes.
+pub const PIPELINE_EDITS: &str = "passes.pipeline.edits";
+/// ATPG permissibility checks issued by non-POWDER passes.
+pub const PASSES_ATPG_CHECKS: &str = "passes.atpg.checks";
+
+// --- obs.* — the tracer's own health ---
+
+/// Trace events dropped because a thread's ring buffer was full.
+pub const TRACE_DROPPED: &str = "obs.trace.dropped";
+
+/// Span names used across the stack, so exports and validators agree.
+pub mod span {
+    /// Simulation phase of one POWDER round.
+    pub const PHASE_SIMULATION: &str = "core.phase.simulation";
+    /// Candidate generation phase.
+    pub const PHASE_CANDIDATES: &str = "core.phase.candidates";
+    /// Gain analysis phase (fast scoring + full what-if).
+    pub const PHASE_GAIN: &str = "core.phase.gain";
+    /// Delay-constraint checking.
+    pub const PHASE_TIMING: &str = "core.phase.timing";
+    /// ATPG permissibility proving.
+    pub const PHASE_ATPG: &str = "core.phase.atpg";
+    /// Commit + incremental analysis repair.
+    pub const PHASE_APPLY: &str = "core.phase.apply";
+    /// One candidate-generation round.
+    pub const ROUND: &str = "core.phase.round";
+    /// Whole pass pipeline.
+    pub const PIPELINE: &str = "passes.pipeline";
+    /// Per-pass span prefix: `passes.pass.<name>`.
+    pub const PASS_PREFIX: &str = "passes.pass.";
+    /// Session journal drain + analysis repair.
+    pub const SESSION_REFRESH: &str = "passes.session.refresh";
+    /// Session lazy full simulation.
+    pub const SESSION_SIMULATE: &str = "passes.session.simulate";
+    /// Session full STA (re)build.
+    pub const SESSION_STA_BUILD: &str = "passes.session.sta_build";
+    /// ATPG check issued by a non-POWDER pass.
+    pub const PASSES_ATPG_CHECK: &str = "passes.atpg.check";
+    /// Pool stage span prefixes: `engine.stage.<stage>` (one span per
+    /// batch, on the worker's own track).
+    pub const STAGE_FILTER: &str = "engine.stage.filter";
+    /// Full-gain stage batches.
+    pub const STAGE_GAIN: &str = "engine.stage.gain";
+    /// Proof stage batches.
+    pub const STAGE_PROOF: &str = "engine.stage.proof";
+}

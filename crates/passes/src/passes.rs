@@ -16,6 +16,7 @@ use powder::resize::best_swap;
 use powder::{OptimizeConfig, Substitution};
 use powder_atpg::{check_substitution, CheckOutcome};
 use powder_netlist::{GateId, GateKind, Netlist};
+use powder_obs as obs;
 use std::collections::{BTreeMap, HashSet};
 
 /// The POWDER permissible-substitution loop (the paper's Fig. 5),
@@ -90,7 +91,12 @@ fn try_commit(sess: &mut AnalysisSession, sub: &Substitution, backtrack_limit: u
     if analyze_full(nl, est, sub).total() < -1e-12 {
         return false;
     }
-    if check_substitution(nl, sub, backtrack_limit) != CheckOutcome::Permissible {
+    obs::counter!(obs::names::PASSES_ATPG_CHECKS).inc();
+    let outcome = {
+        let _span = obs::span!(obs::names::span::PASSES_ATPG_CHECK);
+        check_substitution(nl, sub, backtrack_limit)
+    };
+    if outcome != CheckOutcome::Permissible {
         return false;
     }
     sess.apply(sub);

@@ -5,6 +5,7 @@ use crate::session::AnalysisSession;
 use crate::transform::{PassBudget, PassReport, Transform};
 use powder::OptimizeConfig;
 use powder_engine::{EngineStats, SessionStats};
+use powder_obs as obs;
 use std::fmt;
 use std::time::Instant;
 
@@ -54,6 +55,7 @@ impl Pipeline {
     /// session and reports the accumulated effect.
     pub fn run(&mut self, sess: &mut AnalysisSession) -> PipelineReport {
         let t0 = Instant::now();
+        let _pipeline_span = obs::span!(obs::names::span::PIPELINE);
         let stats_before = sess.stats();
         let initial_power = sess.power();
         let initial_area = sess.netlist().area();
@@ -63,10 +65,17 @@ impl Pipeline {
         let mut iterations = 0usize;
         for _ in 0..self.fixpoint {
             iterations += 1;
+            obs::counter!(obs::names::PIPELINE_ITERATIONS).inc();
             let mut iteration_edits = 0usize;
             for pass in &mut self.passes {
-                let report = pass.run(sess, &self.budget);
+                let report = {
+                    let _span =
+                        obs::span!(format!("{}{}", obs::names::span::PASS_PREFIX, pass.name()));
+                    obs::counter!(obs::names::PIPELINE_PASSES_RUN).inc();
+                    pass.run(sess, &self.budget)
+                };
                 iteration_edits += report.edits;
+                obs::counter!(obs::names::PIPELINE_EDITS).add(report.edits as u64);
                 if let Some(opt) = &report.optimize {
                     engine.merge(&opt.engine);
                 }

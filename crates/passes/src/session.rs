@@ -4,6 +4,7 @@ use powder::{optimize_with, OptimizeConfig, OptimizeReport, SharedAnalyses};
 use powder_atpg::Substitution;
 use powder_engine::SessionStats;
 use powder_netlist::{ConeScratch, GateId, Netlist};
+use powder_obs as obs;
 use powder_power::{PowerConfig, PowerEstimator};
 use powder_sim::{resimulate_cone, simulate, SimValues};
 use powder_timing::{TimingAnalysis, TimingConfig};
@@ -71,6 +72,7 @@ impl AnalysisSession {
         // The journal may hold construction records; the analyses below
         // are built from the current state, so tracking starts clean.
         nl.drain_dirty();
+        obs::counter!(obs::names::ANALYSIS_POWER_FULL).inc();
         let shared = SharedAnalyses::new(&nl, &config.power, config.sim_words, config.seed);
         AnalysisSession {
             nl,
@@ -126,21 +128,31 @@ impl AnalysisSession {
         if !self.nl.has_pending_edits() {
             return;
         }
+        let _span = obs::span!(obs::names::span::SESSION_REFRESH);
         self.stats.refreshes += 1;
+        obs::counter!(obs::names::ANALYSIS_REFRESHES).inc();
         let region = self.nl.drain_dirty();
         self.cone.clear();
         self.cone_scratch
             .cone_topo(&self.nl, region.touched().iter().copied(), &mut self.cone);
+        obs::histogram!(
+            obs::names::ANALYSIS_CONE_GATES,
+            obs::names::CONE_GATES_BOUNDS
+        )
+        .observe(self.cone.len() as u64);
         self.shared.est.retire_gates(region.removed());
         self.shared.est.update_cone(&self.nl, &self.cone);
         self.stats.incremental_power_updates += 1;
+        obs::counter!(obs::names::ANALYSIS_POWER_INCREMENTAL).inc();
         if let Some(values) = self.shared.values.as_mut() {
             resimulate_cone(&self.nl, &self.shared.covers, values, &self.cone);
             self.stats.incremental_resims += 1;
+            obs::counter!(obs::names::ANALYSIS_SIM_INCREMENTAL).inc();
         }
         if let Some(sta) = self.sta.as_mut() {
             sta.update(&self.nl, &region);
             self.stats.incremental_sta_updates += 1;
+            obs::counter!(obs::names::ANALYSIS_STA_INCREMENTAL).inc();
         }
     }
 
@@ -156,6 +168,8 @@ impl AnalysisSession {
     pub fn delay(&mut self) -> f64 {
         self.refresh();
         self.stats.full_sta_builds += 1;
+        obs::counter!(obs::names::ANALYSIS_STA_FULL).inc();
+        let _span = obs::span!(obs::names::span::SESSION_STA_BUILD);
         let probe = TimingConfig {
             output_load: self.config.power.output_load,
             required_time: None,
@@ -185,6 +199,8 @@ impl AnalysisSession {
         };
         if rebuild {
             self.stats.full_sta_builds += 1;
+            obs::counter!(obs::names::ANALYSIS_STA_FULL).inc();
+            let _span = obs::span!(obs::names::span::SESSION_STA_BUILD);
             let cfg = TimingConfig {
                 output_load: self.config.power.output_load,
                 required_time: Some(required_time),
@@ -205,6 +221,8 @@ impl AnalysisSession {
         self.refresh();
         if self.shared.values.is_none() {
             self.stats.full_resims += 1;
+            obs::counter!(obs::names::ANALYSIS_SIM_FULL).inc();
+            let _span = obs::span!(obs::names::span::SESSION_SIMULATE);
             self.shared.values = Some(simulate(
                 &self.nl,
                 &self.shared.covers,
@@ -254,6 +272,9 @@ impl AnalysisSession {
         // POWDER drains the journal internally after each commit, so a
         // cached timing view cannot be repaired across its edits.
         self.sta = None;
+        // Struct-level bookkeeping only: the optimizer already fed the
+        // metric registry live at each site, so publishing this merge
+        // would double-count.
         self.stats.merge(&SessionStats {
             full_resims: report.incremental.full_resims,
             incremental_resims: report.incremental.incremental_resims,
