@@ -146,7 +146,17 @@ impl WorkerPool {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("pool worker panicked"))
+                .filter_map(|h| match h.join() {
+                    Ok(local) => Some(local),
+                    Err(_) => {
+                        // A lost worker must not abort the phase: its
+                        // unreported results stay `None` and the caller
+                        // decides how to recover (recompute, quarantine,
+                        // or treat conservatively).
+                        obs::counter!(obs::names::RESILIENCE_WORKER_PANICS).inc();
+                        None
+                    }
+                })
                 .collect()
         });
 

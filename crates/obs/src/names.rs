@@ -84,6 +84,39 @@ pub const ENGINE_PROOF_NS: &str = "engine.stage.proof_ns";
 /// Wall nanoseconds in the sequential commit arbiter.
 pub const ENGINE_ARBITER_NS: &str = "engine.stage.arbiter_ns";
 
+// --- engine.resilience.* — degradation events of the worker pool ---
+//
+// All-zero in a fault-free run: with fault injection disabled no worker
+// ever panics, so these counters stay deterministic (trivially) at any
+// `--jobs` value.
+
+/// Worker panics caught and contained by the pool.
+pub const RESILIENCE_WORKER_PANICS: &str = "engine.resilience.worker_panics";
+/// Worker contexts rebuilt after a contained panic (logical respawns).
+pub const RESILIENCE_WORKER_RESPAWNS: &str = "engine.resilience.worker_respawns";
+/// Batches quarantined because their execution panicked.
+pub const RESILIENCE_QUARANTINED_BATCHES: &str = "engine.resilience.quarantined_batches";
+/// Pool phases that degraded to sequential draining after repeated
+/// worker losses.
+pub const RESILIENCE_DEGRADED_PHASES: &str = "engine.resilience.degraded_phases";
+
+// --- core.guard.* — the transactional commit guard ---
+
+/// Commits whose post-apply signature verification passed.
+pub const GUARD_VERIFIED: &str = "core.guard.verified";
+/// Commits whose verification could not run (no retained values).
+pub const GUARD_SKIPPED: &str = "core.guard.skipped";
+/// Post-apply signature mismatches detected.
+pub const GUARD_MISMATCHES: &str = "core.guard.mismatches";
+/// Transactional rollbacks performed after a mismatch.
+pub const GUARD_ROLLBACKS: &str = "core.guard.rollbacks";
+/// Mismatches escalated to an independent ATPG re-proof.
+pub const GUARD_ESCALATIONS: &str = "core.guard.escalations";
+/// Candidates quarantined after a failed verification.
+pub const GUARD_QUARANTINED: &str = "core.guard.quarantined";
+/// Runs cut short by the wall-clock deadline.
+pub const OPTIMIZER_DEADLINE_HITS: &str = "core.optimizer.deadline_hits";
+
 // --- passes.* — the pass pipeline ---
 
 /// Passes executed (one per pass per fixpoint iteration).
