@@ -61,4 +61,5 @@ mod tests_support;
 
 pub use candidates::{generate_candidates, CandidateConfig};
 pub use check::{check_substitution, CheckArena, CheckOutcome, Substitution};
+pub use equiv::{check_equivalence, EquivOutcome};
 pub use sat::{solve_miter, SatCircuit, SatOutcome};

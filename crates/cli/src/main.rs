@@ -3,10 +3,12 @@
 //! ```text
 //! powder optimize <in.blif> [-o out.blif] [--delay-limit PCT] [--library lib.genlib]
 //!                 [--repeat N] [--patterns N] [--seed S] [--jobs N]
+//!                 [--deadline-secs S]
 //!                 [--passes LIST] [--fixpoint N] [--resize] [--redundancy]
 //!                 [--trace-out trace.json] [--metrics-out metrics.json]
 //! powder synth    <in.pla>  [-o out.blif] [--library lib.genlib]   # two-level → mapped
 //! powder stats    <in.blif> [--library lib.genlib]
+//! powder equiv    <a.blif> <b.blif> [--library lib.genlib]   # exact equivalence proof
 //! powder bench    <name>    [-o out.blif]      # dump a suite circuit as BLIF
 //! powder list                                  # list suite circuits
 //! ```
@@ -23,9 +25,16 @@
 //! writes a flat JSON snapshot of the metric registry. Both work with
 //! any command but only `optimize` produces interesting data.
 //!
+//! `--deadline-secs S` bounds an optimize run by wall-clock time: the
+//! optimizer stops starting new work once the deadline passes and emits
+//! the best netlist found so far (always valid and function-preserving).
+//! The `POWDER_FAULTS` environment variable installs a deterministic
+//! fault-injection plan (see `powder-faults`) for resilience testing.
+//!
 //! Exit code 0 on success, 1 on DRC/IO/parse errors.
 
-use powder::{DelayLimit, OptimizeConfig};
+use powder::{check_equivalence, DelayLimit, EquivOutcome, OptimizeConfig};
+use powder_faults::FaultPlan;
 use powder_library::{genlib::parse_genlib, lib2, Library};
 use powder_netlist::blif::{read_blif, write_blif};
 use powder_netlist::Netlist;
@@ -34,6 +43,11 @@ use powder_power::{PowerConfig, PowerEstimator};
 use powder_timing::{TimingAnalysis, TimingConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Backtrack budget for `powder equiv` miter solves — generous because
+/// an exact verdict matters more than latency here.
+const EQUIV_BACKTRACK_LIMIT: usize = 1_000_000;
 
 struct Options {
     positional: Vec<String>,
@@ -46,6 +60,8 @@ struct Options {
     /// Evaluation worker threads; 0 = auto (`POWDER_JOBS` env, else
     /// available parallelism). Any value gives identical results.
     jobs: usize,
+    /// Wall-clock budget for `optimize`; None = unbounded.
+    deadline_secs: Option<f64>,
     /// Comma-separated pass pipeline (`sweep,powder,resize,redundancy`).
     passes: Option<String>,
     /// Fixpoint iterations of the whole pass sequence.
@@ -68,6 +84,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         patterns: 1024,
         seed: 0xB0D1E5,
         jobs: 0,
+        deadline_secs: None,
         passes: None,
         fixpoint: 1,
         resize: false,
@@ -108,9 +125,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("bad --seed: {e}"))?
             }
             "--jobs" => {
-                o.jobs = val("--jobs")?
+                let jobs: usize = val("--jobs")?
                     .parse()
-                    .map_err(|e| format!("bad --jobs: {e}"))?
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err(
+                        "bad --jobs: 0 is not a worker count (omit the flag to auto-detect)".into(),
+                    );
+                }
+                o.jobs = jobs;
+            }
+            "--deadline-secs" => {
+                let raw = val("--deadline-secs")?;
+                let secs: f64 = raw
+                    .parse()
+                    .map_err(|e| format!("bad --deadline-secs {raw:?}: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!(
+                        "bad --deadline-secs {raw:?}: need a finite number of seconds > 0"
+                    ));
+                }
+                o.deadline_secs = Some(secs);
             }
             "--passes" => o.passes = Some(val("--passes")?),
             "--fixpoint" => {
@@ -161,8 +196,20 @@ fn load_library(opts: &Options) -> Result<Arc<Library>, String> {
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             parse_genlib(path, &src)
                 .map(Arc::new)
-                .map_err(|e| e.to_string())
+                .map_err(|e| format!("{path}: {e}"))
         }
+    }
+}
+
+/// Commands that rewire signals need an inverter cell (inverted-signal
+/// substitutions insert one); fail up front with the library's path
+/// rather than panicking mid-optimization.
+fn require_inverter(lib: &Library, opts: &Options) -> Result<(), String> {
+    if lib.has_inverter() {
+        Ok(())
+    } else {
+        let path = opts.library.as_deref().unwrap_or("<builtin>");
+        Err(format!("{path}: library has no inverter cell"))
     }
 }
 
@@ -224,7 +271,7 @@ fn write_observability(opts: &Options) -> Result<(), String> {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        return Err("usage: powder <optimize|synth|stats|bench|list> ...".into());
+        return Err("usage: powder <optimize|synth|stats|equiv|bench|list> ...".into());
     };
     let opts = parse_args(&args[1..])?;
     if opts.trace_out.is_some() {
@@ -261,6 +308,7 @@ fn run() -> Result<(), String> {
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let pla = powder_logic::pla::parse_pla(&src).map_err(|e| e.to_string())?;
             let lib = load_library(&opts)?;
+            require_inverter(&lib, &opts)?;
             let spec = powder_synth::CircuitSpec::from_pla(path.as_str(), &pla);
             let nl = powder_synth::synthesize(&spec, lib, powder_synth::MapMode::Power)
                 .map_err(|e| e.to_string())?;
@@ -277,13 +325,53 @@ fn run() -> Result<(), String> {
             print_stats(&nl);
             Ok(())
         }
+        "equiv" => {
+            let (a_path, b_path) = match opts.positional.as_slice() {
+                [a, b] => (a, b),
+                _ => return Err("equiv requires exactly two netlist files".into()),
+            };
+            let lib = load_library(&opts)?;
+            let a = load_netlist(a_path, lib.clone())?;
+            let b = load_netlist(b_path, lib)?;
+            match check_equivalence(&a, &b, EQUIV_BACKTRACK_LIMIT).map_err(|e| e.to_string())? {
+                EquivOutcome::Equivalent => {
+                    println!("equivalent");
+                    Ok(())
+                }
+                EquivOutcome::Inequivalent { witness, output } => {
+                    let assignment: Vec<String> = a
+                        .inputs()
+                        .iter()
+                        .zip(&witness)
+                        .map(|(&pi, &v)| format!("{}={}", a.gate_name(pi), u8::from(v)))
+                        .collect();
+                    Err(format!(
+                        "NOT equivalent: output {output:?} differs under {}",
+                        assignment.join(" ")
+                    ))
+                }
+                EquivOutcome::Unknown => {
+                    Err("equivalence undetermined: solver hit the backtrack limit".into())
+                }
+            }
+        }
         "optimize" => {
             let path = opts
                 .positional
                 .first()
                 .ok_or("optimize requires an input file")?;
             let lib = load_library(&opts)?;
+            require_inverter(&lib, &opts)?;
             let nl = load_netlist(path, lib)?;
+            let deadline = opts
+                .deadline_secs
+                .map(|secs| Instant::now() + Duration::from_secs_f64(secs));
+            let faults = FaultPlan::from_env()
+                .map_err(|e| format!("bad POWDER_FAULTS: {e}"))?
+                .map(FaultPlan::into_state);
+            if faults.is_some() {
+                eprintln!("powder: deterministic fault injection active (POWDER_FAULTS)");
+            }
             let cfg = OptimizeConfig {
                 repeat: opts.repeat,
                 sim_words: opts.patterns.div_ceil(64).max(1),
@@ -292,6 +380,8 @@ fn run() -> Result<(), String> {
                     .delay_limit
                     .map(|pct| DelayLimit::Factor(1.0 + pct / 100.0)),
                 jobs: opts.jobs,
+                deadline,
+                faults,
                 ..OptimizeConfig::default()
             };
             let spec = pass_spec(&opts)?;
@@ -314,7 +404,8 @@ fn run() -> Result<(), String> {
             });
             let mut pipeline = build_pipeline(&spec, &cfg, resize_required)
                 .map_err(|e| format!("bad --passes: {e}"))?
-                .with_fixpoint(opts.fixpoint);
+                .with_fixpoint(opts.fixpoint)
+                .with_deadline(deadline);
             let mut sess = AnalysisSession::new(nl, SessionConfig::from_optimize(&cfg));
             let report = pipeline.run(&mut sess);
             for pass in &report.passes {
@@ -429,6 +520,42 @@ mod tests {
         let o = parse_args(&[]).unwrap();
         assert_eq!(o.jobs, 0, "0 means auto-resolve");
         assert!(parse_args(&args(&["--jobs", "x"])).is_err());
+    }
+
+    #[test]
+    fn explicit_jobs_zero_is_rejected() {
+        let Err(e) = parse_args(&args(&["--jobs", "0"])) else {
+            panic!("--jobs 0 should be rejected");
+        };
+        assert!(e.contains("--jobs"), "{e}");
+        assert!(parse_args(&args(&["--jobs", "-2"])).is_err());
+    }
+
+    #[test]
+    fn deadline_secs_requires_positive_finite() {
+        let o = parse_args(&args(&["--deadline-secs", "2.5"])).unwrap();
+        assert_eq!(o.deadline_secs, Some(2.5));
+        let o = parse_args(&[]).unwrap();
+        assert!(o.deadline_secs.is_none());
+        for bad in ["0", "-1", "inf", "nan", "soon"] {
+            assert!(
+                parse_args(&args(&["--deadline-secs", bad])).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_inverter_is_reported_with_path() {
+        let lib = Library::new("noinv", Vec::new());
+        let mut o = parse_args(&[]).unwrap();
+        o.library = Some("x.genlib".into());
+        let e = require_inverter(&lib, &o).unwrap_err();
+        assert!(e.contains("x.genlib") && e.contains("no inverter"), "{e}");
+        assert!(
+            require_inverter(&lib2(), &o).is_ok(),
+            "lib2 has an inverter"
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@
 
 pub mod apply;
 pub mod gain;
+mod guard;
 mod optimizer;
 mod parallel;
 pub mod redundancy;
@@ -59,8 +60,9 @@ pub mod report;
 pub mod resize;
 
 pub use optimizer::{optimize, optimize_with, DelayLimit, OptimizeConfig, SharedAnalyses};
-pub use powder_atpg::{CandidateConfig, Substitution};
+pub use powder_atpg::{check_equivalence, CandidateConfig, EquivOutcome, Substitution};
 pub use powder_engine::EngineStats;
 pub use report::{
-    AppliedSubstitution, ClassStats, IncrementalStats, OptimizeReport, PhaseTimes, SubClass,
+    AppliedSubstitution, ClassStats, GuardStats, IncrementalStats, OptimizeReport, PhaseTimes,
+    QuarantineReason, QuarantinedCandidate, SubClass,
 };

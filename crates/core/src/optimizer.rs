@@ -1,17 +1,23 @@
 //! The `power_optimize` main loop of the paper's Figure 5.
 
-use crate::apply::apply_substitution;
 use crate::gain::{analyze_fast, analyze_full_with};
-use crate::report::{AppliedSubstitution, IncrementalStats, OptimizeReport, PhaseTimes, SubClass};
+use crate::guard::{adaptive_backtrack, deadline_exceeded, guarded_apply};
+use crate::report::{
+    AppliedSubstitution, GuardStats, IncrementalStats, OptimizeReport, PhaseTimes,
+    QuarantinedCandidate, SubClass,
+};
 use powder_atpg::{
     check_substitution, generate_candidates, CandidateConfig, CheckOutcome, Substitution,
 };
 use powder_engine::EngineStats;
+use powder_faults::FaultState;
 use powder_netlist::{ConeScratch, GateId, Netlist};
 use powder_obs as obs;
 use powder_power::{PowerConfig, PowerEstimator, WhatIfScratch};
-use powder_sim::{resimulate_cone, simulate, CellCovers, Patterns, SimValues};
+use powder_sim::{simulate, CellCovers, Patterns, SimValues};
 use powder_timing::{SubstitutionTiming, TimingAnalysis, TimingConfig};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How the delay constraint of Section 3.4 is specified.
@@ -67,6 +73,18 @@ pub struct OptimizeConfig {
     pub candidates: CandidateConfig,
     /// Power model (output load, input probabilities).
     pub power: PowerConfig,
+    /// Optional wall-clock deadline. When set, the run stops cleanly at
+    /// the next check point after the deadline passes and reports the
+    /// best-so-far netlist (commits are monotone power improvements, so
+    /// the in-place netlist *is* the best seen). Per-proof ATPG budgets
+    /// also shrink as the deadline approaches; see
+    /// `guard::adaptive_backtrack`. `None` (the default) imposes no
+    /// limit and leaves every decision bit-identical.
+    pub deadline: Option<Instant>,
+    /// Deterministic fault-injection plan (see `powder-faults`). `None`
+    /// (the default) disables injection; every injection site is then a
+    /// no-op.
+    pub faults: Option<Arc<FaultState>>,
 }
 
 impl Default for OptimizeConfig {
@@ -86,6 +104,8 @@ impl Default for OptimizeConfig {
             jobs: 0,
             candidates: CandidateConfig::default(),
             power: PowerConfig::default(),
+            deadline: None,
+            faults: None,
         }
     }
 }
@@ -223,7 +243,17 @@ pub(crate) fn optimize_sequential(
     let mut cone_scratch = ConeScratch::new();
     let mut cone: Vec<GateId> = Vec::new();
 
+    let mut guard_stats = GuardStats::default();
+    let mut quarantined_list: Vec<QuarantinedCandidate> = Vec::new();
+    let mut quarantine: BTreeSet<Substitution> = BTreeSet::new();
+    let mut deadline_hit = false;
+
     for _round in 0..config.max_rounds {
+        if deadline_exceeded(config.deadline) {
+            deadline_hit = true;
+            obs::counter!(obs::names::OPTIMIZER_DEADLINE_HITS).inc();
+            break;
+        }
         rounds += 1;
         let _round_span = obs::span!(obs::names::span::ROUND);
         obs::counter!(obs::names::OPTIMIZER_ROUNDS).inc();
@@ -272,6 +302,11 @@ pub(crate) fn optimize_sequential(
         // rescanning the whole candidate list.
         let mut cursor = 0usize;
         'inner: while repeat_left > 0 && rejections_this_round < config.max_rejections_per_round {
+            if deadline_exceeded(config.deadline) {
+                deadline_hit = true;
+                obs::counter!(obs::names::OPTIMIZER_DEADLINE_HITS).inc();
+                break 'inner;
+            }
             while cursor < scored.len() && consumed[cursor] {
                 cursor += 1;
             }
@@ -281,7 +316,9 @@ pub(crate) fn optimize_sequential(
             while i < scored.len() && pre.len() < config.preselect {
                 if !consumed[i] {
                     let s = &scored[i].0;
-                    if !candidate_alive(nl, s) || !s.is_structurally_valid(nl) {
+                    if quarantine.contains(s) {
+                        consumed[i] = true;
+                    } else if !candidate_alive(nl, s) || !s.is_structurally_valid(nl) {
                         consumed[i] = true;
                         engine.filtered += 1;
                         obs::counter!(obs::names::ENGINE_FILTERED).inc();
@@ -343,14 +380,18 @@ pub(crate) fn optimize_sequential(
             let t = Instant::now();
             let outcome = {
                 let _span = obs::span!(obs::names::span::PHASE_ATPG);
-                check_substitution(nl, &sub, config.backtrack_limit)
+                if powder_faults::fires(config.faults.as_ref(), powder_faults::SITE_ATPG_ABORT) {
+                    CheckOutcome::Aborted
+                } else {
+                    let budget = adaptive_backtrack(config.backtrack_limit, t0, config.deadline);
+                    check_substitution(nl, &sub, budget)
+                }
             };
             phase.atpg += t.elapsed().as_secs_f64();
             match outcome {
                 CheckOutcome::Permissible => {
                     let t_apply = Instant::now();
                     let apply_span = obs::span!(obs::names::span::PHASE_APPLY);
-                    obs::counter!(obs::names::OPTIMIZER_COMMITS).inc();
                     let power_before = if config.incremental {
                         est.total_power()
                     } else {
@@ -359,12 +400,37 @@ pub(crate) fn optimize_sequential(
                         est.circuit_power(nl)
                     };
                     let area_before = nl.area();
-                    apply_substitution(nl, &sub);
-                    // One shared dirty region drives every analysis
-                    // refresh below.
-                    let region = nl.drain_dirty();
-                    cone.clear();
-                    cone_scratch.cone_topo(nl, region.touched().iter().copied(), &mut cone);
+                    // Transactional apply: checkpoint, edit, verify the
+                    // dirty cone's primary outputs, roll back and
+                    // quarantine on mismatch. One shared dirty region
+                    // drives every analysis refresh below.
+                    let guard_values = if config.incremental {
+                        values.as_mut()
+                    } else {
+                        None
+                    };
+                    let region = match guarded_apply(
+                        nl,
+                        &sub,
+                        covers,
+                        guard_values,
+                        config.backtrack_limit,
+                        config.faults.as_ref(),
+                        &mut cone_scratch,
+                        &mut cone,
+                        &mut guard_stats,
+                    ) {
+                        Ok(region) => region,
+                        Err(q) => {
+                            drop(apply_span);
+                            phase.apply += t_apply.elapsed().as_secs_f64();
+                            quarantine.insert(q.substitution);
+                            quarantined_list.push(q);
+                            rejections_this_round += 1;
+                            continue 'inner;
+                        }
+                    };
+                    obs::counter!(obs::names::OPTIMIZER_COMMITS).inc();
                     obs::counter!(obs::names::ANALYSIS_REFRESHES).inc();
                     obs::histogram!(
                         obs::names::ANALYSIS_CONE_GATES,
@@ -390,15 +456,11 @@ pub(crate) fn optimize_sequential(
                         power_saved: power_before - power_after,
                         area_delta: nl.area() - area_before,
                     });
-                    if config.incremental {
-                        let t = Instant::now();
-                        if let Some(v) = values.as_mut() {
-                            let _span = obs::span!(obs::names::span::PHASE_SIMULATION);
-                            resimulate_cone(nl, covers, v, &cone);
-                            inc.incremental_resims += 1;
-                            obs::counter!(obs::names::ANALYSIS_SIM_INCREMENTAL).inc();
-                        }
-                        phase.simulation += t.elapsed().as_secs_f64();
+                    if config.incremental && values.is_some() {
+                        // The guard already resimulated the cone as part
+                        // of its verification.
+                        inc.incremental_resims += 1;
+                        obs::counter!(obs::names::ANALYSIS_SIM_INCREMENTAL).inc();
                     }
                     if let Some(sta_ref) = sta.as_mut() {
                         let t = Instant::now();
@@ -446,6 +508,9 @@ pub(crate) fn optimize_sequential(
                 }
             }
         }
+        if deadline_hit {
+            break;
+        }
         // A round that only *learned* counterexamples still sharpened the
         // filter; re-generate candidates against the enlarged pattern set
         // before giving up.
@@ -480,6 +545,9 @@ pub(crate) fn optimize_sequential(
         incremental: inc,
         jobs: 1,
         engine,
+        guard: guard_stats,
+        quarantined: quarantined_list,
+        deadline_hit,
     }
 }
 

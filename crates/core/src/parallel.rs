@@ -40,23 +40,27 @@
 //! threads actually available, not the requested worker count — extra
 //! in-flight proofs only pay for themselves on idle cores.
 
-use crate::apply::apply_substitution;
 use crate::gain::{analyze_fast, analyze_full_with};
+use crate::guard::{adaptive_backtrack, deadline_exceeded, guarded_apply};
 use crate::optimizer::{
     candidate_alive, cross_check_state, substitution_timing, DelayLimit, OptimizeConfig,
     SharedAnalyses,
 };
-use crate::report::{AppliedSubstitution, IncrementalStats, OptimizeReport, PhaseTimes, SubClass};
+use crate::report::{
+    AppliedSubstitution, GuardStats, IncrementalStats, OptimizeReport, PhaseTimes,
+    QuarantinedCandidate, SubClass,
+};
 use powder_atpg::{generate_candidates, CheckArena, CheckOutcome, Substitution};
 use powder_engine::{
     pool::batch_by_key, DirtyBits, EngineStats, Footprint, FootprintScratch, SpecCache, WorkerPool,
 };
+use powder_faults::{fires, SITE_ATPG_ABORT};
 use powder_netlist::{ConeScratch, GateId, Netlist};
 use powder_obs as obs;
 use powder_power::{PowerEstimator, WhatIfScratch};
-use powder_sim::{resimulate_cone, simulate};
+use powder_sim::simulate;
 use powder_timing::{TimingAnalysis, TimingConfig};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 /// Per-stem batch ceiling for the cheap fast-scoring stage.
@@ -90,6 +94,7 @@ fn plan_proof_batch(
     scored: &[(Substitution, f64)],
     gains: &SpecCache<f64>,
     consumed: &[bool],
+    quarantine: &BTreeSet<Substitution>,
     cursor: usize,
     first: usize,
     rejections: usize,
@@ -111,7 +116,8 @@ fn plan_proof_batch(
         while i < scored.len() && pre.len() < config.preselect {
             if !pred_consumed[i] {
                 let s = &scored[i].0;
-                if !candidate_alive(nl, s) || !s.is_structurally_valid(nl) {
+                if quarantine.contains(s) || !candidate_alive(nl, s) || !s.is_structurally_valid(nl)
+                {
                     pred_consumed[i] = true;
                 } else {
                     pre.push(i);
@@ -176,7 +182,7 @@ pub(crate) fn optimize_parallel(
         patterns,
         values,
     } = shared;
-    let pool = WorkerPool::new(jobs);
+    let pool = WorkerPool::new(jobs).with_faults(config.faults.clone());
     obs::gauge!(obs::names::ENGINE_JOBS).set(jobs as f64);
     // A speculative proof batch covers the next few ATPG decisions; a
     // gain lookahead keeps those predictions computable. Depth tracks
@@ -243,7 +249,17 @@ pub(crate) fn optimize_parallel(
     let mut gain_memo: BTreeMap<Substitution, (Footprint, f64)> = BTreeMap::new();
     let mut proof_memo: BTreeMap<Substitution, (Footprint, CheckOutcome)> = BTreeMap::new();
 
+    let mut guard_stats = GuardStats::default();
+    let mut quarantined_list: Vec<QuarantinedCandidate> = Vec::new();
+    let mut quarantine: BTreeSet<Substitution> = BTreeSet::new();
+    let mut deadline_hit = false;
+
     for _round in 0..config.max_rounds {
+        if deadline_exceeded(config.deadline) {
+            deadline_hit = true;
+            obs::counter!(obs::names::OPTIMIZER_DEADLINE_HITS).inc();
+            break;
+        }
         rounds += 1;
         let _round_span = obs::span!(obs::names::span::ROUND);
         obs::counter!(obs::names::OPTIMIZER_ROUNDS).inc();
@@ -285,11 +301,17 @@ pub(crate) fn optimize_parallel(
                 |_, _, s| analyze_fast(nl_snap, est_ref, s).fast(),
             )
         };
+        // A quarantined worker batch leaves its slots `None`; those
+        // candidates simply sit this round out (they reappear at the
+        // next candidate generation).
         let mut scored: Vec<(Substitution, f64)> = cands
             .into_iter()
             .zip(fast)
-            .map(|(s, f)| (s, f.expect("every candidate is batched")))
+            .filter_map(|(s, f)| f.map(|f| (s, f)))
             .collect();
+        if scored.is_empty() {
+            break;
+        }
         scored.sort_by(|x, y| y.1.total_cmp(&x.1));
         let wall = t.elapsed().as_secs_f64();
         phase.gain += wall;
@@ -325,6 +347,11 @@ pub(crate) fn optimize_parallel(
         let t_inner = Instant::now();
         let mut round_parallel_wall = 0.0f64;
         'inner: while repeat_left > 0 && rejections_this_round < config.max_rejections_per_round {
+            if deadline_exceeded(config.deadline) {
+                deadline_hit = true;
+                obs::counter!(obs::names::OPTIMIZER_DEADLINE_HITS).inc();
+                break 'inner;
+            }
             while cursor < n && consumed[cursor] {
                 cursor += 1;
             }
@@ -335,7 +362,9 @@ pub(crate) fn optimize_parallel(
             while i < n && pre.len() < config.preselect {
                 if !consumed[i] {
                     let s = &scored[i].0;
-                    if !candidate_alive(nl, s) || !s.is_structurally_valid(nl) {
+                    if quarantine.contains(s) {
+                        consumed[i] = true;
+                    } else if !candidate_alive(nl, s) || !s.is_structurally_valid(nl) {
                         consumed[i] = true;
                         engine.filtered += 1;
                         obs::counter!(obs::names::ENGINE_FILTERED).inc();
@@ -417,9 +446,24 @@ pub(crate) fn optimize_parallel(
                 obs::counter!(obs::names::ENGINE_GAIN_NS).add((wall * 1e9) as u64);
             }
 
+            // A quarantined gain batch can leave window members without
+            // a result even after the ensure pass; skip those
+            // conservatively and rebuild the window. With faults off
+            // every wanted gain is present and this is dead code.
+            let missing: Vec<usize> = pre
+                .iter()
+                .copied()
+                .filter(|&id| gains.get(id).is_none())
+                .collect();
+            if !missing.is_empty() {
+                for id in missing {
+                    consumed[id] = true;
+                }
+                continue 'inner;
+            }
             let best = pre
                 .iter()
-                .map(|&id| (id, *gains.get(id).expect("window gains ensured above")))
+                .map(|&id| (id, *gains.get(id).expect("checked just above")))
                 .max_by(|x, y| x.1.total_cmp(&y.1))
                 .expect("pre-selection is non-empty");
             let (idx, gain) = best;
@@ -461,6 +505,7 @@ pub(crate) fn optimize_parallel(
                     &scored,
                     &gains,
                     &consumed,
+                    &quarantine,
                     cursor,
                     idx,
                     rejections_this_round,
@@ -477,7 +522,8 @@ pub(crate) fn optimize_parallel(
                 let results = {
                     let nl_snap: &Netlist = &*nl;
                     let scored_ref = &scored;
-                    let bl = config.backtrack_limit;
+                    let bl = adaptive_backtrack(config.backtrack_limit, t0, config.deadline);
+                    let faults = config.faults.clone();
                     // One proof per batch: proofs dominate the
                     // pipeline, so maximal stealing wins.
                     let batches: Vec<Vec<u32>> = todo.iter().map(|&id| vec![id]).collect();
@@ -486,7 +532,13 @@ pub(crate) fn optimize_parallel(
                         scored_ref.as_slice(),
                         &batches,
                         CheckArena::new,
-                        |arena, _, (s, _)| arena.check(nl_snap, s, bl),
+                        |arena, _, (s, _)| {
+                            if fires(faults.as_ref(), SITE_ATPG_ABORT) {
+                                CheckOutcome::Aborted
+                            } else {
+                                arena.check(nl_snap, s, bl)
+                            }
+                        },
                     )
                 };
                 engine.proved += todo.len();
@@ -497,12 +549,14 @@ pub(crate) fn optimize_parallel(
                             engine.retried += 1;
                             obs::counter!(obs::names::ENGINE_RETRIED).inc();
                         }
-                        let fp = gains
-                            .footprint(id)
-                            .cloned()
-                            .expect("planned proofs have cached gains");
-                        proof_memo.insert(scored[id].0, (fp.clone(), outcome.clone()));
-                        proofs.insert(id, fp, outcome);
+                        // Planned proofs have cached gains, so the
+                        // footprint is normally present; a quarantined
+                        // gain batch is the exception, and such proofs
+                        // are simply not cached.
+                        if let Some(fp) = gains.footprint(id).cloned() {
+                            proof_memo.insert(scored[id].0, (fp.clone(), outcome.clone()));
+                            proofs.insert(id, fp, outcome);
+                        }
                     }
                 }
                 let wall = t.elapsed().as_secs_f64();
@@ -512,13 +566,14 @@ pub(crate) fn optimize_parallel(
                 obs::counter!(obs::names::ENGINE_PROVED).add(todo.len() as u64);
                 obs::counter!(obs::names::ENGINE_PROOF_NS).add((wall * 1e9) as u64);
             }
-            let outcome = proofs.take(idx).expect("proof ensured above");
+            // A proof lost to a quarantined worker batch counts as an
+            // abort: conservative rejection, never permission.
+            let outcome = proofs.take(idx).unwrap_or(CheckOutcome::Aborted);
 
             match outcome {
                 CheckOutcome::Permissible => {
                     let t_apply = Instant::now();
                     let apply_span = obs::span!(obs::names::span::PHASE_APPLY);
-                    obs::counter!(obs::names::OPTIMIZER_COMMITS).inc();
                     let power_before = if config.incremental {
                         est.total_power()
                     } else {
@@ -527,10 +582,40 @@ pub(crate) fn optimize_parallel(
                         est.circuit_power(nl)
                     };
                     let area_before = nl.area();
-                    apply_substitution(nl, &sub);
-                    let region = nl.drain_dirty();
-                    cone.clear();
-                    cone_scratch.cone_topo(nl, region.touched().iter().copied(), &mut cone);
+                    // Transactional apply — same guard as the
+                    // sequential path: checkpoint, edit, verify the
+                    // cone's primary outputs, roll back and quarantine
+                    // on mismatch. On the Err path the netlist (journal
+                    // generation included) is bit-identical to before
+                    // the apply, so no cached result needs
+                    // invalidating.
+                    let guard_values = if config.incremental {
+                        values.as_mut()
+                    } else {
+                        None
+                    };
+                    let region = match guarded_apply(
+                        nl,
+                        &sub,
+                        covers,
+                        guard_values,
+                        config.backtrack_limit,
+                        config.faults.as_ref(),
+                        &mut cone_scratch,
+                        &mut cone,
+                        &mut guard_stats,
+                    ) {
+                        Ok(region) => region,
+                        Err(q) => {
+                            drop(apply_span);
+                            phase.apply += t_apply.elapsed().as_secs_f64();
+                            quarantine.insert(q.substitution);
+                            quarantined_list.push(q);
+                            rejections_this_round += 1;
+                            continue 'inner;
+                        }
+                    };
+                    obs::counter!(obs::names::OPTIMIZER_COMMITS).inc();
                     obs::counter!(obs::names::ANALYSIS_REFRESHES).inc();
                     obs::histogram!(
                         obs::names::ANALYSIS_CONE_GATES,
@@ -556,15 +641,11 @@ pub(crate) fn optimize_parallel(
                         power_saved: power_before - power_after,
                         area_delta: nl.area() - area_before,
                     });
-                    if config.incremental {
-                        let t = Instant::now();
-                        if let Some(v) = values.as_mut() {
-                            let _span = obs::span!(obs::names::span::PHASE_SIMULATION);
-                            resimulate_cone(nl, covers, v, &cone);
-                            inc.incremental_resims += 1;
-                            obs::counter!(obs::names::ANALYSIS_SIM_INCREMENTAL).inc();
-                        }
-                        phase.simulation += t.elapsed().as_secs_f64();
+                    if config.incremental && values.is_some() {
+                        // The guard already resimulated the cone as
+                        // part of its verification.
+                        inc.incremental_resims += 1;
+                        obs::counter!(obs::names::ANALYSIS_SIM_INCREMENTAL).inc();
                     }
                     if let Some(sta_ref) = sta.as_mut() {
                         let t = Instant::now();
@@ -646,6 +727,9 @@ pub(crate) fn optimize_parallel(
         let arbiter_wall = (t_inner.elapsed().as_secs_f64() - round_parallel_wall).max(0.0);
         engine.arbiter_seconds += arbiter_wall;
         obs::counter!(obs::names::ENGINE_ARBITER_NS).add((arbiter_wall * 1e9) as u64);
+        if deadline_hit {
+            break;
+        }
         if !progress && !learned {
             break;
         }
@@ -656,6 +740,12 @@ pub(crate) fn optimize_parallel(
     if patterns_stale || !config.incremental {
         *values = None;
     }
+
+    // Fold the pool's containment counters into the run's engine stats.
+    let resilience = pool.resilience();
+    engine.worker_panics += resilience.worker_panics() as usize;
+    engine.quarantined_batches += resilience.quarantined_batches() as usize;
+    engine.degraded_phases += resilience.degraded_phases() as usize;
 
     let final_delay = TimingAnalysis::new(nl, &probe_cfg).circuit_delay();
     OptimizeReport {
@@ -675,6 +765,9 @@ pub(crate) fn optimize_parallel(
         incremental: inc,
         jobs,
         engine,
+        guard: guard_stats,
+        quarantined: quarantined_list,
+        deadline_hit,
     }
 }
 

@@ -122,6 +122,64 @@ pub struct IncrementalStats {
     pub cross_checks: usize,
 }
 
+/// Commit-guard activity: every committed substitution passes through a
+/// transactional checkpoint/verify cycle (see `guard.rs`), and these
+/// counters record what the guard saw.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Commits whose post-apply verification passed.
+    pub verified: usize,
+    /// Commits applied without verification (no retained simulation
+    /// values to check against).
+    pub skipped: usize,
+    /// Post-apply verifications that found a changed primary-output
+    /// signature.
+    pub mismatches: usize,
+    /// Commits rolled back to their checkpoint.
+    pub rollbacks: usize,
+    /// Escalated ATPG re-proofs run to classify a mismatch.
+    pub escalations: usize,
+    /// Candidates quarantined for the rest of the run.
+    pub quarantined: usize,
+}
+
+/// Why a candidate was quarantined after a verification mismatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The escalated ATPG re-proof refuted the original Permissible
+    /// verdict: the substitution really was unsound.
+    Refuted,
+    /// The escalated re-proof still says Permissible, so the mismatch
+    /// points at drifted incremental state (or an injected fault)
+    /// rather than the candidate itself.
+    Inconsistent,
+    /// The escalated re-proof aborted on its budget; treated as unsound
+    /// conservatively.
+    Unproven,
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QuarantineReason::Refuted => "refuted",
+            QuarantineReason::Inconsistent => "inconsistent",
+            QuarantineReason::Unproven => "unproven",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A substitution the commit guard rolled back and barred from the run.
+#[derive(Clone, Copy, Debug)]
+pub struct QuarantinedCandidate {
+    /// The offending substitution.
+    pub substitution: Substitution,
+    /// Its class.
+    pub class: SubClass,
+    /// The escalated re-proof's classification of the failure.
+    pub reason: QuarantineReason,
+}
+
 /// The result of running the optimizer on one circuit.
 #[derive(Clone, Debug)]
 pub struct OptimizeReport {
@@ -157,6 +215,13 @@ pub struct OptimizeReport {
     pub jobs: usize,
     /// Candidate-evaluation pipeline counters and stage wall times.
     pub engine: EngineStats,
+    /// Transactional commit-guard counters.
+    pub guard: GuardStats,
+    /// Candidates the guard rolled back and quarantined, in order.
+    pub quarantined: Vec<QuarantinedCandidate>,
+    /// Whether the run stopped early because its wall-clock deadline
+    /// expired (the report then describes the best-so-far netlist).
+    pub deadline_hit: bool,
 }
 
 impl OptimizeReport {
@@ -244,7 +309,32 @@ impl fmt::Display for OptimizeReport {
             self.engine.speculative_hits,
             self.engine.invalidated,
             self.engine.retried,
-        )
+        )?;
+        write!(
+            f,
+            "\nguard: {} verified, {} skipped",
+            self.guard.verified, self.guard.skipped
+        )?;
+        if self.guard.mismatches > 0 {
+            write!(
+                f,
+                ", {} mismatches ({} rolled back, {} quarantined)",
+                self.guard.mismatches, self.guard.rollbacks, self.guard.quarantined
+            )?;
+        }
+        if self.engine.worker_panics > 0 || self.engine.degraded_phases > 0 {
+            write!(
+                f,
+                "\nworkers: {} panics, {} batches quarantined, {} degraded phases",
+                self.engine.worker_panics,
+                self.engine.quarantined_batches,
+                self.engine.degraded_phases
+            )?;
+        }
+        if self.deadline_hit {
+            write!(f, "\ndeadline hit: best-so-far result emitted")?;
+        }
+        Ok(())
     }
 }
 
@@ -306,6 +396,12 @@ mod tests {
             incremental: IncrementalStats::default(),
             jobs: 1,
             engine: EngineStats::default(),
+            guard: GuardStats {
+                verified: 2,
+                ..GuardStats::default()
+            },
+            quarantined: Vec::new(),
+            deadline_hit: false,
         };
         assert!((r.power_reduction_percent() - 40.0).abs() < 1e-12);
         assert!((r.area_reduction_percent() - 5.0).abs() < 1e-12);
@@ -316,5 +412,17 @@ mod tests {
         assert_eq!(stats[2].1.count, 0);
         let shown = r.to_string();
         assert!(shown.contains("substitutions"));
+        assert!(shown.contains("guard: 2 verified, 0 skipped"));
+        assert!(
+            !shown.contains("deadline hit"),
+            "deadline note only shown when the deadline fired"
+        );
+    }
+
+    #[test]
+    fn quarantine_reason_display() {
+        assert_eq!(QuarantineReason::Refuted.to_string(), "refuted");
+        assert_eq!(QuarantineReason::Inconsistent.to_string(), "inconsistent");
+        assert_eq!(QuarantineReason::Unproven.to_string(), "unproven");
     }
 }

@@ -41,7 +41,7 @@ pub mod stats;
 
 pub use cache::SpecCache;
 pub use footprint::{DirtyBits, Footprint, FootprintScratch};
-pub use pool::WorkerPool;
+pub use pool::{PoolResilience, WorkerPool, MAX_WORKER_LOSSES};
 pub use stats::{EngineStats, SessionStats};
 
 /// Resolves the worker count for an optimizer run.

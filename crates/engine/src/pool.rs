@@ -1,4 +1,4 @@
-//! Scoped work-stealing worker pool.
+//! Scoped work-stealing worker pool with panic isolation.
 //!
 //! Each parallel phase hands the pool a slice of items plus a batch
 //! plan (lists of item indices — the optimizer batches candidates per
@@ -13,23 +13,100 @@
 //! Per-worker mutable context (solver arenas, what-if scratch) is
 //! created inside each worker via `make_ctx`, which keeps those
 //! structures out of the `Send`/`Sync` bounds entirely.
+//!
+//! # Panic isolation
+//!
+//! Every batch executes under [`std::panic::catch_unwind`]. A batch
+//! that panics is *quarantined*: its item slots stay `None` in the
+//! positional result vector and the caller decides how to recover
+//! (recompute, skip, or treat conservatively). The panicking worker's
+//! context may have been poisoned mid-update, so it is discarded and
+//! rebuilt via `make_ctx` — a logical respawn that keeps the OS thread.
+//! After [`MAX_WORKER_LOSSES`] contained panics in one phase the pool
+//! stops trusting parallel execution: workers drain out and whatever
+//! batches remain queued run sequentially on the caller's thread (still
+//! panic-isolated). Each degradation event increments both the pool's
+//! own [`PoolResilience`] counters and the matching
+//! `engine.resilience.*` registry metrics.
 
+use powder_faults::{fires, FaultState, SITE_WORKER_PANIC};
 use powder_obs as obs;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Contained worker panics tolerated per phase before the pool degrades
+/// to sequential draining.
+pub const MAX_WORKER_LOSSES: usize = 3;
+
+/// Degradation-event counters for one pool instance, cumulative across
+/// every phase it runs. The obs registry carries the same events
+/// process-wide; these exist so a single run can report *its own*
+/// resilience record even when other pools share the process.
+#[derive(Debug, Default)]
+pub struct PoolResilience {
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    quarantined_batches: AtomicU64,
+    degraded_phases: AtomicU64,
+}
+
+impl PoolResilience {
+    /// Worker panics caught and contained.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Worker contexts rebuilt after a contained panic.
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Batches whose results were lost to a panic.
+    pub fn quarantined_batches(&self) -> u64 {
+        self.quarantined_batches.load(Ordering::Relaxed)
+    }
+
+    /// Phases that fell back to sequential draining.
+    pub fn degraded_phases(&self) -> u64 {
+        self.degraded_phases.load(Ordering::Relaxed)
+    }
+}
 
 /// A fixed-width work-stealing pool. Threads are spawned per call and
-/// joined before it returns; the type only carries the worker count.
-#[derive(Clone, Copy, Debug)]
+/// joined before it returns; the type carries the worker count, the
+/// optional fault-injection plan, and the resilience counters.
+#[derive(Clone, Debug)]
 pub struct WorkerPool {
     jobs: usize,
+    faults: Option<Arc<FaultState>>,
+    resilience: Arc<PoolResilience>,
+}
+
+/// A worker panic may leave a queue mutex poisoned; the queue itself (a
+/// deque of indices) is valid in every observable state, so recover the
+/// guard instead of propagating the poison to healthy workers.
+fn lock_queue(q: &Mutex<VecDeque<usize>>) -> MutexGuard<'_, VecDeque<usize>> {
+    q.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl WorkerPool {
     /// A pool that runs phases on `jobs` workers (minimum 1).
     pub fn new(jobs: usize) -> Self {
-        WorkerPool { jobs: jobs.max(1) }
+        WorkerPool {
+            jobs: jobs.max(1),
+            faults: None,
+            resilience: Arc::new(PoolResilience::default()),
+        }
+    }
+
+    /// Installs a fault-injection plan: each executed batch becomes one
+    /// occurrence of the `worker-panic` site.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<Arc<FaultState>>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Configured worker count.
@@ -37,10 +114,30 @@ impl WorkerPool {
         self.jobs
     }
 
+    /// This pool's cumulative degradation record.
+    pub fn resilience(&self) -> &PoolResilience {
+        &self.resilience
+    }
+
+    /// Records one contained batch panic and reports whether the phase
+    /// should degrade to sequential draining.
+    fn note_batch_panic(&self, losses: &AtomicUsize) -> bool {
+        obs::counter!(obs::names::RESILIENCE_WORKER_PANICS).inc();
+        obs::counter!(obs::names::RESILIENCE_QUARANTINED_BATCHES).inc();
+        self.resilience
+            .worker_panics
+            .fetch_add(1, Ordering::Relaxed);
+        self.resilience
+            .quarantined_batches
+            .fetch_add(1, Ordering::Relaxed);
+        losses.fetch_add(1, Ordering::Relaxed) + 1 >= MAX_WORKER_LOSSES
+    }
+
     /// Runs `work` over every index in `batches`, stealing across
     /// workers, and scatters results back by item index: slot `i` of
     /// the returned vector holds the result for `items[i]` (or `None`
-    /// if no batch named `i`).
+    /// if no batch named `i`, or if the batch naming `i` panicked and
+    /// was quarantined).
     ///
     /// `label` names the stage in observability output: every executed
     /// batch records one span under it (on the executing worker's own
@@ -67,16 +164,49 @@ impl WorkerPool {
             obs::names::ENGINE_BATCH_ITEMS,
             obs::names::BATCH_ITEMS_BOUNDS
         );
+        // One batch's execution, isolated from the worker loop. The
+        // `AssertUnwindSafe` is justified by the recovery protocol: on
+        // `Err` the half-built result vector is dropped and the
+        // caller-side context is discarded and rebuilt, so no state
+        // observed after a panic crossed the unwind boundary. Injected
+        // panics unwind via `resume_unwind`, which skips the global
+        // panic hook — fault drills don't spam stderr.
+        let run_batch = |ctx: &mut C, batch: &[u32]| -> std::thread::Result<Vec<(u32, R)>> {
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let _span = obs::span!(label);
+                batch_hist.observe(batch.len() as u64);
+                if fires(self.faults.as_ref(), SITE_WORKER_PANIC) {
+                    std::panic::resume_unwind(Box::new("injected worker panic"));
+                }
+                let mut done = Vec::with_capacity(batch.len());
+                for &i in batch {
+                    done.push((i, work(ctx, i, &items[i as usize])));
+                }
+                done
+            }))
+        };
+
         let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
         out.resize_with(items.len(), || None);
+        let losses = AtomicUsize::new(0);
         let workers = self.jobs.min(batches.len().max(1));
         if workers <= 1 {
             let mut ctx = make_ctx();
             for batch in batches {
-                let _span = obs::span!(label);
-                batch_hist.observe(batch.len() as u64);
-                for &i in batch {
-                    out[i as usize] = Some(work(&mut ctx, i, &items[i as usize]));
+                match run_batch(&mut ctx, batch) {
+                    Ok(done) => {
+                        for (i, r) in done {
+                            out[i as usize] = Some(r);
+                        }
+                    }
+                    Err(_) => {
+                        self.note_batch_panic(&losses);
+                        obs::counter!(obs::names::RESILIENCE_WORKER_RESPAWNS).inc();
+                        self.resilience
+                            .worker_respawns
+                            .fetch_add(1, Ordering::Relaxed);
+                        ctx = make_ctx();
+                    }
                 }
             }
             return out;
@@ -95,37 +225,50 @@ impl WorkerPool {
             })
             .collect();
         let pending = AtomicUsize::new(batches.len());
+        let degraded = AtomicBool::new(false);
 
         let results: Vec<Vec<(u32, R)>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let queues = &queues;
                     let pending = &pending;
+                    let degraded = &degraded;
+                    let losses = &losses;
                     let make_ctx = &make_ctx;
-                    let work = &work;
+                    let run_batch = &run_batch;
                     s.spawn(move || {
                         obs::set_track_name(format!("worker-{w}"));
                         let mut ctx = make_ctx();
                         let mut local: Vec<(u32, R)> = Vec::new();
                         loop {
+                            if degraded.load(Ordering::Relaxed) {
+                                break;
+                            }
                             let grabbed = {
-                                let own = queues[w].lock().expect("pool queue").pop_front();
+                                let own = lock_queue(&queues[w]).pop_front();
                                 own.or_else(|| {
                                     (1..workers).find_map(|d| {
-                                        queues[(w + d) % workers]
-                                            .lock()
-                                            .expect("pool queue")
-                                            .pop_back()
+                                        lock_queue(&queues[(w + d) % workers]).pop_back()
                                     })
                                 })
                             };
                             match grabbed {
                                 Some(b) => {
                                     pending.fetch_sub(1, Ordering::Relaxed);
-                                    let _span = obs::span!(label);
-                                    batch_hist.observe(batches[b].len() as u64);
-                                    for &i in &batches[b] {
-                                        local.push((i, work(&mut ctx, i, &items[i as usize])));
+                                    match run_batch(&mut ctx, &batches[b]) {
+                                        Ok(done) => local.extend(done),
+                                        Err(_) => {
+                                            if self.note_batch_panic(losses) {
+                                                degraded.store(true, Ordering::Relaxed);
+                                                break;
+                                            }
+                                            obs::counter!(obs::names::RESILIENCE_WORKER_RESPAWNS)
+                                                .inc();
+                                            self.resilience
+                                                .worker_respawns
+                                                .fetch_add(1, Ordering::Relaxed);
+                                            ctx = make_ctx();
+                                        }
                                     }
                                 }
                                 None => {
@@ -154,6 +297,9 @@ impl WorkerPool {
                         // decides how to recover (recompute, quarantine,
                         // or treat conservatively).
                         obs::counter!(obs::names::RESILIENCE_WORKER_PANICS).inc();
+                        self.resilience
+                            .worker_panics
+                            .fetch_add(1, Ordering::Relaxed);
                         None
                     }
                 })
@@ -163,6 +309,40 @@ impl WorkerPool {
         for worker_results in results {
             for (i, r) in worker_results {
                 out[i as usize] = Some(r);
+            }
+        }
+
+        // Degraded phase: too many workers were lost to trust parallel
+        // execution, so whatever the fleeing workers left behind runs
+        // sequentially here — still panic-isolated, so even a
+        // deterministic poison batch only quarantines itself.
+        let mut leftovers: Vec<usize> = queues
+            .iter()
+            .flat_map(|q| std::mem::take(&mut *lock_queue(q)))
+            .collect();
+        if !leftovers.is_empty() {
+            leftovers.sort_unstable();
+            obs::counter!(obs::names::RESILIENCE_DEGRADED_PHASES).inc();
+            self.resilience
+                .degraded_phases
+                .fetch_add(1, Ordering::Relaxed);
+            let mut ctx = make_ctx();
+            for b in leftovers {
+                match run_batch(&mut ctx, &batches[b]) {
+                    Ok(done) => {
+                        for (i, r) in done {
+                            out[i as usize] = Some(r);
+                        }
+                    }
+                    Err(_) => {
+                        self.note_batch_panic(&losses);
+                        obs::counter!(obs::names::RESILIENCE_WORKER_RESPAWNS).inc();
+                        self.resilience
+                            .worker_respawns
+                            .fetch_add(1, Ordering::Relaxed);
+                        ctx = make_ctx();
+                    }
+                }
             }
         }
         out
@@ -190,6 +370,7 @@ pub fn batch_by_key<K: PartialEq + Copy>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use powder_faults::FaultPlan;
     use std::cell::Cell;
 
     #[test]
@@ -250,5 +431,93 @@ mod tests {
         let keys = [(0u32, 7u32), (1, 7), (2, 7), (3, 9), (4, 7)];
         let batches = batch_by_key(keys, 2);
         assert_eq!(batches, vec![vec![0, 1], vec![2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn injected_panic_quarantines_only_its_batch() {
+        let items: Vec<u32> = (0..12).collect();
+        let batches: Vec<Vec<u32>> = items.chunks(3).map(|c| c.to_vec()).collect();
+        for jobs in [1, 2] {
+            // Second executed batch panics; the other three complete.
+            let faults = FaultPlan::parse("worker-panic=once:2")
+                .unwrap()
+                .into_state();
+            let pool = WorkerPool::new(jobs).with_faults(Some(faults.clone()));
+            let out = pool.run_batches("engine.stage.test", &items, &batches, || (), |_, _, &x| x);
+            let done = out.iter().filter(|r| r.is_some()).count();
+            assert_eq!(done, 9, "jobs={jobs}: exactly one 3-item batch lost");
+            for (i, r) in out.iter().enumerate() {
+                if let Some(v) = r {
+                    assert_eq!(*v, i as u32);
+                }
+            }
+            assert_eq!(pool.resilience().worker_panics(), 1);
+            assert_eq!(pool.resilience().quarantined_batches(), 1);
+            assert_eq!(pool.resilience().worker_respawns(), 1);
+            assert_eq!(faults.fired(SITE_WORKER_PANIC), 1);
+        }
+    }
+
+    #[test]
+    fn panicking_worker_rebuilds_its_context() {
+        // Sequential pool, panic on the first batch: the context that
+        // visits later batches must be a fresh one, not the poisoned
+        // original.
+        let items = [0u8; 4];
+        let faults = FaultPlan::parse("worker-panic=once:1")
+            .unwrap()
+            .into_state();
+        let pool = WorkerPool::new(1).with_faults(Some(faults));
+        let out = pool.run_batches(
+            "engine.stage.test",
+            &items,
+            &[vec![0, 1], vec![2, 3]],
+            || Cell::new(0u32),
+            |ctx, _, _| {
+                ctx.set(ctx.get() + 1);
+                ctx.get()
+            },
+        );
+        assert_eq!(out, vec![None, None, Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn repeated_losses_degrade_to_sequential_drain() {
+        // Panic on every batch execution until the loss threshold trips,
+        // then the sequential drain (still fault-injected) quarantines
+        // the rest one by one: nothing completes, nobody aborts.
+        let items: Vec<u32> = (0..40).collect();
+        let batches: Vec<Vec<u32>> = items.chunks(2).map(|c| c.to_vec()).collect();
+        let faults = FaultPlan::parse("worker-panic=every:1")
+            .unwrap()
+            .into_state();
+        let pool = WorkerPool::new(4).with_faults(Some(faults));
+        let out = pool.run_batches("engine.stage.test", &items, &batches, || (), |_, _, &x| x);
+        assert!(out.iter().all(|r| r.is_none()));
+        assert_eq!(pool.resilience().quarantined_batches(), 20);
+        assert_eq!(pool.resilience().degraded_phases(), 1);
+        assert!(pool.resilience().worker_panics() >= MAX_WORKER_LOSSES as u64);
+    }
+
+    #[test]
+    fn real_panics_in_work_are_contained_too() {
+        let items: Vec<u32> = (0..6).collect();
+        let batches: Vec<Vec<u32>> = items.iter().map(|&i| vec![i]).collect();
+        let pool = WorkerPool::new(1);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let out = pool.run_batches(
+            "engine.stage.test",
+            &items,
+            &batches,
+            || (),
+            |_, _, &x| {
+                assert!(x != 3, "poison item");
+                x
+            },
+        );
+        std::panic::set_hook(prev);
+        assert_eq!(out, vec![Some(0), Some(1), Some(2), None, Some(4), Some(5)]);
+        assert_eq!(pool.resilience().worker_panics(), 1);
     }
 }

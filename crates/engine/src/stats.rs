@@ -40,6 +40,14 @@ pub struct EngineStats {
     /// Previously invalidated candidates that were re-evaluated after
     /// being re-enqueued.
     pub retried: usize,
+    /// Worker batches that panicked and were contained by the pool's
+    /// isolation boundary instead of aborting the run.
+    pub worker_panics: usize,
+    /// Batches quarantined after a panic (their items report no result).
+    pub quarantined_batches: usize,
+    /// Parallel phases that degraded to a sequential drain after
+    /// repeated worker losses.
+    pub degraded_phases: usize,
     /// Wall seconds in the parallel fast-scoring (filter) stage.
     pub filter_seconds: f64,
     /// Wall seconds in the parallel full-gain stage.
@@ -71,6 +79,9 @@ impl EngineStats {
             speculative_hits: snap.counter(names::ENGINE_SPECULATIVE_HITS) as usize,
             invalidated: snap.counter(names::ENGINE_INVALIDATED) as usize,
             retried: snap.counter(names::ENGINE_RETRIED) as usize,
+            worker_panics: snap.counter(names::RESILIENCE_WORKER_PANICS) as usize,
+            quarantined_batches: snap.counter(names::RESILIENCE_QUARANTINED_BATCHES) as usize,
+            degraded_phases: snap.counter(names::RESILIENCE_DEGRADED_PHASES) as usize,
             filter_seconds: ns(names::ENGINE_FILTER_NS),
             gain_seconds: ns(names::ENGINE_GAIN_NS),
             proof_seconds: ns(names::ENGINE_PROOF_NS),
@@ -90,6 +101,9 @@ impl EngineStats {
         self.speculative_hits += other.speculative_hits;
         self.invalidated += other.invalidated;
         self.retried += other.retried;
+        self.worker_panics += other.worker_panics;
+        self.quarantined_batches += other.quarantined_batches;
+        self.degraded_phases += other.degraded_phases;
         self.filter_seconds += other.filter_seconds;
         self.gain_seconds += other.gain_seconds;
         self.proof_seconds += other.proof_seconds;

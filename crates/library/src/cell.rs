@@ -184,6 +184,14 @@ impl Library {
         self.by_name.get(name).copied()
     }
 
+    /// Whether the library contains an inverter cell. Check this before
+    /// optimizing with a user-supplied library: [`Library::inverter`]
+    /// panics when no inverter exists.
+    #[must_use]
+    pub fn has_inverter(&self) -> bool {
+        self.inverter.is_some()
+    }
+
     /// The smallest inverter in the library.
     ///
     /// # Panics

@@ -15,6 +15,7 @@
 
 use crate::cell::{Cell, Library, Pin};
 use crate::expr::parse_expr;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Error produced while parsing a genlib source.
@@ -45,9 +46,9 @@ struct PinSpec {
 ///
 /// # Errors
 ///
-/// Returns [`ParseGenlibError`] on malformed gate lines, undeclared pins,
-/// bad expressions or non-numeric fields. Comments (`#` to end of line) are
-/// ignored.
+/// Returns [`ParseGenlibError`] on malformed gate lines, duplicate gate
+/// names, undeclared pins, bad expressions or non-numeric fields. Comments
+/// (`#` to end of line) are ignored.
 ///
 /// # Example
 ///
@@ -66,6 +67,7 @@ pub fn parse_genlib(name: &str, src: &str) -> Result<Library, ParseGenlibError> 
     // Tokenize into statements: GATE ... ; PIN lines belong to the last GATE.
     let mut cells: Vec<Cell> = Vec::new();
     let mut pending: Option<(usize, String, f64, String, Vec<PinSpec>)> = None;
+    let mut first_seen: HashMap<String, usize> = HashMap::new();
 
     let err = |line: usize, message: &str| ParseGenlibError {
         line,
@@ -130,6 +132,13 @@ pub fn parse_genlib(name: &str, src: &str) -> Result<Library, ParseGenlibError> 
                     .next()
                     .ok_or_else(|| err(lineno, "GATE missing name"))?
                     .to_string();
+                if let Some(&first) = first_seen.get(&gname) {
+                    return Err(err(
+                        lineno,
+                        &format!("duplicate GATE {gname:?} (first defined at line {first})"),
+                    ));
+                }
+                first_seen.insert(gname.clone(), lineno);
                 let area: f64 = tokens
                     .next()
                     .ok_or_else(|| err(lineno, "GATE missing area"))?
@@ -311,6 +320,17 @@ GATE xor2 2784 O=a*!b + !a*b;
     fn bad_expression_is_error() {
         let e = parse_genlib("t", "GATE g 1.0 O=a+*b; PIN * X 1 9 1 1 1 1").unwrap_err();
         assert!(e.message.contains("bad expression"));
+    }
+
+    #[test]
+    fn duplicate_gate_is_error() {
+        let src = "GATE g 1.0 O=!a; PIN a X 1 9 1 1 1 1\nGATE g 2.0 O=!a; PIN a X 1 9 1 1 1 1";
+        let e = parse_genlib("t", src).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(
+            e.message.contains("duplicate GATE") && e.message.contains("line 1"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -48,5 +48,5 @@ mod stats;
 pub mod verilog;
 
 pub use dirty::{ConeScratch, DirtyRegion};
-pub use netlist::{Conn, GateId, GateKind, Netlist, NetlistError};
+pub use netlist::{Checkpoint, Conn, GateId, GateKind, Netlist, NetlistError};
 pub use stats::NetlistStats;

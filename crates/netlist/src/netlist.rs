@@ -519,6 +519,91 @@ impl Netlist {
     }
 }
 
+/// A cheap transactional checkpoint of a [`Netlist`]: the journal
+/// watermark (generation plus pending-record lengths), the container
+/// lengths, and deep copies of exactly the gates the pending edit may
+/// write. Taken with [`Netlist::checkpoint`] immediately before an
+/// edit; [`Netlist::rollback`] consumes it to restore the pre-edit
+/// state bit-for-bit — including the generation counter, so analysis
+/// caches keyed on `(generation, id_bound)` remain valid after the
+/// rollback.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    generation: u64,
+    gate_bound: usize,
+    live: usize,
+    inputs_len: usize,
+    outputs_len: usize,
+    touched_len: usize,
+    removed_len: usize,
+    saved: Vec<(GateId, Gate)>,
+}
+
+impl Checkpoint {
+    /// Number of gate records captured in this checkpoint.
+    #[must_use]
+    pub fn saved_gates(&self) -> usize {
+        self.saved.len()
+    }
+
+    /// Generation the netlist will return to on rollback.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+impl Netlist {
+    /// Captures a transactional checkpoint covering `roots`.
+    ///
+    /// The caller contract: the edit about to run may only mutate gates
+    /// in `roots` and *create* new gates (ids at or above the current
+    /// [`Netlist::id_bound`]). Under that contract [`Netlist::rollback`]
+    /// restores the exact pre-edit netlist. Gates outside `roots` that
+    /// the edit writes anyway are silently left in their post-edit
+    /// state — compute the write set conservatively.
+    ///
+    /// Cost is `O(|roots|)` gate clones plus a few scalars; nothing is
+    /// copied for the (typically much larger) untouched remainder.
+    #[must_use]
+    pub fn checkpoint(&self, roots: &[GateId]) -> Checkpoint {
+        Checkpoint {
+            generation: self.journal.generation,
+            gate_bound: self.gates.len(),
+            live: self.live,
+            inputs_len: self.inputs.len(),
+            outputs_len: self.outputs.len(),
+            touched_len: self.journal.touched.len(),
+            removed_len: self.journal.removed.len(),
+            saved: roots
+                .iter()
+                .map(|&id| (id, self.gates[id.0 as usize].clone()))
+                .collect(),
+        }
+    }
+
+    /// Restores the state captured by [`Netlist::checkpoint`], undoing
+    /// every edit since — gate creations are dropped (their names are
+    /// released), mutated and tombstoned gates are restored from the
+    /// saved copies, and the journal (records *and* generation) rewinds
+    /// to the watermark.
+    pub fn rollback(&mut self, cp: Checkpoint) {
+        for g in &self.gates[cp.gate_bound..] {
+            self.names.remove(&g.name);
+        }
+        self.gates.truncate(cp.gate_bound);
+        for (id, gate) in cp.saved {
+            self.gates[id.0 as usize] = gate;
+        }
+        self.inputs.truncate(cp.inputs_len);
+        self.outputs.truncate(cp.outputs_len);
+        self.live = cp.live;
+        self.journal.touched.truncate(cp.touched_len);
+        self.journal.removed.truncate(cp.removed_len);
+        self.journal.generation = cp.generation;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -666,5 +751,65 @@ mod tests {
         nl.add_output("f", k);
         nl.validate().unwrap();
         assert_eq!(nl.kind(k), GateKind::Const(true));
+    }
+
+    /// The full observable state a rollback must restore, captured in a
+    /// comparable form (BLIF text covers structure; the rest covers the
+    /// journal and bookkeeping analyses key on).
+    fn fingerprint(nl: &Netlist) -> (String, u64, usize, usize, String) {
+        (
+            crate::blif::write_blif(nl),
+            nl.generation(),
+            nl.live_gate_count(),
+            nl.id_bound(),
+            format!("{:?}", nl.stats()),
+        )
+    }
+
+    #[test]
+    fn rollback_restores_rewire_and_sweep_exactly() {
+        let (mut nl, a, b, g1, g2) = small();
+        let _ = nl.drain_dirty();
+        let before = fingerprint(&nl);
+        // Write set of the edit below: g1 (loses fanouts, then swept),
+        // g2 (rewired), a (gains a branch, and is g1's fanin), b
+        // (g1's fanin loses a branch on sweep).
+        let cp = nl.checkpoint(&[a, b, g1, g2]);
+        nl.replace_all_fanouts(g1, a);
+        nl.sweep_from(g1);
+        assert!(!nl.is_live(g1));
+        nl.rollback(cp);
+        nl.validate().unwrap();
+        assert!(nl.is_live(g1));
+        assert_eq!(fingerprint(&nl), before);
+        assert!(!nl.has_pending_edits(), "journal rewound to watermark");
+    }
+
+    #[test]
+    fn rollback_releases_names_of_created_gates() {
+        let (mut nl, a, b, _g1, _g2) = small();
+        let and2 = nl.library().find_by_name("and2").unwrap();
+        let before = fingerprint(&nl);
+        let cp = nl.checkpoint(&[a, b]);
+        nl.add_cell("fresh", and2, &[a, b]);
+        assert!(nl.find_by_name("fresh").is_some());
+        nl.rollback(cp);
+        assert!(nl.find_by_name("fresh").is_none());
+        assert_eq!(fingerprint(&nl), before);
+        // The name is reusable after the rollback.
+        let again = nl.add_cell("fresh", and2, &[a, b]);
+        assert!(nl.is_live(again));
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn rollback_is_a_noop_without_edits() {
+        let (mut nl, a, _b, g1, _g2) = small();
+        let before = fingerprint(&nl);
+        let cp = nl.checkpoint(&[a, g1]);
+        assert_eq!(cp.saved_gates(), 2);
+        nl.rollback(cp);
+        assert_eq!(fingerprint(&nl), before);
+        nl.validate().unwrap();
     }
 }

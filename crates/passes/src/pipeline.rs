@@ -18,6 +18,11 @@ pub struct Pipeline {
     /// How many times to repeat the whole sequence (the driver stops
     /// early once an iteration commits no edits).
     pub fixpoint: usize,
+    /// Optional wall-clock deadline: no further pass starts once it has
+    /// passed, and the report flags the early stop. (Passes that honour
+    /// a deadline internally — POWDER via `OptimizeConfig::deadline` —
+    /// also stop mid-pass; the pipeline check bounds the rest.)
+    pub deadline: Option<Instant>,
 }
 
 impl Pipeline {
@@ -28,6 +33,7 @@ impl Pipeline {
             passes,
             budget: PassBudget::default(),
             fixpoint: 1,
+            deadline: None,
         }
     }
 
@@ -43,6 +49,13 @@ impl Pipeline {
     #[must_use]
     pub fn with_fixpoint(mut self, n: usize) -> Self {
         self.fixpoint = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock deadline after which no further pass starts.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -63,11 +76,17 @@ impl Pipeline {
         let mut passes = Vec::new();
         let mut engine = EngineStats::default();
         let mut iterations = 0usize;
-        for _ in 0..self.fixpoint {
+        let mut deadline_hit = false;
+        let past_deadline = |d: Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
+        'iterations: for _ in 0..self.fixpoint {
             iterations += 1;
             obs::counter!(obs::names::PIPELINE_ITERATIONS).inc();
             let mut iteration_edits = 0usize;
             for pass in &mut self.passes {
+                if past_deadline(self.deadline) {
+                    deadline_hit = true;
+                    break 'iterations;
+                }
                 let report = {
                     let _span =
                         obs::span!(format!("{}{}", obs::names::span::PASS_PREFIX, pass.name()));
@@ -100,6 +119,7 @@ impl Pipeline {
             seconds: t0.elapsed().as_secs_f64(),
             session: sess.stats().delta(&stats_before),
             engine,
+            deadline_hit,
         }
     }
 }
@@ -131,6 +151,8 @@ pub struct PipelineReport {
     /// Candidate-evaluation engine counters merged over every POWDER
     /// pass in the pipeline.
     pub engine: EngineStats,
+    /// Whether the pipeline stopped early on its wall-clock deadline.
+    pub deadline_hit: bool,
 }
 
 impl PipelineReport {
@@ -181,7 +203,11 @@ impl fmt::Display for PipelineReport {
             self.session.incremental_sta_updates,
             self.session.full_sta_builds,
             self.session.refreshes,
-        )
+        )?;
+        if self.deadline_hit {
+            write!(f, "\n  deadline hit: pipeline stopped early")?;
+        }
+        Ok(())
     }
 }
 

@@ -31,4 +31,4 @@ mod simulate;
 pub use covers::CellCovers;
 pub use observe::{branch_observability, stem_observability, stem_observability_all};
 pub use patterns::Patterns;
-pub use simulate::{ones_fraction, resimulate_cone, simulate, SimValues};
+pub use simulate::{ones_fraction, resimulate_cone, simulate, SavedValues, SimValues};

@@ -51,6 +51,36 @@ impl SimValues {
     pub fn identical(&self, a: GateId, b: GateId) -> bool {
         self.get(a) == self.get(b)
     }
+
+    /// Saves the signatures of `gates` so a speculative
+    /// [`resimulate_cone`] can be undone. Ids beyond the current buffer
+    /// (gates created after the values were materialized) are skipped —
+    /// after a rollback they no longer exist, so their leftover words
+    /// are unobservable.
+    #[must_use]
+    pub fn save(&self, gates: &[GateId]) -> SavedValues {
+        SavedValues {
+            entries: gates
+                .iter()
+                .filter(|id| (id.0 as usize) < self.id_bound())
+                .map(|&id| (id, self.get(id).to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Writes back signatures captured by [`SimValues::save`].
+    pub fn restore(&mut self, saved: &SavedValues) {
+        for (id, words) in &saved.entries {
+            self.get_mut(*id).copy_from_slice(words);
+        }
+    }
+}
+
+/// Signatures of a gate set captured by [`SimValues::save`], used to
+/// rewind a cone re-simulation when a commit is rolled back.
+#[derive(Clone, Debug, Default)]
+pub struct SavedValues {
+    entries: Vec<(GateId, Vec<u64>)>,
 }
 
 /// Simulates `patterns` through `nl`, producing a signature per gate.
@@ -248,6 +278,36 @@ mod tests {
             assert_eq!(bit(g), !((a ^ c) && b));
             assert_eq!(bit(ids[5]), !((a ^ c) && b));
         }
+    }
+
+    #[test]
+    fn save_restore_round_trips_a_cone() {
+        let (mut nl, ids) = xor_and_netlist();
+        let covers = CellCovers::new(nl.library());
+        let p = Patterns::exhaustive(3);
+        let mut v = simulate(&nl, &covers, &p);
+        let before: Vec<Vec<u64>> = ids.iter().map(|&id| v.get(id).to_vec()).collect();
+        let saved = v.save(&[ids[4], ids[5]]);
+        nl.replace_fanin(ids[4], 0, ids[0]);
+        resimulate_cone(&nl, &covers, &mut v, &[ids[4], ids[5]]);
+        assert_ne!(v.get(ids[4]), &before[4][..], "edit visibly resimulated");
+        v.restore(&saved);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(v.get(id), &before[i][..], "gate {i} restored");
+        }
+    }
+
+    #[test]
+    fn save_skips_ids_beyond_the_buffer() {
+        let (nl, ids) = xor_and_netlist();
+        let covers = CellCovers::new(nl.library());
+        let p = Patterns::exhaustive(3);
+        let v = simulate(&nl, &covers, &p);
+        let phantom = GateId(nl.id_bound() as u32 + 5);
+        let saved = v.save(&[ids[0], phantom]);
+        let mut v2 = v.clone();
+        v2.restore(&saved);
+        assert_eq!(v2.get(ids[0]), v.get(ids[0]));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! decomposition — all on randomly generated circuits.
 
 use powder::gain::analyze_full;
+use powder::{optimize, OptimizeConfig};
 use powder_atpg::{check_substitution, generate_candidates, CandidateConfig, CheckOutcome};
 use powder_library::lib2;
 use powder_logic::{minimize, Cube, Sop, TruthTable};
@@ -80,6 +81,69 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Budget exhaustion must be conservative: under arbitrarily small
+    /// backtrack budgets the checker may return `Aborted`, but a
+    /// `Permissible`/`NotPermissible` verdict must still be correct.
+    #[test]
+    fn budget_exhaustion_is_conservative(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..20),
+        inputs in 2usize..5,
+        budget in 0usize..40,
+    ) {
+        let nl = random_netlist(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::exhaustive(inputs);
+        let vals = simulate(&nl, &covers, &pats);
+        let cands = generate_candidates(&nl, &covers, &vals, &CandidateConfig::default());
+        for cand in cands.into_iter().take(8) {
+            let verdict = check_substitution(&nl, &cand, budget);
+            if verdict == CheckOutcome::Aborted {
+                continue; // always safe: the optimizer rejects aborted proofs
+            }
+            let mut rewired = nl.clone();
+            powder::apply::apply_substitution(&mut rewired, &cand);
+            rewired.validate().expect("apply keeps netlist consistent");
+            let preserved = po_signatures(&nl, &pats) == po_signatures(&rewired, &pats);
+            match verdict {
+                CheckOutcome::Permissible => prop_assert!(
+                    preserved, "budget {} certified a bad {:?}", budget, cand
+                ),
+                CheckOutcome::NotPermissible(w) => prop_assert!(
+                    !preserved, "budget {} refuted a good {:?} ({:?})", budget, cand, w
+                ),
+                CheckOutcome::Aborted => unreachable!(),
+            }
+        }
+    }
+
+    /// End to end: whatever the backtrack budget (including one so small
+    /// every proof aborts) and worker count, the optimizer only commits
+    /// proven substitutions, so the output is always function-preserving.
+    #[test]
+    fn optimizer_is_sound_under_any_budget(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..20),
+        inputs in 2usize..5,
+        budget in 0usize..30,
+        jobs in 1usize..3,
+    ) {
+        let nl = random_netlist(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let pats = Patterns::exhaustive(inputs);
+        let before = po_signatures(&nl, &pats);
+        let mut opt = nl.clone();
+        let cfg = OptimizeConfig {
+            repeat: 2,
+            backtrack_limit: budget,
+            jobs,
+            ..OptimizeConfig::default()
+        };
+        let report = optimize(&mut opt, &cfg);
+        opt.validate().expect("optimizer output validates");
+        prop_assert_eq!(before, po_signatures(&opt, &pats));
+        prop_assert!(report.final_power <= report.initial_power + 1e-9);
     }
 
     /// The PG_A + PG_B + PG_C decomposition must equal the measured power
