@@ -11,6 +11,12 @@
 //! powder equiv    <a.blif> <b.blif> [--library lib.genlib]   # exact equivalence proof
 //! powder bench    <name>    [-o out.blif]      # dump a suite circuit as BLIF
 //! powder list                                  # list suite circuits
+//! powder serve    --state-dir DIR [--listen ADDR] [--max-active N]
+//!                 [--threads N] [--library lib.genlib]    # optimization daemon
+//! powder submit   <in.blif> (--addr HOST:PORT | --state-dir DIR)
+//!                 [--tenant T] [--priority P] [--wait] [-o out.blif]
+//!                 [optimize flags: --passes/--fixpoint/--repeat/--patterns/
+//!                  --seed/--jobs/--delay-limit/--deadline-secs]
 //! ```
 //!
 //! `--passes` takes a comma-separated pipeline over `sweep`, `powder`,
@@ -28,8 +34,16 @@
 //! `--deadline-secs S` bounds an optimize run by wall-clock time: the
 //! optimizer stops starting new work once the deadline passes and emits
 //! the best netlist found so far (always valid and function-preserving).
-//! The `POWDER_FAULTS` environment variable installs a deterministic
-//! fault-injection plan (see `powder-faults`) for resilience testing.
+//! Ctrl-C (SIGINT/SIGTERM) during `optimize` does the same: the run
+//! stops at the next committed boundary and the best-so-far netlist is
+//! still written. The `POWDER_FAULTS` environment variable installs a
+//! deterministic fault-injection plan (see `powder-faults`) for
+//! resilience testing.
+//!
+//! `powder serve` runs the multi-tenant optimization daemon (see the
+//! `powder-serve` crate): jobs submitted with `powder submit` run the
+//! exact pipeline `powder optimize` would, checkpoint at committed
+//! round boundaries, and survive daemon restarts.
 //!
 //! Exit code 0 on success, 1 on DRC/IO/parse errors.
 
@@ -72,6 +86,22 @@ struct Options {
     trace_out: Option<String>,
     /// Write a JSON snapshot of the metric registry here.
     metrics_out: Option<String>,
+    /// `serve`: listen address (default 127.0.0.1:0 = any free port).
+    listen: Option<String>,
+    /// `serve`/`submit`: durable state directory.
+    state_dir: Option<String>,
+    /// `serve`: concurrent jobs (runner threads).
+    max_active: usize,
+    /// `serve`: evaluation threads shared across jobs (0 = hardware).
+    threads: usize,
+    /// `submit`: daemon address (overrides the state-dir addr file).
+    addr: Option<String>,
+    /// `submit`: fair-scheduling tenant.
+    tenant: Option<String>,
+    /// `submit`: priority (higher runs first).
+    priority: i64,
+    /// `submit`: block until the job finishes and fetch the result.
+    wait: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -91,6 +121,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         redundancy: false,
         trace_out: None,
         metrics_out: None,
+        listen: None,
+        state_dir: None,
+        max_active: 2,
+        threads: 0,
+        addr: None,
+        tenant: None,
+        priority: 0,
+        wait: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -157,6 +195,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--redundancy" => o.redundancy = true,
             "--trace-out" => o.trace_out = Some(val("--trace-out")?),
             "--metrics-out" => o.metrics_out = Some(val("--metrics-out")?),
+            "--listen" => o.listen = Some(val("--listen")?),
+            "--state-dir" => o.state_dir = Some(val("--state-dir")?),
+            "--max-active" => {
+                let n: usize = val("--max-active")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-active: {e}"))?;
+                if n == 0 {
+                    return Err("bad --max-active: need at least one runner".into());
+                }
+                o.max_active = n;
+            }
+            "--threads" => {
+                o.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--addr" => o.addr = Some(val("--addr")?),
+            "--tenant" => o.tenant = Some(val("--tenant")?),
+            "--priority" => {
+                o.priority = val("--priority")?
+                    .parse()
+                    .map_err(|e| format!("bad --priority: {e}"))?
+            }
+            "--wait" => o.wait = true,
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => o.positional.push(other.to_string()),
         }
@@ -271,7 +333,9 @@ fn write_observability(opts: &Options) -> Result<(), String> {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
-        return Err("usage: powder <optimize|synth|stats|equiv|bench|list> ...".into());
+        return Err(
+            "usage: powder <optimize|synth|stats|equiv|bench|list|serve|submit> ...".into(),
+        );
     };
     let opts = parse_args(&args[1..])?;
     if opts.trace_out.is_some() {
@@ -372,6 +436,11 @@ fn run() -> Result<(), String> {
             if faults.is_some() {
                 eprintln!("powder: deterministic fault injection active (POWDER_FAULTS)");
             }
+            // Ctrl-C stops the run at the next committed boundary and
+            // still writes the best-so-far netlist below.
+            powder_serve::signal::install_stop_flag();
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let _sig_guard = powder_serve::signal::forward_into(Arc::clone(&stop));
             let cfg = OptimizeConfig {
                 repeat: opts.repeat,
                 sim_words: opts.patterns.div_ceil(64).max(1),
@@ -382,6 +451,7 @@ fn run() -> Result<(), String> {
                 jobs: opts.jobs,
                 deadline,
                 faults,
+                stop: Some(Arc::clone(&stop)),
                 ..OptimizeConfig::default()
             };
             let spec = pass_spec(&opts)?;
@@ -405,7 +475,8 @@ fn run() -> Result<(), String> {
             let mut pipeline = build_pipeline(&spec, &cfg, resize_required)
                 .map_err(|e| format!("bad --passes: {e}"))?
                 .with_fixpoint(opts.fixpoint)
-                .with_deadline(deadline);
+                .with_deadline(deadline)
+                .with_stop(Some(Arc::clone(&stop)));
             let mut sess = AnalysisSession::new(nl, SessionConfig::from_optimize(&cfg));
             let report = pipeline.run(&mut sess);
             for pass in &report.passes {
@@ -414,9 +485,95 @@ fn run() -> Result<(), String> {
                 }
             }
             eprintln!("{report}");
+            if report.interrupted {
+                eprintln!(
+                    "powder: interrupted; writing the best netlist found so far \
+                     (valid and function-preserving)"
+                );
+            }
             let nl = sess.into_netlist();
             nl.validate().map_err(|e| e.to_string())?;
             emit(&nl, opts.output.as_deref())
+        }
+        "serve" => {
+            let lib = load_library(&opts)?;
+            require_inverter(&lib, &opts)?;
+            let state_dir = opts
+                .state_dir
+                .clone()
+                .ok_or("serve requires --state-dir DIR")?;
+            let faults = FaultPlan::from_env()
+                .map_err(|e| format!("bad POWDER_FAULTS: {e}"))?
+                .map(FaultPlan::into_state);
+            if faults.is_some() {
+                eprintln!("powder: deterministic fault injection active (POWDER_FAULTS)");
+            }
+            let mut cfg = powder_serve::ServeConfig::new(state_dir, lib);
+            if let Some(listen) = &opts.listen {
+                cfg.listen = listen.clone();
+            }
+            cfg.max_active = opts.max_active;
+            cfg.threads = opts.threads;
+            cfg.faults = faults;
+            powder_serve::run(cfg)
+        }
+        "submit" => {
+            let path = opts
+                .positional
+                .first()
+                .ok_or("submit requires an input file")?;
+            let netlist =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let addr = match &opts.addr {
+                Some(a) => a.clone(),
+                None => {
+                    let dir = opts
+                        .state_dir
+                        .as_deref()
+                        .ok_or("submit needs --addr HOST:PORT or --state-dir DIR")?;
+                    powder_serve::JobStore::open(dir)
+                        .map_err(|e| format!("state dir {dir}: {e}"))?
+                        .read_addr()
+                        .ok_or(format!("no addr file in {dir} (is the daemon running?)"))?
+                }
+            };
+            let spec = powder_serve::JobSpec {
+                tenant: opts.tenant.clone().unwrap_or_else(|| "default".to_string()),
+                priority: opts.priority,
+                passes: pass_spec(&opts)?,
+                fixpoint: opts.fixpoint,
+                repeat: opts.repeat,
+                patterns: opts.patterns,
+                seed: opts.seed,
+                jobs: opts.jobs,
+                delay_limit_percent: opts.delay_limit,
+                deadline_secs: opts.deadline_secs,
+            };
+            let id = powder_serve::client::submit(&addr, &spec, &netlist)?;
+            eprintln!("submitted {id} to {addr}");
+            if !opts.wait {
+                println!("{id}");
+                return Ok(());
+            }
+            let status = powder_serve::client::wait(&addr, &id, Duration::from_millis(200))?;
+            match status.state.as_str() {
+                "done" => {
+                    let (blif, report) = powder_serve::client::result(&addr, &id)?;
+                    eprintln!("{id}: done  {report}");
+                    match opts.output.as_deref() {
+                        Some(out) => std::fs::write(out, blif)
+                            .map_err(|e| format!("cannot write {out}: {e}")),
+                        None => {
+                            print!("{blif}");
+                            Ok(())
+                        }
+                    }
+                }
+                other => Err(match status.error {
+                    Some(e) => format!("{id} {other}: {e}"),
+                    None => format!("{id} ended {other}"),
+                }),
+            }
         }
         other => Err(format!("unknown command {other:?}")),
     };

@@ -1,0 +1,289 @@
+//! End-to-end tests for `powder serve` / `powder submit`: real daemon
+//! processes, real TCP, real kill-and-restart.
+//!
+//! The three acceptance properties of the serving layer:
+//! 1. concurrent serve jobs produce netlists bit-identical to
+//!    standalone `powder optimize` runs with the same flags;
+//! 2. a job with a tight deadline still terminates with a valid,
+//!    function-preserving result;
+//! 3. a daemon killed mid-job (via the `serve-crash` fault site)
+//!    resumes the job from its last checkpoint after restart and
+//!    completes bit-identically to an uninterrupted run.
+
+use powder_serve::client;
+use powder_serve::JobSpec;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_powder");
+
+/// Flags shared by every job in this file (kept small so debug-build
+/// optimization rounds finish quickly, but large enough to produce
+/// several checkpoints).
+const REPEAT: &str = "2";
+const PATTERNS: &str = "128";
+const JOBS: &str = "2";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("powder-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn bench_blif(dir: &Path, circuit: &str) -> PathBuf {
+    let out = dir.join(format!("{circuit}.blif"));
+    let ok = Command::new(BIN)
+        .args(["bench", circuit, "-o"])
+        .arg(&out)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run powder bench")
+        .success();
+    assert!(ok, "powder bench {circuit} failed");
+    out
+}
+
+fn optimize_standalone(input: &Path, out: &Path) {
+    let ok = Command::new(BIN)
+        .arg("optimize")
+        .arg(input)
+        .args([
+            "--repeat",
+            REPEAT,
+            "--patterns",
+            PATTERNS,
+            "--jobs",
+            JOBS,
+            "-o",
+        ])
+        .arg(out)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run powder optimize")
+        .success();
+    assert!(ok, "standalone optimize failed");
+}
+
+fn assert_equivalent(a: &Path, b: &Path) {
+    let output = Command::new(BIN)
+        .arg("equiv")
+        .arg(a)
+        .arg(b)
+        .output()
+        .expect("run powder equiv");
+    assert!(
+        output.status.success(),
+        "equiv failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+/// A daemon process that is killed when the guard drops, so a failing
+/// assertion never leaks a background process.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(state_dir: &Path, faults: Option<&str>) -> Daemon {
+        // A restarted daemon binds a fresh port; drop the previous
+        // daemon's addr file so we never read a stale address.
+        let _ = std::fs::remove_file(state_dir.join("addr"));
+        let mut cmd = Command::new(BIN);
+        cmd.args(["serve", "--state-dir"])
+            .arg(state_dir)
+            .args(["--max-active", "2"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null());
+        match faults {
+            Some(plan) => cmd.env("POWDER_FAULTS", plan),
+            None => cmd.env_remove("POWDER_FAULTS"),
+        };
+        let child = cmd.spawn().expect("spawn powder serve");
+        // The daemon writes `<state>/addr` once bound.
+        let addr_file = state_dir.join("addr");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(a) = std::fs::read_to_string(&addr_file) {
+                let a = a.trim().to_string();
+                if !a.is_empty() {
+                    break a;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon never wrote its addr file"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        Daemon { child, addr }
+    }
+
+    /// Blocks until the process exits on its own (crash tests).
+    fn wait_for_exit(mut self) -> i32 {
+        let status = self.child.wait().expect("wait for daemon");
+        let code = status.code().unwrap_or(-1);
+        // Skip the kill in Drop (already exited).
+        self.child = Command::new("true").spawn().expect("spawn no-op");
+        code
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spec(tenant: &str) -> JobSpec {
+    JobSpec {
+        tenant: tenant.to_string(),
+        repeat: REPEAT.parse().unwrap(),
+        patterns: PATTERNS.parse().unwrap(),
+        jobs: JOBS.parse().unwrap(),
+        ..JobSpec::default()
+    }
+}
+
+fn wait_done(addr: &str, id: &str) -> client::JobStatus {
+    let st = client::wait(addr, id, Duration::from_millis(100)).expect("wait for job");
+    assert_eq!(
+        st.state, "done",
+        "job {id} ended {} ({:?})",
+        st.state, st.error
+    );
+    st
+}
+
+#[test]
+fn concurrent_jobs_are_bit_identical_to_standalone_runs() {
+    let dir = temp_dir("concurrent");
+    let input = bench_blif(&dir, "c8");
+    let reference = dir.join("standalone.blif");
+    optimize_standalone(&input, &reference);
+
+    let daemon = Daemon::start(&dir.join("state"), None);
+    let netlist = std::fs::read_to_string(&input).unwrap();
+
+    // Two tenants, two jobs, running concurrently (max-active 2).
+    let id_a = client::submit(&daemon.addr, &spec("alice"), &netlist).expect("submit a");
+    let id_b = client::submit(&daemon.addr, &spec("bob"), &netlist).expect("submit b");
+    let st_a = wait_done(&daemon.addr, &id_a);
+    let st_b = wait_done(&daemon.addr, &id_b);
+    assert!(st_a.checkpoints > 0, "job a never checkpointed");
+    assert!(st_b.checkpoints > 0, "job b never checkpointed");
+
+    let expected = std::fs::read_to_string(&reference).unwrap();
+    for id in [&id_a, &id_b] {
+        let (blif, report) = client::result(&daemon.addr, id).expect("fetch result");
+        assert_eq!(
+            blif, expected,
+            "served result for {id} differs from standalone optimize"
+        );
+        assert!(
+            report.contains("\"interrupted\":false"),
+            "unexpected report: {report}"
+        );
+    }
+
+    client::shutdown(&daemon.addr, true).expect("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tight_deadline_job_still_terminates_with_valid_result() {
+    let dir = temp_dir("deadline");
+    let input = bench_blif(&dir, "c8");
+    let daemon = Daemon::start(&dir.join("state"), None);
+    let netlist = std::fs::read_to_string(&input).unwrap();
+
+    let tight = JobSpec {
+        deadline_secs: Some(0.05),
+        // Enough requested work that the deadline actually cuts it short.
+        fixpoint: 4,
+        ..spec("hurried")
+    };
+    let id = client::submit(&daemon.addr, &tight, &netlist).expect("submit");
+    wait_done(&daemon.addr, &id);
+    let (blif, report) = client::result(&daemon.addr, &id).expect("fetch result");
+    assert!(
+        report.contains("\"deadline_hit\":true"),
+        "expected a deadline-cut report, got: {report}"
+    );
+
+    // Best-so-far output must still be a valid, equivalent netlist.
+    let out = dir.join("deadline-out.blif");
+    std::fs::write(&out, blif).unwrap();
+    assert_equivalent(&input, &out);
+
+    client::shutdown(&daemon.addr, true).expect("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_daemon_resumes_from_checkpoint_bit_identically() {
+    let dir = temp_dir("crash");
+    let input = bench_blif(&dir, "c8");
+    let reference = dir.join("standalone.blif");
+    optimize_standalone(&input, &reference);
+    let state = dir.join("state");
+
+    // Fault plan: die right after the second persisted checkpoint.
+    let daemon = Daemon::start(&state, Some("serve-crash=once:2"));
+    let netlist = std::fs::read_to_string(&input).unwrap();
+    let id = client::submit(&daemon.addr, &spec("crashy"), &netlist).expect("submit");
+    let code = daemon.wait_for_exit();
+    assert_eq!(code, 42, "daemon should die at the injected crash site");
+    assert!(
+        state.join(&id).join("checkpoint.txt").is_file(),
+        "crash must leave a durable checkpoint behind"
+    );
+
+    // Restart without faults: the job must be re-discovered, resumed
+    // from the checkpoint, and completed bit-identically.
+    let daemon = Daemon::start(&state, None);
+    let st = wait_done(&daemon.addr, &id);
+    assert!(st.checkpoints > 0);
+
+    let (blif, _) = client::result(&daemon.addr, &id).expect("fetch result");
+    let expected = std::fs::read_to_string(&reference).unwrap();
+    assert_eq!(
+        blif, expected,
+        "resumed result differs from an uninterrupted standalone run"
+    );
+    let out = dir.join("resumed-out.blif");
+    std::fs::write(&out, blif).unwrap();
+    assert_equivalent(&input, &out);
+
+    client::shutdown(&daemon.addr, true).expect("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_and_list_round_trip() {
+    let dir = temp_dir("cancel");
+    let input = bench_blif(&dir, "c8");
+    let daemon = Daemon::start(&dir.join("state"), None);
+    let netlist = std::fs::read_to_string(&input).unwrap();
+
+    // Low-priority job behind two runners' worth of work gets
+    // cancelled while still queued.
+    let ids: Vec<String> = (0..3)
+        .map(|i| client::submit(&daemon.addr, &spec(&format!("t{i}")), &netlist).expect("submit"))
+        .collect();
+    client::cancel(&daemon.addr, &ids[2]).expect("cancel");
+    let st = client::wait(&daemon.addr, &ids[2], Duration::from_millis(100)).expect("wait");
+    assert_eq!(st.state, "cancelled");
+    // The others still finish.
+    wait_done(&daemon.addr, &ids[0]);
+    wait_done(&daemon.addr, &ids[1]);
+
+    client::shutdown(&daemon.addr, true).expect("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -59,7 +59,9 @@ pub mod redundancy;
 pub mod report;
 pub mod resize;
 
-pub use optimizer::{optimize, optimize_with, DelayLimit, OptimizeConfig, SharedAnalyses};
+pub use optimizer::{
+    optimize, optimize_with, DelayLimit, OptimizeConfig, RoundHook, RoundSnapshot, SharedAnalyses,
+};
 pub use powder_atpg::{check_equivalence, CandidateConfig, EquivOutcome, Substitution};
 pub use powder_engine::EngineStats;
 pub use report::{

@@ -17,6 +17,7 @@ use powder_power::{PowerConfig, PowerEstimator, WhatIfScratch};
 use powder_sim::{simulate, CellCovers, Patterns, SimValues};
 use powder_timing::{SubstitutionTiming, TimingAnalysis, TimingConfig};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -85,6 +86,67 @@ pub struct OptimizeConfig {
     /// (the default) disables injection; every injection site is then a
     /// no-op.
     pub faults: Option<Arc<FaultState>>,
+    /// Cooperative stop request (SIGINT, daemon drain, job cancellation).
+    /// Checked at the same safe points as `deadline`: the run stops
+    /// cleanly between commits and reports the best-so-far netlist with
+    /// [`OptimizeReport::interrupted`] set. `None` never stops early.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Observer fired after every *fully completed* candidate round, at
+    /// a committed boundary (journal drained, analyses consistent). This
+    /// is the checkpoint hook: both the sequential and parallel paths
+    /// fire it at identical boundaries, so checkpoints are bit-identical
+    /// at any `jobs`. Rounds cut short by the deadline or a stop request
+    /// do not fire it. `None` (the default) observes nothing.
+    pub round_hook: Option<RoundHook>,
+}
+
+/// Borrowed view of optimizer state at a committed round boundary,
+/// handed to [`RoundHook`] observers.
+pub struct RoundSnapshot<'a> {
+    /// Completed rounds so far in this `optimize` call (1-based).
+    pub rounds_done: usize,
+    /// The netlist after the round's commits (journal drained).
+    pub nl: &'a Netlist,
+    /// The simulation pattern set, including counterexamples learned up
+    /// to and including this round.
+    pub patterns: &'a Patterns,
+    /// Total substitutions committed so far in this call.
+    pub commits: usize,
+    /// The absolute required time this call resolved from
+    /// [`OptimizeConfig::delay_limit`] (`None` when unconstrained). A
+    /// resumed run must pin [`DelayLimit::Absolute`] to this value:
+    /// re-resolving a [`DelayLimit::Factor`] against the mid-run netlist
+    /// would move the constraint.
+    pub required_time: Option<f64>,
+}
+
+/// A shareable end-of-round observer (see
+/// [`OptimizeConfig::round_hook`]). Wraps the closure in an `Arc` so the
+/// config stays `Clone`.
+#[derive(Clone)]
+pub struct RoundHook(Arc<dyn Fn(RoundSnapshot<'_>) + Send + Sync>);
+
+impl RoundHook {
+    /// Wraps `f` as a round observer.
+    pub fn new(f: impl Fn(RoundSnapshot<'_>) + Send + Sync + 'static) -> Self {
+        RoundHook(Arc::new(f))
+    }
+
+    /// Invokes the observer.
+    pub fn call(&self, snapshot: RoundSnapshot<'_>) {
+        (self.0)(snapshot);
+    }
+}
+
+impl std::fmt::Debug for RoundHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RoundHook(..)")
+    }
+}
+
+/// Whether a cooperative stop has been requested.
+pub(crate) fn stop_requested(stop: Option<&Arc<AtomicBool>>) -> bool {
+    stop.is_some_and(|s| s.load(Ordering::Relaxed))
 }
 
 impl Default for OptimizeConfig {
@@ -106,6 +168,8 @@ impl Default for OptimizeConfig {
             power: PowerConfig::default(),
             deadline: None,
             faults: None,
+            stop: None,
+            round_hook: None,
         }
     }
 }
@@ -247,11 +311,16 @@ pub(crate) fn optimize_sequential(
     let mut quarantined_list: Vec<QuarantinedCandidate> = Vec::new();
     let mut quarantine: BTreeSet<Substitution> = BTreeSet::new();
     let mut deadline_hit = false;
+    let mut interrupted = false;
 
     for _round in 0..config.max_rounds {
         if deadline_exceeded(config.deadline) {
             deadline_hit = true;
             obs::counter!(obs::names::OPTIMIZER_DEADLINE_HITS).inc();
+            break;
+        }
+        if stop_requested(config.stop.as_ref()) {
+            interrupted = true;
             break;
         }
         rounds += 1;
@@ -305,6 +374,10 @@ pub(crate) fn optimize_sequential(
             if deadline_exceeded(config.deadline) {
                 deadline_hit = true;
                 obs::counter!(obs::names::OPTIMIZER_DEADLINE_HITS).inc();
+                break 'inner;
+            }
+            if stop_requested(config.stop.as_ref()) {
+                interrupted = true;
                 break 'inner;
             }
             while cursor < scored.len() && consumed[cursor] {
@@ -508,8 +581,19 @@ pub(crate) fn optimize_sequential(
                 }
             }
         }
-        if deadline_hit {
+        if deadline_hit || interrupted {
             break;
+        }
+        // The round completed at a committed boundary: let the observer
+        // (the checkpoint sink) see the state.
+        if let Some(hook) = &config.round_hook {
+            hook.call(RoundSnapshot {
+                rounds_done: rounds,
+                nl,
+                patterns,
+                commits: applied.len(),
+                required_time,
+            });
         }
         // A round that only *learned* counterexamples still sharpened the
         // filter; re-generate candidates against the enlarged pattern set
@@ -548,6 +632,7 @@ pub(crate) fn optimize_sequential(
         guard: guard_stats,
         quarantined: quarantined_list,
         deadline_hit,
+        interrupted,
     }
 }
 

@@ -43,8 +43,8 @@
 use crate::gain::{analyze_fast, analyze_full_with};
 use crate::guard::{adaptive_backtrack, deadline_exceeded, guarded_apply};
 use crate::optimizer::{
-    candidate_alive, cross_check_state, substitution_timing, DelayLimit, OptimizeConfig,
-    SharedAnalyses,
+    candidate_alive, cross_check_state, stop_requested, substitution_timing, DelayLimit,
+    OptimizeConfig, RoundSnapshot, SharedAnalyses,
 };
 use crate::report::{
     AppliedSubstitution, GuardStats, IncrementalStats, OptimizeReport, PhaseTimes,
@@ -253,11 +253,16 @@ pub(crate) fn optimize_parallel(
     let mut quarantined_list: Vec<QuarantinedCandidate> = Vec::new();
     let mut quarantine: BTreeSet<Substitution> = BTreeSet::new();
     let mut deadline_hit = false;
+    let mut interrupted = false;
 
     for _round in 0..config.max_rounds {
         if deadline_exceeded(config.deadline) {
             deadline_hit = true;
             obs::counter!(obs::names::OPTIMIZER_DEADLINE_HITS).inc();
+            break;
+        }
+        if stop_requested(config.stop.as_ref()) {
+            interrupted = true;
             break;
         }
         rounds += 1;
@@ -350,6 +355,10 @@ pub(crate) fn optimize_parallel(
             if deadline_exceeded(config.deadline) {
                 deadline_hit = true;
                 obs::counter!(obs::names::OPTIMIZER_DEADLINE_HITS).inc();
+                break 'inner;
+            }
+            if stop_requested(config.stop.as_ref()) {
+                interrupted = true;
                 break 'inner;
             }
             while cursor < n && consumed[cursor] {
@@ -727,8 +736,19 @@ pub(crate) fn optimize_parallel(
         let arbiter_wall = (t_inner.elapsed().as_secs_f64() - round_parallel_wall).max(0.0);
         engine.arbiter_seconds += arbiter_wall;
         obs::counter!(obs::names::ENGINE_ARBITER_NS).add((arbiter_wall * 1e9) as u64);
-        if deadline_hit {
+        if deadline_hit || interrupted {
             break;
+        }
+        // Same committed boundary as the sequential path: checkpoints
+        // taken here are bit-identical at any `jobs`.
+        if let Some(hook) = &config.round_hook {
+            hook.call(RoundSnapshot {
+                rounds_done: rounds,
+                nl,
+                patterns,
+                commits: applied.len(),
+                required_time,
+            });
         }
         if !progress && !learned {
             break;
@@ -768,6 +788,7 @@ pub(crate) fn optimize_parallel(
         guard: guard_stats,
         quarantined: quarantined_list,
         deadline_hit,
+        interrupted,
     }
 }
 

@@ -222,6 +222,10 @@ pub struct OptimizeReport {
     /// Whether the run stopped early because its wall-clock deadline
     /// expired (the report then describes the best-so-far netlist).
     pub deadline_hit: bool,
+    /// Whether the run stopped early on a cooperative stop request
+    /// (SIGINT, daemon drain, job cancellation). Like `deadline_hit`,
+    /// the report then describes the best-so-far netlist.
+    pub interrupted: bool,
 }
 
 impl OptimizeReport {
@@ -334,6 +338,9 @@ impl fmt::Display for OptimizeReport {
         if self.deadline_hit {
             write!(f, "\ndeadline hit: best-so-far result emitted")?;
         }
+        if self.interrupted {
+            write!(f, "\ninterrupted: best-so-far result emitted")?;
+        }
         Ok(())
     }
 }
@@ -402,6 +409,7 @@ mod tests {
             },
             quarantined: Vec::new(),
             deadline_hit: false,
+            interrupted: false,
         };
         assert!((r.power_reduction_percent() - 40.0).abs() < 1e-12);
         assert!((r.area_reduction_percent() - 5.0).abs() < 1e-12);

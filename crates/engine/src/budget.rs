@@ -1,0 +1,140 @@
+//! A process-wide worker-thread budget shared by concurrent runs.
+//!
+//! The serve daemon executes several optimization jobs at once, each of
+//! which would happily spin up `resolve_jobs()` workers; unchecked,
+//! `J` concurrent jobs oversubscribe the machine `J`-fold. A
+//! [`ThreadBudget`] caps the *total* worker count: each job leases as
+//! many workers as are free (never more than it asked for, never fewer
+//! than one) and returns them when it finishes. Leases are granted
+//! eagerly rather than fairly — a job never blocks waiting for its full
+//! request, because POWDER's decisions are bit-identical at any worker
+//! count; shrinking a lease costs throughput, not correctness.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shared worker-thread budget. Cheap to clone via `Arc`.
+#[derive(Debug)]
+pub struct ThreadBudget {
+    total: usize,
+    free: Mutex<usize>,
+    returned: Condvar,
+}
+
+impl ThreadBudget {
+    /// A budget of `total` worker threads (at least 1).
+    #[must_use]
+    pub fn new(total: usize) -> Arc<ThreadBudget> {
+        let total = total.max(1);
+        Arc::new(ThreadBudget {
+            total,
+            free: Mutex::new(total),
+            returned: Condvar::new(),
+        })
+    }
+
+    /// The budget's capacity.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Workers currently unleased.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        *self.free.lock().expect("budget lock")
+    }
+
+    /// Leases up to `want` workers (at least 1), blocking only while
+    /// the budget is fully exhausted. The granted count is
+    /// `min(want, free)` at grant time — a busy budget grants a smaller
+    /// lease instead of making the caller wait for its full request.
+    #[must_use]
+    pub fn lease(self: &Arc<Self>, want: usize) -> ThreadLease {
+        let want = want.clamp(1, self.total);
+        let mut free = self.free.lock().expect("budget lock");
+        while *free == 0 {
+            free = self.returned.wait(free).expect("budget lock");
+        }
+        let granted = want.min(*free);
+        *free -= granted;
+        ThreadLease {
+            budget: Arc::clone(self),
+            granted,
+        }
+    }
+
+    fn release(&self, granted: usize) {
+        let mut free = self.free.lock().expect("budget lock");
+        *free = (*free + granted).min(self.total);
+        drop(free);
+        self.returned.notify_all();
+    }
+}
+
+/// A granted slice of a [`ThreadBudget`], returned on drop.
+#[derive(Debug)]
+pub struct ThreadLease {
+    budget: Arc<ThreadBudget>,
+    granted: usize,
+}
+
+impl ThreadLease {
+    /// Worker threads this lease grants (≥ 1).
+    #[must_use]
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for ThreadLease {
+    fn drop(&mut self) {
+        self.budget.release(self.granted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn leases_shrink_under_contention_and_return_on_drop() {
+        let budget = ThreadBudget::new(4);
+        let a = budget.lease(3);
+        assert_eq!(a.granted(), 3);
+        assert_eq!(budget.available(), 1);
+        // Only one worker left: the second job gets a shrunken lease
+        // instead of blocking for its full request.
+        let b = budget.lease(3);
+        assert_eq!(b.granted(), 1);
+        assert_eq!(budget.available(), 0);
+        drop(a);
+        assert_eq!(budget.available(), 3);
+        drop(b);
+        assert_eq!(budget.available(), 4);
+    }
+
+    #[test]
+    fn lease_always_grants_at_least_one() {
+        let budget = ThreadBudget::new(2);
+        let a = budget.lease(0);
+        assert_eq!(a.granted(), 1);
+        let b = budget.lease(100);
+        assert_eq!(b.granted(), 1);
+    }
+
+    #[test]
+    fn exhausted_budget_blocks_until_a_return() {
+        let budget = ThreadBudget::new(1);
+        let held = budget.lease(1);
+        let waiter = {
+            let budget = Arc::clone(&budget);
+            std::thread::spawn(move || budget.lease(1).granted())
+        };
+        // The waiter cannot finish while the lease is held.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished());
+        drop(held);
+        assert_eq!(waiter.join().expect("waiter"), 1);
+    }
+}

@@ -34,11 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod cache;
 pub mod footprint;
 pub mod pool;
 pub mod stats;
 
+pub use budget::{ThreadBudget, ThreadLease};
 pub use cache::SpecCache;
 pub use footprint::{DirtyBits, Footprint, FootprintScratch};
 pub use pool::{PoolResilience, WorkerPool, MAX_WORKER_LOSSES};

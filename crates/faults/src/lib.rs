@@ -34,6 +34,18 @@ pub const SITE_WORKER_PANIC: &str = "worker-panic";
 pub const SITE_ATPG_ABORT: &str = "atpg-abort";
 /// Site name: the commit guard's post-apply signature check mismatches.
 pub const SITE_VERIFY_MISMATCH: &str = "verify-mismatch";
+/// Site name: the serve daemon dies abruptly mid-job (process exit
+/// without drain), exercising checkpoint recovery on restart.
+pub const SITE_SERVE_CRASH: &str = "serve-crash";
+
+/// Every site name an injector in this workspace queries. A plan clause
+/// naming anything else is a typo and is rejected at parse time.
+pub const KNOWN_SITES: &[&str] = &[
+    SITE_WORKER_PANIC,
+    SITE_ATPG_ABORT,
+    SITE_VERIFY_MISMATCH,
+    SITE_SERVE_CRASH,
+];
 
 /// When a site's fault fires, as parsed from one plan clause.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,6 +88,12 @@ impl FaultPlan {
                     .parse()
                     .map_err(|e| format!("bad fault seed {value:?}: {e}"))?;
                 continue;
+            }
+            if !KNOWN_SITES.contains(&key) {
+                return Err(format!(
+                    "unknown fault site {key:?} (known sites: {})",
+                    KNOWN_SITES.join(", ")
+                ));
             }
             let trigger = match value.split_once(':') {
                 Some(("every", k)) => {
@@ -224,6 +242,32 @@ mod tests {
         assert!(FaultPlan::parse("worker-panic=once:0").is_err());
         assert!(FaultPlan::parse("seed=banana").is_err());
         assert!(FaultPlan::parse("").unwrap().sites.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_sites_naming_the_token() {
+        let err = FaultPlan::parse("worker-pnic=every:5").unwrap_err();
+        assert!(
+            err.contains("\"worker-pnic\""),
+            "error must name the bad site, got: {err}"
+        );
+        assert!(
+            err.contains(SITE_WORKER_PANIC),
+            "error must list the known sites, got: {err}"
+        );
+        let err = FaultPlan::parse("worker-panic=every:x").unwrap_err();
+        assert!(
+            err.contains("worker-panic=every:x"),
+            "error must name the bad clause, got: {err}"
+        );
+    }
+
+    #[test]
+    fn every_known_site_parses() {
+        for site in KNOWN_SITES {
+            let plan = FaultPlan::parse(&format!("{site}=once:1")).unwrap();
+            assert_eq!(plan.sites.len(), 1, "{site} must be accepted");
+        }
     }
 
     #[test]

@@ -44,9 +44,11 @@ mod dirty;
 mod netlist;
 #[cfg(test)]
 mod proptests;
+pub mod snapshot;
 mod stats;
 pub mod verilog;
 
 pub use dirty::{ConeScratch, DirtyRegion};
 pub use netlist::{Checkpoint, Conn, GateId, GateKind, Netlist, NetlistError};
+pub use snapshot::{read_snapshot, write_snapshot, SnapshotError};
 pub use stats::NetlistStats;

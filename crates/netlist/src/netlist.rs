@@ -40,12 +40,12 @@ pub struct Conn {
 }
 
 #[derive(Clone, Debug)]
-struct Gate {
-    name: String,
-    kind: GateKind,
-    fanins: Vec<GateId>,
-    fanouts: Vec<Conn>,
-    alive: bool,
+pub(crate) struct Gate {
+    pub(crate) name: String,
+    pub(crate) kind: GateKind,
+    pub(crate) fanins: Vec<GateId>,
+    pub(crate) fanouts: Vec<Conn>,
+    pub(crate) alive: bool,
 }
 
 /// Structural error reported by [`Netlist::validate`].
@@ -66,13 +66,13 @@ impl std::error::Error for NetlistError {}
 /// A combinational mapped netlist over a shared [`Library`].
 #[derive(Clone)]
 pub struct Netlist {
-    name: String,
-    library: Arc<Library>,
-    gates: Vec<Gate>,
-    inputs: Vec<GateId>,
-    outputs: Vec<GateId>,
-    names: HashMap<String, GateId>,
-    live: usize,
+    pub(crate) name: String,
+    pub(crate) library: Arc<Library>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) inputs: Vec<GateId>,
+    pub(crate) outputs: Vec<GateId>,
+    pub(crate) names: HashMap<String, GateId>,
+    pub(crate) live: usize,
     pub(crate) journal: EditJournal,
 }
 

@@ -1,0 +1,430 @@
+//! Exact arena snapshots for checkpoint/resume.
+//!
+//! [`crate::blif::write_blif`] is a *semantic* export: it emits gates in
+//! topological order, renames single-output stems, inserts alias
+//! buffers, and [`crate::blif::read_blif`] renumbers ids compactly. That
+//! is fine for interchange but useless for resuming a deterministic
+//! optimization run, where decision tie-breaking depends on the exact
+//! arena layout: [`GateId`] allocation order, tombstoned slots, the
+//! *order* of fanout lists (mutated historically by `swap_remove`), and
+//! the name map retaining dead-gate names (which feeds `name$id`
+//! uniquification of future gates).
+//!
+//! [`write_snapshot`] / [`read_snapshot`] serialize that full state
+//! slot-by-slot, so a restored netlist is indistinguishable from the
+//! original to the optimizer: same ids, same iteration orders, same
+//! generation counter, same future name allocation. Resuming from a
+//! snapshot therefore replays the exact decision sequence of an
+//! uninterrupted run.
+//!
+//! The format is a versioned, line-oriented text format; names are
+//! percent-escaped so arbitrary identifiers round-trip.
+
+use crate::netlist::{Conn, Gate, GateId, GateKind, Netlist};
+use powder_library::Library;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Magic first line of the snapshot format (version-bearing).
+pub const SNAPSHOT_MAGIC: &str = "powder-arena v1";
+
+/// Error produced by [`read_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// What failed to parse or resolve.
+    pub message: String,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, SnapshotError> {
+    Err(SnapshotError {
+        message: message.into(),
+    })
+}
+
+/// Percent-escapes a name so it contains no whitespace or `%`.
+fn esc(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        if b.is_ascii_graphic() && b != b'%' {
+            out.push(b as char);
+        } else {
+            let _ = write!(out, "%{b:02x}");
+        }
+    }
+    out
+}
+
+fn unesc(token: &str) -> Result<String, SnapshotError> {
+    let mut out = Vec::with_capacity(token.len());
+    let bytes = token.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = token.get(i + 1..i + 3).ok_or_else(|| SnapshotError {
+                message: format!("truncated escape in {token:?}"),
+            })?;
+            let v = u8::from_str_radix(hex, 16).map_err(|_| SnapshotError {
+                message: format!("bad escape %{hex} in {token:?}"),
+            })?;
+            out.push(v);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| SnapshotError {
+        message: format!("non-utf8 name {token:?}"),
+    })
+}
+
+/// Serializes the exact arena state of `nl`.
+///
+/// The snapshot captures every slot (live and tombstoned) with its name,
+/// kind, fanin list, and fanout list in stored order, plus the
+/// input/output vectors and the journal generation. The edit journal's
+/// pending records are *not* captured: snapshots are taken at committed
+/// boundaries where the journal has been drained.
+///
+/// # Panics
+///
+/// Panics if the netlist has pending (undrained) journal records —
+/// snapshot points must be committed states.
+#[must_use]
+pub fn write_snapshot(nl: &Netlist) -> String {
+    assert!(
+        !nl.has_pending_edits(),
+        "snapshot requires a drained edit journal"
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "{SNAPSHOT_MAGIC}");
+    let _ = writeln!(out, "name {}", esc(nl.name()));
+    let _ = writeln!(out, "generation {}", nl.generation());
+    let _ = writeln!(out, "slots {}", nl.id_bound());
+    for gate in &nl.gates {
+        let kind = match gate.kind {
+            GateKind::Input => "in".to_string(),
+            GateKind::Output => "out".to_string(),
+            GateKind::Const(false) => "c0".to_string(),
+            GateKind::Const(true) => "c1".to_string(),
+            GateKind::Cell(c) => format!("cell:{}", esc(&nl.library().cell_ref(c).name)),
+        };
+        if !gate.alive {
+            let _ = writeln!(out, "d {} {kind}", esc(&gate.name));
+            continue;
+        }
+        let _ = write!(out, "g {} {kind} |", esc(&gate.name));
+        for f in &gate.fanins {
+            let _ = write!(out, " {}", f.0);
+        }
+        let _ = write!(out, " |");
+        for c in &gate.fanouts {
+            let _ = write!(out, " {}.{}", c.gate.0, c.pin);
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "inputs");
+    for i in &nl.inputs {
+        let _ = write!(out, " {}", i.0);
+    }
+    out.push('\n');
+    let _ = write!(out, "outputs");
+    for o in &nl.outputs {
+        let _ = write!(out, " {}", o.0);
+    }
+    out.push('\n');
+    out
+}
+
+fn parse_id(tok: &str, bound: usize) -> Result<GateId, SnapshotError> {
+    let v: u32 = tok.parse().map_err(|_| SnapshotError {
+        message: format!("bad gate id {tok:?}"),
+    })?;
+    if (v as usize) >= bound {
+        return err(format!("gate id {v} out of range (bound {bound})"));
+    }
+    Ok(GateId(v))
+}
+
+/// Rebuilds a netlist from a [`write_snapshot`] image over `library`.
+///
+/// The restored netlist is arena-exact: identical slot layout (including
+/// tombstones and their retained names), fanin/fanout orders, name map,
+/// and generation counter, with an empty (drained) journal.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] naming the offending line or token if the
+/// image is malformed, references an unknown library cell, or fails
+/// structural validation after restore.
+pub fn read_snapshot(src: &str, library: Arc<Library>) -> Result<Netlist, SnapshotError> {
+    let mut lines = src.lines();
+    match lines.next() {
+        Some(l) if l.trim() == SNAPSHOT_MAGIC => {}
+        other => return err(format!("bad snapshot header {other:?}")),
+    }
+    let mut name = String::new();
+    let mut generation = 0u64;
+    let mut slots = 0usize;
+    for _ in 0..3 {
+        let line = lines.next().unwrap_or_default();
+        let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match key {
+            "name" => name = unesc(rest.trim())?,
+            "generation" => {
+                generation = rest.trim().parse().map_err(|_| SnapshotError {
+                    message: format!("bad generation {rest:?}"),
+                })?;
+            }
+            "slots" => {
+                slots = rest.trim().parse().map_err(|_| SnapshotError {
+                    message: format!("bad slot count {rest:?}"),
+                })?;
+            }
+            _ => return err(format!("unexpected header line {line:?}")),
+        }
+    }
+    let parse_kind = |tok: &str| -> Result<GateKind, SnapshotError> {
+        Ok(match tok {
+            "in" => GateKind::Input,
+            "out" => GateKind::Output,
+            "c0" => GateKind::Const(false),
+            "c1" => GateKind::Const(true),
+            other => {
+                let cell_name = other.strip_prefix("cell:").ok_or_else(|| SnapshotError {
+                    message: format!("unknown gate kind {other:?}"),
+                })?;
+                let cell_name = unesc(cell_name)?;
+                let cid = library
+                    .find_by_name(&cell_name)
+                    .ok_or_else(|| SnapshotError {
+                        message: format!("library has no cell named {cell_name:?}"),
+                    })?;
+                GateKind::Cell(cid)
+            }
+        })
+    };
+    let mut gates: Vec<Gate> = Vec::with_capacity(slots);
+    let mut names: HashMap<String, GateId> = HashMap::new();
+    let mut live = 0usize;
+    for _ in 0..slots {
+        let line = lines.next().ok_or_else(|| SnapshotError {
+            message: "snapshot truncated inside slot list".into(),
+        })?;
+        let id = GateId(gates.len() as u32);
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("d") => {
+                let gname = unesc(toks.next().ok_or_else(|| SnapshotError {
+                    message: format!("dead slot missing name: {line:?}"),
+                })?)?;
+                let kind = parse_kind(toks.next().ok_or_else(|| SnapshotError {
+                    message: format!("dead slot missing kind: {line:?}"),
+                })?)?;
+                names.insert(gname.clone(), id);
+                gates.push(Gate {
+                    name: gname,
+                    kind,
+                    fanins: Vec::new(),
+                    fanouts: Vec::new(),
+                    alive: false,
+                });
+            }
+            Some("g") => {
+                let gname = unesc(toks.next().ok_or_else(|| SnapshotError {
+                    message: format!("slot missing name: {line:?}"),
+                })?)?;
+                let kind = parse_kind(toks.next().ok_or_else(|| SnapshotError {
+                    message: format!("slot missing kind: {line:?}"),
+                })?)?;
+                if toks.next() != Some("|") {
+                    return err(format!("slot missing fanin separator: {line:?}"));
+                }
+                let mut fanins = Vec::new();
+                let mut fanouts = Vec::new();
+                let mut in_fanouts = false;
+                for tok in toks {
+                    if tok == "|" {
+                        if in_fanouts {
+                            return err(format!("extra separator in slot: {line:?}"));
+                        }
+                        in_fanouts = true;
+                        continue;
+                    }
+                    if in_fanouts {
+                        let (g, p) = tok.split_once('.').ok_or_else(|| SnapshotError {
+                            message: format!("bad fanout token {tok:?}"),
+                        })?;
+                        fanouts.push(Conn {
+                            gate: parse_id(g, slots)?,
+                            pin: p.parse().map_err(|_| SnapshotError {
+                                message: format!("bad fanout pin {tok:?}"),
+                            })?,
+                        });
+                    } else {
+                        fanins.push(parse_id(tok, slots)?);
+                    }
+                }
+                if !in_fanouts {
+                    return err(format!("slot missing fanout separator: {line:?}"));
+                }
+                names.insert(gname.clone(), id);
+                gates.push(Gate {
+                    name: gname,
+                    kind,
+                    fanins,
+                    fanouts,
+                    alive: true,
+                });
+                live += 1;
+            }
+            other => return err(format!("unexpected slot tag {other:?} in {line:?}")),
+        }
+    }
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    for _ in 0..2 {
+        let line = lines.next().ok_or_else(|| SnapshotError {
+            message: "snapshot truncated before inputs/outputs".into(),
+        })?;
+        let mut toks = line.split_whitespace();
+        let which = toks.next().unwrap_or_default();
+        let ids = toks
+            .map(|t| parse_id(t, slots))
+            .collect::<Result<Vec<_>, _>>()?;
+        match which {
+            "inputs" => inputs = ids,
+            "outputs" => outputs = ids,
+            other => return err(format!("expected inputs/outputs, got {other:?}")),
+        }
+    }
+    let nl = Netlist {
+        name,
+        library,
+        gates,
+        inputs,
+        outputs,
+        names,
+        live,
+        journal: crate::dirty::EditJournal {
+            touched: Vec::new(),
+            removed: Vec::new(),
+            generation,
+        },
+    };
+    if let Err(e) = nl.validate() {
+        return err(format!("restored netlist invalid: {e}"));
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+
+    /// Builds a netlist whose arena carries history: a tombstoned slot
+    /// with a retained name, reordered fanout lists (via `swap_remove`),
+    /// and a bumped generation.
+    fn battle_scarred() -> Netlist {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let or2 = lib.find_by_name("or2").unwrap();
+        let inv = lib.find_by_name("inv1").unwrap();
+        let mut nl = Netlist::new("scars", lib);
+        let a = nl.add_input("a");
+        let b = nl.add_input("weird name %|");
+        let g1 = nl.add_cell("g1", and2, &[a, b]);
+        let g2 = nl.add_cell("g2", or2, &[g1, b]);
+        let g3 = nl.add_cell("g3", inv, &[g1]);
+        let o1 = nl.add_output("f", g2);
+        nl.add_output("f2", g3);
+        // Rewire the PO off g2 and sweep it: slot stays as a tombstone
+        // whose name remains claimed; fanout lists get swap_remove'd.
+        nl.replace_fanin(o1, 0, g1);
+        nl.sweep_from(g2);
+        let _ = nl.drain_dirty();
+        nl.validate().unwrap();
+        assert!(!nl.is_live(g2));
+        nl
+    }
+
+    fn arena_fingerprint(nl: &Netlist) -> String {
+        let mut s = format!(
+            "{} gen={} live={} bound={} in={:?} out={:?}\n",
+            nl.name(),
+            nl.generation(),
+            nl.live_gate_count(),
+            nl.id_bound(),
+            nl.inputs(),
+            nl.outputs()
+        );
+        for g in &nl.gates {
+            let _ = std::fmt::Write::write_fmt(
+                &mut s,
+                format_args!(
+                    "{} {:?} {:?} {:?} {}\n",
+                    g.name, g.kind, g.fanins, g.fanouts, g.alive
+                ),
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn round_trip_is_arena_exact() {
+        let nl = battle_scarred();
+        let img = write_snapshot(&nl);
+        let back = read_snapshot(&img, nl.library().clone()).unwrap();
+        assert_eq!(arena_fingerprint(&nl), arena_fingerprint(&back));
+        // A second hop is stable.
+        assert_eq!(img, write_snapshot(&back));
+    }
+
+    #[test]
+    fn restored_netlist_uniquifies_names_like_the_original() {
+        let mut a = battle_scarred();
+        let img = write_snapshot(&a);
+        let mut b = read_snapshot(&img, a.library().clone()).unwrap();
+        // "g2" is a dead slot whose name is still claimed: new gates
+        // named g2 must uniquify identically on both sides.
+        let inv = a.library().find_by_name("inv1").unwrap();
+        let pi = a.inputs()[0];
+        let ga = a.add_cell("g2", inv, &[pi]);
+        let gb = b.add_cell("g2", inv, &[pi]);
+        assert_eq!(ga, gb);
+        assert_eq!(a.gate_name(ga), b.gate_name(gb));
+        assert!(a.gate_name(ga).starts_with("g2$"), "uniquified");
+        assert_eq!(a.generation(), b.generation());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let lib = Arc::new(lib2());
+        assert!(read_snapshot("nope", lib.clone()).is_err());
+        let nl = battle_scarred();
+        let img = write_snapshot(&nl);
+        let truncated = &img[..img.len() / 2];
+        assert!(read_snapshot(truncated, lib.clone()).is_err());
+        let wrong_cell = img.replace("cell:and2", "cell:nosuch");
+        assert!(read_snapshot(&wrong_cell, lib).is_err());
+    }
+
+    #[test]
+    fn snapshot_requires_drained_journal() {
+        let lib = Arc::new(lib2());
+        let mut nl = Netlist::new("t", lib);
+        nl.add_input("a");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| write_snapshot(&nl)));
+        assert!(r.is_err(), "pending journal must be rejected");
+    }
+}

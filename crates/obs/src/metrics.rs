@@ -490,10 +490,23 @@ impl Snapshot {
     /// Serializes the snapshot as the flat metrics JSON document (see
     /// the crate docs for the schema).
     pub fn to_json(&self) -> String {
+        self.to_json_namespaced("")
+    }
+
+    /// Like [`Snapshot::to_json`], but with every metric name prefixed
+    /// `<ns>.` — the serving layer uses this to publish per-job deltas
+    /// (`job.<id>.engine_commits`, …) alongside daemon-wide totals
+    /// without the names colliding. An empty namespace adds no prefix.
+    pub fn to_json_namespaced(&self, ns: &str) -> String {
+        let prefix = if ns.is_empty() {
+            String::new()
+        } else {
+            format!("{ns}.")
+        };
         let mut out = String::from("{\n  \"version\": 1,\n  \"metrics\": {");
         for (i, (name, v)) in self.metrics.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
-            let _ = write!(out, "{sep}\n    \"{name}\": ");
+            let _ = write!(out, "{sep}\n    \"{prefix}{name}\": ");
             match v {
                 MetricValue::Counter(n) => {
                     let _ = write!(out, "{{ \"type\": \"counter\", \"value\": {n} }}");
@@ -643,6 +656,16 @@ mod tests {
             .get("metrics")
             .and_then(|m| m.get("obs.test.json_counter"))
             .is_some());
+    }
+
+    #[test]
+    fn namespaced_json_prefixes_every_name() {
+        Counter::register("obs.test.ns_counter").add(1);
+        let json = snapshot().to_json_namespaced("job.j42");
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let metrics = v.get("metrics").expect("metrics object");
+        assert!(metrics.get("job.j42.obs.test.ns_counter").is_some());
+        assert!(metrics.get("obs.test.ns_counter").is_none());
     }
 
     #[test]

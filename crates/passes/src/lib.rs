@@ -52,12 +52,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod passes;
 mod pipeline;
 mod session;
 mod transform;
 
+pub use checkpoint::{ResumePoint, RunCheckpoint, CHECKPOINT_MAGIC};
 pub use passes::{PowderPass, RedundancyPass, ResizePass, SweepPass};
-pub use pipeline::{build_pipeline, Pipeline, PipelineReport};
+pub use pipeline::{build_pipeline, CheckpointSink, Pipeline, PipelineReport};
 pub use session::{AnalysisSession, SessionConfig};
 pub use transform::{PassBudget, PassReport, Transform};

@@ -13,7 +13,7 @@ use crate::session::AnalysisSession;
 use crate::transform::{instrumented, PassBudget, PassReport, Transform};
 use powder::gain::analyze_full;
 use powder::resize::best_swap;
-use powder::{OptimizeConfig, Substitution};
+use powder::{DelayLimit, OptimizeConfig, Substitution};
 use powder_atpg::{check_substitution, CheckOutcome};
 use powder_netlist::{GateId, GateKind, Netlist};
 use powder_obs as obs;
@@ -43,6 +43,19 @@ impl Transform for PowderPass {
     fn run(&mut self, sess: &mut AnalysisSession, budget: &PassBudget) -> PassReport {
         let mut config = self.config.clone();
         config.backtrack_limit = config.backtrack_limit.min(budget.backtrack_limit);
+        if budget.stop.is_some() {
+            config.stop = budget.stop.clone();
+        }
+        if budget.round_hook.is_some() {
+            config.round_hook = budget.round_hook.clone();
+        }
+        // Resume support: a checkpointed pass re-runs only its remaining
+        // rounds, against the required time the interrupted invocation
+        // resolved (re-resolving a Factor mid-run would move the goal).
+        config.max_rounds = config.max_rounds.saturating_sub(budget.rounds_offset);
+        if let Some(t) = budget.required_time {
+            config.delay_limit = Some(DelayLimit::Absolute(t));
+        }
         instrumented("powder", sess, |sess| {
             let report = sess.run_powder(&config);
             (report.applied.len(), Some(report))

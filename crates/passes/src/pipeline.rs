@@ -1,13 +1,20 @@
 //! Scripted pass sequences with optional fixpoint iteration.
 
+use crate::checkpoint::{ResumePoint, RunCheckpoint};
 use crate::passes::{PowderPass, RedundancyPass, ResizePass, SweepPass};
 use crate::session::AnalysisSession;
 use crate::transform::{PassBudget, PassReport, Transform};
-use powder::OptimizeConfig;
+use powder::{OptimizeConfig, RoundHook};
 use powder_engine::{EngineStats, SessionStats};
 use powder_obs as obs;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// A destination for [`RunCheckpoint`]s the pipeline emits at committed
+/// boundaries (the serving layer points this at a state directory).
+pub type CheckpointSink = Arc<dyn Fn(RunCheckpoint) + Send + Sync>;
 
 /// An ordered sequence of passes run against one shared
 /// [`AnalysisSession`].
@@ -23,6 +30,22 @@ pub struct Pipeline {
     /// a deadline internally — POWDER via `OptimizeConfig::deadline` —
     /// also stop mid-pass; the pipeline check bounds the rest.)
     pub deadline: Option<Instant>,
+    /// Cooperative stop flag (SIGINT, daemon drain, job cancellation):
+    /// checked before each pass and threaded into every pass's budget
+    /// so POWDER stops between rounds. The report flags the interrupt
+    /// and describes the best-so-far state.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Checkpoint destination. When set, the pipeline emits a
+    /// [`RunCheckpoint`] after every completed POWDER round and after
+    /// every completed pass.
+    pub checkpoint_sink: Option<CheckpointSink>,
+    /// Where to resume an interrupted run (from
+    /// [`RunCheckpoint::position`]). The session handed to
+    /// [`Pipeline::run`] must hold the checkpointed netlist and
+    /// patterns (see [`RunCheckpoint::restore_session`]); completed
+    /// iterations and passes are skipped, and an in-progress POWDER
+    /// pass re-runs only its remaining rounds.
+    pub resume: Option<ResumePoint>,
 }
 
 impl Pipeline {
@@ -34,6 +57,9 @@ impl Pipeline {
             budget: PassBudget::default(),
             fixpoint: 1,
             deadline: None,
+            stop: None,
+            checkpoint_sink: None,
+            resume: None,
         }
     }
 
@@ -59,6 +85,27 @@ impl Pipeline {
         self
     }
 
+    /// Installs the cooperative stop flag.
+    #[must_use]
+    pub fn with_stop(mut self, stop: Option<Arc<AtomicBool>>) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Installs the checkpoint sink.
+    #[must_use]
+    pub fn with_checkpoint_sink(mut self, sink: Option<CheckpointSink>) -> Self {
+        self.checkpoint_sink = sink;
+        self
+    }
+
+    /// Resumes from the given position instead of starting fresh.
+    #[must_use]
+    pub fn with_resume(mut self, resume: Option<ResumePoint>) -> Self {
+        self.resume = resume;
+        self
+    }
+
     /// Names of the scheduled passes, in order.
     pub fn pass_names(&self) -> Vec<&str> {
         self.passes.iter().map(|p| p.name()).collect()
@@ -66,6 +113,13 @@ impl Pipeline {
 
     /// Runs every scheduled pass (repeating per `fixpoint`) against the
     /// session and reports the accumulated effect.
+    ///
+    /// With a [`CheckpointSink`] installed, a [`RunCheckpoint`] is
+    /// emitted at every committed boundary; with a [`ResumePoint`], the
+    /// run continues an interrupted one from exactly that boundary (the
+    /// session must hold the checkpointed netlist and patterns). A
+    /// resumed run is bit-identical to the uninterrupted one at any
+    /// `jobs` setting.
     pub fn run(&mut self, sess: &mut AnalysisSession) -> PipelineReport {
         let t0 = Instant::now();
         let _pipeline_span = obs::span!(obs::names::span::PIPELINE);
@@ -77,28 +131,120 @@ impl Pipeline {
         let mut engine = EngineStats::default();
         let mut iterations = 0usize;
         let mut deadline_hit = false;
+        let mut interrupted = false;
         let past_deadline = |d: Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
-        'iterations: for _ in 0..self.fixpoint {
+        let stop_set =
+            |s: &Option<Arc<AtomicBool>>| s.as_ref().is_some_and(|s| s.load(Ordering::Relaxed));
+        let resume = self.resume.unwrap_or_default();
+        'iterations: for iter_idx in resume.iteration..self.fixpoint {
             iterations += 1;
             obs::counter!(obs::names::PIPELINE_ITERATIONS).inc();
-            let mut iteration_edits = 0usize;
-            for pass in &mut self.passes {
+            // A resumed run re-enters its first iteration mid-flight:
+            // completed passes are skipped and their edit count seeds
+            // the fixpoint termination test.
+            let first_iter = iter_idx == resume.iteration;
+            let skip = if first_iter { resume.passes_done } else { 0 };
+            let mut iteration_edits = if first_iter {
+                resume.iteration_edits
+            } else {
+                0
+            };
+            for (pass_idx, pass) in self.passes.iter_mut().enumerate().skip(skip) {
                 if past_deadline(self.deadline) {
                     deadline_hit = true;
                     break 'iterations;
+                }
+                if stop_set(&self.stop) {
+                    interrupted = true;
+                    break 'iterations;
+                }
+                let mut budget = self.budget.clone();
+                budget.stop = self.stop.clone();
+                // The first resumed pass is the one the checkpoint
+                // interrupted mid-POWDER: run only its remaining rounds
+                // against the required time it originally resolved, and
+                // count its pre-interrupt commits as this iteration's.
+                let resumed_here = first_iter && pass_idx == skip && resume.mid_powder();
+                let (rounds_off, commits_off) = if resumed_here {
+                    budget.rounds_offset = resume.powder_rounds_done;
+                    budget.required_time = resume.required_time;
+                    (resume.powder_rounds_done, resume.powder_commits)
+                } else {
+                    (0, 0)
+                };
+                if let Some(sink) = &self.checkpoint_sink {
+                    if pass.name() == "powder" {
+                        let sink = sink.clone();
+                        let position = ResumePoint {
+                            iteration: iter_idx,
+                            passes_done: pass_idx,
+                            iteration_edits,
+                            powder_rounds_done: 0,
+                            powder_commits: 0,
+                            required_time: None,
+                        };
+                        budget.round_hook = Some(RoundHook::new(move |snap| {
+                            sink(RunCheckpoint {
+                                position: ResumePoint {
+                                    powder_rounds_done: rounds_off + snap.rounds_done,
+                                    powder_commits: commits_off + snap.commits,
+                                    required_time: snap.required_time,
+                                    ..position
+                                },
+                                netlist: powder_netlist::write_snapshot(snap.nl),
+                                pattern_bits: (0..snap.patterns.inputs())
+                                    .map(|i| snap.patterns.input_bits(i).to_vec())
+                                    .collect(),
+                                pattern_tail: snap.patterns.tail_used(),
+                            });
+                        }));
+                    }
                 }
                 let report = {
                     let _span =
                         obs::span!(format!("{}{}", obs::names::span::PASS_PREFIX, pass.name()));
                     obs::counter!(obs::names::PIPELINE_PASSES_RUN).inc();
-                    pass.run(sess, &self.budget)
+                    pass.run(sess, &budget)
                 };
-                iteration_edits += report.edits;
+                iteration_edits += report.edits + commits_off;
                 obs::counter!(obs::names::PIPELINE_EDITS).add(report.edits as u64);
+                let mut pass_stopped = false;
+                let mut pass_deadline = false;
                 if let Some(opt) = &report.optimize {
                     engine.merge(&opt.engine);
+                    pass_stopped = opt.interrupted;
+                    pass_deadline = opt.deadline_hit;
                 }
                 passes.push(report);
+                if pass_stopped {
+                    // Stopped between rounds: the state equals the last
+                    // round checkpoint, so no boundary checkpoint (the
+                    // pass did not complete).
+                    interrupted = true;
+                    break 'iterations;
+                }
+                if pass_deadline {
+                    deadline_hit = true;
+                    break 'iterations;
+                }
+                if let Some(sink) = &self.checkpoint_sink {
+                    sess.refresh();
+                    sink(RunCheckpoint {
+                        position: ResumePoint {
+                            iteration: iter_idx,
+                            passes_done: pass_idx + 1,
+                            iteration_edits,
+                            powder_rounds_done: 0,
+                            powder_commits: 0,
+                            required_time: None,
+                        },
+                        netlist: powder_netlist::write_snapshot(sess.netlist()),
+                        pattern_bits: (0..sess.patterns().inputs())
+                            .map(|i| sess.patterns().input_bits(i).to_vec())
+                            .collect(),
+                        pattern_tail: sess.patterns().tail_used(),
+                    });
+                }
             }
             if iteration_edits == 0 {
                 break;
@@ -120,6 +266,7 @@ impl Pipeline {
             session: sess.stats().delta(&stats_before),
             engine,
             deadline_hit,
+            interrupted,
         }
     }
 }
@@ -153,6 +300,10 @@ pub struct PipelineReport {
     pub engine: EngineStats,
     /// Whether the pipeline stopped early on its wall-clock deadline.
     pub deadline_hit: bool,
+    /// Whether the pipeline stopped early on its cooperative stop flag
+    /// (SIGINT, daemon drain, job cancellation). The report still
+    /// describes the best-so-far state at a committed boundary.
+    pub interrupted: bool,
 }
 
 impl PipelineReport {
@@ -206,6 +357,9 @@ impl fmt::Display for PipelineReport {
         )?;
         if self.deadline_hit {
             write!(f, "\n  deadline hit: pipeline stopped early")?;
+        }
+        if self.interrupted {
+            write!(f, "\n  interrupted: best-so-far result emitted")?;
         }
         Ok(())
     }

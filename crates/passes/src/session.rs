@@ -6,7 +6,7 @@ use powder_engine::SessionStats;
 use powder_netlist::{ConeScratch, GateId, Netlist};
 use powder_obs as obs;
 use powder_power::{PowerConfig, PowerEstimator};
-use powder_sim::{resimulate_cone, simulate, SimValues};
+use powder_sim::{resimulate_cone, simulate, Patterns, SimValues};
 use powder_timing::{TimingAnalysis, TimingConfig};
 
 /// Configuration of an [`AnalysisSession`]: the power model plus the
@@ -88,10 +88,32 @@ impl AnalysisSession {
         }
     }
 
+    /// Rebuilds a session from checkpointed state: the restored netlist
+    /// plus the pattern set as it stood mid-run (counterexamples
+    /// learned before the checkpoint included). Simulation values are
+    /// left unmaterialized — the first `signatures()` access runs one
+    /// full simulation whose content is identical to the retained
+    /// buffer the interrupted run carried, so every later decision
+    /// reads the same bits.
+    #[must_use]
+    pub fn restore(nl: Netlist, config: SessionConfig, patterns: Patterns) -> Self {
+        let mut sess = Self::new(nl, config);
+        sess.shared.patterns = patterns;
+        sess.shared.values = None;
+        sess
+    }
+
     /// Read access to the netlist.
     #[must_use]
     pub fn netlist(&self) -> &Netlist {
         &self.nl
+    }
+
+    /// The session's simulation pattern set (grows as POWDER learns
+    /// ATPG counterexamples; checkpoints must persist it).
+    #[must_use]
+    pub fn patterns(&self) -> &Patterns {
+        &self.shared.patterns
     }
 
     /// Mutable access to the netlist. Edit freely — every mutator

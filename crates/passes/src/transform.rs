@@ -1,18 +1,35 @@
 //! The pass interface: [`Transform`], its budget, and per-pass reports.
 
 use crate::session::AnalysisSession;
-use powder::OptimizeReport;
+use powder::{OptimizeReport, RoundHook};
 use powder_engine::SessionStats;
 use std::fmt;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Resource limits a pass must respect.
-#[derive(Clone, Copy, Debug)]
+/// Resource limits and run-control hooks a pass must respect.
+#[derive(Clone, Debug)]
 pub struct PassBudget {
     /// ATPG backtrack limit per permissibility proof.
     pub backtrack_limit: usize,
     /// Maximum number of netlist edits the pass may commit.
     pub max_edits: usize,
+    /// Cooperative stop flag: a pass that can stop at a committed
+    /// boundary (POWDER stops between rounds) checks it and returns
+    /// its best-so-far state.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Committed-round observer threaded into POWDER passes (the
+    /// pipeline's checkpoint sink rides on it).
+    pub round_hook: Option<RoundHook>,
+    /// Rounds already completed by an interrupted POWDER pass: a
+    /// resumed pass runs `max_rounds - rounds_offset` further rounds.
+    /// Zero for a normal run.
+    pub rounds_offset: usize,
+    /// Pinned absolute required time for a resumed POWDER pass,
+    /// overriding the config's delay limit (a `Factor` re-resolved
+    /// against the mid-run netlist would move the constraint).
+    pub required_time: Option<f64>,
 }
 
 impl Default for PassBudget {
@@ -20,6 +37,10 @@ impl Default for PassBudget {
         PassBudget {
             backtrack_limit: 3_000,
             max_edits: usize::MAX,
+            stop: None,
+            round_hook: None,
+            rounds_offset: 0,
+            required_time: None,
         }
     }
 }

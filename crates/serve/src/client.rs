@@ -1,0 +1,207 @@
+//! Blocking one-shot client for the serve protocol, used by
+//! `powder submit` and the end-to-end tests. Each call opens a fresh
+//! connection, writes one request line, and reads one (or, for
+//! `wait`, many) response lines.
+
+use crate::job::JobSpec;
+use crate::protocol::JsonObj;
+use powder_obs::json::{self, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One status response as seen by a client.
+#[derive(Clone, Debug)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: String,
+    /// Phase name (`queued`, `running`, ... see `JobPhase`).
+    pub state: String,
+    /// Checkpoints persisted so far.
+    pub checkpoints: u64,
+    /// Failure message, when failed.
+    pub error: Option<String>,
+}
+
+fn parse_status(v: &Value) -> Result<JobStatus, String> {
+    Ok(JobStatus {
+        id: v
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("status response missing \"id\"")?
+            .to_string(),
+        state: v
+            .get("state")
+            .and_then(Value::as_str)
+            .ok_or("status response missing \"state\"")?
+            .to_string(),
+        checkpoints: v.get("checkpoints").and_then(Value::as_f64).unwrap_or(0.0) as u64,
+        error: v.get("error").and_then(Value::as_str).map(str::to_string),
+    })
+}
+
+/// Sends one request line and returns the parsed first response.
+/// Checks the `ok` field and surfaces the server's `error` otherwise.
+pub fn request(addr: &str, line: &str) -> Result<Value, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    reader
+        .read_line(&mut resp)
+        .map_err(|e| format!("recv: {e}"))?;
+    if resp.trim().is_empty() {
+        return Err("daemon closed the connection without a response".to_string());
+    }
+    let v = json::parse(resp.trim()).map_err(|e| format!("bad response JSON: {e}"))?;
+    if v.get("ok") == Some(&Value::Bool(false)) {
+        return Err(v
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown server error")
+            .to_string());
+    }
+    Ok(v)
+}
+
+/// Builds the submit request line for a spec + netlist.
+#[must_use]
+pub fn submit_line(spec: &JobSpec, netlist: &str) -> String {
+    JsonObj::new()
+        .str("op", "submit")
+        .str("netlist", netlist)
+        .str("tenant", &spec.tenant)
+        .i64("priority", spec.priority)
+        .str("passes", &spec.passes)
+        .u64("fixpoint", spec.fixpoint as u64)
+        .u64("repeat", spec.repeat as u64)
+        .u64("patterns", spec.patterns as u64)
+        .u64("seed", spec.seed)
+        .u64("jobs", spec.jobs as u64)
+        .opt_f64("delay_limit_percent", spec.delay_limit_percent)
+        .opt_f64("deadline_secs", spec.deadline_secs)
+        .finish()
+}
+
+/// Submits a job; returns its id.
+pub fn submit(addr: &str, spec: &JobSpec, netlist: &str) -> Result<String, String> {
+    let v = request(addr, &submit_line(spec, netlist))?;
+    v.get("id")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or("submit response missing \"id\"".to_string())
+}
+
+/// One status poll.
+pub fn status(addr: &str, job: &str) -> Result<JobStatus, String> {
+    let v = request(
+        addr,
+        &JsonObj::new().str("op", "status").str("job", job).finish(),
+    )?;
+    parse_status(&v)
+}
+
+/// Requests cancellation.
+pub fn cancel(addr: &str, job: &str) -> Result<(), String> {
+    request(
+        addr,
+        &JsonObj::new().str("op", "cancel").str("job", job).finish(),
+    )
+    .map(|_| ())
+}
+
+/// Fetches the optimized BLIF and report JSON of a finished job.
+pub fn result(addr: &str, job: &str) -> Result<(String, String), String> {
+    let v = request(
+        addr,
+        &JsonObj::new().str("op", "result").str("job", job).finish(),
+    )?;
+    let blif = v
+        .get("netlist")
+        .and_then(Value::as_str)
+        .ok_or("result response missing \"netlist\"")?
+        .to_string();
+    let report = v
+        .get("report")
+        .map(crate::protocol::write_value)
+        .unwrap_or_default();
+    Ok((blif, report))
+}
+
+/// Streams `watch` status lines until the job is terminal; returns the
+/// final status. `poll` bounds how long a silent connection is
+/// tolerated before falling back to one-shot polling (robust against
+/// a daemon restart mid-watch).
+pub fn wait(addr: &str, job: &str, poll: Duration) -> Result<JobStatus, String> {
+    loop {
+        match watch_once(addr, job, poll) {
+            Ok(st) => return Ok(st),
+            Err(_) => {
+                // Daemon may have restarted (e.g. crash/resume test):
+                // fall back to polling status until it answers again.
+                std::thread::sleep(poll);
+                if let Ok(st) = status(addr, job) {
+                    if is_terminal(&st.state) {
+                        return Ok(st);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn is_terminal(state: &str) -> bool {
+    matches!(state, "done" | "failed" | "cancelled")
+}
+
+fn watch_once(addr: &str, job: &str, poll: Duration) -> Result<JobStatus, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(poll.max(Duration::from_millis(100)) * 50))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!(
+                "{}\n",
+                JsonObj::new().str("op", "watch").str("job", job).finish()
+            )
+            .as_bytes(),
+        )
+        .map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("watch stream closed before a terminal state".to_string());
+        }
+        let v = json::parse(line.trim()).map_err(|e| format!("bad watch line: {e}"))?;
+        if v.get("ok") == Some(&Value::Bool(false)) {
+            return Err(v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown server error")
+                .to_string());
+        }
+        let st = parse_status(&v)?;
+        if is_terminal(&st.state) {
+            return Ok(st);
+        }
+    }
+}
+
+/// Asks the daemon to shut down (`drain` = park at checkpoints).
+pub fn shutdown(addr: &str, drain: bool) -> Result<(), String> {
+    request(
+        addr,
+        &JsonObj::new()
+            .str("op", "shutdown")
+            .str("mode", if drain { "drain" } else { "now" })
+            .finish(),
+    )
+    .map(|_| ())
+}

@@ -1,0 +1,677 @@
+//! The serve daemon: TCP accept loop, runner pool, job execution,
+//! durable checkpointing, and graceful drain.
+//!
+//! # Execution model
+//!
+//! - One acceptor (the calling thread) plus one handler thread per
+//!   connection for the line-JSON protocol.
+//! - `max_active` runner threads pull jobs from the fair
+//!   [`Scheduler`]; each runner leases evaluation threads from a
+//!   shared [`ThreadBudget`] so concurrent jobs shrink their worker
+//!   pools instead of oversubscribing the machine. Shrinking is safe:
+//!   POWDER's results are bit-identical at any worker count.
+//! - A job runs the *exact* pipeline `powder optimize` would build for
+//!   the same flags, so a serve result is bit-identical to a
+//!   standalone CLI run with the same spec (and faults off).
+//!
+//! # Durability
+//!
+//! Every committed POWDER round and pass boundary emits a
+//! [`RunCheckpoint`] which is persisted atomically before the run
+//! proceeds. A daemon killed at any instant — including via the
+//! `serve-crash` fault site, which exits the process from *inside*
+//! the checkpoint sink — restarts, re-discovers non-terminal jobs
+//! from the state directory, and resumes each from its last
+//! checkpoint. Resumed runs complete bit-identically to uninterrupted
+//! ones.
+//!
+//! # Shutdown
+//!
+//! SIGTERM/SIGINT or the `shutdown` op trigger a drain: the listener
+//! stops accepting, every running job's stop flag is tripped, jobs
+//! park at their next committed boundary with a durable checkpoint,
+//! and queued jobs simply stay `queued` on disk. `shutdown` with mode
+//! `"now"` exits immediately instead — indistinguishable from a
+//! crash, which the resume path already handles.
+
+use crate::job::{JobPhase, JobRecord, JobSpec};
+use crate::protocol::{self, JsonObj, Request};
+use crate::scheduler::Scheduler;
+use crate::signal;
+use crate::store::JobStore;
+use powder::{DelayLimit, OptimizeConfig};
+use powder_engine::{resolve_jobs, ThreadBudget};
+use powder_faults::{fires, FaultState, SITE_SERVE_CRASH};
+use powder_library::Library;
+use powder_netlist::blif::{read_blif, write_blif};
+use powder_passes::{
+    build_pipeline, AnalysisSession, PipelineReport, RunCheckpoint, SessionConfig,
+};
+use powder_timing::{TimingAnalysis, TimingConfig};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration (the `powder serve` flags).
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:0` picks a free port; the bound
+    /// address is printed and written to `<state>/addr`).
+    pub listen: String,
+    /// State directory for durable job state.
+    pub state_dir: PathBuf,
+    /// Concurrent jobs (runner threads).
+    pub max_active: usize,
+    /// Gate library jobs are optimized against.
+    pub library: Arc<Library>,
+    /// Total evaluation threads shared by all running jobs; 0 = the
+    /// machine's hardware parallelism.
+    pub threads: usize,
+    /// Daemon-level fault plan (`POWDER_FAULTS`); drives the
+    /// `serve-crash` site. Job pipelines always run with faults off so
+    /// results stay bit-identical to standalone runs.
+    pub faults: Option<Arc<FaultState>>,
+}
+
+impl ServeConfig {
+    /// Config with defaults for everything but the state directory.
+    #[must_use]
+    pub fn new(state_dir: impl Into<PathBuf>, library: Arc<Library>) -> ServeConfig {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            state_dir: state_dir.into(),
+            max_active: 2,
+            library,
+            threads: 0,
+            faults: None,
+        }
+    }
+}
+
+/// Daemon-wide counters exposed by the `metrics` op.
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    resumed: AtomicU64,
+}
+
+struct Shared {
+    store: JobStore,
+    scheduler: Arc<Scheduler>,
+    jobs: Mutex<BTreeMap<String, Arc<JobRecord>>>,
+    next_id: AtomicU64,
+    budget: Arc<ThreadBudget>,
+    library: Arc<Library>,
+    faults: Option<Arc<FaultState>>,
+    counters: Counters,
+    /// Set by `shutdown`, SIGTERM, or SIGINT; the accept loop drains.
+    draining: Arc<AtomicBool>,
+}
+
+impl Shared {
+    fn job(&self, id: &str) -> Option<Arc<JobRecord>> {
+        self.jobs.lock().expect("jobs lock").get(id).cloned()
+    }
+
+    fn register(&self, job: Arc<JobRecord>) {
+        self.jobs
+            .lock()
+            .expect("jobs lock")
+            .insert(job.id.clone(), job);
+    }
+}
+
+/// Runs the daemon until shutdown. Returns the error that stopped it,
+/// if any; a clean drain returns `Ok(())`.
+pub fn run(config: ServeConfig) -> Result<(), String> {
+    let store = JobStore::open(&config.state_dir)
+        .map_err(|e| format!("state dir {}: {e}", config.state_dir.display()))?;
+    let scheduler = Scheduler::new();
+    let threads = if config.threads == 0 {
+        powder_engine::hardware_threads()
+    } else {
+        config.threads
+    };
+    let shared = Arc::new(Shared {
+        next_id: AtomicU64::new(store.next_id().map_err(|e| e.to_string())?),
+        store,
+        scheduler: Arc::clone(&scheduler),
+        jobs: Mutex::new(BTreeMap::new()),
+        budget: ThreadBudget::new(threads),
+        library: Arc::clone(&config.library),
+        faults: config.faults.clone(),
+        counters: Counters::default(),
+        draining: signal::install_stop_flag(),
+    });
+
+    recover_jobs(&shared)?;
+
+    let listener =
+        TcpListener::bind(&config.listen).map_err(|e| format!("bind {}: {e}", config.listen))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| e.to_string())?
+        .to_string();
+    shared
+        .store
+        .write_addr(&addr)
+        .map_err(|e| format!("write addr file: {e}"))?;
+    // The e2e harness and shell scripts scrape this line.
+    println!("listening on {addr}");
+
+    let runners: Vec<_> = (0..config.max_active.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("serve-runner-{i}"))
+                .spawn(move || runner_loop(&shared))
+                .expect("spawn runner")
+        })
+        .collect();
+
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+    loop {
+        if signal::stop_requested(&shared.draining) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || handle_conn(stream, &shared))
+                    .expect("spawn connection handler");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+
+    // Drain: runners see the shutdown scheduler and the per-job stop
+    // flags; running jobs park at their next committed boundary.
+    eprintln!("serve: draining ({} queued)", scheduler.queued());
+    scheduler.shutdown();
+    for job in shared.jobs.lock().expect("jobs lock").values() {
+        if !job.phase().is_terminal() {
+            job.stop.store(true, Ordering::Release);
+        }
+    }
+    for r in runners {
+        let _ = r.join();
+    }
+    eprintln!("serve: drained");
+    Ok(())
+}
+
+/// Re-discovers jobs from the state directory at startup.
+fn recover_jobs(shared: &Shared) -> Result<(), String> {
+    for rec in shared.store.recover().map_err(|e| e.to_string())? {
+        let phase = if rec.phase.is_terminal() {
+            rec.phase
+        } else if rec.checkpoint.is_some() {
+            JobPhase::Checkpointed
+        } else {
+            JobPhase::Queued
+        };
+        let job = JobRecord::new(rec.id.clone(), rec.spec, phase);
+        if !phase.is_terminal() {
+            eprintln!(
+                "serve: recovering {} ({}{})",
+                rec.id,
+                phase.as_str(),
+                if rec.checkpoint.is_some() {
+                    ", has checkpoint"
+                } else {
+                    ""
+                }
+            );
+            shared.counters.resumed.fetch_add(1, Ordering::Relaxed);
+            shared.scheduler.enqueue(Arc::clone(&job));
+        }
+        shared.register(job);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- runners
+
+fn runner_loop(shared: &Shared) {
+    while let Some(job) = shared.scheduler.next() {
+        if job.cancel_requested.load(Ordering::Acquire) {
+            finish_cancelled(shared, &job);
+            continue;
+        }
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| run_job(shared, &job)));
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => fail_job(shared, &job, &e),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".to_string());
+                fail_job(shared, &job, &format!("panic: {msg}"));
+            }
+        }
+    }
+}
+
+fn fail_job(shared: &Shared, job: &JobRecord, error: &str) {
+    shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+    job.update(|s| {
+        s.phase = JobPhase::Failed;
+        s.error = Some(error.to_string());
+    });
+    let _ = shared
+        .store
+        .write_state(&job.id, &job.spec, JobPhase::Failed, Some(error));
+    eprintln!("serve: {} failed: {error}", job.id);
+}
+
+fn finish_cancelled(shared: &Shared, job: &JobRecord) {
+    shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+    job.update(|s| s.phase = JobPhase::Cancelled);
+    let _ = shared
+        .store
+        .write_state(&job.id, &job.spec, JobPhase::Cancelled, None);
+}
+
+/// Serializes a pipeline report as the job's `report.json`.
+fn report_json(report: &PipelineReport) -> String {
+    let reduction = if report.initial_power > 0.0 {
+        (1.0 - report.final_power / report.initial_power) * 100.0
+    } else {
+        0.0
+    };
+    JsonObj::new()
+        .u64("iterations", report.iterations as u64)
+        .u64("total_edits", report.total_edits() as u64)
+        .f64("initial_power", report.initial_power)
+        .f64("final_power", report.final_power)
+        .f64("power_reduction_percent", reduction)
+        .f64("initial_area", report.initial_area)
+        .f64("final_area", report.final_area)
+        .f64("initial_delay", report.initial_delay)
+        .f64("final_delay", report.final_delay)
+        .f64("seconds", report.seconds)
+        .bool("deadline_hit", report.deadline_hit)
+        .bool("interrupted", report.interrupted)
+        .finish()
+}
+
+/// Executes one job end to end: build the exact `powder optimize`
+/// pipeline for its spec, resume from the latest checkpoint if one is
+/// on disk, persist every checkpoint, and write terminal artifacts.
+fn run_job(shared: &Shared, job: &Arc<JobRecord>) -> Result<(), String> {
+    let id = job.id.clone();
+    let spec = job.spec.clone();
+    let resuming = shared.store.read_checkpoint(&id);
+    job.update(|s| {
+        s.phase = if resuming.is_some() {
+            JobPhase::Checkpointed
+        } else {
+            JobPhase::Running
+        };
+    });
+    shared
+        .store
+        .write_state(&id, &spec, JobPhase::Running, None)
+        .map_err(|e| format!("persist state: {e}"))?;
+
+    let input = shared
+        .store
+        .read_input(&id)
+        .map_err(|e| format!("read input: {e}"))?;
+    let nl = read_blif(&input, Arc::clone(&shared.library)).map_err(|e| e.to_string())?;
+    nl.validate().map_err(|e| e.to_string())?;
+
+    // Shrink rather than queue when the machine is busy: a smaller
+    // worker count changes nothing about the result.
+    let lease = shared.budget.lease(resolve_jobs(spec.jobs));
+    let deadline = spec
+        .deadline_secs
+        .map(|secs| Instant::now() + Duration::from_secs_f64(secs));
+    let cfg = OptimizeConfig {
+        repeat: spec.repeat,
+        sim_words: spec.patterns.div_ceil(64).max(1),
+        seed: spec.seed,
+        delay_limit: spec
+            .delay_limit_percent
+            .map(|pct| DelayLimit::Factor(1.0 + pct / 100.0)),
+        jobs: lease.granted(),
+        deadline,
+        stop: Some(Arc::clone(&job.stop)),
+        ..OptimizeConfig::default()
+    };
+    // Anchored to the *input* circuit, exactly like `powder optimize`
+    // — and therefore stable across resumes.
+    let resize_required = spec.delay_limit_percent.map(|pct| {
+        let probe = TimingConfig {
+            output_load: cfg.power.output_load,
+            required_time: None,
+        };
+        (1.0 + pct / 100.0) * TimingAnalysis::new(&nl, &probe).circuit_delay()
+    });
+
+    let sink_job = Arc::clone(job);
+    let faults = shared.faults.clone();
+    let sink_store = shared.store.clone();
+    let sink_spec = spec.clone();
+    let sink = Arc::new(move |cp: RunCheckpoint| {
+        // Persist *before* updating in-memory state: a crash after the
+        // rename still resumes from this checkpoint.
+        if let Err(e) = sink_store.write_checkpoint(&sink_job.id, &cp.to_text()) {
+            eprintln!("serve: {}: checkpoint write failed: {e}", sink_job.id);
+        }
+        let first = {
+            let (phase, progress, _) = sink_job.read();
+            phase != JobPhase::Checkpointed && progress.checkpoints == 0
+        };
+        if first {
+            let _ = sink_store.write_state(&sink_job.id, &sink_spec, JobPhase::Checkpointed, None);
+        }
+        sink_job.update(|s| {
+            s.phase = JobPhase::Checkpointed;
+            s.progress.checkpoints += 1;
+            s.progress.iteration = cp.position.iteration;
+            s.progress.passes_done = cp.position.passes_done;
+            s.progress.rounds_done = cp.position.powder_rounds_done;
+            s.progress.commits = cp.position.powder_commits;
+        });
+        // Deterministic crash site: die *after* the checkpoint is
+        // durable, from inside the sink, so the resume path is
+        // exercised at a real boundary.
+        if fires(faults.as_ref(), SITE_SERVE_CRASH) {
+            eprintln!("serve: injected crash (serve-crash) after checkpoint");
+            std::process::exit(42);
+        }
+    });
+
+    let mut pipeline = build_pipeline(&spec.passes, &cfg, resize_required)
+        .map_err(|e| format!("bad passes: {e}"))?
+        .with_fixpoint(spec.fixpoint)
+        .with_deadline(deadline)
+        .with_stop(Some(Arc::clone(&job.stop)))
+        .with_checkpoint_sink(Some(sink));
+
+    let session_cfg = SessionConfig::from_optimize(&cfg);
+    let mut sess = match &resuming {
+        Some(text) => {
+            let cp =
+                RunCheckpoint::from_text(text).map_err(|e| format!("corrupt checkpoint: {e}"))?;
+            pipeline = pipeline.with_resume(Some(cp.position));
+            job.update(|s| {
+                s.progress.iteration = cp.position.iteration;
+                s.progress.passes_done = cp.position.passes_done;
+                s.progress.rounds_done = cp.position.powder_rounds_done;
+                s.progress.commits = cp.position.powder_commits;
+            });
+            eprintln!(
+                "serve: {} resuming at iteration {} pass {} round {}",
+                id, cp.position.iteration, cp.position.passes_done, cp.position.powder_rounds_done
+            );
+            cp.restore_session(session_cfg, Arc::clone(&shared.library))
+                .map_err(|e| format!("restore checkpoint: {e}"))?
+        }
+        None => AnalysisSession::new(nl, session_cfg),
+    };
+
+    // Per-job metric attribution: delta of this thread's shard (plus
+    // shards retired by the job's own worker pool). Under concurrent
+    // jobs the retired portion can include a co-scheduled job's
+    // workers — an approximation; exact per-job progress comes from
+    // the checkpoint stream and the final report.
+    let obs_before = powder_obs::snapshot();
+    let report = pipeline.run(&mut sess);
+    let obs_delta = powder_obs::snapshot().delta(&obs_before);
+    let _ = shared.store.write_job_metrics(
+        &id,
+        &obs_delta
+            .without_durations()
+            .to_json_namespaced(&format!("job.{id}")),
+    );
+    drop(lease);
+
+    let was_cancelled = job.cancel_requested.load(Ordering::Acquire);
+    if report.interrupted && !was_cancelled {
+        // Drain: park with durable state; the next daemon resumes it.
+        let (_, progress, _) = job.read();
+        let parked = if progress.checkpoints > 0 || resuming.is_some() {
+            JobPhase::Checkpointed
+        } else {
+            JobPhase::Queued
+        };
+        job.update(|s| s.phase = parked);
+        shared
+            .store
+            .write_state(&id, &spec, parked, None)
+            .map_err(|e| format!("persist parked state: {e}"))?;
+        eprintln!("serve: {} parked ({})", id, parked.as_str());
+        return Ok(());
+    }
+
+    let out = sess.into_netlist();
+    out.validate().map_err(|e| e.to_string())?;
+    let out_blif = write_blif(&out);
+    shared
+        .store
+        .write_result(&id, &out_blif, &report_json(&report), &format!("{report}"))
+        .map_err(|e| format!("persist result: {e}"))?;
+
+    let terminal = if was_cancelled {
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        JobPhase::Cancelled
+    } else {
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        JobPhase::Done
+    };
+    job.update(|s| s.phase = terminal);
+    shared
+        .store
+        .write_state(&id, &spec, terminal, None)
+        .map_err(|e| format!("persist terminal state: {e}"))?;
+    eprintln!("serve: {} {}", id, terminal.as_str());
+    Ok(())
+}
+
+// ------------------------------------------------------------ connections
+
+fn status_obj(job: &JobRecord) -> JsonObj {
+    let (phase, progress, error) = job.read();
+    let obj = JsonObj::new()
+        .bool("ok", true)
+        .str("id", &job.id)
+        .str("state", phase.as_str())
+        .str("tenant", &job.spec.tenant)
+        .i64("priority", job.spec.priority)
+        .u64("checkpoints", progress.checkpoints)
+        .u64("iteration", progress.iteration as u64)
+        .u64("passes_done", progress.passes_done as u64)
+        .u64("rounds_done", progress.rounds_done as u64)
+        .u64("commits", progress.commits as u64);
+    match error {
+        Some(e) => obj.str("error", &e),
+        None => obj.null("error"),
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: &Shared) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_string());
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("serve: {peer}: clone stream: {e}");
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match protocol::parse_request(&line) {
+            Ok(req) => dispatch(req, shared, &mut writer),
+            Err(e) => Some(protocol::error_line(&e)),
+        };
+        let Some(reply) = reply else { return };
+        if writer
+            .write_all(format!("{reply}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Handles one request. Returns the response line, or `None` when the
+/// op already wrote its output (streaming `watch`) and the connection
+/// should close.
+fn dispatch(req: Request, shared: &Shared, writer: &mut TcpStream) -> Option<String> {
+    Some(match req {
+        Request::Submit { spec, netlist } => match submit(shared, spec, &netlist) {
+            Ok(id) => JsonObj::new().bool("ok", true).str("id", &id).finish(),
+            Err(e) => protocol::error_line(&e),
+        },
+        Request::Status { job } => match shared.job(&job) {
+            Some(j) => status_obj(&j).finish(),
+            None => protocol::error_line(&format!("unknown job {job:?}")),
+        },
+        Request::List => {
+            let jobs = shared.jobs.lock().expect("jobs lock");
+            let items: Vec<String> = jobs.values().map(|j| status_obj(j).finish()).collect();
+            JsonObj::new()
+                .bool("ok", true)
+                .raw("jobs", &format!("[{}]", items.join(",")))
+                .finish()
+        }
+        Request::Cancel { job } => match shared.job(&job) {
+            Some(j) if j.phase().is_terminal() => {
+                protocol::error_line(&format!("job {job} is already {}", j.phase().as_str()))
+            }
+            Some(j) => {
+                j.request_cancel();
+                if shared.scheduler.remove(&j.id) {
+                    // Never started; cancel immediately.
+                    finish_cancelled(shared, &j);
+                }
+                JsonObj::new().bool("ok", true).str("id", &j.id).finish()
+            }
+            None => protocol::error_line(&format!("unknown job {job:?}")),
+        },
+        Request::Result { job } => match shared.job(&job) {
+            None => protocol::error_line(&format!("unknown job {job:?}")),
+            Some(j) => match (j.phase(), shared.store.read_result(&j.id)) {
+                (JobPhase::Done | JobPhase::Cancelled, Some((blif, report))) => JsonObj::new()
+                    .bool("ok", true)
+                    .str("id", &j.id)
+                    .str("state", j.phase().as_str())
+                    .str("netlist", &blif)
+                    .raw("report", &report)
+                    .finish(),
+                (phase, _) => protocol::error_line(&format!(
+                    "job {job} has no result (state: {})",
+                    phase.as_str()
+                )),
+            },
+        },
+        Request::Watch { job } => {
+            let Some(j) = shared.job(&job) else {
+                return Some(protocol::error_line(&format!("unknown job {job:?}")));
+            };
+            watch(&j, writer);
+            return None;
+        }
+        Request::Metrics => {
+            let c = &shared.counters;
+            JsonObj::new()
+                .bool("ok", true)
+                .u64("submitted", c.submitted.load(Ordering::Relaxed))
+                .u64("completed", c.completed.load(Ordering::Relaxed))
+                .u64("failed", c.failed.load(Ordering::Relaxed))
+                .u64("cancelled", c.cancelled.load(Ordering::Relaxed))
+                .u64("recovered", c.resumed.load(Ordering::Relaxed))
+                .u64("queued", shared.scheduler.queued() as u64)
+                .u64("threads_total", shared.budget.total() as u64)
+                .u64("threads_free", shared.budget.available() as u64)
+                .finish()
+        }
+        Request::Shutdown { drain } => {
+            let reply = JsonObj::new()
+                .bool("ok", true)
+                .str("mode", if drain { "drain" } else { "now" })
+                .finish();
+            if drain {
+                shared.draining.store(true, Ordering::Release);
+            } else {
+                // Immediate exit; durable state is checkpoint-complete
+                // by construction, so this is just a controlled crash.
+                let _ = writer.write_all(format!("{reply}\n").as_bytes());
+                let _ = writer.flush();
+                std::process::exit(0);
+            }
+            reply
+        }
+    })
+}
+
+fn submit(shared: &Shared, spec: JobSpec, netlist: &str) -> Result<String, String> {
+    // Validate up front so a bad circuit fails the submit, not the job.
+    let nl = read_blif(netlist, Arc::clone(&shared.library)).map_err(|e| e.to_string())?;
+    nl.validate().map_err(|e| e.to_string())?;
+    build_pipeline(&spec.passes, &OptimizeConfig::default(), None)
+        .map_err(|e| format!("bad passes: {e}"))?;
+
+    let id = format!("j{:06}", shared.next_id.fetch_add(1, Ordering::SeqCst));
+    shared
+        .store
+        .persist_new(&id, &spec, netlist)
+        .map_err(|e| format!("persist job: {e}"))?;
+    let job = JobRecord::new(id.clone(), spec, JobPhase::Queued);
+    shared.register(Arc::clone(&job));
+    shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    shared.scheduler.enqueue(job);
+    Ok(id)
+}
+
+/// Streams status lines until the job reaches a terminal phase.
+fn watch(job: &JobRecord, writer: &mut TcpStream) {
+    let mut last_rev = u64::MAX;
+    loop {
+        let rev = job.revision();
+        if rev != last_rev {
+            last_rev = rev;
+            let line = status_obj(job).finish();
+            if writer
+                .write_all(format!("{line}\n").as_bytes())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                return;
+            }
+            if job.phase().is_terminal() {
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,254 @@
+//! Job model: submission parameters, the job state machine, and the
+//! shared per-job record the daemon's threads coordinate through.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything a client chooses about an optimization job. Mirrors the
+/// `powder optimize` flags so a serve job runs the exact same pipeline
+/// a standalone CLI run would.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Fair-scheduling bucket; the scheduler round-robins across
+    /// tenants so one chatty client cannot starve the rest.
+    pub tenant: String,
+    /// Higher runs first (across all tenants); ties fall back to the
+    /// tenant round-robin.
+    pub priority: i64,
+    /// Comma-separated pass pipeline (`sweep,powder,resize,redundancy`).
+    pub passes: String,
+    /// Fixpoint iterations of the pass sequence.
+    pub fixpoint: usize,
+    /// POWDER `repeat` knob (rounds per candidate generation).
+    pub repeat: usize,
+    /// Simulation patterns (rounded up to whole 64-bit words).
+    pub patterns: usize,
+    /// Pattern-generator seed.
+    pub seed: u64,
+    /// Requested evaluation workers; 0 = auto. The daemon may grant
+    /// fewer under load (results are bit-identical at any count).
+    pub jobs: usize,
+    /// Delay degradation budget in percent (`--delay-limit`).
+    pub delay_limit_percent: Option<f64>,
+    /// Wall-clock budget in seconds, measured from each (re)start of
+    /// execution.
+    pub deadline_secs: Option<f64>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            tenant: "default".to_string(),
+            priority: 0,
+            passes: "powder".to_string(),
+            fixpoint: 1,
+            repeat: 10,
+            patterns: 1024,
+            seed: 0xB0D1E5,
+            jobs: 0,
+            delay_limit_percent: None,
+            deadline_secs: None,
+        }
+    }
+}
+
+/// The job state machine:
+///
+/// ```text
+/// queued ──> running ──> checkpointed ──┬──> done
+///    │          │  └────────────────────┼──> failed
+///    │          └───────────────────────┼──> cancelled
+///    └──────────────────────────────────┘
+/// ```
+///
+/// `checkpointed` is `running` with at least one durable checkpoint on
+/// disk: a daemon killed in that state resumes the job from its last
+/// committed round on restart. A drained daemon parks in-flight jobs
+/// back in `checkpointed` (or `queued` if no checkpoint was taken yet).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Waiting in the scheduler.
+    Queued,
+    /// Executing, no checkpoint persisted yet.
+    Running,
+    /// Executing (or parked by a drain) with a durable checkpoint.
+    Checkpointed,
+    /// Finished; result available.
+    Done,
+    /// Aborted with an error (available via status).
+    Failed,
+    /// Cancelled by the client; best-so-far state kept on disk.
+    Cancelled,
+}
+
+impl JobPhase {
+    /// Wire / persistence name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Checkpointed => "checkpointed",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+            JobPhase::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a persistence name.
+    pub fn parse(s: &str) -> Result<JobPhase, String> {
+        Ok(match s {
+            "queued" => JobPhase::Queued,
+            "running" => JobPhase::Running,
+            "checkpointed" => JobPhase::Checkpointed,
+            "done" => JobPhase::Done,
+            "failed" => JobPhase::Failed,
+            "cancelled" => JobPhase::Cancelled,
+            other => return Err(format!("unknown job phase {other:?}")),
+        })
+    }
+
+    /// Whether the job will make no further progress.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobPhase::Done | JobPhase::Failed | JobPhase::Cancelled
+        )
+    }
+}
+
+/// Mid-run progress counters, updated at committed boundaries.
+#[derive(Clone, Debug, Default)]
+pub struct Progress {
+    /// Checkpoints persisted so far.
+    pub checkpoints: u64,
+    /// Fixpoint iteration of the last checkpoint.
+    pub iteration: usize,
+    /// Passes completed in that iteration.
+    pub passes_done: usize,
+    /// Rounds completed inside the in-progress POWDER pass.
+    pub rounds_done: usize,
+    /// Substitutions committed by that pass.
+    pub commits: usize,
+}
+
+/// Mutable job state behind the record's lock.
+#[derive(Debug)]
+pub struct JobInner {
+    /// Current phase.
+    pub phase: JobPhase,
+    /// Last reported progress.
+    pub progress: Progress,
+    /// Failure message when `phase == Failed`.
+    pub error: Option<String>,
+}
+
+/// One job as shared between the acceptor, scheduler, runners, and
+/// watchers. Cheap to clone via `Arc`.
+#[derive(Debug)]
+pub struct JobRecord {
+    /// Daemon-unique job id (`j000042`).
+    pub id: String,
+    /// Submission parameters.
+    pub spec: JobSpec,
+    inner: Mutex<JobInner>,
+    /// Cooperative stop flag for this job (cancel / drain).
+    pub stop: Arc<AtomicBool>,
+    /// Set when a client asked to cancel (distinguishes a cancel stop
+    /// from a drain stop, which parks the job for resume instead).
+    pub cancel_requested: AtomicBool,
+    /// Bumped on every visible change; watchers poll it.
+    revision: AtomicU64,
+}
+
+impl JobRecord {
+    /// A fresh record in the given phase.
+    #[must_use]
+    pub fn new(id: String, spec: JobSpec, phase: JobPhase) -> Arc<JobRecord> {
+        Arc::new(JobRecord {
+            id,
+            spec,
+            inner: Mutex::new(JobInner {
+                phase,
+                progress: Progress::default(),
+                error: None,
+            }),
+            stop: Arc::new(AtomicBool::new(false)),
+            cancel_requested: AtomicBool::new(false),
+            revision: AtomicU64::new(0),
+        })
+    }
+
+    /// Runs `f` under the state lock and bumps the revision.
+    pub fn update<R>(&self, f: impl FnOnce(&mut JobInner) -> R) -> R {
+        let r = f(&mut self.inner.lock().expect("job lock"));
+        self.revision.fetch_add(1, Ordering::Release);
+        r
+    }
+
+    /// A consistent copy of the mutable state.
+    pub fn read(&self) -> (JobPhase, Progress, Option<String>) {
+        let g = self.inner.lock().expect("job lock");
+        (g.phase, g.progress.clone(), g.error.clone())
+    }
+
+    /// Current phase only.
+    pub fn phase(&self) -> JobPhase {
+        self.inner.lock().expect("job lock").phase
+    }
+
+    /// Monotonic change counter for watchers.
+    pub fn revision(&self) -> u64 {
+        self.revision.load(Ordering::Acquire)
+    }
+
+    /// Requests cancellation: marks the intent and trips the stop flag.
+    /// A queued job is reaped by the runner that dequeues it; a running
+    /// job stops at its next committed boundary.
+    pub fn request_cancel(&self) {
+        self.cancel_requested.store(true, Ordering::Release);
+        self.stop.store(true, Ordering::Release);
+        self.revision.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_round_trip() {
+        for phase in [
+            JobPhase::Queued,
+            JobPhase::Running,
+            JobPhase::Checkpointed,
+            JobPhase::Done,
+            JobPhase::Failed,
+            JobPhase::Cancelled,
+        ] {
+            assert_eq!(JobPhase::parse(phase.as_str()).unwrap(), phase);
+        }
+        assert!(JobPhase::parse("zombie").is_err());
+    }
+
+    #[test]
+    fn terminal_phases() {
+        assert!(!JobPhase::Queued.is_terminal());
+        assert!(!JobPhase::Running.is_terminal());
+        assert!(!JobPhase::Checkpointed.is_terminal());
+        assert!(JobPhase::Done.is_terminal());
+        assert!(JobPhase::Failed.is_terminal());
+        assert!(JobPhase::Cancelled.is_terminal());
+    }
+
+    #[test]
+    fn cancel_trips_stop_and_revision() {
+        let job = JobRecord::new("j1".into(), JobSpec::default(), JobPhase::Queued);
+        let r0 = job.revision();
+        job.request_cancel();
+        assert!(job.stop.load(Ordering::Acquire));
+        assert!(job.cancel_requested.load(Ordering::Acquire));
+        assert!(job.revision() > r0);
+    }
+}

@@ -1,0 +1,49 @@
+//! `powder serve` — a multi-tenant optimization daemon.
+//!
+//! This crate turns the POWDER optimizer into a long-running service:
+//! clients submit netlist-optimization jobs over a newline-delimited
+//! JSON protocol on plain TCP, a fair scheduler spreads a bounded
+//! worker pool across tenants, and every job checkpoints its state at
+//! committed round boundaries so a killed or drained daemon resumes
+//! in-flight work bit-identically on restart.
+//!
+//! | module | provides |
+//! |--------|----------|
+//! | [`job`] | [`JobSpec`], the [`JobPhase`] state machine, shared [`JobRecord`] |
+//! | [`protocol`] | line-JSON request parsing and the compact response writer |
+//! | [`scheduler`] | priority + per-tenant round-robin blocking queue |
+//! | [`store`] | durable state directory (specs, checkpoints, results) |
+//! | [`daemon`] | accept loop, runner pool, execution, drain, crash site |
+//! | [`client`] | blocking one-shot client used by `powder submit` |
+//! | [`signal`] | SIGINT/SIGTERM → cooperative stop flag (no libc crate) |
+//!
+//! # Fidelity invariant
+//!
+//! A serve job builds the *same* pipeline `powder optimize` builds for
+//! the same flags and runs it with faults off, so its output netlist
+//! is bit-identical to a standalone CLI run — including when the job
+//! was checkpointed, killed, and resumed, and regardless of how many
+//! evaluation threads the daemon granted. The checkpoint layer's
+//! bit-identity is proven end to end in `tests/checkpoint_resume.rs`
+//! (repo root) and `crates/cli/tests/serve_e2e.rs`.
+
+// `deny`, not `forbid`: the `signal` module needs one `extern "C"`
+// declaration (std already links libc) and opts back in locally.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod job;
+pub mod protocol;
+pub mod scheduler;
+pub mod store;
+
+#[allow(unsafe_code)]
+pub mod signal;
+
+pub use daemon::{run, ServeConfig};
+pub use job::{JobPhase, JobRecord, JobSpec, Progress};
+pub use protocol::{parse_request, JsonObj, Request};
+pub use scheduler::Scheduler;
+pub use store::{JobStore, RecoveredJob};

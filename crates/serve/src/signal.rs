@@ -1,0 +1,153 @@
+//! Minimal async-signal handling without a libc crate dependency.
+//!
+//! `std` already links the platform C library, so `signal(2)` can be
+//! declared directly. The handler only stores to a static atomic —
+//! the one thing that is async-signal-safe — and everything else
+//! polls the flag cooperatively: the optimizer stop flag, the daemon
+//! drain loop, and the CLI's best-so-far report all key off it.
+//!
+//! `lib.rs` re-allows `unsafe_code` for this module only; the rest of
+//! the crate stays under `deny(unsafe_code)`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+static FLAG: AtomicBool = AtomicBool::new(false);
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    FLAG.store(true, Ordering::Release);
+}
+
+/// Installs SIGINT + SIGTERM handlers (idempotent) and returns a flag
+/// that flips to `true` when either arrives. The same `Arc` is
+/// returned on every call; a second signal after installation still
+/// just sets the flag (graceful stop is cooperative — a user who
+/// wants a hard kill sends SIGKILL).
+pub fn install_stop_flag() -> Arc<AtomicBool> {
+    static INSTALLED: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    INSTALLED
+        .get_or_init(|| {
+            unsafe {
+                signal(SIGINT, on_signal as *const () as usize);
+                signal(SIGTERM, on_signal as *const () as usize);
+            }
+            // Mirror the static into an Arc<AtomicBool> the optimizer
+            // API can consume: a watcher thread would be overkill, so
+            // the Arc *is* a view onto the static via polling in
+            // `stop_requested`.
+            Arc::new(AtomicBool::new(false))
+        })
+        .clone()
+}
+
+/// Whether a stop signal has arrived. Also forwards the static flag
+/// into the Arc handed out by [`install_stop_flag`], so callers that
+/// poll either source agree.
+pub fn stop_requested(flag: &AtomicBool) -> bool {
+    if FLAG.load(Ordering::Acquire) {
+        flag.store(true, Ordering::Release);
+    }
+    flag.load(Ordering::Acquire)
+}
+
+/// Spawns a tiny watcher that forwards the signal flag into `flag`
+/// every few milliseconds. Use when the consumer only sees the
+/// `Arc<AtomicBool>` (e.g. `OptimizeConfig::stop`) and never calls
+/// [`stop_requested`] itself. The thread exits once the flag is set
+/// or the returned guard is dropped.
+pub fn forward_into(flag: Arc<AtomicBool>) -> SignalForwarder {
+    let alive = Arc::new(AtomicBool::new(true));
+    let alive2 = Arc::clone(&alive);
+    let handle = std::thread::Builder::new()
+        .name("signal-forward".into())
+        .spawn(move || {
+            while alive2.load(Ordering::Acquire) {
+                if FLAG.load(Ordering::Acquire) {
+                    flag.store(true, Ordering::Release);
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        })
+        .expect("spawn signal forwarder");
+    SignalForwarder {
+        alive,
+        handle: Some(handle),
+    }
+}
+
+/// Guard for the forwarding thread; dropping it stops the thread.
+#[derive(Debug)]
+pub struct SignalForwarder {
+    alive: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for SignalForwarder {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Test-only: raise the flag as if a signal had arrived.
+#[doc(hidden)]
+pub fn simulate_signal() {
+    FLAG.store(true, Ordering::Release);
+}
+
+/// Test-only: clear the flag between tests.
+#[doc(hidden)]
+pub fn reset_for_tests() {
+    FLAG.store(false, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Both tests poke the process-global FLAG; serialize them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn forwarder_copies_the_flag() {
+        let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset_for_tests();
+        let flag = Arc::new(AtomicBool::new(false));
+        let _guard = forward_into(Arc::clone(&flag));
+        assert!(!flag.load(Ordering::Acquire));
+        simulate_signal();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while !flag.load(Ordering::Acquire) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "forwarder never fired"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        reset_for_tests();
+    }
+
+    #[test]
+    fn stop_requested_syncs_static_into_arc() {
+        let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset_for_tests();
+        let flag = AtomicBool::new(false);
+        assert!(!stop_requested(&flag));
+        simulate_signal();
+        assert!(stop_requested(&flag));
+        assert!(flag.load(Ordering::Acquire));
+        reset_for_tests();
+    }
+}

@@ -1,0 +1,344 @@
+//! Durable job state: the on-disk layout that lets a killed daemon
+//! resume in-flight work.
+//!
+//! Layout under the state directory:
+//!
+//! ```text
+//! <state>/addr               last bound listen address (for clients)
+//! <state>/<job-id>/job.json  spec + phase (+ error), one line
+//! <state>/<job-id>/input.blif    submitted netlist, verbatim
+//! <state>/<job-id>/checkpoint.txt  powder-checkpoint v1 (latest)
+//! <state>/<job-id>/out.blif      optimized netlist (terminal)
+//! <state>/<job-id>/report.json   final report (terminal)
+//! <state>/<job-id>/report.txt    human-readable report (terminal)
+//! <state>/<job-id>/metrics.json  per-job obs delta (terminal)
+//! ```
+//!
+//! Every write is atomic (`.tmp` + rename) so a crash never leaves a
+//! half-written checkpoint; a resume sees either the previous
+//! checkpoint or the new one, both of which are valid round
+//! boundaries.
+
+use crate::job::{JobPhase, JobSpec};
+use crate::protocol::JsonObj;
+use powder_obs::json::{self, Value};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Handle to the daemon's state directory.
+#[derive(Clone, Debug)]
+pub struct JobStore {
+    root: PathBuf,
+}
+
+/// A job re-discovered from disk at daemon startup.
+#[derive(Debug)]
+pub struct RecoveredJob {
+    /// Job id (directory name).
+    pub id: String,
+    /// Persisted spec.
+    pub spec: JobSpec,
+    /// Phase at the time of the crash / shutdown.
+    pub phase: JobPhase,
+    /// Latest checkpoint text, if one was committed.
+    pub checkpoint: Option<String>,
+}
+
+/// Writes a file atomically via a `.tmp` sibling + rename.
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+impl JobStore {
+    /// Opens (creating if needed) a state directory.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<JobStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(JobStore { root })
+    }
+
+    /// The state directory itself.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Directory for one job.
+    #[must_use]
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.root.join(id)
+    }
+
+    /// Records the daemon's bound address for client discovery.
+    pub fn write_addr(&self, addr: &str) -> io::Result<()> {
+        write_atomic(&self.root.join("addr"), addr)
+    }
+
+    /// Reads the recorded daemon address, if any.
+    pub fn read_addr(&self) -> Option<String> {
+        fs::read_to_string(self.root.join("addr"))
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+    }
+
+    /// First available job id: `j<n>` with `n` one past the largest id
+    /// already on disk, so ids stay unique across daemon restarts.
+    pub fn next_id(&self) -> io::Result<u64> {
+        let mut max = 0u64;
+        for entry in fs::read_dir(&self.root)? {
+            let name = entry?.file_name();
+            if let Some(n) = name
+                .to_str()
+                .and_then(|s| s.strip_prefix('j'))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                max = max.max(n);
+            }
+        }
+        Ok(max + 1)
+    }
+
+    /// Persists a freshly submitted job: its directory, input netlist,
+    /// and initial `queued` state.
+    pub fn persist_new(&self, id: &str, spec: &JobSpec, netlist: &str) -> io::Result<()> {
+        let dir = self.job_dir(id);
+        fs::create_dir_all(&dir)?;
+        write_atomic(&dir.join("input.blif"), netlist)?;
+        self.write_state(id, spec, JobPhase::Queued, None)
+    }
+
+    /// Persists the job's spec + phase (the `job.json` line).
+    pub fn write_state(
+        &self,
+        id: &str,
+        spec: &JobSpec,
+        phase: JobPhase,
+        error: Option<&str>,
+    ) -> io::Result<()> {
+        let mut obj = JsonObj::new()
+            .str("id", id)
+            .str("state", phase.as_str())
+            .str("tenant", &spec.tenant)
+            .i64("priority", spec.priority)
+            .str("passes", &spec.passes)
+            .u64("fixpoint", spec.fixpoint as u64)
+            .u64("repeat", spec.repeat as u64)
+            .u64("patterns", spec.patterns as u64)
+            .u64("seed", spec.seed)
+            .u64("jobs", spec.jobs as u64)
+            .opt_f64("delay_limit_percent", spec.delay_limit_percent)
+            .opt_f64("deadline_secs", spec.deadline_secs);
+        obj = match error {
+            Some(e) => obj.str("error", e),
+            None => obj.null("error"),
+        };
+        write_atomic(&self.job_dir(id).join("job.json"), &obj.finish())
+    }
+
+    /// Persists the latest checkpoint text for a job.
+    pub fn write_checkpoint(&self, id: &str, text: &str) -> io::Result<()> {
+        write_atomic(&self.job_dir(id).join("checkpoint.txt"), text)
+    }
+
+    /// Latest checkpoint text, if one exists.
+    pub fn read_checkpoint(&self, id: &str) -> Option<String> {
+        fs::read_to_string(self.job_dir(id).join("checkpoint.txt")).ok()
+    }
+
+    /// The submitted netlist.
+    pub fn read_input(&self, id: &str) -> io::Result<String> {
+        fs::read_to_string(self.job_dir(id).join("input.blif"))
+    }
+
+    /// Persists the terminal artifacts of a finished job.
+    pub fn write_result(
+        &self,
+        id: &str,
+        out_blif: &str,
+        report_json: &str,
+        report_text: &str,
+    ) -> io::Result<()> {
+        let dir = self.job_dir(id);
+        write_atomic(&dir.join("out.blif"), out_blif)?;
+        write_atomic(&dir.join("report.json"), report_json)?;
+        write_atomic(&dir.join("report.txt"), report_text)
+    }
+
+    /// The optimized netlist and report of a finished job.
+    pub fn read_result(&self, id: &str) -> Option<(String, String)> {
+        let dir = self.job_dir(id);
+        let blif = fs::read_to_string(dir.join("out.blif")).ok()?;
+        let report = fs::read_to_string(dir.join("report.json")).ok()?;
+        Some((blif, report))
+    }
+
+    /// Persists the per-job metrics delta.
+    pub fn write_job_metrics(&self, id: &str, metrics_json: &str) -> io::Result<()> {
+        write_atomic(&self.job_dir(id).join("metrics.json"), metrics_json)
+    }
+
+    /// Scans the state directory for jobs left behind by a previous
+    /// daemon. Terminal jobs are returned for listing only;
+    /// non-terminal jobs carry their checkpoint (if any) so the caller
+    /// can re-enqueue them with resume.
+    pub fn recover(&self) -> io::Result<Vec<RecoveredJob>> {
+        let mut jobs = Vec::new();
+        let mut entries: Vec<_> = fs::read_dir(&self.root)?
+            .filter_map(Result::ok)
+            .filter(|e| e.path().is_dir())
+            .collect();
+        entries.sort_by_key(std::fs::DirEntry::file_name);
+        for entry in entries {
+            let id = match entry.file_name().to_str() {
+                Some(s) if s.starts_with('j') => s.to_string(),
+                _ => continue,
+            };
+            let state_path = entry.path().join("job.json");
+            let Ok(text) = fs::read_to_string(&state_path) else {
+                continue; // submit crashed before job.json landed
+            };
+            match parse_state(&text) {
+                Ok((spec, phase, _err)) => jobs.push(RecoveredJob {
+                    checkpoint: self.read_checkpoint(&id),
+                    id,
+                    spec,
+                    phase,
+                }),
+                Err(e) => {
+                    eprintln!("serve: skipping {id}: corrupt job.json ({e})");
+                }
+            }
+        }
+        Ok(jobs)
+    }
+}
+
+/// Parses a persisted `job.json` line back into spec + phase.
+pub fn parse_state(text: &str) -> Result<(JobSpec, JobPhase, Option<String>), String> {
+    let v = json::parse(text.trim()).map_err(|e| format!("bad JSON: {e}"))?;
+    let phase = JobPhase::parse(
+        v.get("state")
+            .and_then(Value::as_str)
+            .ok_or("missing \"state\"")?,
+    )?;
+    let str_of = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+    let num_of = |k: &str| v.get(k).and_then(Value::as_f64);
+    let mut spec = JobSpec::default();
+    if let Some(t) = str_of("tenant") {
+        spec.tenant = t;
+    }
+    if let Some(p) = str_of("passes") {
+        spec.passes = p;
+    }
+    if let Some(n) = num_of("priority") {
+        spec.priority = n as i64;
+    }
+    if let Some(n) = num_of("fixpoint") {
+        spec.fixpoint = (n as usize).max(1);
+    }
+    if let Some(n) = num_of("repeat") {
+        spec.repeat = n as usize;
+    }
+    if let Some(n) = num_of("patterns") {
+        spec.patterns = n as usize;
+    }
+    if let Some(n) = num_of("seed") {
+        spec.seed = n as u64;
+    }
+    if let Some(n) = num_of("jobs") {
+        spec.jobs = n as usize;
+    }
+    spec.delay_limit_percent = num_of("delay_limit_percent");
+    spec.deadline_secs = num_of("deadline_secs");
+    let error = match v.get("error") {
+        Some(Value::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    Ok((spec, phase, error))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(name: &str) -> JobStore {
+        let dir =
+            std::env::temp_dir().join(format!("powder-serve-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        JobStore::open(dir).expect("open store")
+    }
+
+    #[test]
+    fn state_round_trips_through_disk() {
+        let store = temp_store("roundtrip");
+        let spec = JobSpec {
+            tenant: "acme".into(),
+            priority: 3,
+            passes: "sweep,powder".into(),
+            fixpoint: 2,
+            repeat: 4,
+            patterns: 128,
+            seed: 99,
+            jobs: 2,
+            delay_limit_percent: Some(10.0),
+            deadline_secs: Some(5.0),
+        };
+        store.persist_new("j1", &spec, ".model m\n.end\n").unwrap();
+        store
+            .write_state("j1", &spec, JobPhase::Checkpointed, None)
+            .unwrap();
+        store
+            .write_checkpoint("j1", "powder-checkpoint v1\n...")
+            .unwrap();
+
+        let jobs = store.recover().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].id, "j1");
+        assert_eq!(jobs[0].phase, JobPhase::Checkpointed);
+        assert_eq!(jobs[0].spec, spec);
+        assert!(jobs[0]
+            .checkpoint
+            .as_deref()
+            .unwrap()
+            .starts_with("powder-checkpoint"));
+        assert_eq!(store.read_input("j1").unwrap(), ".model m\n.end\n");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn next_id_skips_existing_jobs() {
+        let store = temp_store("nextid");
+        assert_eq!(store.next_id().unwrap(), 1);
+        store.persist_new("j7", &JobSpec::default(), "x").unwrap();
+        assert_eq!(store.next_id().unwrap(), 8);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn failed_jobs_keep_their_error() {
+        let store = temp_store("error");
+        let spec = JobSpec::default();
+        store.persist_new("j1", &spec, "x").unwrap();
+        store
+            .write_state("j1", &spec, JobPhase::Failed, Some("boom: line 3"))
+            .unwrap();
+        let text = fs::read_to_string(store.job_dir("j1").join("job.json")).unwrap();
+        let (_, phase, err) = parse_state(&text).unwrap();
+        assert_eq!(phase, JobPhase::Failed);
+        assert_eq!(err.as_deref(), Some("boom: line 3"));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn addr_round_trips() {
+        let store = temp_store("addr");
+        assert!(store.read_addr().is_none());
+        store.write_addr("127.0.0.1:4217").unwrap();
+        assert_eq!(store.read_addr().as_deref(), Some("127.0.0.1:4217"));
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

@@ -95,13 +95,36 @@ impl Patterns {
     /// Panics if rows have differing lengths.
     #[must_use]
     pub fn from_words(bits: Vec<Vec<u64>>) -> Self {
+        Self::from_raw(bits, 0)
+    }
+
+    /// Rebuilds a pattern set from its exact raw state, including the
+    /// partially-filled tail left by [`Patterns::push_pattern`]. This is
+    /// the restore half of checkpointing: a set rebuilt from
+    /// (`input_bits`, `tail_used`) continues packing learned patterns
+    /// exactly where the original would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or `tail_used > 64`.
+    #[must_use]
+    pub fn from_raw(bits: Vec<Vec<u64>>, tail_used: usize) -> Self {
         let words = bits.first().map_or(0, Vec::len);
         assert!(bits.iter().all(|b| b.len() == words), "ragged pattern rows");
+        assert!(tail_used <= 64, "tail_used out of range");
         Patterns {
             words,
             bits,
-            tail_used: 0,
+            tail_used,
         }
+    }
+
+    /// Bits of the last word filled by [`Patterns::push_pattern`]
+    /// (0 = the last word is a full bulk-generated word). Needed to
+    /// serialize a pattern set exactly.
+    #[must_use]
+    pub fn tail_used(&self) -> usize {
+        self.tail_used
     }
 
     /// Number of 64-pattern words.
@@ -195,6 +218,20 @@ mod tests {
                 assert_eq!(bit, ((m >> i) & 1) as u64);
             }
         }
+    }
+
+    #[test]
+    fn from_raw_restores_push_state_exactly() {
+        let mut a = Patterns::random(2, 1, 9);
+        a.push_pattern(&[true, false]);
+        a.push_pattern(&[false, true]);
+        // Rebuild from the serialized view and continue pushing on both.
+        let rows = (0..a.inputs()).map(|i| a.input_bits(i).to_vec()).collect();
+        let mut b = Patterns::from_raw(rows, a.tail_used());
+        assert_eq!(a, b);
+        a.push_pattern(&[true, true]);
+        b.push_pattern(&[true, true]);
+        assert_eq!(a, b, "restored set packs identically");
     }
 
     #[test]
