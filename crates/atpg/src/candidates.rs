@@ -18,7 +18,10 @@
 use crate::Substitution;
 use powder_library::CellId;
 use powder_netlist::{Conn, GateId, GateKind, Netlist};
-use powder_sim::{branch_observability, stem_observability_all, CellCovers, SimValues};
+use powder_sim::{
+    branch_observability, branch_observability_scoped, stem_observability_all,
+    stem_observability_scoped, CellCovers, SimValues,
+};
 // Ordered maps throughout: candidate generation must be a pure function
 // of the netlist and simulation values with no dependence on hash-map
 // iteration order, because the optimizer's commit arbiter identifies
@@ -119,6 +122,100 @@ impl PairCells {
     }
 }
 
+/// Restricts candidate generation to a window of the netlist (see
+/// `powder_netlist::window`). Both masks are dense, indexed by `GateId.0`;
+/// ids at or beyond a mask's length are excluded.
+#[derive(Clone, Debug)]
+pub struct CandidateScope {
+    /// Gates whose stems/branches may be rewritten (the window core).
+    pub targets: Vec<bool>,
+    /// Gates usable as substituting sources (the window scope: core,
+    /// halo, and interface boundary).
+    pub sources: Vec<bool>,
+}
+
+impl CandidateScope {
+    fn is_target(&self, g: GateId) -> bool {
+        self.targets.get(g.0 as usize).copied().unwrap_or(false)
+    }
+    fn is_source(&self, g: GateId) -> bool {
+        self.sources.get(g.0 as usize).copied().unwrap_or(false)
+    }
+}
+
+/// Exact gate → substituting-source reachability, built by one reverse-
+/// topological sweep: bit `i` of row `g` is set iff `sources[i]` lies in
+/// the transitive fanout of `g` (inclusive — a source reaches itself).
+///
+/// The cycle filter only ever asks "is candidate source `b` in the TFO
+/// of rewired gate `r`?", so rows need one bit per *source*, not per
+/// gate — `O(id_bound · sources/64)` words total, answered in `O(1)`.
+/// Because the sweep covers the whole netlist it stays exact for paths
+/// that leave the window and re-enter it.
+struct SourceReach {
+    /// Dense `GateId.0` → index into the source list (`u32::MAX` when
+    /// the gate is not a source).
+    idx: Vec<u32>,
+    /// Row width in 64-bit words.
+    words: usize,
+    /// `id_bound × words` bitset rows.
+    bits: Vec<u64>,
+}
+
+impl SourceReach {
+    fn build(nl: &Netlist, sources: &[GateId]) -> Self {
+        let bound = nl.id_bound();
+        let words = sources.len().div_ceil(64).max(1);
+        let mut idx = vec![u32::MAX; bound];
+        for (i, &s) in sources.iter().enumerate() {
+            idx[s.0 as usize] = i as u32;
+        }
+        let mut bits = vec![0u64; bound * words];
+        let mut acc = vec![0u64; words];
+        for g in nl.topo_order().into_iter().rev() {
+            let gi = g.0 as usize;
+            acc.iter_mut().for_each(|w| *w = 0);
+            if idx[gi] != u32::MAX {
+                acc[(idx[gi] / 64) as usize] |= 1 << (idx[gi] % 64);
+            }
+            for conn in nl.fanouts(g) {
+                let si = conn.gate.0 as usize * words;
+                for (w, &s) in acc.iter_mut().zip(&bits[si..si + words]) {
+                    *w |= s;
+                }
+            }
+            bits[gi * words..gi * words + words].copy_from_slice(&acc);
+        }
+        SourceReach { idx, words, bits }
+    }
+
+    /// Is source `b` in the transitive fanout of `root` (inclusive)?
+    fn forbidden(&self, root: GateId, b: GateId) -> bool {
+        let i = self.idx[b.0 as usize];
+        debug_assert!(i != u32::MAX, "queried gate is not a source");
+        let base = root.0 as usize * self.words;
+        (self.bits[base + (i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+}
+
+/// The per-rewire cycle-filter set, in whichever representation the
+/// current path computed it.
+enum Forbidden<'a> {
+    /// Whole-netlist TFO bitset indexed by `GateId.0` (unscoped path).
+    Tfo(Vec<u64>),
+    /// Source-reach row for `root` (scoped path).
+    Reach { r: &'a SourceReach, root: GateId },
+}
+
+impl Forbidden<'_> {
+    fn contains(&self, b: GateId) -> bool {
+        match self {
+            Forbidden::Tfo(bits) => (bits[b.0 as usize / 64] >> (b.0 as usize % 64)) & 1 == 1,
+            Forbidden::Reach { r, root } => r.forbidden(*root, b),
+        }
+    }
+}
+
 /// Generates potentially-permissible substitutions for the current netlist
 /// from simulated `values`.
 ///
@@ -132,13 +229,61 @@ pub fn generate_candidates(
     values: &SimValues,
     config: &CandidateConfig,
 ) -> Vec<Substitution> {
-    let obs = stem_observability_all(nl, covers, values);
+    generate_candidates_scoped(nl, covers, values, config, None)
+}
+
+/// [`generate_candidates`] restricted to `scope`: substituted stems and
+/// rewired sinks must be scope targets, substituting signals must be
+/// scope sources. `scope: None` is exactly the unrestricted generator —
+/// same candidates in the same order.
+#[must_use]
+pub fn generate_candidates_scoped(
+    nl: &Netlist,
+    covers: &CellCovers,
+    values: &SimValues,
+    config: &CandidateConfig,
+    scope: Option<&CandidateScope>,
+) -> Vec<Substitution> {
+    // Topological positions, shared by every scoped propagation below
+    // (the unscoped path computes its own inside `powder_sim`).
+    let pos: Option<Vec<u32>> = scope.map(|_| {
+        let mut pos = vec![u32::MAX; nl.id_bound()];
+        for (i, g) in nl.topo_order().into_iter().enumerate() {
+            pos[g.0 as usize] = i as u32;
+        }
+        pos
+    });
+    // Observability masks are only ever read for scope sources (IS
+    // branch drivers) and scope targets (OS stems), and a scoped call
+    // measures them window-locally (escaping edges count as observed —
+    // the same over-approximation as the scoped permissibility proof),
+    // so the whole-netlist `O(Σ |TFO| · words)` sweep is skipped — the
+    // point of windowing on large netlists.
+    let obs = match scope {
+        None => stem_observability_all(nl, covers, values),
+        Some(s) => {
+            let pos = pos.as_deref().expect("computed for scoped calls");
+            let mut out = vec![Vec::new(); nl.id_bound()];
+            for id in nl.iter_live() {
+                if matches!(nl.kind(id), GateKind::Output) {
+                    continue;
+                }
+                if s.is_source(id) || s.is_target(id) {
+                    out[id.0 as usize] =
+                        stem_observability_scoped(nl, covers, values, id, &s.sources, pos);
+                }
+            }
+            out
+        }
+    };
     let mut out: Vec<Substitution> = Vec::new();
+    let is_target = |g: GateId| scope.is_none_or(|s| s.is_target(g));
 
     // All stems usable as substituting sources.
     let sources: Vec<GateId> = nl
         .iter_live()
         .filter(|&g| !matches!(nl.kind(g), GateKind::Output))
+        .filter(|&g| scope.is_none_or(|s| s.is_source(g)))
         .collect();
 
     // Exact-signature index for XOR/XNOR partner lookup.
@@ -149,7 +294,12 @@ pub fn generate_candidates(
 
     let pair_cells = PairCells::detect(nl);
 
-    // TFO bitsets, computed lazily per substituted stem / sink.
+    // Cycle filter: a substituting source must not lie in the transitive
+    // fanout of the rewired stem/sink. The unscoped path keeps the lazy
+    // per-root TFO bitsets; a scoped call instead builds source-reach
+    // sets for the whole netlist in one reverse-topological sweep —
+    // `O(netlist · sources/64)` total instead of `O(targets · netlist)`,
+    // and still exact for paths that leave and re-enter the window.
     let bound = nl.id_bound();
     let mut tfo_cache: BTreeMap<GateId, Vec<u64>> = BTreeMap::new();
     let tfo_bits = |nl: &Netlist, root: GateId, cache: &mut BTreeMap<GateId, Vec<u64>>| {
@@ -165,12 +315,11 @@ pub fn generate_candidates(
             })
             .clone()
     };
-    let in_bits =
-        |bits: &[u64], g: GateId| (bits[g.0 as usize / 64] >> (g.0 as usize % 64)) & 1 == 1;
+    let reach = scope.map(|_| SourceReach::build(nl, &sources));
 
     // ---------------- output substitutions (OS2 / OS3) ----------------
     for &a in &sources {
-        if !matches!(nl.kind(a), GateKind::Cell(_)) || nl.fanouts(a).is_empty() {
+        if !matches!(nl.kind(a), GateKind::Cell(_)) || nl.fanouts(a).is_empty() || !is_target(a) {
             continue;
         }
         let care = &obs[a.0 as usize];
@@ -182,12 +331,15 @@ pub fn generate_candidates(
             continue;
         }
         let sig_a = values.get(a);
-        let forbidden = tfo_bits(nl, a, &mut tfo_cache);
+        let forbidden = match &reach {
+            Some(r) => Forbidden::Reach { r, root: a },
+            None => Forbidden::Tfo(tfo_bits(nl, a, &mut tfo_cache)),
+        };
 
         if config.enable_os2 {
             let mut kept = 0usize;
             for &b in &sources {
-                if b == a || in_bits(&forbidden, b) {
+                if b == a || forbidden.contains(b) {
                     continue;
                 }
                 let sig_b = values.get(b);
@@ -212,7 +364,7 @@ pub fn generate_candidates(
             let pool: Vec<GateId> = sources
                 .iter()
                 .copied()
-                .filter(|&s| s != a && !in_bits(&forbidden, s))
+                .filter(|&s| s != a && !forbidden.contains(s))
                 .collect();
             let mut kept = 0usize;
             let mut push = |sub: Substitution, kept: &mut usize| {
@@ -351,7 +503,7 @@ pub fn generate_candidates(
                         let Some(cell) = cell else { continue };
                         if let Some(cands) = sig_index.get(&key) {
                             for &c in cands {
-                                if c != a && c != b && !in_bits(&forbidden, c) {
+                                if c != a && c != b && !forbidden.contains(c) {
                                     push(Substitution::Os3 { a, cell, b, c }, &mut kept);
                                     if kept >= config.max_per_signal {
                                         break 'xor_scan;
@@ -377,21 +529,38 @@ pub fn generate_candidates(
                 // disguise; OS2 handles it with full bookkeeping.
                 continue;
             }
+            if !is_target(conn.gate) {
+                continue;
+            }
             let care = if nl.fanouts(a).len() == 1 {
                 obs[a.0 as usize].clone()
             } else {
-                branch_observability(nl, covers, values, a, conn)
+                match scope {
+                    Some(s) => branch_observability_scoped(
+                        nl,
+                        covers,
+                        values,
+                        a,
+                        conn,
+                        &s.sources,
+                        pos.as_deref().expect("computed for scoped calls"),
+                    ),
+                    None => branch_observability(nl, covers, values, a, conn),
+                }
             };
             if care.iter().all(|&w| w == 0) {
                 continue;
             }
             let sig_a = values.get(a);
-            let forbidden = tfo_bits(nl, conn.gate, &mut tfo_cache);
+            let forbidden = match &reach {
+                Some(r) => Forbidden::Reach { r, root: conn.gate },
+                None => Forbidden::Tfo(tfo_bits(nl, conn.gate, &mut tfo_cache)),
+            };
 
             if config.enable_is2 {
                 let mut kept = 0usize;
                 for &b in &sources {
-                    if b == a || in_bits(&forbidden, b) {
+                    if b == a || forbidden.contains(b) {
                         continue;
                     }
                     let sig_b = values.get(b);
@@ -424,7 +593,7 @@ pub fn generate_candidates(
                 let pool: Vec<GateId> = sources
                     .iter()
                     .copied()
-                    .filter(|&s| s != a && !in_bits(&forbidden, s))
+                    .filter(|&s| s != a && !forbidden.contains(s))
                     .collect();
                 let mut kept = 0usize;
                 if let Some(cell) = pair_cells.and2 {
@@ -495,10 +664,16 @@ pub fn generate_candidates(
         }
     }
 
-    // Keep only structurally valid, deduplicated candidates (dedup
-    // preserves first-occurrence order, so ids stay stable).
+    // Deduplicate, preserving first-occurrence order so candidate ids
+    // stay stable. Structural validity holds by construction — every
+    // scan filtered sources through the forbidden (TFO) set, which is
+    // exactly the acyclicity condition `is_structurally_valid`
+    // re-derives with an `O(netlist)` walk per candidate — and the
+    // exact checker re-validates before anything is applied, so the
+    // eager re-check is debug-only.
     let mut seen = BTreeSet::new();
-    out.retain(|s| seen.insert(*s) && s.is_structurally_valid(nl));
+    out.retain(|s| seen.insert(*s));
+    debug_assert!(out.iter().all(|s| s.is_structurally_valid(nl)));
     out
 }
 

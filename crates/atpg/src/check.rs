@@ -195,10 +195,30 @@ pub struct CheckArena {
     base_len: usize,
     orig: HashMap<GateId, NodeId>,
     topo: Vec<GateId>,
-    /// `(journal generation, id bound)` the base table was built for.
-    key: Option<(u64, usize)>,
+    /// `(journal generation, id bound, scope fingerprint)` the base table
+    /// was built for; `None` in the last slot means the whole netlist.
+    key: Option<(u64, usize, Option<u64>)>,
+    /// Number of solver variables: real primary inputs for a whole-netlist
+    /// base, cut pseudo-inputs for a scoped one.
+    num_vars: usize,
     region: HashSet<GateId>,
     dup: HashMap<GateId, NodeId>,
+}
+
+/// Order-sensitive fingerprint of a scope mask, used to key the cached
+/// scoped base table. Only set bits contribute, so the cost per check is
+/// proportional to the window, not the netlist.
+fn scope_fingerprint(scope: &[bool]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h ^= scope.len() as u64;
+    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    for (i, &bit) in scope.iter().enumerate() {
+        if bit {
+            h ^= i as u64 + 1;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
 }
 
 impl CheckArena {
@@ -212,7 +232,7 @@ impl CheckArena {
     /// last check; otherwise just rolls back the previous query's
     /// appended nodes.
     fn refresh(&mut self, nl: &Netlist) {
-        let key = (nl.generation(), nl.id_bound());
+        let key = (nl.generation(), nl.id_bound(), None);
         if self.key == Some(key) {
             self.builder.truncate(self.base_len);
             return;
@@ -241,6 +261,72 @@ impl CheckArena {
             self.orig.insert(g, node);
         }
         self.base_len = self.builder.len();
+        self.num_vars = nl.inputs().len();
+        self.key = Some(key);
+    }
+
+    /// Scoped variant of [`Self::refresh`]: builds base nodes only for
+    /// gates inside `scope`, modelling every signal crossing into the
+    /// scope (an out-of-scope fanin, or a primary input) as a free cut
+    /// pseudo-input. Cut variables over-approximate the values reachable
+    /// from the real primary inputs, so proofs against this base are
+    /// conservative: `Unsat` is sound, `Sat` may be spurious.
+    fn refresh_scoped(&mut self, nl: &Netlist, scope: &[bool], fp: u64) {
+        let key = (nl.generation(), nl.id_bound(), Some(fp));
+        if self.key == Some(key) {
+            self.builder.truncate(self.base_len);
+            return;
+        }
+        self.builder = SatBuilder::default();
+        self.orig.clear();
+        self.topo = nl.topo_order();
+        let mut cuts = 0usize;
+        for &g in &self.topo {
+            if !scope.get(g.0 as usize).copied().unwrap_or(false) {
+                continue;
+            }
+            let node = match nl.kind(g) {
+                GateKind::Input => {
+                    let n = self.builder.pi(cuts);
+                    cuts += 1;
+                    n
+                }
+                GateKind::Const(v) => self.builder.constant(v),
+                GateKind::Output => {
+                    let f = nl.fanins(g)[0];
+                    match self.orig.get(&f) {
+                        Some(&n) => n,
+                        None => {
+                            let n = self.builder.pi(cuts);
+                            cuts += 1;
+                            self.orig.insert(f, n);
+                            n
+                        }
+                    }
+                }
+                GateKind::Cell(c) => {
+                    let cell = nl.library().cell_ref(c);
+                    let mut fanins = Vec::with_capacity(nl.fanins(g).len());
+                    for f in nl.fanins(g) {
+                        let n = match self.orig.get(f) {
+                            Some(&n) => n,
+                            None => {
+                                // Cut: the fanin lives outside the scope.
+                                let n = self.builder.pi(cuts);
+                                cuts += 1;
+                                self.orig.insert(*f, n);
+                                n
+                            }
+                        };
+                        fanins.push(n);
+                    }
+                    self.builder.gate(cell.function.clone(), fanins)
+                }
+            };
+            self.orig.insert(g, node);
+        }
+        self.base_len = self.builder.len();
+        self.num_vars = cuts;
         self.key = Some(key);
     }
 
@@ -363,6 +449,163 @@ impl CheckArena {
             SatOutcome::Unsat => CheckOutcome::Permissible,
             SatOutcome::Sat(witness) => CheckOutcome::NotPermissible(witness),
             SatOutcome::Aborted => CheckOutcome::Aborted,
+        }
+    }
+
+    /// Window-local permissibility check: the miter is bounded by `scope`
+    /// (a dense gate mask, typically a window's core + halo + boundary
+    /// from `powder_netlist::window`).
+    ///
+    /// Signals crossing *into* the scope become free cut pseudo-inputs,
+    /// and any difference escaping *out of* the scope (a rewired or
+    /// re-converged signal feeding a gate outside it) is treated as
+    /// observable. Both cuts over-approximate: the input side admits
+    /// value combinations no real primary-input vector produces, and the
+    /// output side assumes downstream logic never masks a difference. So
+    /// `Permissible` is sound — the substitution is permissible in the
+    /// full netlist — while a satisfying assignment may be spurious and
+    /// is reported as [`CheckOutcome::Aborted`] (“not proven”), never as
+    /// `NotPermissible`: its witness lives in cut-variable space and must
+    /// not be learned as a simulation pattern.
+    ///
+    /// The payoff is that solver work is bounded by the window, not the
+    /// netlist: on deep circuits the whole-netlist miter drags in
+    /// thousands of gates per proof where the scoped one stays a few
+    /// hundred.
+    #[must_use]
+    pub fn check_scoped(
+        &mut self,
+        nl: &Netlist,
+        sub: &Substitution,
+        backtrack_limit: usize,
+        scope: &[bool],
+    ) -> CheckOutcome {
+        if !sub.is_structurally_valid(nl) {
+            return CheckOutcome::NotPermissible(vec![false; nl.inputs().len()]);
+        }
+        let in_scope = |g: GateId| scope.get(g.0 as usize).copied().unwrap_or(false);
+        self.refresh_scoped(nl, scope, scope_fingerprint(scope));
+        let num_vars = self.num_vars;
+        let stem = sub.substituted_stem(nl);
+        let (b, c) = sub.sources();
+        // The generator only proposes in-scope stems and sources; anything
+        // else cannot be expressed in the scoped base, so refuse to judge.
+        if !self.orig.contains_key(&stem)
+            || !self.orig.contains_key(&b)
+            || c.is_some_and(|c| !self.orig.contains_key(&c))
+        {
+            return CheckOutcome::Aborted;
+        }
+        let builder = &mut self.builder;
+        let orig = &self.orig;
+
+        let new_src = match *sub {
+            Substitution::Os2 { invert, .. } | Substitution::Is2 { invert, .. } => {
+                if invert {
+                    builder.not(orig[&b])
+                } else {
+                    orig[&b]
+                }
+            }
+            Substitution::Os3 { cell, .. } | Substitution::Is3 { cell, .. } => {
+                let f = nl.library().cell_ref(cell).function.clone();
+                builder.gate(f, vec![orig[&b], orig[&c.expect("3-sub has c")]])
+            }
+        };
+
+        // The affected region, bounded by the scope: a breadth-first walk
+        // over fanouts that never leaves the mask. An edge leaving the
+        // mask is an escape — the difference there counts as observed.
+        let rewired: HashSet<(GateId, u32)> = sub.rewired_branches(nl).into_iter().collect();
+        self.region.clear();
+        let mut frontier: Vec<GateId> = Vec::new();
+        // A rewired branch whose sink lies outside the window cannot be
+        // duplicated; it is only safe if old and new stem values agree.
+        let escaped = rewired.iter().any(|&(sink, _)| !in_scope(sink));
+        for &(sink, _) in &rewired {
+            if in_scope(sink) && self.region.insert(sink) {
+                frontier.push(sink);
+            }
+        }
+        while let Some(g) = frontier.pop() {
+            for conn in nl.fanouts(g) {
+                if in_scope(conn.gate) && self.region.insert(conn.gate) {
+                    frontier.push(conn.gate);
+                }
+            }
+        }
+        self.dup.clear();
+        let mut diffs: Vec<(GateId, NodeId)> = Vec::new();
+        if escaped {
+            diffs.push((stem, builder.xor2(orig[&stem], new_src)));
+        }
+        for i in 0..self.topo.len() {
+            let g = self.topo[i];
+            if !self.region.contains(&g) {
+                continue;
+            }
+            match nl.kind(g) {
+                GateKind::Input | GateKind::Const(_) => {}
+                GateKind::Output => {
+                    let src = nl.fanins(g)[0];
+                    let new_node = if rewired.contains(&(g, 0)) {
+                        new_src
+                    } else {
+                        self.dup.get(&src).copied().unwrap_or(orig[&src])
+                    };
+                    let old_node = orig[&src];
+                    if new_node != old_node {
+                        diffs.push((g, builder.xor2(old_node, new_node)));
+                    }
+                }
+                GateKind::Cell(cid) => {
+                    let cell = nl.library().cell_ref(cid);
+                    let fanins: Vec<NodeId> = nl
+                        .fanins(g)
+                        .iter()
+                        .enumerate()
+                        .map(|(pin, f)| {
+                            if rewired.contains(&(g, pin as u32)) {
+                                new_src
+                            } else {
+                                self.dup.get(f).copied().unwrap_or(orig[f])
+                            }
+                        })
+                        .collect();
+                    let node = builder.gate(cell.function.clone(), fanins);
+                    self.dup.insert(g, node);
+                    if nl.fanouts(g).iter().any(|conn| !in_scope(conn.gate)) {
+                        // This changed signal feeds logic outside the
+                        // window: observe the difference right here.
+                        diffs.push((g, builder.xor2(orig[&g], node)));
+                    }
+                }
+            }
+        }
+
+        if diffs.is_empty() {
+            return CheckOutcome::Permissible;
+        }
+        diffs.sort_unstable_by_key(|&(g, _)| g);
+        let mut acc = diffs[0].1;
+        for &(_, d) in &diffs[1..] {
+            acc = builder.or2(acc, d);
+        }
+        let activation = builder.xor2(orig[&stem], new_src);
+        // Equivalence fast path, as in the whole-netlist check — and
+        // since cut variables make the scoped cone small, this is where
+        // duplicate-logic merges are typically decided.
+        if crate::sat::solve_miter_nodes(builder.nodes(), num_vars, activation, backtrack_limit)
+            == SatOutcome::Unsat
+        {
+            return CheckOutcome::Permissible;
+        }
+        let top = builder.and2(activation, acc);
+        match crate::sat::solve_miter_nodes(builder.nodes(), num_vars, top, backtrack_limit) {
+            SatOutcome::Unsat => CheckOutcome::Permissible,
+            // Spurious under the cut over-approximation: not a real
+            // counterexample, so never learned — just "not proven".
+            SatOutcome::Sat(_) | SatOutcome::Aborted => CheckOutcome::Aborted,
         }
     }
 }

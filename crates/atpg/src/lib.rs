@@ -59,7 +59,9 @@ mod sat;
 #[cfg(test)]
 mod tests_support;
 
-pub use candidates::{generate_candidates, CandidateConfig};
+pub use candidates::{
+    generate_candidates, generate_candidates_scoped, CandidateConfig, CandidateScope,
+};
 pub use check::{check_substitution, CheckArena, CheckOutcome, Substitution};
 pub use equiv::{check_equivalence, EquivOutcome};
 pub use sat::{solve_miter, SatCircuit, SatOutcome};

@@ -11,12 +11,16 @@
 //!
 //! ```text
 //! cargo run -p powder-bench --bin bench_optimize --release \
-//!     [-- --quick | --circuits=a,b,c] [--out=BENCH_optimize.json]
+//!     [-- --quick | --circuits=a,b,c] [--scale[=a,b,c]] \
+//!     [--scale-deadline=SECS] [--out=BENCH_optimize.json]
 //! ```
 //!
 //! By default the medium `--quick` (trade-off) suite is used; pass
 //! `--circuits=` for an explicit list or `--all` for the full Table 1
-//! suite.
+//! suite. `--scale` additionally runs the windowed optimizer over the
+//! generated large circuits (`gen10k`, `gen50k`; `--scale=` picks
+//! others) under a per-circuit deadline and emits one JSON row per
+//! processed window under the top-level `"scaling"` key.
 //!
 //! Each circuit additionally runs the full pass pipeline
 //! (`sweep,powder,resize,redundancy`) through a shared
@@ -240,6 +244,106 @@ fn json_pipeline(out: &mut String, indent: &str, report: &PipelineReport) {
     let _ = write!(out, "{indent}  ]\n{indent}}}");
 }
 
+/// One windowed scaling run: auto-policy windows with a wall-clock
+/// deadline, reported with one JSON row per processed window.
+fn json_scaling_row(out: &mut String, name: &str, gates: usize, run: &Run) {
+    let r = &run.report;
+    let _ = write!(
+        out,
+        "    {{\n      \"name\": \"{name}\",\n      \"gates\": {gates},\n      \"seconds\": {:.6},\n      \"windows_processed\": {},\n      \"applied\": {},\n      \"initial_power\": {:.9},\n      \"final_power\": {:.9},\n      \"windows\": [\n",
+        run.seconds,
+        r.windows.len(),
+        r.applied.len(),
+        r.initial_power,
+        r.final_power,
+    );
+    for (i, w) in r.windows.iter().enumerate() {
+        let p = &w.phase;
+        let _ = writeln!(
+            out,
+            "        {{ \"index\": {}, \"core_gates\": {}, \"scope_gates\": {}, \"commits\": {}, \"power_saved\": {:.9}, \"seconds\": {:.6}, \
+             \"phase\": {{ \"simulation\": {:.6}, \"candidates\": {:.6}, \"gain\": {:.6}, \"timing\": {:.6}, \"atpg\": {:.6}, \"apply\": {:.6} }} }}{}",
+            w.index,
+            w.core_gates,
+            w.scope_gates,
+            w.commits,
+            w.power_saved,
+            w.seconds,
+            p.simulation,
+            p.candidates,
+            p.gain,
+            p.timing,
+            p.atpg,
+            p.apply,
+            if i + 1 < r.windows.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(out, "      ]\n    }}");
+}
+
+fn run_scaling(names: &[String], deadline_secs: f64) -> String {
+    let lib = library();
+    let mut rows = String::new();
+    println!("\n# scaling — windowed POWDER (auto policy) with a {deadline_secs:.0}s deadline per circuit");
+    println!(
+        "{:<14} {:>7} | {:>9} {:>8} {:>7} | {:>12}",
+        "circuit", "gates", "secs", "windows", "subs", "power saved"
+    );
+    let mut ran = 0usize;
+    for name in names {
+        let Some(nl) = powder_benchmarks::build_scale(name, lib.clone()) else {
+            eprintln!("{name}: skipped (not a scale-suite name)");
+            continue;
+        };
+        let gates = nl.cell_count();
+        let mut work = nl.clone();
+        let cfg = OptimizeConfig {
+            deadline: Some(Instant::now() + std::time::Duration::from_secs_f64(deadline_secs)),
+            ..experiment_config(None)
+        };
+        let t = Instant::now();
+        let report = optimize(&mut work, &cfg);
+        let run = Run {
+            seconds: t.elapsed().as_secs_f64(),
+            report,
+        };
+        // Function-preservation audit: the optimized circuit must agree
+        // with the original at every output on random patterns.
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::random(nl.inputs().len(), 4, 0xA0D17);
+        let va = simulate(&nl, &covers, &pats);
+        let vb = simulate(&work, &covers, &pats);
+        for (&oa, &ob) in nl.outputs().iter().zip(work.outputs()) {
+            assert_eq!(
+                nl.gate_name(oa),
+                work.gate_name(ob),
+                "{name}: output order changed"
+            );
+            assert_eq!(
+                va.get(oa),
+                vb.get(ob),
+                "{name}: output {} diverged after windowed optimization",
+                nl.gate_name(oa)
+            );
+        }
+        println!(
+            "{:<14} {:>7} | {:>9.3} {:>8} {:>7} | {:>12.6}",
+            name,
+            gates,
+            run.seconds,
+            run.report.windows.len(),
+            run.report.applied.len(),
+            run.report.initial_power - run.report.final_power,
+        );
+        if ran > 0 {
+            rows.push_str(",\n");
+        }
+        ran += 1;
+        json_scaling_row(&mut rows, name, gates, &run);
+    }
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_path = args
@@ -391,12 +495,39 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Windowed scaling curve: `--scale` runs the default generated
+    // sizes; `--scale=a,b,c` an explicit list. Off by default because
+    // the large circuits dominate the wall clock.
+    let scale_names: Vec<String> =
+        if let Some(list) = args.iter().find_map(|a| a.strip_prefix("--scale=")) {
+            list.split(',').map(str::to_string).collect()
+        } else if args.iter().any(|a| a == "--scale") {
+            vec!["gen10k".to_string(), "gen50k".to_string()]
+        } else {
+            Vec::new()
+        };
+    let scale_deadline = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--scale-deadline="))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(300.0);
+    let scaling_rows = if scale_names.is_empty() {
+        String::new()
+    } else {
+        run_scaling(&scale_names, scale_deadline)
+    };
+    let scaling = if scaling_rows.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{scaling_rows}\n  ]")
+    };
+
     // Whole-process registry snapshot: every run above fed the same
     // counters, so this is the benchmark's aggregate observability view.
     let metrics = powder_obs::snapshot().to_json();
     let metrics = metrics.trim_end();
     let json = format!(
-        "{{\n  \"experiment\": \"bench_optimize\",\n  \"delay_limit\": \"factor 1.0\",\n  \"hardware_threads\": {hw},\n  \"circuits\": [\n{rows}\n  ],\n  \"totals\": {{ \"incremental_seconds\": {total_inc:.6}, \"full_rebuild_seconds\": {total_full:.6}, \"end_to_end_speedup\": {:.4}, \"refresh_incremental_seconds\": {total_refresh_inc:.6}, \"refresh_full_seconds\": {total_refresh_full:.6}, \"refresh_speedup\": {:.4}, \"eval_jobs1_seconds\": {total_eval_seq:.6}, \"eval_jobs4_seconds\": {total_eval_par:.6}, \"eval_speedup\": {:.4} }},\n  \"metrics\": {metrics}\n}}\n",
+        "{{\n  \"experiment\": \"bench_optimize\",\n  \"delay_limit\": \"factor 1.0\",\n  \"hardware_threads\": {hw},\n  \"circuits\": [\n{rows}\n  ],\n  \"scaling\": {scaling},\n  \"totals\": {{ \"incremental_seconds\": {total_inc:.6}, \"full_rebuild_seconds\": {total_full:.6}, \"end_to_end_speedup\": {:.4}, \"refresh_incremental_seconds\": {total_refresh_inc:.6}, \"refresh_full_seconds\": {total_refresh_full:.6}, \"refresh_speedup\": {:.4}, \"eval_jobs1_seconds\": {total_eval_seq:.6}, \"eval_jobs4_seconds\": {total_eval_par:.6}, \"eval_speedup\": {:.4} }},\n  \"metrics\": {metrics}\n}}\n",
         total_full / total_inc.max(1e-12),
         total_refresh_full / total_refresh_inc.max(1e-12),
         total_eval_seq / total_eval_par.max(1e-12),

@@ -43,6 +43,8 @@
 mod generators;
 pub mod mini;
 mod random;
+pub mod scale;
 mod suite;
 
+pub use scale::{build_scale, load_blif, scale_info, scale_names, ScaleInfo};
 pub use suite::{build, info, table1_names, tradeoff_names, BenchmarkInfo, BuildError, Family};

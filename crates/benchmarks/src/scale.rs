@@ -1,0 +1,398 @@
+//! Large-scale benchmark circuits for the windowed-optimization scaling
+//! curve.
+//!
+//! Unlike the Table-1 stand-ins, these are built by **direct cell-level
+//! construction** — gates are placed straight into the [`Netlist`]
+//! arena, no two-level minimisation or technology mapping pass — so a
+//! 100k-gate circuit materialises in milliseconds and the benchmark
+//! harness can sweep netlist size without synthesis dominating the
+//! wall clock. Three classes:
+//!
+//! * `gen10k` / `gen50k` / `gen100k` — seeded random mapped DAGs with a
+//!   deliberate duplicate-gate rate, so POWDER's OS/IS substitutions
+//!   have material to work with at every scale;
+//! * `s13207c` / `s38417c` — ISCAS'89-class combinational cores: the
+//!   flip-flop boundary of the sequential originals is modelled as a
+//!   wide pseudo-PI/PO interface around shallow control logic;
+//! * `epfl_adder128` / `epfl_mult32` — EPFL-class arithmetic: a
+//!   ripple-carry adder and an array multiplier with exact,
+//!   well-defined structure.
+//!
+//! [`load_blif`] is the companion loader for *real* ISCAS/EPFL netlists
+//! the user has on disk (they are not redistributable, so none ship
+//! with the repo).
+
+use crate::random::name_seed;
+use powder_library::{CellId, Library};
+use powder_netlist::blif::read_blif;
+use powder_netlist::{GateId, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Static description of a scale-suite entry.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleInfo {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Class label (`generated`, `iscas89-class`, `epfl-class`).
+    pub class: &'static str,
+    /// Approximate cell count the generator targets.
+    pub target_gates: usize,
+}
+
+const SCALE: [ScaleInfo; 7] = [
+    ScaleInfo {
+        name: "gen10k",
+        class: "generated",
+        target_gates: 10_000,
+    },
+    ScaleInfo {
+        name: "gen50k",
+        class: "generated",
+        target_gates: 50_000,
+    },
+    ScaleInfo {
+        name: "gen100k",
+        class: "generated",
+        target_gates: 100_000,
+    },
+    ScaleInfo {
+        name: "s13207c",
+        class: "iscas89-class",
+        target_gates: 8_000,
+    },
+    ScaleInfo {
+        name: "s38417c",
+        class: "iscas89-class",
+        target_gates: 22_000,
+    },
+    ScaleInfo {
+        name: "epfl_adder128",
+        class: "epfl-class",
+        target_gates: 640,
+    },
+    ScaleInfo {
+        name: "epfl_mult32",
+        class: "epfl-class",
+        target_gates: 6_000,
+    },
+];
+
+/// Names of the scale suite, smallest class first.
+#[must_use]
+pub fn scale_names() -> Vec<&'static str> {
+    SCALE.iter().map(|s| s.name).collect()
+}
+
+/// Metadata for a scale-suite name.
+#[must_use]
+pub fn scale_info(name: &str) -> Option<ScaleInfo> {
+    SCALE.iter().find(|s| s.name == name).copied()
+}
+
+/// Builds a scale-suite circuit by name; `None` for unknown names.
+#[must_use]
+pub fn build_scale(name: &str, lib: Arc<Library>) -> Option<Netlist> {
+    let nl = match name {
+        "gen10k" => generated(lib, "gen10k", 10_000, 64),
+        "gen50k" => generated(lib, "gen50k", 50_000, 64),
+        "gen100k" => generated(lib, "gen100k", 100_000, 64),
+        // ISCAS'89-class: a much wider pseudo-FF interface and a larger
+        // locality window, giving the shallow, register-bounded shape of
+        // the sequential originals' combinational cores.
+        "s13207c" => generated(lib, "s13207c", 8_000, 256),
+        "s38417c" => generated(lib, "s38417c", 22_000, 256),
+        "epfl_adder128" => ripple_adder(lib, "epfl_adder128", 128),
+        "epfl_mult32" => array_multiplier(lib, "epfl_mult32", 32),
+        _ => return None,
+    };
+    Some(nl)
+}
+
+/// Reads a mapped BLIF benchmark from disk against `lib` — the loader
+/// for real ISCAS'89 / EPFL netlists that cannot ship with the repo.
+///
+/// # Errors
+///
+/// Returns a message for IO failures, parse errors, or validation
+/// failures of the resulting netlist.
+pub fn load_blif(path: &Path, lib: Arc<Library>) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let nl = read_blif(&text, lib).map_err(|e| format!("{}: {e}", path.display()))?;
+    nl.validate()
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(nl)
+}
+
+/// Seeded random mapped DAG with exactly `gates` cells.
+///
+/// `locality` bounds how far back a new gate may reach for its operands:
+/// small values give deep, narrow circuits; large values give the wide,
+/// shallow shape of a register-bounded core. Roughly 7% of gates are
+/// operand-identical duplicates of an earlier gate, seeding the
+/// permissible-substitution opportunities POWDER exists to find.
+#[must_use]
+pub fn generated(lib: Arc<Library>, name: &str, gates: usize, locality: usize) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(name_seed(name));
+    let inputs = (gates / 64).clamp(16, 512);
+    let cells: Vec<CellId> = [
+        "and2", "or2", "nand2", "nor2", "xor2", "xnor2", "andn2", "orn2",
+    ]
+    .iter()
+    .map(|n| lib.find_by_name(n).expect("lib2 cell"))
+    .collect();
+    let inv1 = lib.find_by_name("inv1").expect("lib2 cell");
+
+    let mut nl = Netlist::new(name, lib);
+    let mut signals: Vec<GateId> = (0..inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
+    // Remember each cell gate's recipe so duplicates are cheap to mint.
+    let mut recipes: Vec<(CellId, Vec<GateId>)> = Vec::with_capacity(gates);
+    for k in 0..gates {
+        let n = signals.len();
+        let lo = n.saturating_sub(locality);
+        let (cell, fanins) = if !recipes.is_empty() && rng.gen_bool(0.07) {
+            // Duplicate a recent gate verbatim: a guaranteed compatible
+            // signal pair for OS2-style substitution.
+            let r = recipes.len();
+            recipes[rng.gen_range(r.saturating_sub(4 * locality)..r)].clone()
+        } else if rng.gen_bool(0.08) {
+            (inv1, vec![signals[rng.gen_range(lo..n)]])
+        } else {
+            let cell = cells[rng.gen_range(0..cells.len())];
+            let a = signals[rng.gen_range(lo..n)];
+            let b = signals[rng.gen_range(lo..n)];
+            (cell, vec![a, b])
+        };
+        let g = nl.add_cell(format!("g{k}"), cell, &fanins);
+        recipes.push((cell, fanins));
+        signals.push(g);
+    }
+    // Every sink-less gate becomes a primary output, so nothing is
+    // dangling and a sweep cannot silently shrink the circuit.
+    let mut outs = 0usize;
+    let live: Vec<GateId> = nl.iter_live().collect();
+    for g in live {
+        if nl.fanouts(g).is_empty() && !nl.fanins(g).is_empty() {
+            nl.add_output(format!("y{outs}"), g);
+            outs += 1;
+        }
+    }
+    let _ = nl.drain_dirty();
+    debug_assert!(nl.validate().is_ok(), "{name} failed validation");
+    nl
+}
+
+/// One full adder out of lib2 cells: 5 gates, returns `(sum, carry)`.
+fn full_adder(
+    nl: &mut Netlist,
+    tag: &str,
+    (xor2, and2, or2): (CellId, CellId, CellId),
+    a: GateId,
+    b: GateId,
+    c: GateId,
+) -> (GateId, GateId) {
+    let p = nl.add_cell(format!("{tag}_p"), xor2, &[a, b]);
+    let s = nl.add_cell(format!("{tag}_s"), xor2, &[p, c]);
+    let g = nl.add_cell(format!("{tag}_g"), and2, &[a, b]);
+    let t = nl.add_cell(format!("{tag}_t"), and2, &[p, c]);
+    let cout = nl.add_cell(format!("{tag}_c"), or2, &[g, t]);
+    (s, cout)
+}
+
+fn arith_cells(lib: &Library) -> (CellId, CellId, CellId) {
+    (
+        lib.find_by_name("xor2").expect("lib2 cell"),
+        lib.find_by_name("and2").expect("lib2 cell"),
+        lib.find_by_name("or2").expect("lib2 cell"),
+    )
+}
+
+/// EPFL-class ripple-carry adder: `bits`-bit `a + b + cin`.
+#[must_use]
+pub fn ripple_adder(lib: Arc<Library>, name: &str, bits: usize) -> Netlist {
+    let cells = arith_cells(&lib);
+    let mut nl = Netlist::new(name, lib);
+    let a: Vec<GateId> = (0..bits).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..bits).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let mut carry = nl.add_input("cin");
+    for i in 0..bits {
+        let (s, c) = full_adder(&mut nl, &format!("fa{i}"), cells, a[i], b[i], carry);
+        nl.add_output(format!("s{i}"), s);
+        carry = c;
+    }
+    nl.add_output("cout", carry);
+    let _ = nl.drain_dirty();
+    debug_assert!(nl.validate().is_ok(), "{name} failed validation");
+    nl
+}
+
+/// EPFL-class array multiplier: `bits × bits → 2·bits` product via
+/// partial-product rows folded in with ripple chains.
+#[must_use]
+pub fn array_multiplier(lib: Arc<Library>, name: &str, bits: usize) -> Netlist {
+    let cells = arith_cells(&lib);
+    let and2 = cells.1;
+    let mut nl = Netlist::new(name, lib);
+    let a: Vec<GateId> = (0..bits).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<GateId> = (0..bits).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let zero = nl.add_const("zero", false);
+    // Invariant entering iteration `row`: `acc[k]` carries product
+    // weight `(row - 1) + k`; `acc[0]` has already been emitted as
+    // output `p{row-1}`.
+    let mut acc: Vec<GateId> = (0..bits)
+        .map(|j| nl.add_cell(format!("pp0_{j}"), and2, &[a[j], b[0]]))
+        .collect();
+    nl.add_output("p0", acc[0]);
+    for (row, &b_row) in b.iter().enumerate().skip(1) {
+        let pp: Vec<GateId> = (0..bits)
+            .map(|j| nl.add_cell(format!("pp{row}_{j}"), and2, &[a[j], b_row]))
+            .collect();
+        let mut carry = zero;
+        let mut next = Vec::with_capacity(bits + 1);
+        for (j, &ppj) in pp.iter().enumerate() {
+            // Weight row + j: previous sum bit meets this row's pp bit.
+            let prev = acc.get(j + 1).copied().unwrap_or(zero);
+            let (s, c) = full_adder(&mut nl, &format!("m{row}_{j}"), cells, prev, ppj, carry);
+            next.push(s);
+            carry = c;
+        }
+        nl.add_output(format!("p{row}"), next[0]);
+        next.push(carry);
+        acc = next;
+    }
+    // High half of the product: weights `bits` through `2·bits − 1`.
+    for (k, &g) in acc.iter().enumerate().skip(1) {
+        nl.add_output(format!("p{}", bits - 1 + k), g);
+    }
+    let _ = nl.drain_dirty();
+    debug_assert!(nl.validate().is_ok(), "{name} failed validation");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+
+    #[test]
+    fn scale_suite_builds_and_validates() {
+        let lib = Arc::new(lib2());
+        for name in ["epfl_adder128", "s13207c"] {
+            let nl = build_scale(name, lib.clone()).unwrap();
+            nl.validate().unwrap();
+            let info = scale_info(name).unwrap();
+            assert!(
+                nl.cell_count() >= info.target_gates / 2,
+                "{name}: {} cells vs target {}",
+                nl.cell_count(),
+                info.target_gates
+            );
+        }
+        assert!(build_scale("bogus", lib).is_none());
+    }
+
+    #[test]
+    fn generated_hits_exact_gate_count_and_is_deterministic() {
+        let lib = Arc::new(lib2());
+        let a = generated(lib.clone(), "t_gen", 3_000, 64);
+        let b = generated(lib, "t_gen", 3_000, 64);
+        a.validate().unwrap();
+        assert_eq!(a.cell_count(), 3_000);
+        assert_eq!(a.cell_count(), b.cell_count());
+        assert!((a.area() - b.area()).abs() < 1e-9, "determinism");
+    }
+
+    #[test]
+    fn adder_adds() {
+        let lib = Arc::new(lib2());
+        let nl = ripple_adder(lib, "t_add", 4);
+        // 4-bit: 4·5 = 20 cells, 9 inputs, 5 outputs.
+        assert_eq!(nl.cell_count(), 20);
+        assert_eq!(nl.inputs().len(), 9);
+        assert_eq!(nl.outputs().len(), 5);
+        for (x, y, cin) in [(3u64, 5u64, 0u64), (15, 15, 1), (9, 6, 1)] {
+            let sum = eval_adder(&nl, x, y, cin != 0);
+            assert_eq!(sum, x + y + cin, "{x}+{y}+{cin}");
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let lib = Arc::new(lib2());
+        let nl = array_multiplier(lib, "t_mul", 4);
+        nl.validate().unwrap();
+        assert_eq!(nl.outputs().len(), 8);
+        for (x, y) in [(3u64, 5u64), (15, 15), (0, 9), (7, 12)] {
+            let p = eval_mult(&nl, x, y);
+            assert_eq!(p, x * y, "{x}*{y}");
+        }
+    }
+
+    /// Single-pattern reference evaluation by input-name prefix.
+    fn eval(nl: &Netlist, assign: impl Fn(&str) -> bool) -> Vec<(String, bool)> {
+        use powder_netlist::GateKind;
+        let mut val = vec![false; nl.id_bound()];
+        for &pi in nl.inputs() {
+            val[pi.0 as usize] = assign(nl.gate_name(pi));
+        }
+        for g in nl.topo_order() {
+            val[g.0 as usize] = match nl.kind(g) {
+                GateKind::Input => val[g.0 as usize],
+                GateKind::Const(k) => k,
+                GateKind::Output => val[nl.fanins(g)[0].0 as usize],
+                GateKind::Cell(c) => {
+                    let mut m = 0u64;
+                    for (i, f) in nl.fanins(g).iter().enumerate() {
+                        if val[f.0 as usize] {
+                            m |= 1 << i;
+                        }
+                    }
+                    nl.library().cell_ref(c).function.eval(m)
+                }
+            };
+        }
+        nl.outputs()
+            .iter()
+            .map(|&o| (nl.gate_name(o).to_string(), val[o.0 as usize]))
+            .collect()
+    }
+
+    fn bit_of(name: &str, prefix: char, word: u64) -> bool {
+        name.strip_prefix(prefix)
+            .and_then(|s| s.parse::<u32>().ok())
+            .is_some_and(|i| (word >> i) & 1 == 1)
+    }
+
+    fn eval_adder(nl: &Netlist, x: u64, y: u64, cin: bool) -> u64 {
+        let outs = eval(nl, |n| {
+            n == "cin" && cin || bit_of(n, 'a', x) || bit_of(n, 'b', y)
+        });
+        let mut sum = 0u64;
+        for (name, v) in outs {
+            if !v {
+                continue;
+            }
+            if name == "cout" {
+                sum |= 1 << 4;
+            } else if let Some(i) = name.strip_prefix('s').and_then(|s| s.parse::<u32>().ok()) {
+                sum |= 1 << i;
+            }
+        }
+        sum
+    }
+
+    fn eval_mult(nl: &Netlist, x: u64, y: u64) -> u64 {
+        let outs = eval(nl, |n| bit_of(n, 'a', x) || bit_of(n, 'b', y));
+        let mut p = 0u64;
+        for (name, v) in outs {
+            if let Some(i) = name.strip_prefix('p').and_then(|s| s.parse::<u32>().ok()) {
+                if v {
+                    p |= 1 << i;
+                }
+            }
+        }
+        p
+    }
+}

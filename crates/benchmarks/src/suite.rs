@@ -406,11 +406,14 @@ pub fn build(name: &str, lib: Arc<Library>) -> Result<Netlist, BuildError> {
         "apex1" => shared_pla(lib, "apex1", pla(45, 45, 210, 16, (4, 9))),
         "pair" => g::arith_mix(lib, "pair", 12),
         "des" => g::sbox_network(lib, "des", 64, 2, crate::random::name_seed("des")),
-        other => {
-            return Err(BuildError {
-                name: other.to_string(),
-            })
-        }
+        other => match crate::scale::build_scale(other, lib) {
+            Some(nl) => nl,
+            None => {
+                return Err(BuildError {
+                    name: other.to_string(),
+                })
+            }
+        },
     };
     debug_assert!(nl.validate().is_ok(), "{name} failed validation");
     Ok(nl)

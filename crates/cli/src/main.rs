@@ -3,7 +3,7 @@
 //! ```text
 //! powder optimize <in.blif> [-o out.blif] [--delay-limit PCT] [--library lib.genlib]
 //!                 [--repeat N] [--patterns N] [--seed S] [--jobs N]
-//!                 [--deadline-secs S]
+//!                 [--deadline-secs S] [--window-size W] [--window-overlap H]
 //!                 [--passes LIST] [--fixpoint N] [--resize] [--redundancy]
 //!                 [--trace-out trace.json] [--metrics-out metrics.json]
 //! powder synth    <in.pla>  [-o out.blif] [--library lib.genlib]   # two-level → mapped
@@ -16,7 +16,8 @@
 //! powder submit   <in.blif> (--addr HOST:PORT | --state-dir DIR)
 //!                 [--tenant T] [--priority P] [--wait] [-o out.blif]
 //!                 [optimize flags: --passes/--fixpoint/--repeat/--patterns/
-//!                  --seed/--jobs/--delay-limit/--deadline-secs]
+//!                  --seed/--jobs/--delay-limit/--deadline-secs/
+//!                  --window-size/--window-overlap]
 //! ```
 //!
 //! `--passes` takes a comma-separated pipeline over `sweep`, `powder`,
@@ -76,6 +77,13 @@ struct Options {
     jobs: usize,
     /// Wall-clock budget for `optimize`; None = unbounded.
     deadline_secs: Option<f64>,
+    /// Window core size for large-netlist optimization; None = the
+    /// automatic policy (whole-netlist below the threshold, windowed
+    /// above it).
+    window_size: Option<usize>,
+    /// Halo budget for windowed optimization; None = derived from the
+    /// window size.
+    window_overlap: Option<usize>,
     /// Comma-separated pass pipeline (`sweep,powder,resize,redundancy`).
     passes: Option<String>,
     /// Fixpoint iterations of the whole pass sequence.
@@ -115,6 +123,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         seed: 0xB0D1E5,
         jobs: 0,
         deadline_secs: None,
+        window_size: None,
+        window_overlap: None,
         passes: None,
         fixpoint: 1,
         resize: false,
@@ -185,6 +195,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 o.deadline_secs = Some(secs);
             }
+            "--window-size" => {
+                let size: usize = val("--window-size")?
+                    .parse()
+                    .map_err(|e| format!("bad --window-size: {e}"))?;
+                if size == 0 {
+                    return Err(
+                        "bad --window-size: 0 is not a window size (omit the flag for the \
+                         automatic policy)"
+                            .into(),
+                    );
+                }
+                o.window_size = Some(size);
+            }
+            "--window-overlap" => {
+                o.window_overlap = Some(
+                    val("--window-overlap")?
+                        .parse()
+                        .map_err(|e| format!("bad --window-overlap: {e}"))?,
+                );
+            }
             "--passes" => o.passes = Some(val("--passes")?),
             "--fixpoint" => {
                 o.fixpoint = val("--fixpoint")?
@@ -221,6 +251,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--wait" => o.wait = true,
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => o.positional.push(other.to_string()),
+        }
+    }
+    if let Some(overlap) = o.window_overlap {
+        // Against an explicit size, or the automatic policy's size when
+        // only the overlap was given.
+        let size = o
+            .window_size
+            .unwrap_or(powder_netlist::WindowConfig::AUTO_SIZE);
+        if overlap >= size {
+            return Err(format!(
+                "bad --window-overlap: {overlap} must be smaller than the window size ({size})"
+            ));
         }
     }
     Ok(o)
@@ -351,6 +393,13 @@ fn run() -> Result<(), String> {
                     if info.exact { " (exact)" } else { "" }
                 );
             }
+            for name in powder_benchmarks::scale_names() {
+                let info = powder_benchmarks::scale_info(name).expect("known");
+                println!(
+                    "{name:<14} {} (~{} gates, scale suite)",
+                    info.class, info.target_gates
+                );
+            }
             Ok(())
         }
         "bench" => {
@@ -452,6 +501,8 @@ fn run() -> Result<(), String> {
                 deadline,
                 faults,
                 stop: Some(Arc::clone(&stop)),
+                window_size: opts.window_size,
+                window_overlap: opts.window_overlap,
                 ..OptimizeConfig::default()
             };
             let spec = pass_spec(&opts)?;
@@ -548,6 +599,8 @@ fn run() -> Result<(), String> {
                 jobs: opts.jobs,
                 delay_limit_percent: opts.delay_limit,
                 deadline_secs: opts.deadline_secs,
+                window_size: opts.window_size,
+                window_overlap: opts.window_overlap,
             };
             let id = powder_serve::client::submit(&addr, &spec, &netlist)?;
             eprintln!("submitted {id} to {addr}");
@@ -657,6 +710,32 @@ mod tests {
     }
 
     #[test]
+    fn parses_window_flags() {
+        let o = parse_args(&args(&["--window-size", "512", "--window-overlap", "64"])).unwrap();
+        assert_eq!(o.window_size, Some(512));
+        assert_eq!(o.window_overlap, Some(64));
+        let o = parse_args(&[]).unwrap();
+        assert!(o.window_size.is_none() && o.window_overlap.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_window_flags() {
+        let err = parse_args(&args(&["--window-size", "0"])).err().unwrap();
+        assert!(err.contains("--window-size"), "got: {err}");
+        let err = parse_args(&args(&["--window-size", "64", "--window-overlap", "64"]))
+            .err()
+            .unwrap();
+        assert!(err.contains("smaller than the window size"), "got: {err}");
+        // Overlap without an explicit size is validated against the
+        // automatic policy's window size.
+        let err = parse_args(&args(&["--window-overlap", "4096"]))
+            .err()
+            .unwrap();
+        assert!(err.contains("smaller than the window size"), "got: {err}");
+        assert!(parse_args(&args(&["--window-overlap", "128"])).is_ok());
+    }
+
+    #[test]
     fn parses_observability_flags() {
         let o = parse_args(&args(&[
             "--trace-out",
@@ -707,7 +786,7 @@ mod tests {
         let lib = Library::new("noinv", Vec::new());
         let mut o = parse_args(&[]).unwrap();
         o.library = Some("x.genlib".into());
-        let e = require_inverter(&lib, &o).unwrap_err();
+        let e = require_inverter(&lib, &o).err().unwrap();
         assert!(e.contains("x.genlib") && e.contains("no inverter"), "{e}");
         assert!(
             require_inverter(&lib2(), &o).is_ok(),

@@ -58,13 +58,16 @@ mod parallel;
 pub mod redundancy;
 pub mod report;
 pub mod resize;
+mod windowed;
 
 pub use optimizer::{
     optimize, optimize_with, DelayLimit, OptimizeConfig, RoundHook, RoundSnapshot, SharedAnalyses,
 };
-pub use powder_atpg::{check_equivalence, CandidateConfig, EquivOutcome, Substitution};
+pub use powder_atpg::{
+    check_equivalence, CandidateConfig, CandidateScope, EquivOutcome, Substitution,
+};
 pub use powder_engine::EngineStats;
 pub use report::{
     AppliedSubstitution, ClassStats, GuardStats, IncrementalStats, OptimizeReport, PhaseTimes,
-    QuarantineReason, QuarantinedCandidate, SubClass,
+    QuarantineReason, QuarantinedCandidate, SubClass, WindowReport,
 };

@@ -7,7 +7,8 @@ use crate::report::{
     QuarantinedCandidate, SubClass,
 };
 use powder_atpg::{
-    check_substitution, generate_candidates, CandidateConfig, CheckOutcome, Substitution,
+    generate_candidates_scoped, CandidateConfig, CandidateScope, CheckArena, CheckOutcome,
+    Substitution,
 };
 use powder_engine::EngineStats;
 use powder_faults::FaultState;
@@ -98,6 +99,26 @@ pub struct OptimizeConfig {
     /// at any `jobs`. Rounds cut short by the deadline or a stop request
     /// do not fire it. `None` (the default) observes nothing.
     pub round_hook: Option<RoundHook>,
+    /// Core size (gates) for the windowed large-netlist driver. `None`
+    /// (the default) selects the automatic policy of
+    /// `powder_netlist::WindowConfig::auto`: whole-netlist optimization
+    /// below the auto threshold, windowed beyond it. `Some(n)` forces
+    /// `n`-gate windows regardless of circuit size.
+    pub window_size: Option<usize>,
+    /// Halo budget (gates borrowed from neighbouring windows) for the
+    /// windowed driver. `None` derives it from the window size
+    /// (`size / 8`); must be strictly smaller than the window size.
+    pub window_overlap: Option<usize>,
+    /// Units of work already completed by an interrupted invocation
+    /// this one resumes: candidate rounds for whole-netlist runs,
+    /// completed windows for windowed runs. The run executes only the
+    /// remaining units. `0` (the default) runs from the start.
+    pub rounds_offset: usize,
+    /// Restricts candidate generation to a window of the netlist. Set
+    /// by the windowed driver for its per-window inner runs; also
+    /// disables window dispatch (an inner run never re-windows).
+    /// `None` (the default) considers the whole netlist.
+    pub scope: Option<Arc<CandidateScope>>,
 }
 
 /// Borrowed view of optimizer state at a committed round boundary,
@@ -170,6 +191,10 @@ impl Default for OptimizeConfig {
             faults: None,
             stop: None,
             round_hook: None,
+            window_size: None,
+            window_overlap: None,
+            rounds_offset: 0,
+            scope: None,
         }
     }
 }
@@ -239,11 +264,35 @@ pub fn optimize_with(
     config: &OptimizeConfig,
     shared: &mut SharedAnalyses,
 ) -> OptimizeReport {
-    let jobs = powder_engine::resolve_jobs(config.jobs);
-    if jobs > 1 {
-        return crate::parallel::optimize_parallel(nl, config, jobs, shared);
+    // Window dispatch happens only at the top level: the windowed
+    // driver's per-window inner runs carry a scope and fall through to
+    // the classic whole-netlist (within their scope) paths below.
+    if config.scope.is_none() {
+        if let Some(wcfg) = crate::windowed::resolve_window_config(config, nl.live_gate_count()) {
+            return crate::windowed::optimize_windowed(nl, config, shared, wcfg);
+        }
     }
-    optimize_sequential(nl, config, shared)
+    let jobs = powder_engine::resolve_jobs(config.jobs);
+    let report = if jobs > 1 {
+        crate::parallel::optimize_parallel(nl, config, jobs, shared)
+    } else {
+        optimize_sequential(nl, config, shared)
+    };
+    record_arena_gauges(nl);
+    report
+}
+
+/// Publishes the `netlist.arena.*` occupancy gauges for the current
+/// arena state. Len-based byte counts, so deterministic for a given
+/// netlist regardless of allocation history.
+pub(crate) fn record_arena_gauges(nl: &Netlist) {
+    let s = nl.arena_stats();
+    obs::gauge!(obs::names::ARENA_SLOTS).set(s.slots as f64);
+    obs::gauge!(obs::names::ARENA_LIVE).set(s.live as f64);
+    obs::gauge!(obs::names::ARENA_DEAD).set(s.dead as f64);
+    obs::gauge!(obs::names::ARENA_FANIN_POOL).set(s.fanin_pool as f64);
+    obs::gauge!(obs::names::ARENA_FANOUT_BRANCHES).set(s.fanout_branches as f64);
+    obs::gauge!(obs::names::ARENA_COLUMN_BYTES).set(s.column_bytes as f64);
 }
 
 /// The sequential reference path (`jobs = 1`): the parallel engine's
@@ -305,6 +354,10 @@ pub(crate) fn optimize_sequential(
     // counterexample).
     let mut patterns_stale = false;
     let mut cone_scratch = ConeScratch::new();
+    // Proof arena reused across candidates and rounds: the base circuit
+    // is rebuilt only when the netlist (or the window scope) changes.
+    // Outcomes are bit-identical to one-shot `check_substitution` calls.
+    let mut check_arena = CheckArena::new();
     let mut cone: Vec<GateId> = Vec::new();
 
     let mut guard_stats = GuardStats::default();
@@ -313,7 +366,7 @@ pub(crate) fn optimize_sequential(
     let mut deadline_hit = false;
     let mut interrupted = false;
 
-    for _round in 0..config.max_rounds {
+    for _round in 0..config.max_rounds.saturating_sub(config.rounds_offset) {
         if deadline_exceeded(config.deadline) {
             deadline_hit = true;
             obs::counter!(obs::names::OPTIMIZER_DEADLINE_HITS).inc();
@@ -339,7 +392,13 @@ pub(crate) fn optimize_sequential(
         let cands = {
             let _span = obs::span!(obs::names::span::PHASE_CANDIDATES);
             let values = values.as_ref().expect("simulated above");
-            generate_candidates(nl, covers, values, &config.candidates)
+            generate_candidates_scoped(
+                nl,
+                covers,
+                values,
+                &config.candidates,
+                config.scope.as_deref(),
+            )
         };
         phase.candidates += t.elapsed().as_secs_f64();
         if cands.is_empty() {
@@ -457,7 +516,13 @@ pub(crate) fn optimize_sequential(
                     CheckOutcome::Aborted
                 } else {
                     let budget = adaptive_backtrack(config.backtrack_limit, t0, config.deadline);
-                    check_substitution(nl, &sub, budget)
+                    match config.scope.as_deref() {
+                        // Windowed runs prove on window-local cones: the
+                        // miter is cut at the scope boundary, so solver
+                        // work is bounded by the window.
+                        Some(scope) => check_arena.check_scoped(nl, &sub, budget, &scope.sources),
+                        None => check_arena.check(nl, &sub, budget),
+                    }
                 }
             };
             phase.atpg += t.elapsed().as_secs_f64();
@@ -631,6 +696,7 @@ pub(crate) fn optimize_sequential(
         engine,
         guard: guard_stats,
         quarantined: quarantined_list,
+        windows: Vec::new(),
         deadline_hit,
         interrupted,
     }
@@ -779,6 +845,7 @@ pub(crate) fn substitution_timing(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use powder_atpg::check_substitution;
     use powder_library::lib2;
     use powder_sim::{simulate as sim, Patterns as Pats};
     use std::sync::Arc;

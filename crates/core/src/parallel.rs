@@ -50,7 +50,7 @@ use crate::report::{
     AppliedSubstitution, GuardStats, IncrementalStats, OptimizeReport, PhaseTimes,
     QuarantinedCandidate, SubClass,
 };
-use powder_atpg::{generate_candidates, CheckArena, CheckOutcome, Substitution};
+use powder_atpg::{generate_candidates_scoped, CheckArena, CheckOutcome, Substitution};
 use powder_engine::{
     pool::batch_by_key, DirtyBits, EngineStats, Footprint, FootprintScratch, SpecCache, WorkerPool,
 };
@@ -255,7 +255,7 @@ pub(crate) fn optimize_parallel(
     let mut deadline_hit = false;
     let mut interrupted = false;
 
-    for _round in 0..config.max_rounds {
+    for _round in 0..config.max_rounds.saturating_sub(config.rounds_offset) {
         if deadline_exceeded(config.deadline) {
             deadline_hit = true;
             obs::counter!(obs::names::OPTIMIZER_DEADLINE_HITS).inc();
@@ -281,7 +281,13 @@ pub(crate) fn optimize_parallel(
         let cands = {
             let _span = obs::span!(obs::names::span::PHASE_CANDIDATES);
             let values = values.as_ref().expect("simulated above");
-            generate_candidates(nl, covers, values, &config.candidates)
+            generate_candidates_scoped(
+                nl,
+                covers,
+                values,
+                &config.candidates,
+                config.scope.as_deref(),
+            )
         };
         phase.candidates += t.elapsed().as_secs_f64();
         if cands.is_empty() {
@@ -533,6 +539,7 @@ pub(crate) fn optimize_parallel(
                     let scored_ref = &scored;
                     let bl = adaptive_backtrack(config.backtrack_limit, t0, config.deadline);
                     let faults = config.faults.clone();
+                    let scope = config.scope.clone();
                     // One proof per batch: proofs dominate the
                     // pipeline, so maximal stealing wins.
                     let batches: Vec<Vec<u32>> = todo.iter().map(|&id| vec![id]).collect();
@@ -545,7 +552,12 @@ pub(crate) fn optimize_parallel(
                             if fires(faults.as_ref(), SITE_ATPG_ABORT) {
                                 CheckOutcome::Aborted
                             } else {
-                                arena.check(nl_snap, s, bl)
+                                match scope.as_deref() {
+                                    // Windowed runs prove on window-local
+                                    // cones, as in the sequential path.
+                                    Some(sc) => arena.check_scoped(nl_snap, s, bl, &sc.sources),
+                                    None => arena.check(nl_snap, s, bl),
+                                }
                             }
                         },
                     )
@@ -787,6 +799,7 @@ pub(crate) fn optimize_parallel(
         engine,
         guard: guard_stats,
         quarantined: quarantined_list,
+        windows: Vec::new(),
         deadline_hit,
         interrupted,
     }

@@ -97,6 +97,17 @@ impl PhaseTimes {
     pub fn total(&self) -> f64 {
         self.simulation + self.candidates + self.gain + self.timing + self.atpg + self.apply
     }
+
+    /// Folds another breakdown into this one (used when merging
+    /// per-window reports into the run total).
+    pub fn accumulate(&mut self, other: &PhaseTimes) {
+        self.simulation += other.simulation;
+        self.candidates += other.candidates;
+        self.gain += other.gain;
+        self.timing += other.timing;
+        self.atpg += other.atpg;
+        self.apply += other.apply;
+    }
 }
 
 /// How often each analysis was refreshed incrementally (over the dirty
@@ -180,6 +191,28 @@ pub struct QuarantinedCandidate {
     pub reason: QuarantineReason,
 }
 
+/// Outcome of one window processed by the windowed driver (see
+/// `OptimizeConfig::window_size`): the benchmark harness renders these
+/// as per-window phase rows, and the scaling analysis reads the
+/// core/scope sizes to verify the partitioner held its bounds.
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    /// Position of the window in its plan (processing order).
+    pub index: usize,
+    /// Rewrite-target gates the window owned (its core).
+    pub core_gates: usize,
+    /// Gates visible to the window (core, halo, and boundary).
+    pub scope_gates: usize,
+    /// Substitutions committed inside the window.
+    pub commits: usize,
+    /// Power saved by this window's commits.
+    pub power_saved: f64,
+    /// Per-phase wall-clock breakdown of the window's inner run.
+    pub phase: PhaseTimes,
+    /// Wall-clock seconds the window took end to end.
+    pub seconds: f64,
+}
+
 /// The result of running the optimizer on one circuit.
 #[derive(Clone, Debug)]
 pub struct OptimizeReport {
@@ -219,6 +252,10 @@ pub struct OptimizeReport {
     pub guard: GuardStats,
     /// Candidates the guard rolled back and quarantined, in order.
     pub quarantined: Vec<QuarantinedCandidate>,
+    /// Per-window rows when the windowed driver ran; empty for
+    /// whole-netlist runs. In windowed mode [`OptimizeReport::rounds`]
+    /// counts completed windows instead of candidate rounds.
+    pub windows: Vec<WindowReport>,
     /// Whether the run stopped early because its wall-clock deadline
     /// expired (the report then describes the best-so-far netlist).
     pub deadline_hit: bool,
@@ -335,6 +372,15 @@ impl fmt::Display for OptimizeReport {
                 self.engine.degraded_phases
             )?;
         }
+        if !self.windows.is_empty() {
+            let core: usize = self.windows.iter().map(|w| w.core_gates).sum();
+            write!(
+                f,
+                "\nwindows: {} processed covering {} core gates",
+                self.windows.len(),
+                core
+            )?;
+        }
         if self.deadline_hit {
             write!(f, "\ndeadline hit: best-so-far result emitted")?;
         }
@@ -408,6 +454,7 @@ mod tests {
                 ..GuardStats::default()
             },
             quarantined: Vec::new(),
+            windows: Vec::new(),
             deadline_hit: false,
             interrupted: false,
         };

@@ -47,8 +47,10 @@ mod proptests;
 pub mod snapshot;
 mod stats;
 pub mod verilog;
+pub mod window;
 
 pub use dirty::{ConeScratch, DirtyRegion};
-pub use netlist::{Checkpoint, Conn, GateId, GateKind, Netlist, NetlistError};
+pub use netlist::{ArenaStats, Checkpoint, Conn, GateId, GateKind, Netlist, NetlistError};
 pub use snapshot::{read_snapshot, write_snapshot, SnapshotError};
 pub use stats::NetlistStats;
+pub use window::{partition_windows, Window, WindowConfig, WindowPlan};

@@ -1,4 +1,11 @@
 //! The netlist data structure and its editing operations.
+//!
+//! Storage is a struct-of-arrays arena ([`GateColumns`]): one dense column
+//! per gate attribute (name, kind, liveness, fanin CSR, input-pin
+//! capacitances, fanout branches) indexed by [`GateId`]. Hot traversals —
+//! simulation, timing, power, ATPG cone walks — touch only the columns
+//! they need instead of striding over a wide `Gate` struct. The public
+//! API is unchanged: everything goes through [`GateId`] accessors.
 
 use crate::dirty::EditJournal;
 use powder_library::{CellId, Library};
@@ -39,13 +46,83 @@ pub struct Conn {
     pub pin: u32,
 }
 
-#[derive(Clone, Debug)]
-pub(crate) struct Gate {
-    pub(crate) name: String,
-    pub(crate) kind: GateKind,
-    pub(crate) fanins: Vec<GateId>,
-    pub(crate) fanouts: Vec<Conn>,
-    pub(crate) alive: bool,
+/// Struct-of-arrays gate storage. Fanins are a CSR pool: a gate's fanin
+/// list is fixed-size after creation (rewires mutate pins in place, sweeps
+/// zero the length), so `(offset, len)` into a shared pool never needs to
+/// grow per gate. Input-pin capacitances live in a pool parallel to the
+/// fanin pool so load computations read a dense `f64` column instead of
+/// chasing library cell pointers. Fanout lists push/swap-remove
+/// dynamically and stay per-gate `Vec`s.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct GateColumns {
+    names: Vec<String>,
+    kinds: Vec<GateKind>,
+    alive: Vec<bool>,
+    fanin_off: Vec<u32>,
+    fanin_len: Vec<u32>,
+    fanin_pool: Vec<GateId>,
+    pin_cap_pool: Vec<f64>,
+    fanouts: Vec<Vec<Conn>>,
+}
+
+impl GateColumns {
+    pub(crate) fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Appends a fully-formed slot (used by the snapshot reader, which
+    /// reconstructs tombstones and fanout lists verbatim).
+    pub(crate) fn push_slot(
+        &mut self,
+        name: String,
+        kind: GateKind,
+        fanins: &[GateId],
+        pin_caps: &[f64],
+        fanouts: Vec<Conn>,
+        alive: bool,
+    ) {
+        debug_assert_eq!(fanins.len(), pin_caps.len());
+        let off = self.fanin_pool.len() as u32;
+        self.fanin_pool.extend_from_slice(fanins);
+        self.pin_cap_pool.extend_from_slice(pin_caps);
+        self.fanin_off.push(off);
+        self.fanin_len.push(fanins.len() as u32);
+        self.names.push(name);
+        self.kinds.push(kind);
+        self.alive.push(alive);
+        self.fanouts.push(fanouts);
+    }
+
+    pub(crate) fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    pub(crate) fn kind(&self, i: usize) -> GateKind {
+        self.kinds[i]
+    }
+
+    pub(crate) fn alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    pub(crate) fn fanins(&self, i: usize) -> &[GateId] {
+        let off = self.fanin_off[i] as usize;
+        &self.fanin_pool[off..off + self.fanin_len[i] as usize]
+    }
+
+    pub(crate) fn fanouts(&self, i: usize) -> &[Conn] {
+        &self.fanouts[i]
+    }
+
+    fn pin_cap(&self, i: usize, pin: usize) -> f64 {
+        debug_assert!(pin < self.fanin_len[i] as usize);
+        self.pin_cap_pool[self.fanin_off[i] as usize + pin]
+    }
+
+    fn set_fanin(&mut self, i: usize, pin: usize, src: GateId) {
+        debug_assert!(pin < self.fanin_len[i] as usize);
+        self.fanin_pool[self.fanin_off[i] as usize + pin] = src;
+    }
 }
 
 /// Structural error reported by [`Netlist::validate`].
@@ -63,12 +140,33 @@ impl fmt::Display for NetlistError {
 
 impl std::error::Error for NetlistError {}
 
+/// Per-column memory accounting for the struct-of-arrays arena, exported
+/// through the `netlist.arena.*` observability gauges. Byte figures count
+/// occupied entries (`len`-based), not reserved capacity, so they are
+/// deterministic for a given edit sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArenaStats {
+    /// Total slots ever allocated (live + tombstones).
+    pub slots: usize,
+    /// Live slots.
+    pub live: usize,
+    /// Tombstoned slots.
+    pub dead: usize,
+    /// Entries in the shared fanin CSR pool.
+    pub fanin_pool: usize,
+    /// Fanout branch records across all gates.
+    pub fanout_branches: usize,
+    /// Bytes occupied by all columns (names, kinds, liveness, fanin CSR,
+    /// pin-cap pool, fanout lists).
+    pub column_bytes: usize,
+}
+
 /// A combinational mapped netlist over a shared [`Library`].
 #[derive(Clone)]
 pub struct Netlist {
     pub(crate) name: String,
     pub(crate) library: Arc<Library>,
-    pub(crate) gates: Vec<Gate>,
+    pub(crate) cols: GateColumns,
     pub(crate) inputs: Vec<GateId>,
     pub(crate) outputs: Vec<GateId>,
     pub(crate) names: HashMap<String, GateId>,
@@ -96,7 +194,7 @@ impl Netlist {
         Netlist {
             name: name.into(),
             library,
-            gates: Vec::new(),
+            cols: GateColumns::default(),
             inputs: Vec::new(),
             outputs: Vec::new(),
             names: HashMap::new(),
@@ -118,26 +216,22 @@ impl Netlist {
     }
 
     fn push_gate(&mut self, name: String, kind: GateKind, fanins: Vec<GateId>) -> GateId {
-        let id = GateId(self.gates.len() as u32);
+        let id = GateId(self.cols.len() as u32);
         let unique = if self.names.contains_key(&name) {
             format!("{name}${}", id.0)
         } else {
             name
         };
         self.names.insert(unique.clone(), id);
-        self.gates.push(Gate {
-            name: unique,
-            kind,
-            fanins: fanins.clone(),
-            fanouts: Vec::new(),
-            alive: true,
-        });
+        let caps = self.pin_caps_for(kind, fanins.len());
+        self.cols
+            .push_slot(unique, kind, &fanins, &caps, Vec::new(), true);
         self.live += 1;
         self.journal.generation += 1;
         self.journal.touch(id);
         for (pin, &src) in fanins.iter().enumerate() {
-            assert!(self.gates[src.0 as usize].alive, "fanin {src} is dead");
-            self.gates[src.0 as usize].fanouts.push(Conn {
+            assert!(self.cols.alive(src.0 as usize), "fanin {src} is dead");
+            self.cols.fanouts[src.0 as usize].push(Conn {
                 gate: id,
                 pin: pin as u32,
             });
@@ -145,6 +239,19 @@ impl Netlist {
             self.journal.touch(src);
         }
         id
+    }
+
+    /// Input-pin capacitances for a new gate, copied once from the library
+    /// into the dense pin-cap column. Output markers carry a zero (their
+    /// branch cap is the caller-supplied output load).
+    pub(crate) fn pin_caps_for(&self, kind: GateKind, pins: usize) -> Vec<f64> {
+        match kind {
+            GateKind::Cell(c) => {
+                let cell = self.library.cell_ref(c);
+                (0..pins).map(|p| cell.pin_cap(p)).collect()
+            }
+            _ => vec![0.0; pins],
+        }
     }
 
     /// Adds a primary input.
@@ -200,7 +307,7 @@ impl Netlist {
     /// Whether `id` refers to a live (not removed) gate.
     #[must_use]
     pub fn is_live(&self, id: GateId) -> bool {
-        self.gates.get(id.0 as usize).is_some_and(|gate| gate.alive)
+        self.cols.alive.get(id.0 as usize).copied().unwrap_or(false)
     }
 
     /// Number of live gates (including input/output/const pseudo-gates).
@@ -221,22 +328,24 @@ impl Netlist {
     /// this bound are tombstones.
     #[must_use]
     pub fn id_bound(&self) -> usize {
-        self.gates.len()
+        self.cols.len()
     }
 
     /// Iterator over live gate ids, ascending.
     pub fn iter_live(&self) -> impl Iterator<Item = GateId> + '_ {
-        self.gates
+        self.cols
+            .alive
             .iter()
             .enumerate()
-            .filter(|(_, g)| g.alive)
+            .filter(|(_, &alive)| alive)
             .map(|(i, _)| GateId(i as u32))
     }
 
-    fn gate(&self, id: GateId) -> &Gate {
-        let g = &self.gates[id.0 as usize];
-        assert!(g.alive, "gate {id} has been removed");
-        g
+    #[inline]
+    fn idx(&self, id: GateId) -> usize {
+        let i = id.0 as usize;
+        assert!(self.cols.alive(i), "gate {id} has been removed");
+        i
     }
 
     /// Gate name.
@@ -246,19 +355,19 @@ impl Netlist {
     /// Panics if `id` is dead or out of range (as do all accessors below).
     #[must_use]
     pub fn gate_name(&self, id: GateId) -> &str {
-        &self.gate(id).name
+        self.cols.name(self.idx(id))
     }
 
     /// Gate kind.
     #[must_use]
     pub fn kind(&self, id: GateId) -> GateKind {
-        self.gate(id).kind
+        self.cols.kind(self.idx(id))
     }
 
     /// The cell id of a cell instance, `None` for pseudo-gates.
     #[must_use]
     pub fn cell_id(&self, id: GateId) -> Option<CellId> {
-        match self.gate(id).kind {
+        match self.kind(id) {
             GateKind::Cell(c) => Some(c),
             _ => None,
         }
@@ -267,13 +376,13 @@ impl Netlist {
     /// Fanin gates, in pin order.
     #[must_use]
     pub fn fanins(&self, id: GateId) -> &[GateId] {
-        &self.gate(id).fanins
+        self.cols.fanins(self.idx(id))
     }
 
     /// Fanout branches.
     #[must_use]
     pub fn fanouts(&self, id: GateId) -> &[Conn] {
-        &self.gate(id).fanouts
+        self.cols.fanouts(self.idx(id))
     }
 
     /// Looks up a gate by name.
@@ -296,8 +405,8 @@ impl Netlist {
     /// `output_load` each.
     #[must_use]
     pub fn load_cap(&self, id: GateId, output_load: f64) -> f64 {
-        self.gate(id)
-            .fanouts
+        self.cols
+            .fanouts(self.idx(id))
             .iter()
             .map(|c| self.branch_cap(c, output_load))
             .sum()
@@ -306,12 +415,40 @@ impl Netlist {
     /// Capacitance of one branch (one sink pin).
     #[must_use]
     pub fn branch_cap(&self, conn: &Conn, output_load: f64) -> f64 {
-        match self.gate(conn.gate).kind {
+        let i = self.idx(conn.gate);
+        match self.cols.kind(i) {
             GateKind::Output => output_load,
-            GateKind::Cell(c) => self.library.cell_ref(c).pin_cap(conn.pin as usize),
+            GateKind::Cell(_) => self.cols.pin_cap(i, conn.pin as usize),
             GateKind::Input | GateKind::Const(_) => {
                 unreachable!("inputs and constants have no input pins")
             }
+        }
+    }
+
+    /// Per-column occupancy of the struct-of-arrays arena (feeds the
+    /// `netlist.arena.*` gauges).
+    #[must_use]
+    pub fn arena_stats(&self) -> ArenaStats {
+        let cols = &self.cols;
+        let slots = cols.len();
+        let fanout_branches: usize = cols.fanouts.iter().map(Vec::len).sum();
+        let name_bytes: usize = cols.names.iter().map(String::len).sum();
+        let column_bytes = name_bytes
+            + slots * std::mem::size_of::<String>()
+            + slots * std::mem::size_of::<GateKind>()
+            + slots // alive: Vec<bool>
+            + slots * 2 * std::mem::size_of::<u32>() // fanin_off + fanin_len
+            + cols.fanin_pool.len() * std::mem::size_of::<GateId>()
+            + cols.pin_cap_pool.len() * std::mem::size_of::<f64>()
+            + slots * std::mem::size_of::<Vec<Conn>>()
+            + fanout_branches * std::mem::size_of::<Conn>();
+        ArenaStats {
+            slots,
+            live: self.live,
+            dead: slots - self.live,
+            fanin_pool: cols.fanin_pool.len(),
+            fanout_branches,
+            column_bytes,
         }
     }
 
@@ -326,22 +463,22 @@ impl Netlist {
     ///
     /// Panics if the pin is out of range or `new_src` is dead.
     pub fn replace_fanin(&mut self, sink: GateId, pin: u32, new_src: GateId) -> GateId {
-        assert!(self.gate(new_src).alive);
-        let old = self.gates[sink.0 as usize].fanins[pin as usize];
+        let _ = self.idx(new_src);
+        let old = self.cols.fanins(sink.0 as usize)[pin as usize];
         if old == new_src {
             return old;
         }
         // remove the branch from the old driver
         let conn = Conn { gate: sink, pin };
-        let fo = &mut self.gates[old.0 as usize].fanouts;
+        let fo = &mut self.cols.fanouts[old.0 as usize];
         let idx = fo
             .iter()
             .position(|c| *c == conn)
             .expect("fanout list out of sync");
         fo.swap_remove(idx);
         // attach to the new driver
-        self.gates[new_src.0 as usize].fanouts.push(conn);
-        self.gates[sink.0 as usize].fanins[pin as usize] = new_src;
+        self.cols.fanouts[new_src.0 as usize].push(conn);
+        self.cols.set_fanin(sink.0 as usize, pin as usize, new_src);
         self.journal.generation += 1;
         self.journal.touch(old);
         self.journal.touch(new_src);
@@ -357,16 +494,18 @@ impl Netlist {
     /// Panics if `a == b` or either gate is dead.
     pub fn replace_all_fanouts(&mut self, a: GateId, b: GateId) {
         assert_ne!(a, b, "cannot substitute a signal by itself");
-        assert!(self.gate(b).alive);
-        let moved = std::mem::take(&mut self.gates[a.0 as usize].fanouts);
+        let _ = self.idx(a);
+        let _ = self.idx(b);
+        let moved = std::mem::take(&mut self.cols.fanouts[a.0 as usize]);
         self.journal.generation += 1;
         self.journal.touch(a);
         self.journal.touch(b);
         for conn in &moved {
-            self.gates[conn.gate.0 as usize].fanins[conn.pin as usize] = b;
+            self.cols
+                .set_fanin(conn.gate.0 as usize, conn.pin as usize, b);
             self.journal.touch(conn.gate);
         }
-        self.gates[b.0 as usize].fanouts.extend(moved);
+        self.cols.fanouts[b.0 as usize].extend(moved);
     }
 
     /// The maximum fanout-free cone of `root`: the set of gates (including
@@ -375,7 +514,7 @@ impl Netlist {
     /// constants) are never included.
     #[must_use]
     pub fn mffc(&self, root: GateId) -> Vec<GateId> {
-        if !matches!(self.gate(root).kind, GateKind::Cell(_)) {
+        if !matches!(self.kind(root), GateKind::Cell(_)) {
             return Vec::new();
         }
         let mut in_cone: HashMap<GateId, ()> = HashMap::new();
@@ -389,19 +528,16 @@ impl Netlist {
             changed = false;
             let snapshot: Vec<GateId> = cone.clone();
             for g in snapshot {
-                for &fi in &self.gate(g).fanins {
+                for &fi in self.fanins(g) {
                     if in_cone.contains_key(&fi) {
                         continue;
                     }
-                    if !matches!(self.gate(fi).kind, GateKind::Cell(_)) {
+                    if !matches!(self.kind(fi), GateKind::Cell(_)) {
                         continue;
                     }
-                    let all_inside = self
-                        .gate(fi)
-                        .fanouts
-                        .iter()
-                        .all(|c| in_cone.contains_key(&c.gate));
-                    if all_inside && !self.gate(fi).fanouts.is_empty() {
+                    let fo = self.fanouts(fi);
+                    let all_inside = fo.iter().all(|c| in_cone.contains_key(&c.gate));
+                    if all_inside && !fo.is_empty() {
                         in_cone.insert(fi, ());
                         cone.push(fi);
                         changed = true;
@@ -419,20 +555,20 @@ impl Netlist {
         let mut removed = Vec::new();
         let mut stack = vec![seed];
         while let Some(id) = stack.pop() {
-            let g = &self.gates[id.0 as usize];
-            if !g.alive
-                || !g.fanouts.is_empty()
-                || !matches!(g.kind, GateKind::Cell(_) | GateKind::Const(_))
+            let i = id.0 as usize;
+            if !self.cols.alive(i)
+                || !self.cols.fanouts[i].is_empty()
+                || !matches!(self.cols.kind(i), GateKind::Cell(_) | GateKind::Const(_))
             {
                 continue;
             }
-            let fanins = g.fanins.clone();
+            let fanins = self.cols.fanins(i).to_vec();
             for (pin, &src) in fanins.iter().enumerate() {
                 let conn = Conn {
                     gate: id,
                     pin: pin as u32,
                 };
-                let fo = &mut self.gates[src.0 as usize].fanouts;
+                let fo = &mut self.cols.fanouts[src.0 as usize];
                 if let Some(idx) = fo.iter().position(|c| *c == conn) {
                     fo.swap_remove(idx);
                 }
@@ -440,9 +576,8 @@ impl Netlist {
                 self.journal.touch(src);
                 stack.push(src);
             }
-            let gate = &mut self.gates[id.0 as usize];
-            gate.alive = false;
-            gate.fanins.clear();
+            self.cols.alive[i] = false;
+            self.cols.fanin_len[i] = 0;
             self.live -= 1;
             self.journal.removed.push(id);
             removed.push(id);
@@ -462,18 +597,20 @@ impl Netlist {
     pub fn validate(&self) -> Result<(), NetlistError> {
         let fail = |message: String| Err(NetlistError { message });
         for id in self.iter_live() {
-            let g = self.gate(id);
-            match g.kind {
+            let i = id.0 as usize;
+            let fanins = self.cols.fanins(i);
+            let fanouts = self.cols.fanouts(i);
+            match self.cols.kind(i) {
                 GateKind::Input | GateKind::Const(_) => {
-                    if !g.fanins.is_empty() {
+                    if !fanins.is_empty() {
                         return fail(format!("{id} is a source but has fanins"));
                     }
                 }
                 GateKind::Output => {
-                    if g.fanins.len() != 1 {
+                    if fanins.len() != 1 {
                         return fail(format!("output {id} must have exactly one fanin"));
                     }
-                    if !g.fanouts.is_empty() {
+                    if !fanouts.is_empty() {
                         return fail(format!("output {id} must not have fanouts"));
                     }
                 }
@@ -481,17 +618,17 @@ impl Netlist {
                     let cell = self.library.cell(c).ok_or(NetlistError {
                         message: format!("{id} references invalid cell {c}"),
                     })?;
-                    if cell.inputs() != g.fanins.len() {
+                    if cell.inputs() != fanins.len() {
                         return fail(format!(
                             "{id} ({}) has {} fanins, cell wants {}",
                             cell.name,
-                            g.fanins.len(),
+                            fanins.len(),
                             cell.inputs()
                         ));
                     }
                 }
             }
-            for (pin, &src) in g.fanins.iter().enumerate() {
+            for (pin, &src) in fanins.iter().enumerate() {
                 if !self.is_live(src) {
                     return fail(format!("{id} pin {pin} driven by dead gate {src}"));
                 }
@@ -499,15 +636,15 @@ impl Netlist {
                     gate: id,
                     pin: pin as u32,
                 };
-                if !self.gate(src).fanouts.contains(&conn) {
+                if !self.cols.fanouts(src.0 as usize).contains(&conn) {
                     return fail(format!("{src} missing fanout record for {id}.{pin}"));
                 }
             }
-            for c in &g.fanouts {
+            for c in fanouts {
                 if !self.is_live(c.gate) {
                     return fail(format!("{id} fans out to dead gate {}", c.gate));
                 }
-                if self.gate(c.gate).fanins.get(c.pin as usize) != Some(&id) {
+                if self.cols.fanins(c.gate.0 as usize).get(c.pin as usize) != Some(&id) {
                     return fail(format!("{id} fanout record to {}.{} stale", c.gate, c.pin));
                 }
             }
@@ -519,24 +656,38 @@ impl Netlist {
     }
 }
 
+/// One gate row captured by a [`Checkpoint`]: everything a rollback needs
+/// to restore the slot across the columns (the pin-cap column is immutable
+/// per slot — a gate's cell never changes in place — so it is not saved).
+#[derive(Clone, Debug)]
+struct SavedGate {
+    id: GateId,
+    name: String,
+    kind: GateKind,
+    alive: bool,
+    fanins: Vec<GateId>,
+    fanouts: Vec<Conn>,
+}
+
 /// A cheap transactional checkpoint of a [`Netlist`]: the journal
 /// watermark (generation plus pending-record lengths), the container
-/// lengths, and deep copies of exactly the gates the pending edit may
-/// write. Taken with [`Netlist::checkpoint`] immediately before an
-/// edit; [`Netlist::rollback`] consumes it to restore the pre-edit
-/// state bit-for-bit — including the generation counter, so analysis
-/// caches keyed on `(generation, id_bound)` remain valid after the
-/// rollback.
+/// lengths (including the fanin-pool watermark of the column arena), and
+/// deep copies of exactly the gate rows the pending edit may write. Taken
+/// with [`Netlist::checkpoint`] immediately before an edit;
+/// [`Netlist::rollback`] consumes it to restore the pre-edit state
+/// bit-for-bit — including the generation counter, so analysis caches
+/// keyed on `(generation, id_bound)` remain valid after the rollback.
 #[derive(Clone, Debug)]
 pub struct Checkpoint {
     generation: u64,
     gate_bound: usize,
+    pool_bound: usize,
     live: usize,
     inputs_len: usize,
     outputs_len: usize,
     touched_len: usize,
     removed_len: usize,
-    saved: Vec<(GateId, Gate)>,
+    saved: Vec<SavedGate>,
 }
 
 impl Checkpoint {
@@ -563,13 +714,14 @@ impl Netlist {
     /// the edit writes anyway are silently left in their post-edit
     /// state — compute the write set conservatively.
     ///
-    /// Cost is `O(|roots|)` gate clones plus a few scalars; nothing is
+    /// Cost is `O(|roots|)` gate-row copies plus a few scalars; nothing is
     /// copied for the (typically much larger) untouched remainder.
     #[must_use]
     pub fn checkpoint(&self, roots: &[GateId]) -> Checkpoint {
         Checkpoint {
             generation: self.journal.generation,
-            gate_bound: self.gates.len(),
+            gate_bound: self.cols.len(),
+            pool_bound: self.cols.fanin_pool.len(),
             live: self.live,
             inputs_len: self.inputs.len(),
             outputs_len: self.outputs.len(),
@@ -577,23 +729,48 @@ impl Netlist {
             removed_len: self.journal.removed.len(),
             saved: roots
                 .iter()
-                .map(|&id| (id, self.gates[id.0 as usize].clone()))
+                .map(|&id| {
+                    let i = id.0 as usize;
+                    SavedGate {
+                        id,
+                        name: self.cols.names[i].clone(),
+                        kind: self.cols.kinds[i],
+                        alive: self.cols.alive[i],
+                        fanins: self.cols.fanins(i).to_vec(),
+                        fanouts: self.cols.fanouts[i].clone(),
+                    }
+                })
                 .collect(),
         }
     }
 
     /// Restores the state captured by [`Netlist::checkpoint`], undoing
     /// every edit since — gate creations are dropped (their names are
-    /// released), mutated and tombstoned gates are restored from the
-    /// saved copies, and the journal (records *and* generation) rewinds
-    /// to the watermark.
+    /// released, their column tails truncated), mutated and tombstoned
+    /// gates are restored from the saved rows, and the journal (records
+    /// *and* generation) rewinds to the watermark.
     pub fn rollback(&mut self, cp: Checkpoint) {
-        for g in &self.gates[cp.gate_bound..] {
-            self.names.remove(&g.name);
+        for name in &self.cols.names[cp.gate_bound..] {
+            self.names.remove(name);
         }
-        self.gates.truncate(cp.gate_bound);
-        for (id, gate) in cp.saved {
-            self.gates[id.0 as usize] = gate;
+        let cols = &mut self.cols;
+        cols.names.truncate(cp.gate_bound);
+        cols.kinds.truncate(cp.gate_bound);
+        cols.alive.truncate(cp.gate_bound);
+        cols.fanin_off.truncate(cp.gate_bound);
+        cols.fanin_len.truncate(cp.gate_bound);
+        cols.fanouts.truncate(cp.gate_bound);
+        cols.fanin_pool.truncate(cp.pool_bound);
+        cols.pin_cap_pool.truncate(cp.pool_bound);
+        for saved in cp.saved {
+            let i = saved.id.0 as usize;
+            cols.names[i] = saved.name;
+            cols.kinds[i] = saved.kind;
+            cols.alive[i] = saved.alive;
+            cols.fanin_len[i] = saved.fanins.len() as u32;
+            let off = cols.fanin_off[i] as usize;
+            cols.fanin_pool[off..off + saved.fanins.len()].copy_from_slice(&saved.fanins);
+            cols.fanouts[i] = saved.fanouts;
         }
         self.inputs.truncate(cp.inputs_len);
         self.outputs.truncate(cp.outputs_len);
@@ -753,6 +930,27 @@ mod tests {
         assert_eq!(nl.kind(k), GateKind::Const(true));
     }
 
+    #[test]
+    fn arena_stats_track_liveness_and_pools() {
+        let (mut nl, _a, _b, g1, g2) = small();
+        let s = nl.arena_stats();
+        assert_eq!(s.slots, 5);
+        assert_eq!(s.live, 5);
+        assert_eq!(s.dead, 0);
+        // fanins: g1(2) + g2(2) + output(1)
+        assert_eq!(s.fanin_pool, 5);
+        assert_eq!(s.fanout_branches, 5);
+        assert!(s.column_bytes > 0);
+        let _ = g1;
+        // Sweeping tombstones a slot without shrinking the arena.
+        nl.replace_all_fanouts(g2, nl.inputs()[0]);
+        nl.sweep_from(g2);
+        let s2 = nl.arena_stats();
+        assert_eq!(s2.slots, 5);
+        assert!(s2.dead >= 1);
+        assert_eq!(s2.fanin_pool, 5, "pool slots persist as tombstones");
+    }
+
     /// The full observable state a rollback must restore, captured in a
     /// comparable form (BLIF text covers structure; the rest covers the
     /// journal and bookkeeping analyses key on).
@@ -786,6 +984,21 @@ mod tests {
     }
 
     #[test]
+    fn rollback_restores_in_place_pin_rewire() {
+        let (mut nl, a, _b, g1, g2) = small();
+        let _ = nl.drain_dirty();
+        let before = fingerprint(&nl);
+        let cp = nl.checkpoint(&[a, g1, g2]);
+        // IS2 mutates g2's fanin slot inside the shared CSR pool.
+        nl.replace_fanin(g2, 0, a);
+        assert_eq!(nl.fanins(g2)[0], a);
+        nl.rollback(cp);
+        nl.validate().unwrap();
+        assert_eq!(nl.fanins(g2)[0], g1);
+        assert_eq!(fingerprint(&nl), before);
+    }
+
+    #[test]
     fn rollback_releases_names_of_created_gates() {
         let (mut nl, a, b, _g1, _g2) = small();
         let and2 = nl.library().find_by_name("and2").unwrap();
@@ -800,6 +1013,8 @@ mod tests {
         let again = nl.add_cell("fresh", and2, &[a, b]);
         assert!(nl.is_live(again));
         nl.validate().unwrap();
+        // The rolled-back creation's pool slots were reclaimed too.
+        assert_eq!(nl.arena_stats().slots, 6);
     }
 
     #[test]

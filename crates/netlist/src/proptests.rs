@@ -1,6 +1,7 @@
 //! Property-based tests: random edit sequences must keep the netlist
 //! structurally consistent, and analyses must agree with definitions.
 
+use crate::window::{partition_windows, WindowConfig};
 use crate::{GateId, GateKind, Netlist};
 use powder_library::lib2;
 use proptest::prelude::*;
@@ -33,6 +34,39 @@ fn build(inputs: usize, ops: &[(u8, u8, u8)]) -> Netlist {
         nl.add_output(format!("f{i}"), s);
     }
     nl
+}
+
+/// Evaluates every primary output of `nl` under the input assignment
+/// encoded by `minterm` (bit `i` drives input `i`).
+fn eval_outputs(nl: &Netlist, minterm: u64) -> Vec<bool> {
+    let mut val = vec![false; nl.id_bound()];
+    for (i, &pi) in nl.inputs().iter().enumerate() {
+        val[pi.0 as usize] = (minterm >> i) & 1 == 1;
+    }
+    for g in nl.topo_order() {
+        let v = match nl.kind(g) {
+            GateKind::Input => val[g.0 as usize],
+            GateKind::Const(k) => k,
+            GateKind::Output => val[nl.fanins(g)[0].0 as usize],
+            GateKind::Cell(c) => {
+                let mut m = 0u64;
+                for (i, f) in nl.fanins(g).iter().enumerate() {
+                    if val[f.0 as usize] {
+                        m |= 1 << i;
+                    }
+                }
+                nl.library().cell_ref(c).function.eval(m)
+            }
+        };
+        val[g.0 as usize] = v;
+    }
+    nl.outputs().iter().map(|&o| val[o.0 as usize]).collect()
+}
+
+/// Exhaustive primary-output signature over all input assignments.
+fn po_signatures(nl: &Netlist) -> Vec<Vec<bool>> {
+    let n = nl.inputs().len();
+    (0..(1u64 << n)).map(|m| eval_outputs(nl, m)).collect()
 }
 
 proptest! {
@@ -122,6 +156,117 @@ proptest! {
             // reaches is reflexive; tfo excludes self.
             prop_assert!(!tfo.contains(&g));
         }
+    }
+
+    /// Partitioning invariants: cores partition the live cell/constant
+    /// gates, and every live gate lands in at least one window's scope.
+    #[test]
+    fn windows_cover_every_gate_and_partition_cores(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..40),
+        inputs in 2usize..5,
+        size in 2usize..12,
+        overlap_pick in any::<u8>(),
+    ) {
+        let nl = build(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let overlap = overlap_pick as usize % size;
+        let plan = partition_windows(&nl, WindowConfig { size, overlap });
+        let mut owner = vec![usize::MAX; nl.id_bound()];
+        let mut owned = 0usize;
+        for w in &plan.windows {
+            for &g in &w.core {
+                prop_assert_eq!(owner[g.0 as usize], usize::MAX, "gate {} in two cores", g);
+                owner[g.0 as usize] = w.index;
+                owned += 1;
+            }
+        }
+        let windowable = nl
+            .iter_live()
+            .filter(|&g| matches!(nl.kind(g), GateKind::Cell(_) | GateKind::Const(_)))
+            .count();
+        prop_assert_eq!(owned, windowable);
+        let mut covered = vec![false; nl.id_bound()];
+        for w in &plan.windows {
+            for g in w.scope() {
+                covered[g.0 as usize] = true;
+            }
+        }
+        for g in nl.iter_live() {
+            prop_assert!(covered[g.0 as usize], "gate {} in no window scope", g);
+        }
+    }
+
+    /// Any two windows share at most `overlap` member (`core ∪ halo`)
+    /// gates, so halo borrowing stays within the configured budget.
+    #[test]
+    fn window_member_overlap_is_bounded(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..40),
+        inputs in 2usize..5,
+        size in 2usize..10,
+        overlap_pick in any::<u8>(),
+    ) {
+        let nl = build(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let overlap = overlap_pick as usize % size;
+        let plan = partition_windows(&nl, WindowConfig { size, overlap });
+        let members: Vec<Vec<GateId>> =
+            plan.windows.iter().map(crate::window::Window::members).collect();
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                let shared = members[i]
+                    .iter()
+                    .filter(|g| members[j].binary_search(g).is_ok())
+                    .count();
+                prop_assert!(
+                    shared <= overlap,
+                    "windows {}/{} share {} members > {}", i, j, shared, overlap
+                );
+            }
+        }
+    }
+
+    /// Function-preserving edits applied window by window — duplicate a
+    /// core gate, retarget its fanouts, sweep the original — leave the
+    /// primary-output signatures bit-identical, and every edit round
+    /// trips through the journal (drained between windows, exactly as
+    /// the windowed optimizer does).
+    #[test]
+    fn window_local_edits_replayed_through_journal_preserve_outputs(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..28),
+        inputs in 2usize..5,
+        size in 2usize..8,
+        picks in proptest::collection::vec(any::<u8>(), 8),
+    ) {
+        let mut nl = build(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+        let _ = nl.drain_dirty();
+        let before = po_signatures(&nl);
+        let plan = partition_windows(&nl, WindowConfig { size, overlap: size / 2 });
+        for w in &plan.windows {
+            let cells: Vec<GateId> = w
+                .core
+                .iter()
+                .copied()
+                .filter(|&g| matches!(nl.kind(g), GateKind::Cell(_)))
+                .collect();
+            if cells.is_empty() {
+                continue;
+            }
+            let pick = picks[w.index % picks.len()] as usize;
+            let g = cells[pick % cells.len()];
+            let GateKind::Cell(cell) = nl.kind(g) else { unreachable!() };
+            let fanins = nl.fanins(g).to_vec();
+            let dup = nl.add_cell(format!("dup{}", w.index), cell, &fanins);
+            nl.replace_all_fanouts(g, dup);
+            nl.sweep_from(g);
+            let region = nl.drain_dirty();
+            prop_assert!(
+                !region.touched().is_empty() || !region.removed().is_empty(),
+                "window {} edit left no journal trace", w.index
+            );
+            prop_assert!(nl.validate().is_ok(), "window {} edit broke the DAG", w.index);
+        }
+        prop_assert_eq!(po_signatures(&nl), before);
     }
 
     /// BLIF round-trips preserve interface and area.

@@ -15,12 +15,14 @@
 //! original to the optimizer: same ids, same iteration orders, same
 //! generation counter, same future name allocation. Resuming from a
 //! snapshot therefore replays the exact decision sequence of an
-//! uninterrupted run.
+//! uninterrupted run. (The struct-of-arrays fanin pool is rebuilt
+//! compactly on read — tombstoned pool slots are not serialized — which
+//! is invisible through the [`GateId`] API.)
 //!
 //! The format is a versioned, line-oriented text format; names are
 //! percent-escaped so arbitrary identifiers round-trip.
 
-use crate::netlist::{Conn, Gate, GateId, GateKind, Netlist};
+use crate::netlist::{Conn, GateColumns, GateId, GateKind, Netlist};
 use powder_library::Library;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -110,24 +112,25 @@ pub fn write_snapshot(nl: &Netlist) -> String {
     let _ = writeln!(out, "name {}", esc(nl.name()));
     let _ = writeln!(out, "generation {}", nl.generation());
     let _ = writeln!(out, "slots {}", nl.id_bound());
-    for gate in &nl.gates {
-        let kind = match gate.kind {
+    let cols = &nl.cols;
+    for i in 0..cols.len() {
+        let kind = match cols.kind(i) {
             GateKind::Input => "in".to_string(),
             GateKind::Output => "out".to_string(),
             GateKind::Const(false) => "c0".to_string(),
             GateKind::Const(true) => "c1".to_string(),
             GateKind::Cell(c) => format!("cell:{}", esc(&nl.library().cell_ref(c).name)),
         };
-        if !gate.alive {
-            let _ = writeln!(out, "d {} {kind}", esc(&gate.name));
+        if !cols.alive(i) {
+            let _ = writeln!(out, "d {} {kind}", esc(cols.name(i)));
             continue;
         }
-        let _ = write!(out, "g {} {kind} |", esc(&gate.name));
-        for f in &gate.fanins {
+        let _ = write!(out, "g {} {kind} |", esc(cols.name(i)));
+        for f in cols.fanins(i) {
             let _ = write!(out, " {}", f.0);
         }
         let _ = write!(out, " |");
-        for c in &gate.fanouts {
+        for c in cols.fanouts(i) {
             let _ = write!(out, " {}.{}", c.gate.0, c.pin);
         }
         out.push('\n');
@@ -213,14 +216,34 @@ pub fn read_snapshot(src: &str, library: Arc<Library>) -> Result<Netlist, Snapsh
             }
         })
     };
-    let mut gates: Vec<Gate> = Vec::with_capacity(slots);
+    // Pin caps are derived state (copied from the library at gate
+    // creation), so they are recomputed rather than serialized. Arity
+    // mismatches are tolerated here and rejected by `validate` below.
+    let caps_for = |kind: GateKind, pins: usize| -> Vec<f64> {
+        match kind {
+            GateKind::Cell(c) => {
+                let cell = library.cell_ref(c);
+                (0..pins)
+                    .map(|p| {
+                        if p < cell.inputs() {
+                            cell.pin_cap(p)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            }
+            _ => vec![0.0; pins],
+        }
+    };
+    let mut cols = GateColumns::default();
     let mut names: HashMap<String, GateId> = HashMap::new();
     let mut live = 0usize;
     for _ in 0..slots {
         let line = lines.next().ok_or_else(|| SnapshotError {
             message: "snapshot truncated inside slot list".into(),
         })?;
-        let id = GateId(gates.len() as u32);
+        let id = GateId(cols.len() as u32);
         let mut toks = line.split_whitespace();
         match toks.next() {
             Some("d") => {
@@ -231,13 +254,7 @@ pub fn read_snapshot(src: &str, library: Arc<Library>) -> Result<Netlist, Snapsh
                     message: format!("dead slot missing kind: {line:?}"),
                 })?)?;
                 names.insert(gname.clone(), id);
-                gates.push(Gate {
-                    name: gname,
-                    kind,
-                    fanins: Vec::new(),
-                    fanouts: Vec::new(),
-                    alive: false,
-                });
+                cols.push_slot(gname, kind, &[], &[], Vec::new(), false);
             }
             Some("g") => {
                 let gname = unesc(toks.next().ok_or_else(|| SnapshotError {
@@ -278,13 +295,8 @@ pub fn read_snapshot(src: &str, library: Arc<Library>) -> Result<Netlist, Snapsh
                     return err(format!("slot missing fanout separator: {line:?}"));
                 }
                 names.insert(gname.clone(), id);
-                gates.push(Gate {
-                    name: gname,
-                    kind,
-                    fanins,
-                    fanouts,
-                    alive: true,
-                });
+                let caps = caps_for(kind, fanins.len());
+                cols.push_slot(gname, kind, &fanins, &caps, fanouts, true);
                 live += 1;
             }
             other => return err(format!("unexpected slot tag {other:?} in {line:?}")),
@@ -310,7 +322,7 @@ pub fn read_snapshot(src: &str, library: Arc<Library>) -> Result<Netlist, Snapsh
     let nl = Netlist {
         name,
         library,
-        gates,
+        cols,
         inputs,
         outputs,
         names,
@@ -368,12 +380,17 @@ mod tests {
             nl.inputs(),
             nl.outputs()
         );
-        for g in &nl.gates {
+        let cols = &nl.cols;
+        for i in 0..cols.len() {
             let _ = std::fmt::Write::write_fmt(
                 &mut s,
                 format_args!(
                     "{} {:?} {:?} {:?} {}\n",
-                    g.name, g.kind, g.fanins, g.fanouts, g.alive
+                    cols.name(i),
+                    cols.kind(i),
+                    cols.fanins(i),
+                    cols.fanouts(i),
+                    cols.alive(i)
                 ),
             );
         }

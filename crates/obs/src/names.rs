@@ -117,6 +117,32 @@ pub const GUARD_QUARANTINED: &str = "core.guard.quarantined";
 /// Runs cut short by the wall-clock deadline.
 pub const OPTIMIZER_DEADLINE_HITS: &str = "core.optimizer.deadline_hits";
 
+// --- core.window.* — the windowed large-netlist driver ---
+
+/// Windows processed to completion by the windowed driver.
+pub const WINDOW_PROCESSED: &str = "core.window.processed";
+/// Substitutions committed inside windows.
+pub const WINDOW_COMMITS: &str = "core.window.commits";
+/// Windows in the most recent partition plan (gauge; max across
+/// repartitions, deterministic at a fixed netlist and configuration).
+pub const WINDOW_PLAN_SIZE: &str = "core.window.plan_size";
+
+// --- netlist.arena.* — struct-of-arrays arena occupancy (gauges,
+// sampled at run boundaries; len-based, so deterministic) ---
+
+/// Arena slots allocated (live + dead).
+pub const ARENA_SLOTS: &str = "netlist.arena.slots";
+/// Live gates.
+pub const ARENA_LIVE: &str = "netlist.arena.live";
+/// Dead (swept, unreclaimed) slots.
+pub const ARENA_DEAD: &str = "netlist.arena.dead";
+/// Entries in the shared fanin pool (including tombstones).
+pub const ARENA_FANIN_POOL: &str = "netlist.arena.fanin_pool";
+/// Fanout branch connections across all live gates.
+pub const ARENA_FANOUT_BRANCHES: &str = "netlist.arena.fanout_branches";
+/// Bytes held by the dense columns and pools.
+pub const ARENA_COLUMN_BYTES: &str = "netlist.arena.column_bytes";
+
 // --- passes.* — the pass pipeline ---
 
 /// Passes executed (one per pass per fixpoint iteration).
@@ -149,6 +175,9 @@ pub mod span {
     pub const PHASE_APPLY: &str = "core.phase.apply";
     /// One candidate-generation round.
     pub const ROUND: &str = "core.phase.round";
+    /// One window of the windowed large-netlist driver (contains the
+    /// window's inner rounds).
+    pub const WINDOW: &str = "core.phase.window";
     /// Whole pass pipeline.
     pub const PIPELINE: &str = "passes.pipeline";
     /// Per-pass span prefix: `passes.pass.<name>`.

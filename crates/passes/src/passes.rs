@@ -50,9 +50,10 @@ impl Transform for PowderPass {
             config.round_hook = budget.round_hook.clone();
         }
         // Resume support: a checkpointed pass re-runs only its remaining
-        // rounds, against the required time the interrupted invocation
-        // resolved (re-resolving a Factor mid-run would move the goal).
-        config.max_rounds = config.max_rounds.saturating_sub(budget.rounds_offset);
+        // work units (candidate rounds, or windows in windowed mode),
+        // against the required time the interrupted invocation resolved
+        // (re-resolving a Factor mid-run would move the goal).
+        config.rounds_offset = budget.rounds_offset;
         if let Some(t) = budget.required_time {
             config.delay_limit = Some(DelayLimit::Absolute(t));
         }

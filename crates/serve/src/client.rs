@@ -82,6 +82,8 @@ pub fn submit_line(spec: &JobSpec, netlist: &str) -> String {
         .u64("jobs", spec.jobs as u64)
         .opt_f64("delay_limit_percent", spec.delay_limit_percent)
         .opt_f64("deadline_secs", spec.deadline_secs)
+        .opt_u64("window_size", spec.window_size.map(|n| n as u64))
+        .opt_u64("window_overlap", spec.window_overlap.map(|n| n as u64))
         .finish()
 }
 

@@ -352,6 +352,8 @@ fn run_job(shared: &Shared, job: &Arc<JobRecord>) -> Result<(), String> {
         jobs: lease.granted(),
         deadline,
         stop: Some(Arc::clone(&job.stop)),
+        window_size: spec.window_size,
+        window_overlap: spec.window_overlap,
         ..OptimizeConfig::default()
     };
     // Anchored to the *input* circuit, exactly like `powder optimize`

@@ -33,6 +33,12 @@ pub struct JobSpec {
     /// Wall-clock budget in seconds, measured from each (re)start of
     /// execution.
     pub deadline_secs: Option<f64>,
+    /// Windowed-optimization region size in gates (`--window-size`);
+    /// `None` leaves the automatic policy in charge.
+    pub window_size: Option<usize>,
+    /// Read-only halo around each window (`--window-overlap`); must be
+    /// smaller than the window size.
+    pub window_overlap: Option<usize>,
 }
 
 impl Default for JobSpec {
@@ -48,6 +54,8 @@ impl Default for JobSpec {
             jobs: 0,
             delay_limit_percent: None,
             deadline_secs: None,
+            window_size: None,
+            window_overlap: None,
         }
     }
 }

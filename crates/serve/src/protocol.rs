@@ -10,7 +10,7 @@
 //!
 //! | op | fields |
 //! |----|--------|
-//! | `submit`   | `netlist` (BLIF text), optional `tenant`, `priority`, `passes`, `fixpoint`, `repeat`, `patterns`, `seed`, `jobs`, `delay_limit_percent`, `deadline_secs` |
+//! | `submit`   | `netlist` (BLIF text), optional `tenant`, `priority`, `passes`, `fixpoint`, `repeat`, `patterns`, `seed`, `jobs`, `delay_limit_percent`, `deadline_secs`, `window_size`, `window_overlap` |
 //! | `status`   | `job` |
 //! | `list`     | — |
 //! | `cancel`   | `job` |
@@ -183,6 +183,21 @@ fn spec_from(v: &Value) -> Result<JobSpec, String> {
     }
     spec.delay_limit_percent = f64_field("delay_limit_percent", v)?;
     spec.deadline_secs = f64_field("deadline_secs", v)?;
+    spec.window_size = usize_field("window_size", v)?;
+    if spec.window_size == Some(0) {
+        return Err("field \"window_size\" must be at least 1".to_string());
+    }
+    spec.window_overlap = usize_field("window_overlap", v)?;
+    if let Some(overlap) = spec.window_overlap {
+        let size = spec
+            .window_size
+            .unwrap_or(powder_netlist::WindowConfig::AUTO_SIZE);
+        if overlap >= size {
+            return Err(format!(
+                "field \"window_overlap\" ({overlap}) must be smaller than the window size ({size})"
+            ));
+        }
+    }
     Ok(spec)
 }
 
@@ -282,6 +297,15 @@ impl JsonObj {
         }
     }
 
+    /// Adds an optional unsigned integer (`null` when absent).
+    #[must_use]
+    pub fn opt_u64(self, k: &str, v: Option<u64>) -> JsonObj {
+        match v {
+            Some(v) => self.u64(k, v),
+            None => self.null(k),
+        }
+    }
+
     /// Adds an explicit `null` field.
     #[must_use]
     pub fn null(mut self, k: &str) -> JsonObj {
@@ -363,7 +387,7 @@ mod tests {
     #[test]
     fn submit_parses_defaults_and_overrides() {
         let r = parse_request(
-            r#"{"op":"submit","netlist":".model m\n.end","tenant":"acme","priority":2,"jobs":4,"delay_limit_percent":10,"deadline_secs":1.5,"patterns":128,"seed":7}"#,
+            r#"{"op":"submit","netlist":".model m\n.end","tenant":"acme","priority":2,"jobs":4,"delay_limit_percent":10,"deadline_secs":1.5,"patterns":128,"seed":7,"window_size":512,"window_overlap":64}"#,
         )
         .expect("valid");
         match r {
@@ -376,6 +400,8 @@ mod tests {
                 assert_eq!(spec.seed, 7);
                 assert_eq!(spec.delay_limit_percent, Some(10.0));
                 assert_eq!(spec.deadline_secs, Some(1.5));
+                assert_eq!(spec.window_size, Some(512));
+                assert_eq!(spec.window_overlap, Some(64));
                 // Untouched fields keep CLI defaults.
                 assert_eq!(spec.passes, "powder");
                 assert_eq!(spec.repeat, 10);

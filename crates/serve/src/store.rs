@@ -131,7 +131,9 @@ impl JobStore {
             .u64("seed", spec.seed)
             .u64("jobs", spec.jobs as u64)
             .opt_f64("delay_limit_percent", spec.delay_limit_percent)
-            .opt_f64("deadline_secs", spec.deadline_secs);
+            .opt_f64("deadline_secs", spec.deadline_secs)
+            .opt_u64("window_size", spec.window_size.map(|n| n as u64))
+            .opt_u64("window_overlap", spec.window_overlap.map(|n| n as u64));
         obj = match error {
             Some(e) => obj.str("error", e),
             None => obj.null("error"),
@@ -254,6 +256,8 @@ pub fn parse_state(text: &str) -> Result<(JobSpec, JobPhase, Option<String>), St
     }
     spec.delay_limit_percent = num_of("delay_limit_percent");
     spec.deadline_secs = num_of("deadline_secs");
+    spec.window_size = num_of("window_size").map(|n| n as usize);
+    spec.window_overlap = num_of("window_overlap").map(|n| n as usize);
     let error = match v.get("error") {
         Some(Value::Str(s)) => Some(s.clone()),
         _ => None,
@@ -286,6 +290,8 @@ mod tests {
             jobs: 2,
             delay_limit_percent: Some(10.0),
             deadline_secs: Some(5.0),
+            window_size: Some(512),
+            window_overlap: Some(64),
         };
         store.persist_new("j1", &spec, ".model m\n.end\n").unwrap();
         store

@@ -29,6 +29,9 @@ mod proptests;
 mod simulate;
 
 pub use covers::CellCovers;
-pub use observe::{branch_observability, stem_observability, stem_observability_all};
+pub use observe::{
+    branch_observability, branch_observability_scoped, stem_observability, stem_observability_all,
+    stem_observability_scoped,
+};
 pub use patterns::Patterns;
 pub use simulate::{ones_fraction, resimulate_cone, simulate, SavedValues, SimValues};

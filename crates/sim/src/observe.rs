@@ -7,7 +7,7 @@
 
 use crate::{CellCovers, SimValues};
 use powder_netlist::{Conn, GateId, GateKind, Netlist};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Observability mask of stem `stem`: for each pattern, whether flipping the
 /// stem (all its branches at once) is visible at any primary output.
@@ -37,6 +37,47 @@ pub fn branch_observability(
 ) -> Vec<u64> {
     let flipped: Vec<u64> = values.get(stem).iter().map(|w| !w).collect();
     propagate_difference(nl, covers, values, stem, &flipped, Some(conn))
+}
+
+/// Window-local observability of `stem`: difference propagation is
+/// bounded by `scope` (a dense gate mask), and a difference counts as
+/// observed the moment it reaches a primary output inside the scope *or
+/// any edge leaving it*. This over-approximates true observability —
+/// downstream logic outside the window might mask the difference — which
+/// is exactly the convention of the window-local permissibility proof
+/// (`powder_atpg::CheckArena::check_scoped`): the filter never rejects a
+/// candidate the scoped proof could accept.
+///
+/// `pos` maps raw gate ids to topological positions (callers compute it
+/// once per generation round from [`Netlist::topo_order`]); work is
+/// `O(scoped TFO · words)`, independent of the netlist size.
+#[must_use]
+pub fn stem_observability_scoped(
+    nl: &Netlist,
+    covers: &CellCovers,
+    values: &SimValues,
+    stem: GateId,
+    scope: &[bool],
+    pos: &[u32],
+) -> Vec<u64> {
+    let flipped: Vec<u64> = values.get(stem).iter().map(|w| !w).collect();
+    propagate_difference_scoped(nl, covers, values, stem, &flipped, None, scope, pos)
+}
+
+/// Scoped variant of [`branch_observability`]; see
+/// [`stem_observability_scoped`] for the escape-edge convention.
+#[must_use]
+pub fn branch_observability_scoped(
+    nl: &Netlist,
+    covers: &CellCovers,
+    values: &SimValues,
+    stem: GateId,
+    conn: Conn,
+    scope: &[bool],
+    pos: &[u32],
+) -> Vec<u64> {
+    let flipped: Vec<u64> = values.get(stem).iter().map(|w| !w).collect();
+    propagate_difference_scoped(nl, covers, values, stem, &flipped, Some(conn), scope, pos)
 }
 
 /// Observability masks for every live stem, indexed by raw gate id (dead
@@ -136,6 +177,129 @@ fn propagate_difference(
                     new_vals[w] = covers.eval_word(c, &fanin_words);
                 }
                 if new_vals != values.get(g) {
+                    modified.insert(g, new_vals);
+                }
+            }
+        }
+    }
+    obs
+}
+
+/// Scope-bounded difference propagation: like [`propagate_difference`],
+/// but the walk never leaves `scope`, and the value difference at any
+/// escaping edge is OR-ed into the observability mask.
+#[allow(clippy::too_many_arguments)]
+fn propagate_difference_scoped(
+    nl: &Netlist,
+    covers: &CellCovers,
+    values: &SimValues,
+    source: GateId,
+    forced: &[u64],
+    only_branch: Option<Conn>,
+    scope: &[bool],
+    pos: &[u32],
+) -> Vec<u64> {
+    let words = values.words();
+    let mut obs = vec![0u64; words];
+    let changed: Vec<u64> = forced
+        .iter()
+        .zip(values.get(source))
+        .map(|(f, o)| f ^ o)
+        .collect();
+    if changed.iter().all(|&w| w == 0) {
+        return obs;
+    }
+    let in_scope = |g: GateId| scope.get(g.0 as usize).copied().unwrap_or(false);
+
+    // The scoped transitive fanout: a breadth-first walk over fanout
+    // edges that never expands outside the mask.
+    let mut tfo: Vec<GateId> = Vec::new();
+    let mut seen: HashSet<GateId> = HashSet::new();
+    let mut frontier: Vec<GateId> = Vec::new();
+    match only_branch {
+        Some(conn) => {
+            if !in_scope(conn.gate) {
+                // The branch leaves the window immediately: the flipped
+                // value is visible right on the escaping edge.
+                return changed;
+            }
+            seen.insert(conn.gate);
+            frontier.push(conn.gate);
+            tfo.push(conn.gate);
+        }
+        None => {
+            if nl.fanouts(source).iter().any(|c| !in_scope(c.gate)) {
+                // A stem branch escapes: the difference is observed there
+                // on every changed pattern, and propagation inside the
+                // window can only add to that.
+                for w in 0..words {
+                    obs[w] |= changed[w];
+                }
+            }
+            for c in nl.fanouts(source) {
+                if in_scope(c.gate) && seen.insert(c.gate) {
+                    frontier.push(c.gate);
+                    tfo.push(c.gate);
+                }
+            }
+        }
+    }
+    while let Some(g) = frontier.pop() {
+        for c in nl.fanouts(g) {
+            if in_scope(c.gate) && seen.insert(c.gate) {
+                frontier.push(c.gate);
+                tfo.push(c.gate);
+            }
+        }
+    }
+    tfo.sort_by_key(|g| pos[g.0 as usize]);
+
+    let mut modified: HashMap<GateId, Vec<u64>> = HashMap::new();
+    if only_branch.is_none() {
+        modified.insert(source, forced.to_vec());
+    }
+    let mut fanin_words: Vec<u64> = Vec::with_capacity(8);
+    for &g in &tfo {
+        match nl.kind(g) {
+            GateKind::Input | GateKind::Const(_) => {}
+            GateKind::Output => {
+                let src = nl.fanins(g)[0];
+                if let Some(mv) = modified.get(&src) {
+                    for w in 0..words {
+                        obs[w] |= mv[w] ^ values.get(src)[w];
+                    }
+                }
+            }
+            GateKind::Cell(c) => {
+                let fanins = nl.fanins(g);
+                let is_branch_sink = only_branch.is_some_and(|b| b.gate == g);
+                if !is_branch_sink && !fanins.iter().any(|f| modified.contains_key(f)) {
+                    continue;
+                }
+                let mut new_vals = vec![0u64; words];
+                for w in 0..words {
+                    fanin_words.clear();
+                    for (pin, f) in fanins.iter().enumerate() {
+                        let base = match modified.get(f) {
+                            Some(mv) => mv[w],
+                            None => values.get(*f)[w],
+                        };
+                        let v = match only_branch {
+                            Some(b) if b.gate == g && b.pin == pin as u32 => forced[w],
+                            _ => base,
+                        };
+                        fanin_words.push(v);
+                    }
+                    new_vals[w] = covers.eval_word(c, &fanin_words);
+                }
+                if new_vals != values.get(g) {
+                    if nl.fanouts(g).iter().any(|c| !in_scope(c.gate)) {
+                        // The changed signal feeds logic outside the
+                        // window: observed at the escaping edge.
+                        for w in 0..words {
+                            obs[w] |= new_vals[w] ^ values.get(g)[w];
+                        }
+                    }
                     modified.insert(g, new_vals);
                 }
             }
