@@ -39,7 +39,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Pass sequence benchmarked per circuit.
-const PIPELINE_SPEC: &str = "sweep,powder,resize,redundancy";
+const PIPELINE_SPEC: &str = "sweep,egraph,powder,resize,redundancy";
 
 /// One optimizer run, timed externally for the headline number.
 struct Run {
@@ -222,10 +222,19 @@ fn json_pipeline(out: &mut String, indent: &str, report: &PipelineReport) {
     );
     for (i, pass) in report.passes.iter().enumerate() {
         let s = &pass.session;
+        // The egraph pass carries its own saturation/extraction
+        // accounting; other passes emit no "egraph" key.
+        let egraph = match &pass.egraph {
+            Some(e) => format!(
+                ", \"egraph\": {{ \"cones\": {}, \"iters\": {}, \"nodes\": {}, \"saturated\": {}, \"applied\": {}, \"rejected\": {}, \"rollbacks\": {}, \"cost_delta\": {:.9} }}",
+                e.cones, e.iters, e.nodes, e.saturated, e.applied, e.rejected, e.rollbacks, e.cost_delta,
+            ),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
             "{indent}    {{ \"name\": \"{}\", \"seconds\": {:.6}, \"power_before\": {:.9}, \"power_after\": {:.9}, \"edits\": {}, \
-             \"session\": {{ \"sim_full\": {}, \"sim_incremental\": {}, \"power_full\": {}, \"power_incremental\": {}, \"sta_full\": {}, \"sta_incremental\": {}, \"refreshes\": {} }} }}{}",
+             \"session\": {{ \"sim_full\": {}, \"sim_incremental\": {}, \"power_full\": {}, \"power_incremental\": {}, \"sta_full\": {}, \"sta_incremental\": {}, \"refreshes\": {} }}{} }}{}",
             pass.name,
             pass.seconds,
             pass.power_before,
@@ -238,6 +247,7 @@ fn json_pipeline(out: &mut String, indent: &str, report: &PipelineReport) {
             s.full_sta_builds,
             s.incremental_sta_updates,
             s.refreshes,
+            egraph,
             if i + 1 < report.passes.len() { "," } else { "" },
         );
     }

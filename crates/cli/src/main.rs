@@ -5,6 +5,7 @@
 //!                 [--repeat N] [--patterns N] [--seed S] [--jobs N]
 //!                 [--deadline-secs S] [--window-size W] [--window-overlap H]
 //!                 [--passes LIST] [--fixpoint N] [--resize] [--redundancy]
+//!                 [--egraph-node-limit N] [--egraph-iters N]
 //!                 [--trace-out trace.json] [--metrics-out metrics.json]
 //! powder synth    <in.pla>  [-o out.blif] [--library lib.genlib]   # two-level → mapped
 //! powder stats    <in.blif> [--library lib.genlib]
@@ -17,15 +18,19 @@
 //!                 [--tenant T] [--priority P] [--wait] [-o out.blif]
 //!                 [optimize flags: --passes/--fixpoint/--repeat/--patterns/
 //!                  --seed/--jobs/--delay-limit/--deadline-secs/
-//!                  --window-size/--window-overlap]
+//!                  --window-size/--window-overlap/
+//!                  --egraph-node-limit/--egraph-iters]
 //! ```
 //!
 //! `--passes` takes a comma-separated pipeline over `sweep`, `powder`,
-//! `resize`, and `redundancy` (default: `powder`); `--fixpoint N`
-//! repeats the whole sequence up to `N` times, stopping early once an
-//! iteration changes nothing. The standalone `--resize`/`--redundancy`
-//! flags are deprecated aliases that prepend/append the corresponding
-//! passes around `powder`.
+//! `resize`, `redundancy`, and `egraph` (default: `powder`);
+//! `--fixpoint N` repeats the whole sequence up to `N` times, stopping
+//! early once an iteration changes nothing. Unknown pass names are
+//! rejected when the arguments are parsed, before any file is read.
+//! The standalone `--resize`/`--redundancy` flags are deprecated
+//! aliases that prepend/append the corresponding passes around
+//! `powder`. `--egraph-node-limit`/`--egraph-iters` bound the `egraph`
+//! pass's per-cone saturation (e-node budget and rewrite iterations).
 //!
 //! `--trace-out` enables span tracing and writes a Chrome/Perfetto
 //! `trace_event` JSON file when the command finishes; `--metrics-out`
@@ -53,7 +58,7 @@ use powder_faults::FaultPlan;
 use powder_library::{genlib::parse_genlib, lib2, Library};
 use powder_netlist::blif::{read_blif, write_blif};
 use powder_netlist::Netlist;
-use powder_passes::{build_pipeline, AnalysisSession, SessionConfig};
+use powder_passes::{build_pipeline_with, AnalysisSession, SessionConfig};
 use powder_power::{PowerConfig, PowerEstimator};
 use powder_timing::{TimingAnalysis, TimingConfig};
 use std::process::ExitCode;
@@ -84,10 +89,15 @@ struct Options {
     /// Halo budget for windowed optimization; None = derived from the
     /// window size.
     window_overlap: Option<usize>,
-    /// Comma-separated pass pipeline (`sweep,powder,resize,redundancy`).
+    /// Comma-separated pass pipeline
+    /// (`sweep,powder,resize,redundancy,egraph`).
     passes: Option<String>,
     /// Fixpoint iterations of the whole pass sequence.
     fixpoint: usize,
+    /// `egraph` pass: per-cone e-node budget; None = pass default.
+    egraph_node_limit: Option<usize>,
+    /// `egraph` pass: saturation iteration bound; None = pass default.
+    egraph_iters: Option<usize>,
     resize: bool,
     redundancy: bool,
     /// Write a Chrome/Perfetto trace of the run here (enables tracing).
@@ -127,6 +137,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         window_overlap: None,
         passes: None,
         fixpoint: 1,
+        egraph_node_limit: None,
+        egraph_iters: None,
         resize: false,
         redundancy: false,
         trace_out: None,
@@ -221,6 +233,28 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --fixpoint: {e}"))?
             }
+            "--egraph-node-limit" => {
+                let n: usize = val("--egraph-node-limit")?
+                    .parse()
+                    .map_err(|e| format!("bad --egraph-node-limit: {e}"))?;
+                if n == 0 {
+                    return Err("bad --egraph-node-limit: need at least one e-node \
+                         (omit the flag for the default budget)"
+                        .into());
+                }
+                o.egraph_node_limit = Some(n);
+            }
+            "--egraph-iters" => {
+                let n: usize = val("--egraph-iters")?
+                    .parse()
+                    .map_err(|e| format!("bad --egraph-iters: {e}"))?;
+                if n == 0 {
+                    return Err("bad --egraph-iters: need at least one iteration \
+                         (omit the flag for the default bound)"
+                        .into());
+                }
+                o.egraph_iters = Some(n);
+            }
             "--resize" => o.resize = true,
             "--redundancy" => o.redundancy = true,
             "--trace-out" => o.trace_out = Some(val("--trace-out")?),
@@ -252,6 +286,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => o.positional.push(other.to_string()),
         }
+    }
+    if let Some(spec) = &o.passes {
+        // Fail unknown pass names at parse time, before any file I/O,
+        // with the full vocabulary in the message.
+        powder_passes::validate_passes(spec).map_err(|e| format!("bad --passes: {e}"))?;
     }
     if let Some(overlap) = o.window_overlap {
         // Against an explicit size, or the automatic policy's size when
@@ -290,6 +329,19 @@ fn pass_spec(opts: &Options) -> Result<String, String> {
         seq.push("resize");
     }
     Ok(seq.join(","))
+}
+
+/// Resolves the `egraph` pass configuration: explicit flags override
+/// the crate defaults field by field.
+fn egraph_config(opts: &Options) -> powder_egraph::EgraphConfig {
+    let mut cfg = powder_egraph::EgraphConfig::default();
+    if let Some(n) = opts.egraph_node_limit {
+        cfg.node_limit = n;
+    }
+    if let Some(n) = opts.egraph_iters {
+        cfg.iter_limit = n;
+    }
+    cfg
 }
 
 fn load_library(opts: &Options) -> Result<Arc<Library>, String> {
@@ -523,11 +575,12 @@ fn run() -> Result<(), String> {
                 };
                 (1.0 + pct / 100.0) * TimingAnalysis::new(&nl, &probe).circuit_delay()
             });
-            let mut pipeline = build_pipeline(&spec, &cfg, resize_required)
-                .map_err(|e| format!("bad --passes: {e}"))?
-                .with_fixpoint(opts.fixpoint)
-                .with_deadline(deadline)
-                .with_stop(Some(Arc::clone(&stop)));
+            let mut pipeline =
+                build_pipeline_with(&spec, &cfg, resize_required, &egraph_config(&opts))
+                    .map_err(|e| format!("bad --passes: {e}"))?
+                    .with_fixpoint(opts.fixpoint)
+                    .with_deadline(deadline)
+                    .with_stop(Some(Arc::clone(&stop)));
             let mut sess = AnalysisSession::new(nl, SessionConfig::from_optimize(&cfg));
             let report = pipeline.run(&mut sess);
             for pass in &report.passes {
@@ -601,6 +654,8 @@ fn run() -> Result<(), String> {
                 deadline_secs: opts.deadline_secs,
                 window_size: opts.window_size,
                 window_overlap: opts.window_overlap,
+                egraph_node_limit: opts.egraph_node_limit,
+                egraph_iters: opts.egraph_iters,
             };
             let id = powder_serve::client::submit(&addr, &spec, &netlist)?;
             eprintln!("submitted {id} to {addr}");
@@ -749,6 +804,49 @@ mod tests {
         let o = parse_args(&[]).unwrap();
         assert!(o.trace_out.is_none() && o.metrics_out.is_none());
         assert!(parse_args(&args(&["--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn unknown_pass_rejected_at_parse_time() {
+        let err = parse_args(&args(&["--passes", "powder,frobnicate"]))
+            .err()
+            .unwrap();
+        assert!(
+            err.contains("frobnicate") && err.contains("egraph"),
+            "error should name the bad pass and list the vocabulary: {err}"
+        );
+        assert!(parse_args(&args(&["--passes", "egraph,powder"])).is_ok());
+    }
+
+    #[test]
+    fn parses_egraph_flags() {
+        let o = parse_args(&args(&[
+            "--egraph-node-limit",
+            "256",
+            "--egraph-iters",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(o.egraph_node_limit, Some(256));
+        assert_eq!(o.egraph_iters, Some(4));
+        let cfg = egraph_config(&o);
+        assert_eq!(cfg.node_limit, 256);
+        assert_eq!(cfg.iter_limit, 4);
+        // Absent flags keep the crate defaults.
+        let o = parse_args(&[]).unwrap();
+        assert!(o.egraph_node_limit.is_none() && o.egraph_iters.is_none());
+        assert_eq!(egraph_config(&o), powder_egraph::EgraphConfig::default());
+    }
+
+    #[test]
+    fn rejects_zero_egraph_bounds() {
+        let err = parse_args(&args(&["--egraph-node-limit", "0"]))
+            .err()
+            .unwrap();
+        assert!(err.contains("--egraph-node-limit"), "got: {err}");
+        let err = parse_args(&args(&["--egraph-iters", "0"])).err().unwrap();
+        assert!(err.contains("--egraph-iters"), "got: {err}");
+        assert!(parse_args(&args(&["--egraph-iters", "x"])).is_err());
     }
 
     #[test]

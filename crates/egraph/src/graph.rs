@@ -1,0 +1,472 @@
+//! The e-graph core: e-classes under union-find congruence closure,
+//! hash-consed e-nodes, and exact truth-table semantics per class.
+//!
+//! Every e-class carries the exact Boolean function its members compute
+//! over the cone's leaf variables (cones are bounded to a handful of
+//! leaves, so a [`TruthTable`] is cheap). The table serves three roles:
+//!
+//! 1. **Semantic congruence** — two e-nodes that compute the same
+//!    function land in the same class the moment the second one is
+//!    added, so rule chains that meet "around" a rewrite are merged
+//!    without needing an explicit rule for every identity (constant
+//!    folding, idempotence, and absorption all fall out of this).
+//! 2. **Soundness auditing** — a rule that would union classes with
+//!    different tables is a bug and panics in debug builds.
+//! 3. **Cost extraction** — the table gives the exact signal
+//!    probability of the class given leaf probabilities, which prices
+//!    the switched capacitance `C·E` of every candidate implementation.
+//!
+//! Everything is deterministic: nodes are scanned in insertion order,
+//! class representatives are the smallest member id, and no hash map is
+//! ever iterated.
+
+use powder_library::{CellId, Library};
+use powder_logic::TruthTable;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Index of an e-class. Only canonical ids (as returned by
+/// [`EGraph::find`]) index live classes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ClassId(pub u32);
+
+/// The operator of an e-node over the mapped-cell vocabulary: abstract
+/// subject-graph ops (AND/OR/NOT/XOR), cone leaves, constants, and
+/// mapped library cells.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Op {
+    /// Cone leaf `i` (an existing netlist signal; costs nothing).
+    Var(u32),
+    /// A constant signal.
+    Const(bool),
+    /// Abstract inversion (not directly implementable).
+    Not,
+    /// Abstract 2-input AND.
+    And,
+    /// Abstract 2-input OR.
+    Or,
+    /// Abstract 2-input XOR.
+    Xor,
+    /// An instance of a library cell; children are the cell's input
+    /// pins in pin order. The only implementable interior op.
+    Cell(CellId),
+}
+
+impl Op {
+    /// Whether extraction may realise this op as netlist structure.
+    #[must_use]
+    pub fn is_implementable(self) -> bool {
+        matches!(self, Op::Var(_) | Op::Const(_) | Op::Cell(_))
+    }
+}
+
+/// A hash-consed e-node: an operator applied to e-class children.
+/// Stored with canonical child ids; [`EGraph::rebuild`] re-canonicalises
+/// after unions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ENode {
+    /// The operator.
+    pub op: Op,
+    /// Child e-classes, in operand (for cells: pin) order.
+    pub children: Vec<ClassId>,
+}
+
+/// Which rewrite rule created an e-node (for provenance/quarantine);
+/// `Seed` marks nodes present in the initial cone translation.
+pub type RuleId = u8;
+
+/// Rule id of the initial cone-translation nodes.
+pub const RULE_SEED: RuleId = 0;
+
+/// One e-node as recorded in the global, insertion-ordered node table.
+#[derive(Clone, Debug)]
+pub struct NodeEntry {
+    /// The node (children as they were canonical at the last rebuild).
+    pub node: ENode,
+    /// Class the node currently belongs to (maintained by rebuilds).
+    pub class: ClassId,
+    /// The rule that created the node.
+    pub rule: RuleId,
+}
+
+/// An equivalence class of e-nodes, all computing `tt` over the leaves.
+#[derive(Clone, Debug)]
+struct EClass {
+    /// Indices into the global node table, in insertion order.
+    nodes: Vec<usize>,
+    /// Exact function over the cone leaves.
+    tt: TruthTable,
+    /// Nodes (by table index) that use this class as a child.
+    parents: Vec<usize>,
+}
+
+/// The e-graph. See the module docs for invariants.
+pub struct EGraph {
+    lib: Arc<Library>,
+    leaves: usize,
+    uf: Vec<u32>,
+    classes: Vec<Option<EClass>>,
+    memo: HashMap<ENode, ClassId>,
+    tt_index: HashMap<TruthTable, ClassId>,
+    nodes: Vec<NodeEntry>,
+    /// Classes whose parents need re-canonicalisation.
+    dirty: Vec<ClassId>,
+}
+
+impl EGraph {
+    /// An empty e-graph over `leaves` leaf variables, resolving cell
+    /// functions from `lib`.
+    #[must_use]
+    pub fn new(lib: Arc<Library>, leaves: usize) -> Self {
+        EGraph {
+            lib,
+            leaves,
+            uf: Vec::new(),
+            classes: Vec::new(),
+            memo: HashMap::new(),
+            tt_index: HashMap::new(),
+            nodes: Vec::new(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// The library cell functions are resolved from.
+    #[must_use]
+    pub fn library(&self) -> &Arc<Library> {
+        &self.lib
+    }
+
+    /// Number of leaf variables.
+    #[must_use]
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Total e-nodes ever created (the saturation budget is charged
+    /// against this).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live (canonical) e-classes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.classes.iter().flatten().count()
+    }
+
+    /// The global node table, in insertion order. Entries whose class
+    /// was absorbed by a union still list their (canonical) class.
+    #[must_use]
+    pub fn node_entries(&self) -> &[NodeEntry] {
+        &self.nodes
+    }
+
+    /// Canonical representative of `c` (path-compressing).
+    #[must_use]
+    pub fn find(&mut self, c: ClassId) -> ClassId {
+        let mut root = c.0;
+        while self.uf[root as usize] != root {
+            root = self.uf[root as usize];
+        }
+        let mut cur = c.0;
+        while self.uf[cur as usize] != root {
+            let next = self.uf[cur as usize];
+            self.uf[cur as usize] = root;
+            cur = next;
+        }
+        ClassId(root)
+    }
+
+    /// Canonical representative without path compression.
+    #[must_use]
+    pub fn find_ref(&self, c: ClassId) -> ClassId {
+        let mut root = c.0;
+        while self.uf[root as usize] != root {
+            root = self.uf[root as usize];
+        }
+        ClassId(root)
+    }
+
+    /// The exact function of class `c` over the leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not a live class id.
+    #[must_use]
+    pub fn class_tt(&self, c: ClassId) -> &TruthTable {
+        let c = self.find_ref(c);
+        &self.classes[c.0 as usize].as_ref().expect("live class").tt
+    }
+
+    /// Node-table indices of the members of class `c`, insertion-ordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not a live class id.
+    #[must_use]
+    pub fn class_nodes(&self, c: ClassId) -> &[usize] {
+        let c = self.find_ref(c);
+        &self.classes[c.0 as usize]
+            .as_ref()
+            .expect("live class")
+            .nodes
+    }
+
+    /// Computes the truth table an `op` node over `children` (canonical)
+    /// denotes.
+    fn node_tt(&self, op: Op, children: &[ClassId]) -> TruthTable {
+        let child_tt = |i: usize| {
+            self.classes[children[i].0 as usize]
+                .as_ref()
+                .unwrap()
+                .tt
+                .clone()
+        };
+        match op {
+            Op::Var(i) => TruthTable::var(i as usize, self.leaves),
+            Op::Const(false) => TruthTable::zero(self.leaves),
+            Op::Const(true) => TruthTable::one(self.leaves),
+            Op::Not => !child_tt(0),
+            Op::And => child_tt(0) & child_tt(1),
+            Op::Or => child_tt(0) | child_tt(1),
+            Op::Xor => child_tt(0) ^ child_tt(1),
+            Op::Cell(cid) => {
+                let cell = self.lib.cell(cid).expect("cell id from this library");
+                let subs: Vec<TruthTable> = (0..children.len()).map(child_tt).collect();
+                if subs.is_empty() {
+                    if cell.function.eval(0) {
+                        TruthTable::one(self.leaves)
+                    } else {
+                        TruthTable::zero(self.leaves)
+                    }
+                } else {
+                    cell.function.compose(&subs)
+                }
+            }
+        }
+    }
+
+    /// Adds (or finds) the e-node `op(children)`, created by `rule`.
+    ///
+    /// The node is hash-consed: an existing identical node returns its
+    /// class. A new node whose function matches an existing class joins
+    /// that class (semantic congruence); otherwise a fresh class is
+    /// created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `Op::Cell` child count disagrees with the cell's
+    /// pin count.
+    pub fn add(&mut self, op: Op, children: &[ClassId], rule: RuleId) -> ClassId {
+        let children: Vec<ClassId> = children.iter().map(|&c| self.find(c)).collect();
+        if let Op::Cell(cid) = op {
+            let pins = self
+                .lib
+                .cell(cid)
+                .expect("cell id from this library")
+                .inputs();
+            assert_eq!(pins, children.len(), "cell arity mismatch");
+        }
+        let node = ENode { op, children };
+        if let Some(&c) = self.memo.get(&node) {
+            return self.find(c);
+        }
+        let tt = self.node_tt(node.op, &node.children);
+        let class = match self.tt_index.get(&tt).copied() {
+            Some(c) => self.find(c),
+            None => {
+                let id = ClassId(self.uf.len() as u32);
+                self.uf.push(id.0);
+                self.classes.push(Some(EClass {
+                    nodes: Vec::new(),
+                    tt: tt.clone(),
+                    parents: Vec::new(),
+                }));
+                self.tt_index.insert(tt, id);
+                id
+            }
+        };
+        let idx = self.nodes.len();
+        self.nodes.push(NodeEntry {
+            node: node.clone(),
+            class,
+            rule,
+        });
+        for &ch in &node.children {
+            self.classes[ch.0 as usize]
+                .as_mut()
+                .expect("canonical child")
+                .parents
+                .push(idx);
+        }
+        self.classes[class.0 as usize]
+            .as_mut()
+            .expect("live class")
+            .nodes
+            .push(idx);
+        self.memo.insert(node, class);
+        class
+    }
+
+    /// Unions two classes, returning the surviving representative. The
+    /// classes must compute the same function (rules are sound); in
+    /// debug builds this is asserted.
+    pub fn union(&mut self, a: ClassId, b: ClassId) -> ClassId {
+        let a = self.find(a);
+        let b = self.find(b);
+        if a == b {
+            return a;
+        }
+        // Deterministic representative: the smaller id survives.
+        let (keep, lose) = if a.0 < b.0 { (a, b) } else { (b, a) };
+        debug_assert_eq!(
+            self.classes[keep.0 as usize].as_ref().unwrap().tt,
+            self.classes[lose.0 as usize].as_ref().unwrap().tt,
+            "unsound union: classes disagree on their function"
+        );
+        self.uf[lose.0 as usize] = keep.0;
+        let absorbed = self.classes[lose.0 as usize].take().expect("live class");
+        let kept = self.classes[keep.0 as usize].as_mut().expect("live class");
+        for n in &absorbed.nodes {
+            self.nodes[*n].class = keep;
+        }
+        kept.nodes.extend(absorbed.nodes);
+        kept.parents.extend(absorbed.parents);
+        self.dirty.push(keep);
+        self.rebuild();
+        keep
+    }
+
+    /// Restores congruence after unions: parents of merged classes are
+    /// re-canonicalised, and parents that become structurally identical
+    /// have their classes unioned in turn (the standard e-graph rebuild
+    /// worklist).
+    fn rebuild(&mut self) {
+        while let Some(c) = self.dirty.pop() {
+            let c = self.find(c);
+            let parent_idxs = {
+                let class = self.classes[c.0 as usize].as_ref().expect("live class");
+                class.parents.clone()
+            };
+            for idx in parent_idxs {
+                let old = self.nodes[idx].node.clone();
+                let children: Vec<ClassId> = old.children.iter().map(|&x| self.find(x)).collect();
+                if children == old.children {
+                    continue;
+                }
+                let new = ENode {
+                    op: old.op,
+                    children,
+                };
+                self.memo.remove(&old);
+                let class_of_idx = self.find(self.nodes[idx].class);
+                match self.memo.get(&new).copied() {
+                    Some(existing) => {
+                        let existing = self.find(existing);
+                        if existing != class_of_idx {
+                            // Congruence: same op over the same children.
+                            let (keep, lose) = if existing.0 < class_of_idx.0 {
+                                (existing, class_of_idx)
+                            } else {
+                                (class_of_idx, existing)
+                            };
+                            self.uf[lose.0 as usize] = keep.0;
+                            let absorbed =
+                                self.classes[lose.0 as usize].take().expect("live class");
+                            let kept = self.classes[keep.0 as usize].as_mut().expect("live");
+                            for n in &absorbed.nodes {
+                                self.nodes[*n].class = keep;
+                            }
+                            kept.nodes.extend(absorbed.nodes);
+                            kept.parents.extend(absorbed.parents);
+                            self.dirty.push(keep);
+                        }
+                    }
+                    None => {
+                        self.memo.insert(new.clone(), class_of_idx);
+                    }
+                }
+                self.nodes[idx].node = new;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powder_library::lib2;
+
+    fn graph(leaves: usize) -> EGraph {
+        EGraph::new(Arc::new(lib2()), leaves)
+    }
+
+    #[test]
+    fn hashcons_dedups_identical_nodes() {
+        let mut eg = graph(2);
+        let a = eg.add(Op::Var(0), &[], RULE_SEED);
+        let b = eg.add(Op::Var(1), &[], RULE_SEED);
+        let n1 = eg.add(Op::And, &[a, b], RULE_SEED);
+        let n2 = eg.add(Op::And, &[a, b], RULE_SEED);
+        assert_eq!(n1, n2);
+        assert_eq!(eg.node_count(), 3);
+    }
+
+    #[test]
+    fn semantic_congruence_merges_equal_functions() {
+        let mut eg = graph(2);
+        let a = eg.add(Op::Var(0), &[], RULE_SEED);
+        let b = eg.add(Op::Var(1), &[], RULE_SEED);
+        // AND(a,b) and NOT(OR(NOT a, NOT b)) compute the same function:
+        // the second structure must land in the first's class.
+        let and = eg.add(Op::And, &[a, b], RULE_SEED);
+        let na = eg.add(Op::Not, &[a], RULE_SEED);
+        let nb = eg.add(Op::Not, &[b], RULE_SEED);
+        let or = eg.add(Op::Or, &[na, nb], RULE_SEED);
+        let nor = eg.add(Op::Not, &[or], RULE_SEED);
+        assert_eq!(eg.find(and), eg.find(nor));
+    }
+
+    #[test]
+    fn idempotence_and_constants_fold_semantically() {
+        let mut eg = graph(1);
+        let a = eg.add(Op::Var(0), &[], RULE_SEED);
+        let aa = eg.add(Op::And, &[a, a], RULE_SEED);
+        assert_eq!(eg.find(a), eg.find(aa), "AND(a,a) == a");
+        let na = eg.add(Op::Not, &[a], RULE_SEED);
+        let zero = eg.add(Op::And, &[a, na], RULE_SEED);
+        let k0 = eg.add(Op::Const(false), &[], RULE_SEED);
+        assert_eq!(eg.find(zero), eg.find(k0), "AND(a,!a) == 0");
+    }
+
+    #[test]
+    fn union_rebuild_restores_parent_congruence() {
+        let mut eg = graph(3);
+        let a = eg.add(Op::Var(0), &[], RULE_SEED);
+        let b = eg.add(Op::Var(1), &[], RULE_SEED);
+        let c = eg.add(Op::Var(2), &[], RULE_SEED);
+        let ab = eg.add(Op::And, &[a, b], RULE_SEED);
+        let ba = eg.add(Op::And, &[b, a], RULE_SEED);
+        // Same function: semantic congruence already merged them.
+        assert_eq!(eg.find(ab), eg.find(ba));
+        let p1 = eg.add(Op::Or, &[ab, c], RULE_SEED);
+        let p2 = eg.add(Op::Or, &[ba, c], RULE_SEED);
+        assert_eq!(eg.find(p1), eg.find(p2));
+        // An explicit union on already-equal classes is a no-op.
+        let r = eg.union(ab, ba);
+        assert_eq!(r, eg.find(ab));
+    }
+
+    #[test]
+    fn cell_nodes_compose_their_function() {
+        let lib = Arc::new(lib2());
+        let and2 = lib.find_by_name("and2").unwrap();
+        let mut eg = EGraph::new(lib, 2);
+        let a = eg.add(Op::Var(0), &[], RULE_SEED);
+        let b = eg.add(Op::Var(1), &[], RULE_SEED);
+        let cell = eg.add(Op::Cell(and2), &[a, b], RULE_SEED);
+        let abs = eg.add(Op::And, &[a, b], RULE_SEED);
+        assert_eq!(eg.find(cell), eg.find(abs), "cell joins the abstract class");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests: random mapped cones round-tripped through
+//! saturate → extract must preserve the root function — checked both
+//! by simulation signatures and by an exact miter proof.
+
+use crate::{
+    apply_plan, build_egraph, collect_cone, current_cost, extract, plan_const_needs,
+    plan_root_is_existing, saturate, ConeLimits, Operand, SaturationConfig,
+};
+use powder_atpg::equiv::{check_equivalence, EquivOutcome};
+use powder_library::lib2;
+use powder_netlist::{GateId, Netlist};
+use powder_sim::{simulate, CellCovers, Patterns};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a random single-output mapped circuit over `inputs` primary
+/// inputs: each op row instantiates one lib2 cell whose fanins are
+/// drawn from the signals created so far. Returns the netlist and its
+/// root (the last gate).
+fn random_cone(inputs: usize, ops: &[(u8, u8, u8, u8)]) -> (Netlist, GateId) {
+    let lib = Arc::new(lib2());
+    let names = [
+        "and2", "or2", "nand2", "nor2", "xor2", "xnor2", "inv1", "aoi21", "oai21", "mux21",
+    ];
+    let cells: Vec<_> = names
+        .iter()
+        .map(|n| lib.find_by_name(n).expect("lib2 cell"))
+        .collect();
+    let mut nl = Netlist::new("prop", Arc::clone(&lib));
+    let mut sigs: Vec<GateId> = (0..inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
+    for (k, (op, a, b, c)) in ops.iter().enumerate() {
+        let cell = cells[*op as usize % cells.len()];
+        let arity = lib.cell_ref(cell).inputs();
+        let picks = [*a, *b, *c];
+        let fanins: Vec<GateId> = (0..arity)
+            .map(|j| sigs[picks[j % 3] as usize % sigs.len()])
+            .collect();
+        sigs.push(nl.add_cell(format!("g{k}"), cell, &fanins));
+    }
+    let root = *sigs.last().expect("at least one gate");
+    nl.add_output("f", root);
+    (nl, root)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Saturate → extract → replay on a random cone of up to 8 inputs:
+    /// the rewritten netlist must match the original on simulation
+    /// signatures AND pass an exact miter equivalence proof, and the
+    /// extractor must never price the plan above a fresh re-extraction
+    /// of its own output (sanity of the cost model's determinism).
+    #[test]
+    fn saturate_extract_roundtrip_is_equivalent(
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..12),
+        inputs in 2usize..=8,
+    ) {
+        let (nl, root) = random_cone(inputs, &ops);
+        prop_assume!(nl.validate().is_ok());
+
+        let Some(cone) = collect_cone(&nl, root, &ConeLimits::default()) else {
+            // Degenerate cone (e.g. constant-only support) — nothing to test.
+            return Ok(());
+        };
+        let mut cg = build_egraph(&nl, &cone);
+        let stats = saturate(&mut cg.eg, &SaturationConfig::default());
+        prop_assert!(stats.nodes <= SaturationConfig::default().node_limit + 64,
+            "node budget respected (soft overshoot of one rule batch at most)");
+
+        let leaf_probs = vec![0.5; cone.leaves.len()];
+        let plan = extract(&mut cg.eg, cg.root_class, &leaf_probs)
+            .expect("the seeded implementation is always extractable");
+        let baseline = current_cost(&nl, &cone, &cg, &leaf_probs);
+        prop_assert!(plan.cost <= baseline + 1e-9,
+            "extraction never prices above the seeded cone: {} > {}", plan.cost, baseline);
+
+        // Replay the plan next to the original cone and steal the
+        // root's fanouts (the output gate), exactly like the pass does.
+        let mut rewritten = nl.clone();
+        let new_root = if plan_root_is_existing(&plan) {
+            match plan.root {
+                Operand::Leaf(i) => cone.leaves[i as usize],
+                Operand::Const(b) => rewritten.add_const("rt_const", b),
+                Operand::Step(_) => unreachable!(),
+            }
+        } else {
+            let needs = plan_const_needs(&plan);
+            let consts = [
+                needs[0].then(|| rewritten.add_const("rt_c0", false)),
+                needs[1].then(|| rewritten.add_const("rt_c1", true)),
+            ];
+            apply_plan(&mut rewritten, &plan, &cone.leaves, consts, "rt")
+        };
+        if new_root != root {
+            rewritten.replace_all_fanouts(root, new_root);
+        }
+        rewritten.drain_dirty();
+        prop_assert!(rewritten.validate().is_ok(), "rewritten netlist stays valid");
+
+        // Signature equivalence: identical input names in identical
+        // order, so the same pattern set drives both netlists.
+        let covers = CellCovers::new(nl.library());
+        let pats = Patterns::random(inputs, 4, 0x5EED);
+        let va = simulate(&nl, &covers, &pats);
+        let vb = simulate(&rewritten, &covers, &pats);
+        for (&oa, &ob) in nl.outputs().iter().zip(rewritten.outputs()) {
+            prop_assert_eq!(va.get(oa), vb.get(ob), "signature diverged at the output");
+        }
+
+        // Exact miter proof over the full netlists.
+        match check_equivalence(&nl, &rewritten, 100_000).expect("matching interfaces") {
+            EquivOutcome::Equivalent => {}
+            EquivOutcome::Inequivalent { witness, output } => prop_assert!(
+                false, "miter refuted the rewrite: output {output:?} under {witness:?}"),
+            EquivOutcome::Unknown => prop_assert!(false, "tiny cones must not abort"),
+        }
+    }
+}

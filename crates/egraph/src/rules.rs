@@ -1,0 +1,499 @@
+//! Rewrite rules and the bounded saturation driver.
+//!
+//! Rules only ever *add* e-nodes: because every e-class carries its
+//! exact truth table, a newly added node whose function matches an
+//! existing class is merged into it automatically ([`EGraph::add`]).
+//! Absorption, idempotence and constant folding therefore need no
+//! explicit rules — they are consequences of semantic congruence. The
+//! explicit rules below exist to grow *structural variety*, so the
+//! cell-matching rule can discover alternative mapped implementations
+//! for the extractor to price.
+//!
+//! Scheduling is deterministic: each iteration scans the global node
+//! table in insertion order over the prefix that existed when the
+//! iteration began, applying every rule to every node, and stops when
+//! an iteration adds no node (saturation), the node budget is
+//! exhausted, or the iteration limit is hit. No hash map is iterated
+//! anywhere, so runs are bit-reproducible.
+
+use crate::graph::{ClassId, EGraph, Op, RuleId};
+use powder_library::{CellId, Match};
+use powder_logic::minimize::minimize;
+use powder_logic::{Sop, TruthTable};
+use std::collections::HashMap;
+
+/// Rule id: cell decomposed into its subject-graph (SOP) form.
+pub const RULE_CELL_EXPAND: RuleId = 1;
+/// Rule id: commutativity of AND/OR/XOR.
+pub const RULE_COMM: RuleId = 2;
+/// Rule id: re-association of AND/OR chains.
+pub const RULE_ASSOC: RuleId = 3;
+/// Rule id: De Morgan push/pull of inverters.
+pub const RULE_DEMORGAN: RuleId = 4;
+/// Rule id: XOR expansion into AND/OR/NOT form.
+pub const RULE_XOR_EXPAND: RuleId = 5;
+/// Rule id: factoring / kernel pull-out (distributivity, both ways).
+pub const RULE_FACTOR: RuleId = 6;
+/// Rule id: constant node added to a constant-function class.
+pub const RULE_CONST_FOLD: RuleId = 7;
+/// Rule id: abstract shape re-mapped onto a library cell.
+pub const RULE_CELL_FOLD: RuleId = 8;
+
+/// Human-readable rule names, indexed by [`RuleId`].
+pub const RULE_NAMES: [&str; 9] = [
+    "seed",
+    "cell-expand",
+    "comm",
+    "assoc",
+    "demorgan",
+    "xor-expand",
+    "factor",
+    "const-fold",
+    "cell-fold",
+];
+
+/// Bounds on a saturation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SaturationConfig {
+    /// Stop once the e-graph holds this many e-nodes.
+    pub node_limit: usize,
+    /// Maximum number of rule-application sweeps.
+    pub iter_limit: usize,
+}
+
+impl Default for SaturationConfig {
+    fn default() -> Self {
+        SaturationConfig {
+            node_limit: 512,
+            iter_limit: 6,
+        }
+    }
+}
+
+/// Outcome of a saturation run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SaturationStats {
+    /// Sweeps performed.
+    pub iters: usize,
+    /// E-nodes in the graph afterwards.
+    pub nodes: usize,
+    /// Live e-classes afterwards.
+    pub classes: usize,
+    /// True if a sweep added no node (a fixpoint, not a budget stop).
+    pub saturated: bool,
+}
+
+/// Per-run caches for the expensive rule matchers.
+struct RuleCtx {
+    /// Minimized SOP of each cell function, by cell id.
+    sops: HashMap<CellId, Sop>,
+    /// Library match for each local shape function.
+    matches: HashMap<TruthTable, Option<Match>>,
+}
+
+/// Runs bounded equality saturation over `eg`.
+pub fn saturate(eg: &mut EGraph, cfg: &SaturationConfig) -> SaturationStats {
+    let mut ctx = RuleCtx {
+        sops: HashMap::new(),
+        matches: HashMap::new(),
+    };
+    let mut stats = SaturationStats::default();
+    for _ in 0..cfg.iter_limit {
+        stats.iters += 1;
+        let frontier = eg.node_count();
+        for idx in 0..frontier {
+            if eg.node_count() >= cfg.node_limit {
+                break;
+            }
+            apply_rules(eg, idx, &mut ctx);
+        }
+        if eg.node_count() == frontier {
+            stats.saturated = true;
+            break;
+        }
+        if eg.node_count() >= cfg.node_limit {
+            break;
+        }
+    }
+    stats.nodes = eg.node_count();
+    stats.classes = eg.class_count();
+    stats
+}
+
+/// Applies every rule to the node at table index `idx`.
+fn apply_rules(eg: &mut EGraph, idx: usize, ctx: &mut RuleCtx) {
+    let entry = eg.node_entries()[idx].clone();
+    let op = entry.node.op;
+    let children: Vec<ClassId> = entry.node.children.iter().map(|&c| eg.find(c)).collect();
+    let class = eg.find(entry.class);
+
+    match op {
+        Op::Cell(cid) => cell_expand(eg, cid, &children, ctx),
+        Op::And | Op::Or | Op::Xor => {
+            // Commutativity.
+            eg.add(op, &[children[1], children[0]], RULE_COMM);
+            if op == Op::Xor {
+                xor_expand(eg, &children);
+            } else {
+                assoc(eg, op, &children);
+                factor(eg, op, &children);
+            }
+            cell_fold(eg, op, &children, ctx);
+        }
+        Op::Not => {
+            demorgan(eg, &children);
+            cell_fold(eg, op, &children, ctx);
+        }
+        Op::Var(_) | Op::Const(_) => {}
+    }
+
+    const_fold(eg, class);
+    class_fold(eg, class, ctx);
+}
+
+/// Decomposes a cell instance into abstract AND/OR/NOT structure from
+/// the minimized SOP of its function. The resulting subject-graph node
+/// computes the same function, so it lands in the cell's class.
+fn cell_expand(eg: &mut EGraph, cid: CellId, children: &[ClassId], ctx: &mut RuleCtx) {
+    let sop = ctx
+        .sops
+        .entry(cid)
+        .or_insert_with(|| {
+            let cell = eg.library().cell(cid).expect("cell from this library");
+            minimize(&cell.function)
+        })
+        .clone();
+    let vars = children.len();
+    if sop.cubes().is_empty() {
+        eg.add(Op::Const(false), &[], RULE_CELL_EXPAND);
+        return;
+    }
+    let mut terms: Vec<ClassId> = Vec::new();
+    for cube in sop.cubes() {
+        let mut lits: Vec<ClassId> = Vec::new();
+        for (v, &child) in children.iter().enumerate().take(vars) {
+            match cube.literal(v) {
+                Some(true) => lits.push(child),
+                Some(false) => {
+                    let n = eg.add(Op::Not, &[child], RULE_CELL_EXPAND);
+                    lits.push(n);
+                }
+                None => {}
+            }
+        }
+        let term = match lits.split_first() {
+            None => eg.add(Op::Const(true), &[], RULE_CELL_EXPAND),
+            Some((&first, rest)) => rest.iter().fold(first, |acc, &l| {
+                eg.add(Op::And, &[acc, l], RULE_CELL_EXPAND)
+            }),
+        };
+        terms.push(term);
+    }
+    let (&first, rest) = terms.split_first().expect("at least one cube");
+    rest.iter()
+        .fold(first, |acc, &t| eg.add(Op::Or, &[acc, t], RULE_CELL_EXPAND));
+}
+
+/// `op(op(x, y), z) → op(x, op(y, z))` and the mirror, for AND/OR.
+fn assoc(eg: &mut EGraph, op: Op, children: &[ClassId]) {
+    // Left child is an `op` node: rotate right.
+    for &m in &member_nodes_with_op(eg, children[0], op) {
+        let inner = grandchildren(eg, m);
+        let right = eg.add(op, &[inner[1], children[1]], RULE_ASSOC);
+        eg.add(op, &[inner[0], right], RULE_ASSOC);
+    }
+    // Right child is an `op` node: rotate left.
+    for &m in &member_nodes_with_op(eg, children[1], op) {
+        let inner = grandchildren(eg, m);
+        let left = eg.add(op, &[children[0], inner[0]], RULE_ASSOC);
+        eg.add(op, &[left, inner[1]], RULE_ASSOC);
+    }
+}
+
+/// `!(x & y) → !x | !y` and `!(x | y) → !x & !y`; also `!!x → x` falls
+/// out of semantic congruence when the inner NOT is re-added.
+fn demorgan(eg: &mut EGraph, children: &[ClassId]) {
+    let child = children[0];
+    for op in [Op::And, Op::Or] {
+        let dual = if op == Op::And { Op::Or } else { Op::And };
+        for &m in &member_nodes_with_op(eg, child, op) {
+            let inner = grandchildren(eg, m);
+            let na = eg.add(Op::Not, &[inner[0]], RULE_DEMORGAN);
+            let nb = eg.add(Op::Not, &[inner[1]], RULE_DEMORGAN);
+            eg.add(dual, &[na, nb], RULE_DEMORGAN);
+        }
+    }
+}
+
+/// `x ^ y → (x & !y) | (!x & y)`.
+fn xor_expand(eg: &mut EGraph, children: &[ClassId]) {
+    let (a, b) = (children[0], children[1]);
+    let na = eg.add(Op::Not, &[a], RULE_XOR_EXPAND);
+    let nb = eg.add(Op::Not, &[b], RULE_XOR_EXPAND);
+    let l = eg.add(Op::And, &[a, nb], RULE_XOR_EXPAND);
+    let r = eg.add(Op::And, &[na, b], RULE_XOR_EXPAND);
+    eg.add(Op::Or, &[l, r], RULE_XOR_EXPAND);
+}
+
+/// Factoring / kernel pull-out: `(x&y) | (x&z) → x & (y|z)` when both
+/// children of an OR are ANDs sharing a class (all four pairings), plus
+/// the dual for AND-of-ORs, plus the distributive direction
+/// `x & (y|z) → (x&y) | (x&z)`.
+fn factor(eg: &mut EGraph, op: Op, children: &[ClassId]) {
+    let dual = if op == Op::And { Op::Or } else { Op::And };
+    // Pull-out: both children are `dual` nodes with a shared operand.
+    let left_duals = member_nodes_with_op(eg, children[0], dual);
+    let right_duals = member_nodes_with_op(eg, children[1], dual);
+    for &lm in &left_duals {
+        let lk = grandchildren(eg, lm);
+        for &rm in &right_duals {
+            let rk = grandchildren(eg, rm);
+            for (li, ri) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                if lk[li] == rk[ri] {
+                    let shared = lk[li];
+                    let rest = eg.add(op, &[lk[1 - li], rk[1 - ri]], RULE_FACTOR);
+                    eg.add(dual, &[shared, rest], RULE_FACTOR);
+                }
+            }
+        }
+    }
+    // Distribute: one child is a `dual` node.
+    for (fixed, varying) in [(children[0], children[1]), (children[1], children[0])] {
+        for &m in &member_nodes_with_op(eg, varying, dual) {
+            let inner = grandchildren(eg, m);
+            let l = eg.add(op, &[fixed, inner[0]], RULE_FACTOR);
+            let r = eg.add(op, &[fixed, inner[1]], RULE_FACTOR);
+            eg.add(dual, &[l, r], RULE_FACTOR);
+        }
+    }
+}
+
+/// Adds a constant node to a class whose function is constant, so the
+/// extractor can realise it for free.
+fn const_fold(eg: &mut EGraph, class: ClassId) {
+    let tt = eg.class_tt(class).clone();
+    if tt.is_zero() {
+        eg.add(Op::Const(false), &[], RULE_CONST_FOLD);
+    } else if tt.is_one() {
+        eg.add(Op::Const(true), &[], RULE_CONST_FOLD);
+    }
+}
+
+/// Cap on class members enumerated when expanding shapes, to bound the
+/// cross product of depth-2 matching.
+const MEMBER_CAP: usize = 3;
+
+/// Node-table indices of members of `class` whose op is `op`, capped at
+/// [`MEMBER_CAP`], in insertion order.
+fn member_nodes_with_op(eg: &EGraph, class: ClassId, op: Op) -> Vec<usize> {
+    eg.class_nodes(class)
+        .iter()
+        .copied()
+        .filter(|&i| eg.node_entries()[i].node.op == op)
+        .take(MEMBER_CAP)
+        .collect()
+}
+
+/// Canonical child classes of the node at table index `idx`.
+fn grandchildren(eg: &mut EGraph, idx: usize) -> Vec<ClassId> {
+    let kids = eg.node_entries()[idx].node.children.clone();
+    kids.into_iter().map(|c| eg.find(c)).collect()
+}
+
+/// A small expression over operand classes, used to enumerate depth-2
+/// shapes for library matching.
+#[derive(Clone)]
+enum Shape {
+    /// An operand class used as-is.
+    Leaf(ClassId),
+    /// An abstract gate over sub-shapes.
+    Gate(Op, Vec<Shape>),
+}
+
+impl Shape {
+    /// Collects distinct operand classes in first-occurrence order.
+    fn operands(&self, out: &mut Vec<ClassId>) {
+        match self {
+            Shape::Leaf(c) => {
+                if !out.contains(c) {
+                    out.push(*c);
+                }
+            }
+            Shape::Gate(_, kids) => {
+                for k in kids {
+                    k.operands(out);
+                }
+            }
+        }
+    }
+
+    /// The function of the shape over the operand list `ops`.
+    fn tt(&self, ops: &[ClassId]) -> TruthTable {
+        let k = ops.len();
+        match self {
+            Shape::Leaf(c) => {
+                let i = ops.iter().position(|o| o == c).expect("operand listed");
+                TruthTable::var(i, k)
+            }
+            Shape::Gate(op, kids) => match op {
+                Op::Not => !kids[0].tt(ops),
+                Op::And => kids[0].tt(ops) & kids[1].tt(ops),
+                Op::Or => kids[0].tt(ops) | kids[1].tt(ops),
+                Op::Xor => kids[0].tt(ops) ^ kids[1].tt(ops),
+                _ => unreachable!("shapes hold abstract ops only"),
+            },
+        }
+    }
+}
+
+/// One-level variants of a child class: the class itself, plus each of
+/// its first few abstract-op members expanded one level.
+fn child_variants(eg: &mut EGraph, class: ClassId) -> Vec<Shape> {
+    let mut out = vec![Shape::Leaf(class)];
+    for op in [Op::Not, Op::And, Op::Or, Op::Xor] {
+        for &m in &member_nodes_with_op(eg, class, op) {
+            let kids = grandchildren(eg, m);
+            out.push(Shape::Gate(op, kids.into_iter().map(Shape::Leaf).collect()));
+        }
+    }
+    out
+}
+
+/// Tries to re-map depth-1 and depth-2 abstract shapes rooted at an
+/// `op(children)` node onto library cells, adding a [`Op::Cell`] node
+/// per match.
+fn cell_fold(eg: &mut EGraph, op: Op, children: &[ClassId], ctx: &mut RuleCtx) {
+    let shapes: Vec<Shape> = match op {
+        Op::Not => child_variants(eg, children[0])
+            .into_iter()
+            .map(|v| Shape::Gate(Op::Not, vec![v]))
+            .collect(),
+        Op::And | Op::Or | Op::Xor => {
+            let left = child_variants(eg, children[0]);
+            let right = child_variants(eg, children[1]);
+            let mut out = Vec::new();
+            for l in &left {
+                for r in &right {
+                    out.push(Shape::Gate(op, vec![l.clone(), r.clone()]));
+                }
+            }
+            out
+        }
+        _ => return,
+    };
+    for shape in shapes {
+        try_match_shape(eg, &shape, ctx);
+    }
+}
+
+/// Matches one shape's function against the library and adds the cell
+/// node on success.
+fn try_match_shape(eg: &mut EGraph, shape: &Shape, ctx: &mut RuleCtx) {
+    let mut ops: Vec<ClassId> = Vec::new();
+    shape.operands(&mut ops);
+    if ops.is_empty() || ops.len() > 4 {
+        return;
+    }
+    let tt = shape.tt(&ops);
+    // Library matching requires every variable live.
+    if tt.support().len() != ops.len() {
+        return;
+    }
+    let m = ctx
+        .matches
+        .entry(tt.clone())
+        .or_insert_with(|| eg.library().match_function(&tt))
+        .clone();
+    if let Some(m) = m {
+        let pins: Vec<ClassId> = m.perm.iter().map(|&i| ops[i]).collect();
+        eg.add(Op::Cell(m.cell), &pins, RULE_CELL_FOLD);
+    }
+}
+
+/// Tries to implement an entire class as a single cell over the cone
+/// leaves, when its function depends on few enough leaves.
+fn class_fold(eg: &mut EGraph, class: ClassId, ctx: &mut RuleCtx) {
+    let tt = eg.class_tt(class).clone();
+    let support = tt.support();
+    if support.is_empty() || support.len() > 4 {
+        return;
+    }
+    let local = TruthTable::from_fn(support.len(), |m| {
+        let mut full = 0u64;
+        for (i, &v) in support.iter().enumerate() {
+            if (m >> i) & 1 == 1 {
+                full |= 1 << v;
+            }
+        }
+        tt.eval(full)
+    });
+    let mat = ctx
+        .matches
+        .entry(local.clone())
+        .or_insert_with(|| eg.library().match_function(&local))
+        .clone();
+    if let Some(mat) = mat {
+        let leaf_classes: Vec<ClassId> = mat
+            .perm
+            .iter()
+            .map(|&i| eg.add(Op::Var(support[i] as u32), &[], RULE_CELL_FOLD))
+            .collect();
+        eg.add(Op::Cell(mat.cell), &leaf_classes, RULE_CELL_FOLD);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RULE_SEED as SEED;
+    use powder_library::lib2;
+    use std::sync::Arc;
+
+    #[test]
+    fn saturate_reaches_fixpoint_on_tiny_graph() {
+        let mut eg = EGraph::new(Arc::new(lib2()), 2);
+        let a = eg.add(Op::Var(0), &[], SEED);
+        let b = eg.add(Op::Var(1), &[], SEED);
+        eg.add(Op::And, &[a, b], SEED);
+        let stats = saturate(
+            &mut eg,
+            &SaturationConfig {
+                node_limit: 400,
+                iter_limit: 10,
+            },
+        );
+        assert!(stats.nodes >= 3);
+        assert!(stats.iters >= 1);
+    }
+
+    #[test]
+    fn cell_fold_discovers_cell_for_and_shape() {
+        let lib = Arc::new(lib2());
+        let mut eg = EGraph::new(lib.clone(), 2);
+        let a = eg.add(Op::Var(0), &[], SEED);
+        let b = eg.add(Op::Var(1), &[], SEED);
+        let and = eg.add(Op::And, &[a, b], SEED);
+        saturate(&mut eg, &SaturationConfig::default());
+        let has_cell = eg
+            .class_nodes(and)
+            .iter()
+            .any(|&i| matches!(eg.node_entries()[i].node.op, Op::Cell(_)));
+        assert!(has_cell, "AND class should gain a mapped-cell member");
+    }
+
+    #[test]
+    fn saturation_is_deterministic() {
+        let build = || {
+            let mut eg = EGraph::new(Arc::new(lib2()), 3);
+            let a = eg.add(Op::Var(0), &[], SEED);
+            let b = eg.add(Op::Var(1), &[], SEED);
+            let c = eg.add(Op::Var(2), &[], SEED);
+            let ab = eg.add(Op::And, &[a, b], SEED);
+            let ac = eg.add(Op::And, &[a, c], SEED);
+            eg.add(Op::Or, &[ab, ac], SEED);
+            let stats = saturate(&mut eg, &SaturationConfig::default());
+            (stats.nodes, stats.classes, stats.iters)
+        };
+        assert_eq!(build(), build());
+    }
+}

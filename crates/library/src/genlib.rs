@@ -249,7 +249,21 @@ fn parse_pin_tokens(
             s.parse()
                 .map_err(|_| err(format!("bad number {s:?} in PIN entry")))
         };
-        let load = num(toks[i + 3])?;
+        // The input-load field is the pin capacitance the power model
+        // charges per transition; diagnose it precisely (pin + value)
+        // because a silent NaN or negative load would corrupt every
+        // Σ C·E estimate downstream.
+        let load_tok = toks[i + 3];
+        let load: f64 = load_tok.parse().map_err(|_| {
+            err(format!(
+                "pin {name:?}: capacitance (input-load) field {load_tok:?} is not a number"
+            ))
+        })?;
+        if !load.is_finite() || load < 0.0 {
+            return Err(err(format!(
+                "pin {name:?}: capacitance (input-load) must be finite and non-negative, got {load_tok}"
+            )));
+        }
         let rise_block = num(toks[i + 5])?;
         let rise_fanout = num(toks[i + 6])?;
         let fall_block = num(toks[i + 7])?;
@@ -331,6 +345,29 @@ GATE xor2 2784 O=a*!b + !a*b;
             e.message.contains("duplicate GATE") && e.message.contains("line 1"),
             "{e}"
         );
+    }
+
+    #[test]
+    fn malformed_pin_capacitance_reports_line_and_pin() {
+        // Non-numeric load on the PIN continuation line: the error must
+        // carry that line's number and name the offending pin and value.
+        let src = "GATE g 1.0 O=a*b;\n    PIN a X abc 9 1 1 1 1\n    PIN b X 1 9 1 1 1 1";
+        let e = parse_genlib("t", src).unwrap_err();
+        assert_eq!(e.line, 2, "{e}");
+        assert!(
+            e.message.contains("\"a\"") && e.message.contains("\"abc\""),
+            "{e}"
+        );
+        assert!(e.message.contains("capacitance"), "{e}");
+
+        // Negative and non-finite loads are rejected, not folded into
+        // the power model.
+        for bad in ["-1.5", "nan", "inf"] {
+            let src = format!("GATE g 1.0 O=!a;\nPIN a X {bad} 9 1 1 1 1");
+            let e = parse_genlib("t", &src).unwrap_err();
+            assert_eq!(e.line, 2, "{bad}: {e}");
+            assert!(e.message.contains("finite and non-negative"), "{bad}: {e}");
+        }
     }
 
     #[test]

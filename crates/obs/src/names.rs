@@ -154,6 +154,27 @@ pub const PIPELINE_EDITS: &str = "passes.pipeline.edits";
 /// ATPG permissibility checks issued by non-POWDER passes.
 pub const PASSES_ATPG_CHECKS: &str = "passes.atpg.checks";
 
+// --- egraph.* — the equality-saturation pass ---
+
+/// Cones translated into e-graphs.
+pub const EGRAPH_CONES: &str = "egraph.saturate.cones";
+/// Saturation sweeps across all cones.
+pub const EGRAPH_ITERS: &str = "egraph.saturate.iters";
+/// E-nodes created across all cones.
+pub const EGRAPH_NODES: &str = "egraph.saturate.nodes";
+/// Extracted rewrites applied and kept.
+pub const EGRAPH_APPLIED: &str = "egraph.extract.applied";
+/// Extractions rejected before application (no plan, no gain).
+pub const EGRAPH_REJECTED: &str = "egraph.extract.rejected";
+/// Applied extractions rolled back by the guard.
+pub const EGRAPH_ROLLBACKS: &str = "egraph.guard.rollbacks";
+/// Rule chains quarantined after a guard refutation.
+pub const EGRAPH_QUARANTINED: &str = "egraph.guard.quarantined";
+/// E-nodes per saturated cone.
+pub const EGRAPH_CONE_NODES: &str = "egraph.saturate.cone_nodes";
+/// Histogram bounds for [`EGRAPH_CONE_NODES`].
+pub const EGRAPH_CONE_NODES_BOUNDS: &[u64] = &[8, 16, 32, 64, 128, 256, 512, 1024];
+
 // --- obs.* — the tracer's own health ---
 
 /// Trace events dropped because a thread's ring buffer was full.
@@ -190,6 +211,8 @@ pub mod span {
     pub const SESSION_STA_BUILD: &str = "passes.session.sta_build";
     /// ATPG check issued by a non-POWDER pass.
     pub const PASSES_ATPG_CHECK: &str = "passes.atpg.check";
+    /// One cone's saturate→extract cycle in the egraph pass.
+    pub const EGRAPH_CONE: &str = "egraph.cone";
     /// Pool stage span prefixes: `engine.stage.<stage>` (one span per
     /// batch, on the worker's own track).
     pub const STAGE_FILTER: &str = "engine.stage.filter";

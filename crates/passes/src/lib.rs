@@ -12,11 +12,12 @@
 //! | [`Transform`] | a pass: reads analyses through the session, commits edits through it |
 //! | [`Pipeline`] | runs a scripted pass sequence, optionally to a fixpoint, and accounts per-pass effects |
 //!
-//! Four passes ship with the crate — [`PowderPass`] (the paper's
+//! Five passes ship with the crate — [`PowderPass`] (the paper's
 //! Fig. 5 loop), [`SweepPass`] (constant propagation and duplicate
 //! merging keyed on simulation signatures), [`ResizePass`]
-//! (slack-constrained cell downsizing), and [`RedundancyPass`]
-//! (ATPG redundancy removal) — all sharing one invariant: between
+//! (slack-constrained cell downsizing), [`RedundancyPass`]
+//! (ATPG redundancy removal), and [`EgraphPass`] (equality-saturation
+//! cone rewriting, DESIGN.md §9) — all sharing one invariant: between
 //! passes, no analysis is ever rebuilt from scratch. The session's
 //! [`SessionStats`](powder_engine::SessionStats) counters prove it.
 //!
@@ -53,13 +54,18 @@
 #![warn(missing_docs)]
 
 mod checkpoint;
+mod egraph;
 mod passes;
 mod pipeline;
 mod session;
 mod transform;
 
 pub use checkpoint::{ResumePoint, RunCheckpoint, CHECKPOINT_MAGIC};
+pub use egraph::EgraphPass;
 pub use passes::{PowderPass, RedundancyPass, ResizePass, SweepPass};
-pub use pipeline::{build_pipeline, CheckpointSink, Pipeline, PipelineReport};
-pub use session::{AnalysisSession, SessionConfig};
+pub use pipeline::{
+    build_pipeline, build_pipeline_with, validate_passes, CheckpointSink, Pipeline, PipelineReport,
+    KNOWN_PASSES,
+};
+pub use session::{AnalysisSession, SessionCheckpoint, SessionConfig};
 pub use transform::{PassBudget, PassReport, Transform};

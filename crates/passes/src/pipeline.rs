@@ -1,6 +1,7 @@
 //! Scripted pass sequences with optional fixpoint iteration.
 
 use crate::checkpoint::{ResumePoint, RunCheckpoint};
+use crate::egraph::EgraphPass;
 use crate::passes::{PowderPass, RedundancyPass, ResizePass, SweepPass};
 use crate::session::AnalysisSession;
 use crate::transform::{PassBudget, PassReport, Transform};
@@ -365,39 +366,82 @@ impl fmt::Display for PipelineReport {
     }
 }
 
-/// Builds a pipeline from the comma-separated pass language used by
-/// `powder optimize --passes`.
+/// Pass names the pipeline language recognises, in canonical order.
+pub const KNOWN_PASSES: &[&str] = &["sweep", "powder", "resize", "redundancy", "egraph"];
+
+/// Checks a `--passes` spec without building anything: every name must
+/// be one of [`KNOWN_PASSES`] and the list must be non-empty. Callers
+/// (the CLI, the daemon's submit validation) use this to fail fast at
+/// parse time.
 ///
-/// Recognised passes: `sweep`, `powder`, `resize`, `redundancy`. A
-/// pass may appear any number of times. `powder_config` parameterizes
-/// every `powder` pass (and supplies the ATPG budget for the others);
-/// `resize_required` pins the resize slack computation to an absolute
-/// required time (`None` = the circuit delay when the pass starts).
-pub fn build_pipeline(
-    spec: &str,
-    powder_config: &OptimizeConfig,
-    resize_required: Option<f64>,
-) -> Result<Pipeline, String> {
-    let mut passes: Vec<Box<dyn Transform>> = Vec::new();
+/// # Errors
+///
+/// Returns a message naming the offending pass and listing the valid
+/// ones.
+pub fn validate_passes(spec: &str) -> Result<(), String> {
+    let mut any = false;
     for name in spec.split(',') {
         let name = name.trim();
         if name.is_empty() {
             continue;
         }
+        if !KNOWN_PASSES.contains(&name) {
+            return Err(format!(
+                "unknown pass '{name}' (expected {})",
+                KNOWN_PASSES.join(", ")
+            ));
+        }
+        any = true;
+    }
+    if !any {
+        return Err("empty pass list".to_string());
+    }
+    Ok(())
+}
+
+/// Builds a pipeline from the comma-separated pass language used by
+/// `powder optimize --passes`, with default egraph tuning. See
+/// [`build_pipeline_with`].
+pub fn build_pipeline(
+    spec: &str,
+    powder_config: &OptimizeConfig,
+    resize_required: Option<f64>,
+) -> Result<Pipeline, String> {
+    build_pipeline_with(
+        spec,
+        powder_config,
+        resize_required,
+        &powder_egraph::EgraphConfig::default(),
+    )
+}
+
+/// Builds a pipeline from the comma-separated pass language used by
+/// `powder optimize --passes`.
+///
+/// Recognised passes: [`KNOWN_PASSES`]. A pass may appear any number of
+/// times. `powder_config` parameterizes every `powder` pass (and
+/// supplies the ATPG budget for the others); `resize_required` pins the
+/// resize slack computation to an absolute required time (`None` = the
+/// circuit delay when the pass starts); `egraph_config` parameterizes
+/// every `egraph` pass.
+pub fn build_pipeline_with(
+    spec: &str,
+    powder_config: &OptimizeConfig,
+    resize_required: Option<f64>,
+    egraph_config: &powder_egraph::EgraphConfig,
+) -> Result<Pipeline, String> {
+    validate_passes(spec)?;
+    let mut passes: Vec<Box<dyn Transform>> = Vec::new();
+    for name in spec.split(',') {
+        let name = name.trim();
         match name {
             "sweep" => passes.push(Box::new(SweepPass)),
             "powder" => passes.push(Box::new(PowderPass::new(powder_config.clone()))),
             "resize" => passes.push(Box::new(ResizePass::new(resize_required))),
             "redundancy" => passes.push(Box::new(RedundancyPass)),
-            other => {
-                return Err(format!(
-                    "unknown pass '{other}' (expected sweep, powder, resize, redundancy)"
-                ))
-            }
+            "egraph" => passes.push(Box::new(EgraphPass::new(*egraph_config))),
+            _ => {}
         }
-    }
-    if passes.is_empty() {
-        return Err("empty pass list".to_string());
     }
     let budget = PassBudget {
         backtrack_limit: powder_config.backtrack_limit,

@@ -42,6 +42,20 @@ impl SessionConfig {
     }
 }
 
+/// A transactional checkpoint over the session's netlist *and* its
+/// maintained analyses, produced by [`AnalysisSession::checkpoint`].
+///
+/// The caller contract matches [`Netlist::checkpoint`]: between
+/// checkpoint and rollback, edits may only mutate gates in `roots` and
+/// create new gates. [`AnalysisSession::rollback`] then restores the
+/// netlist bit-for-bit and repairs the power estimator, retained
+/// simulation values, and timing view over the restored region.
+pub struct SessionCheckpoint {
+    cp: powder_netlist::Checkpoint,
+    roots: Vec<GateId>,
+    id_bound: usize,
+}
+
 /// Owns a netlist together with every analysis the passes consult —
 /// simulation signatures, the power estimator, and timing — and keeps
 /// them consistent through the netlist's edit journal: any edit made
@@ -282,6 +296,49 @@ impl AnalysisSession {
         removed
     }
 
+    /// Captures a transactional checkpoint covering `roots` (see
+    /// [`Netlist::checkpoint`] for the write-set contract). The journal
+    /// is drained first so the analyses and the checkpoint describe the
+    /// same state.
+    #[must_use]
+    pub fn checkpoint(&mut self, roots: &[GateId]) -> SessionCheckpoint {
+        self.refresh();
+        SessionCheckpoint {
+            cp: self.nl.checkpoint(roots),
+            roots: roots.to_vec(),
+            id_bound: self.nl.id_bound(),
+        }
+    }
+
+    /// Rolls the netlist back to `scp` and repairs every materialized
+    /// analysis over the restored region: gates created since the
+    /// checkpoint are retired from the estimator, the restored cone is
+    /// re-propagated and re-simulated, and the cached timing view is
+    /// dropped (it cannot be repaired across a journal rewind).
+    pub fn rollback(&mut self, scp: SessionCheckpoint) {
+        // The netlist rollback rewinds the journal, so analyses must be
+        // consistent with the pre-rollback state first.
+        self.refresh();
+        let created: Vec<GateId> = (scp.id_bound..self.nl.id_bound())
+            .map(|i| GateId(i as u32))
+            .collect();
+        self.nl.rollback(scp.cp);
+        self.shared.est.retire_gates(&created);
+        self.cone.clear();
+        let live_roots = scp.roots.iter().copied().filter(|&g| self.nl.is_live(g));
+        self.cone_scratch
+            .cone_topo(&self.nl, live_roots, &mut self.cone);
+        self.shared.est.update_cone(&self.nl, &self.cone);
+        self.stats.incremental_power_updates += 1;
+        obs::counter!(obs::names::ANALYSIS_POWER_INCREMENTAL).inc();
+        if let Some(values) = self.shared.values.as_mut() {
+            resimulate_cone(&self.nl, &self.shared.covers, values, &self.cone);
+            self.stats.incremental_resims += 1;
+            obs::counter!(obs::names::ANALYSIS_SIM_INCREMENTAL).inc();
+        }
+        self.sta = None;
+    }
+
     /// Runs the POWDER substitution loop against the session's shared
     /// analyses: the optimizer reuses the session's estimator, pattern
     /// set, and (when fresh) retained simulation values, and hands them
@@ -378,6 +435,64 @@ mod tests {
         assert_eq!(stats.full_resims, 1, "one lazy materialization only");
         assert!(stats.incremental_resims >= 1);
         assert_eq!(stats.full_power_builds, 1, "initial build only");
+    }
+
+    #[test]
+    fn rollback_restores_netlist_and_analyses() {
+        let mut sess = AnalysisSession::new(small_circuit(), SessionConfig::default());
+        let power_before = sess.power();
+        let (_, values) = sess.signatures();
+        assert!(values.words() > 0);
+        let blif_before = powder_netlist::blif::write_blif(sess.netlist());
+
+        let (g1, g2, c) = {
+            let nl = sess.netlist();
+            let find = |n: &str| nl.iter_live().find(|&g| nl.gate_name(g) == n).unwrap();
+            (find("g1"), find("g2"), find("c"))
+        };
+        // Write set: g2's fanin is rewired (g2), g1 gains a branch (g1),
+        // c loses one (c); the new gate needs no root entry.
+        let scp = sess.checkpoint(&[g1, g2, c]);
+        let and2 = sess.netlist().library().find_by_name("and2").unwrap();
+        let extra = sess.netlist_mut().add_cell("extra", and2, &[g1, c]);
+        sess.netlist_mut().replace_fanin(g2, 1, extra);
+        assert_ne!(sess.power(), power_before);
+
+        sess.rollback(scp);
+        sess.netlist().validate().unwrap();
+        assert_eq!(
+            powder_netlist::blif::write_blif(sess.netlist()),
+            blif_before
+        );
+        assert!(
+            (sess.power() - power_before).abs() < 1e-12,
+            "estimator repaired to the checkpointed state"
+        );
+        // Every maintained analysis must agree with a from-scratch one.
+        let fresh = PowerEstimator::new(sess.netlist(), &sess.config().power.clone());
+        let (nl, est) = sess.analyses();
+        for g in nl.iter_live() {
+            assert!(
+                (est.probability(g) - fresh.probability(g)).abs() < 1e-12,
+                "probability of {} drifted after rollback",
+                nl.gate_name(g)
+            );
+        }
+        let covers = CellCovers::new(sess.netlist().library());
+        let pats = powder_sim::Patterns::random(
+            sess.netlist().inputs().len(),
+            sess.config().sim_words,
+            sess.config().seed,
+        );
+        let full = simulate(sess.netlist(), &covers, &pats);
+        let (nl, values) = sess.signatures();
+        for g in nl.iter_live() {
+            assert_eq!(
+                values.get(g),
+                full.get(g),
+                "values stale at {g} after rollback"
+            );
+        }
     }
 
     #[test]

@@ -71,6 +71,8 @@ pub struct PassReport {
     pub session: SessionStats,
     /// The full optimizer report, for passes that wrap the POWDER loop.
     pub optimize: Option<OptimizeReport>,
+    /// Equality-saturation statistics, for the `egraph` pass.
+    pub egraph: Option<powder_egraph::EgraphReport>,
 }
 
 impl PassReport {
@@ -148,5 +150,6 @@ pub(crate) fn instrumented(
         seconds: t0.elapsed().as_secs_f64(),
         session: sess.stats().delta(&stats_before),
         optimize,
+        egraph: None,
     }
 }

@@ -84,6 +84,11 @@ pub fn submit_line(spec: &JobSpec, netlist: &str) -> String {
         .opt_f64("deadline_secs", spec.deadline_secs)
         .opt_u64("window_size", spec.window_size.map(|n| n as u64))
         .opt_u64("window_overlap", spec.window_overlap.map(|n| n as u64))
+        .opt_u64(
+            "egraph_node_limit",
+            spec.egraph_node_limit.map(|n| n as u64),
+        )
+        .opt_u64("egraph_iters", spec.egraph_iters.map(|n| n as u64))
         .finish()
 }
 

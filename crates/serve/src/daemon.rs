@@ -45,7 +45,8 @@ use powder_faults::{fires, FaultState, SITE_SERVE_CRASH};
 use powder_library::Library;
 use powder_netlist::blif::{read_blif, write_blif};
 use powder_passes::{
-    build_pipeline, AnalysisSession, PipelineReport, RunCheckpoint, SessionConfig,
+    build_pipeline_with, validate_passes, AnalysisSession, PipelineReport, RunCheckpoint,
+    SessionConfig,
 };
 use powder_timing::{TimingAnalysis, TimingConfig};
 use std::collections::BTreeMap;
@@ -310,6 +311,19 @@ fn report_json(report: &PipelineReport) -> String {
         .finish()
 }
 
+/// Resolves the `egraph` pass configuration from a job spec: explicit
+/// fields override the crate defaults, mirroring the CLI flags.
+fn egraph_config(spec: &JobSpec) -> powder_egraph::EgraphConfig {
+    let mut cfg = powder_egraph::EgraphConfig::default();
+    if let Some(n) = spec.egraph_node_limit {
+        cfg.node_limit = n;
+    }
+    if let Some(n) = spec.egraph_iters {
+        cfg.iter_limit = n;
+    }
+    cfg
+}
+
 /// Executes one job end to end: build the exact `powder optimize`
 /// pipeline for its spec, resume from the latest checkpoint if one is
 /// on disk, persist every checkpoint, and write terminal artifacts.
@@ -400,12 +414,13 @@ fn run_job(shared: &Shared, job: &Arc<JobRecord>) -> Result<(), String> {
         }
     });
 
-    let mut pipeline = build_pipeline(&spec.passes, &cfg, resize_required)
-        .map_err(|e| format!("bad passes: {e}"))?
-        .with_fixpoint(spec.fixpoint)
-        .with_deadline(deadline)
-        .with_stop(Some(Arc::clone(&job.stop)))
-        .with_checkpoint_sink(Some(sink));
+    let mut pipeline =
+        build_pipeline_with(&spec.passes, &cfg, resize_required, &egraph_config(&spec))
+            .map_err(|e| format!("bad passes: {e}"))?
+            .with_fixpoint(spec.fixpoint)
+            .with_deadline(deadline)
+            .with_stop(Some(Arc::clone(&job.stop)))
+            .with_checkpoint_sink(Some(sink));
 
     let session_cfg = SessionConfig::from_optimize(&cfg);
     let mut sess = match &resuming {
@@ -640,8 +655,7 @@ fn submit(shared: &Shared, spec: JobSpec, netlist: &str) -> Result<String, Strin
     // Validate up front so a bad circuit fails the submit, not the job.
     let nl = read_blif(netlist, Arc::clone(&shared.library)).map_err(|e| e.to_string())?;
     nl.validate().map_err(|e| e.to_string())?;
-    build_pipeline(&spec.passes, &OptimizeConfig::default(), None)
-        .map_err(|e| format!("bad passes: {e}"))?;
+    validate_passes(&spec.passes).map_err(|e| format!("bad passes: {e}"))?;
 
     let id = format!("j{:06}", shared.next_id.fetch_add(1, Ordering::SeqCst));
     shared

@@ -39,6 +39,12 @@ pub struct JobSpec {
     /// Read-only halo around each window (`--window-overlap`); must be
     /// smaller than the window size.
     pub window_overlap: Option<usize>,
+    /// `egraph` pass: per-cone e-node budget (`--egraph-node-limit`);
+    /// `None` uses the pass default.
+    pub egraph_node_limit: Option<usize>,
+    /// `egraph` pass: saturation iteration bound (`--egraph-iters`);
+    /// `None` uses the pass default.
+    pub egraph_iters: Option<usize>,
 }
 
 impl Default for JobSpec {
@@ -56,6 +62,8 @@ impl Default for JobSpec {
             deadline_secs: None,
             window_size: None,
             window_overlap: None,
+            egraph_node_limit: None,
+            egraph_iters: None,
         }
     }
 }

@@ -10,7 +10,7 @@
 //!
 //! | op | fields |
 //! |----|--------|
-//! | `submit`   | `netlist` (BLIF text), optional `tenant`, `priority`, `passes`, `fixpoint`, `repeat`, `patterns`, `seed`, `jobs`, `delay_limit_percent`, `deadline_secs`, `window_size`, `window_overlap` |
+//! | `submit`   | `netlist` (BLIF text), optional `tenant`, `priority`, `passes`, `fixpoint`, `repeat`, `patterns`, `seed`, `jobs`, `delay_limit_percent`, `deadline_secs`, `window_size`, `window_overlap`, `egraph_node_limit`, `egraph_iters` |
 //! | `status`   | `job` |
 //! | `list`     | — |
 //! | `cancel`   | `job` |
@@ -197,6 +197,14 @@ fn spec_from(v: &Value) -> Result<JobSpec, String> {
                 "field \"window_overlap\" ({overlap}) must be smaller than the window size ({size})"
             ));
         }
+    }
+    spec.egraph_node_limit = usize_field("egraph_node_limit", v)?;
+    if spec.egraph_node_limit == Some(0) {
+        return Err("field \"egraph_node_limit\" must be at least 1".to_string());
+    }
+    spec.egraph_iters = usize_field("egraph_iters", v)?;
+    if spec.egraph_iters == Some(0) {
+        return Err("field \"egraph_iters\" must be at least 1".to_string());
     }
     Ok(spec)
 }
@@ -387,7 +395,7 @@ mod tests {
     #[test]
     fn submit_parses_defaults_and_overrides() {
         let r = parse_request(
-            r#"{"op":"submit","netlist":".model m\n.end","tenant":"acme","priority":2,"jobs":4,"delay_limit_percent":10,"deadline_secs":1.5,"patterns":128,"seed":7,"window_size":512,"window_overlap":64}"#,
+            r#"{"op":"submit","netlist":".model m\n.end","tenant":"acme","priority":2,"jobs":4,"delay_limit_percent":10,"deadline_secs":1.5,"patterns":128,"seed":7,"window_size":512,"window_overlap":64,"egraph_node_limit":256,"egraph_iters":4}"#,
         )
         .expect("valid");
         match r {
@@ -402,6 +410,8 @@ mod tests {
                 assert_eq!(spec.deadline_secs, Some(1.5));
                 assert_eq!(spec.window_size, Some(512));
                 assert_eq!(spec.window_overlap, Some(64));
+                assert_eq!(spec.egraph_node_limit, Some(256));
+                assert_eq!(spec.egraph_iters, Some(4));
                 // Untouched fields keep CLI defaults.
                 assert_eq!(spec.passes, "powder");
                 assert_eq!(spec.repeat, 10);
@@ -428,6 +438,16 @@ mod tests {
         assert!(parse_request(r#"{"op":"shutdown","mode":"later"}"#)
             .unwrap_err()
             .contains("later"));
+        assert!(
+            parse_request(r#"{"op":"submit","netlist":"x","egraph_node_limit":0}"#)
+                .unwrap_err()
+                .contains("egraph_node_limit")
+        );
+        assert!(
+            parse_request(r#"{"op":"submit","netlist":"x","egraph_iters":0}"#)
+                .unwrap_err()
+                .contains("egraph_iters")
+        );
     }
 
     #[test]

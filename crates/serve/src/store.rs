@@ -133,7 +133,12 @@ impl JobStore {
             .opt_f64("delay_limit_percent", spec.delay_limit_percent)
             .opt_f64("deadline_secs", spec.deadline_secs)
             .opt_u64("window_size", spec.window_size.map(|n| n as u64))
-            .opt_u64("window_overlap", spec.window_overlap.map(|n| n as u64));
+            .opt_u64("window_overlap", spec.window_overlap.map(|n| n as u64))
+            .opt_u64(
+                "egraph_node_limit",
+                spec.egraph_node_limit.map(|n| n as u64),
+            )
+            .opt_u64("egraph_iters", spec.egraph_iters.map(|n| n as u64));
         obj = match error {
             Some(e) => obj.str("error", e),
             None => obj.null("error"),
@@ -258,6 +263,8 @@ pub fn parse_state(text: &str) -> Result<(JobSpec, JobPhase, Option<String>), St
     spec.deadline_secs = num_of("deadline_secs");
     spec.window_size = num_of("window_size").map(|n| n as usize);
     spec.window_overlap = num_of("window_overlap").map(|n| n as usize);
+    spec.egraph_node_limit = num_of("egraph_node_limit").map(|n| n as usize);
+    spec.egraph_iters = num_of("egraph_iters").map(|n| n as usize);
     let error = match v.get("error") {
         Some(Value::Str(s)) => Some(s.clone()),
         _ => None,
@@ -292,6 +299,8 @@ mod tests {
             deadline_secs: Some(5.0),
             window_size: Some(512),
             window_overlap: Some(64),
+            egraph_node_limit: Some(256),
+            egraph_iters: Some(4),
         };
         store.persist_new("j1", &spec, ".model m\n.end\n").unwrap();
         store

@@ -1,0 +1,113 @@
+//! Integration tests of the equality-saturation pass composed with the
+//! substitution loop: `--passes egraph,powder` must be monotone in
+//! Σ C·E, function-preserving, and bit-identical at any worker count.
+
+use powder::{DelayLimit, OptimizeConfig};
+use powder_library::lib2;
+use powder_netlist::blif::write_blif;
+use powder_netlist::Netlist;
+use powder_passes::{build_pipeline, AnalysisSession, PipelineReport, SessionConfig};
+use powder_sim::{simulate, CellCovers, Patterns};
+use std::sync::Arc;
+
+fn po_sigs(nl: &Netlist, pats: &Patterns) -> Vec<Vec<u64>> {
+    let covers = CellCovers::new(nl.library());
+    let vals = simulate(nl, &covers, pats);
+    nl.outputs().iter().map(|&o| vals.get(o).to_vec()).collect()
+}
+
+fn run_spec(nl: &Netlist, spec: &str, jobs: usize) -> (Netlist, PipelineReport) {
+    let cfg = OptimizeConfig {
+        jobs,
+        sim_words: 8,
+        delay_limit: Some(DelayLimit::Factor(1.2)),
+        ..OptimizeConfig::default()
+    };
+    let mut sess = AnalysisSession::new(nl.clone(), SessionConfig::from_optimize(&cfg));
+    let mut pipeline = build_pipeline(spec, &cfg, None).expect("valid spec");
+    let report = pipeline.run(&mut sess);
+    (sess.into_netlist(), report)
+}
+
+/// `egraph,powder` composes: every pass is monotone non-increasing in
+/// the modelled Σ C·E, the result is function-preserving, and the
+/// egraph pass reports its saturation accounting.
+#[test]
+fn egraph_then_powder_is_monotone_and_sound() {
+    let lib = Arc::new(lib2());
+    for name in ["rd84", "t481", "bw"] {
+        let nl = powder_benchmarks::build(name, lib.clone()).expect("suite circuit");
+        let pats = Patterns::random(nl.inputs().len(), 8, 0xE64A);
+        let reference = po_sigs(&nl, &pats);
+
+        let (out, report) = run_spec(&nl, "egraph,powder", 1);
+        out.validate().unwrap();
+        assert_eq!(po_sigs(&out, &pats), reference, "{name}: function broke");
+
+        assert!(
+            report.final_power <= report.initial_power + 1e-9,
+            "{name}: pipeline increased power"
+        );
+        for pass in &report.passes {
+            assert!(
+                pass.power_after <= pass.power_before + 1e-9,
+                "{name}: pass {} increased power ({} -> {})",
+                pass.name,
+                pass.power_before,
+                pass.power_after
+            );
+        }
+        let eg = report
+            .passes
+            .iter()
+            .find(|p| p.name == "egraph")
+            .expect("egraph pass ran");
+        let er = eg.egraph.as_ref().expect("egraph stats attached");
+        assert!(er.cones > 0, "{name}: no cones explored");
+        assert!(
+            er.cost_delta <= 1e-9,
+            "{name}: kept rewrites must not raise modelled cost"
+        );
+    }
+}
+
+/// The pipeline's decisions are a deterministic function of the
+/// netlist: `--jobs 1` and `--jobs 4` must produce bit-identical BLIF.
+#[test]
+fn egraph_powder_bit_identical_across_jobs() {
+    let lib = Arc::new(lib2());
+    let nl = powder_benchmarks::build("rd84", lib).expect("rd84 builds");
+    let (out1, r1) = run_spec(&nl, "egraph,powder", 1);
+    let (out4, r4) = run_spec(&nl, "egraph,powder", 4);
+    assert_eq!(
+        write_blif(&out1),
+        write_blif(&out4),
+        "worker count changed the result"
+    );
+    assert_eq!(r1.total_edits(), r4.total_edits());
+    assert_eq!(r1.final_power, r4.final_power, "bit-identical power");
+}
+
+/// Running the egraph pass twice in a row converges: the second run
+/// finds strictly fewer (or zero) rewrites and never undoes the first.
+#[test]
+fn egraph_pass_converges_under_fixpoint() {
+    let lib = Arc::new(lib2());
+    let nl = powder_benchmarks::build("bw", lib).expect("bw builds");
+    let cfg = OptimizeConfig {
+        jobs: 1,
+        sim_words: 8,
+        ..OptimizeConfig::default()
+    };
+    let mut sess = AnalysisSession::new(nl, SessionConfig::from_optimize(&cfg));
+    let mut pipeline = build_pipeline("egraph", &cfg, None)
+        .expect("valid spec")
+        .with_fixpoint(4);
+    let report = pipeline.run(&mut sess);
+    assert!(
+        report.iterations <= 4,
+        "fixpoint loop terminated by convergence or cap"
+    );
+    assert!(report.final_power <= report.initial_power + 1e-9);
+    sess.into_netlist().validate().unwrap();
+}
